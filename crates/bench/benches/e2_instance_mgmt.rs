@@ -1,0 +1,88 @@
+//! Criterion companion to experiment **E2**: wall-clock cost of the
+//! virtual-instance life-cycle against the real `dosgi-vosgi`
+//! implementation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dosgi_core::workloads;
+use dosgi_osgi::Framework;
+use dosgi_san::Value;
+use dosgi_vosgi::InstanceManager;
+use std::hint::black_box;
+
+fn manager() -> InstanceManager {
+    InstanceManager::new(
+        Framework::new("host"),
+        workloads::standard_repository(),
+        workloads::standard_factory(),
+    )
+}
+
+fn bench_lifecycle(c: &mut Criterion) {
+    c.bench_function("e2/create_instance", |b| {
+        b.iter_batched(
+            manager,
+            |mut mgr| {
+                let id = mgr
+                    .create_instance(workloads::web_instance("cust", "probe"))
+                    .unwrap();
+                black_box(id);
+                mgr
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("e2/start_instance", |b| {
+        b.iter_batched(
+            || {
+                let mut mgr = manager();
+                let id = mgr
+                    .create_instance(workloads::web_instance("cust", "probe"))
+                    .unwrap();
+                (mgr, id)
+            },
+            |(mut mgr, id)| {
+                mgr.start_instance(id).unwrap();
+                mgr
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("e2/full_cycle", |b| {
+        b.iter_batched(
+            manager,
+            |mut mgr| {
+                let id = mgr
+                    .create_instance(workloads::web_instance("cust", "probe"))
+                    .unwrap();
+                mgr.start_instance(id).unwrap();
+                mgr.stop_instance(id).unwrap();
+                mgr.destroy_instance(id, true).unwrap();
+                mgr
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_service_call(c: &mut Criterion) {
+    let mut mgr = manager();
+    let id = mgr
+        .create_instance(workloads::web_instance("cust", "probe"))
+        .unwrap();
+    mgr.start_instance(id).unwrap();
+    c.bench_function("e2/service_call", |b| {
+        b.iter(|| {
+            mgr.call_service(id, workloads::WEB_SERVICE, "handle", black_box(&Value::Null))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lifecycle, bench_service_call
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion companion to experiment **E3**: the cost of the explicit-
+//! export delegating classloader relative to instance-local lookup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dosgi_core::workloads;
+use dosgi_osgi::{Framework, SymbolName};
+use dosgi_san::Value;
+use dosgi_vosgi::{InstanceDescriptor, InstanceManager};
+use std::hint::black_box;
+
+fn setup() -> (InstanceManager, dosgi_vosgi::InstanceId, dosgi_osgi::BundleId) {
+    let mut fw = Framework::new("host");
+    let repo = workloads::standard_repository();
+    let factory = workloads::standard_factory();
+    let m = repo.manifest(workloads::LOG_BUNDLE).unwrap().clone();
+    let a = factory.create(&m);
+    let id = fw.install(m, a).unwrap();
+    fw.start(id).unwrap();
+    let mut mgr = InstanceManager::new(fw, repo, factory);
+    let d = InstanceDescriptor::builder("acme", "a")
+        .bundle(workloads::WEB_BUNDLE)
+        .share_package("org.dosgi.log.api")
+        .share_service(workloads::LOG_SERVICE)
+        .build();
+    let iid = mgr.create_instance(d).unwrap();
+    mgr.start_instance(iid).unwrap();
+    let bundle = mgr
+        .instance(iid)
+        .unwrap()
+        .framework()
+        .find_bundle(workloads::WEB_BUNDLE)
+        .unwrap();
+    (mgr, iid, bundle)
+}
+
+fn bench_lookup_paths(c: &mut Criterion) {
+    let (mut mgr, iid, bundle) = setup();
+    let own = SymbolName::parse("org.app.web.impl.Handler").unwrap();
+    let delegated = SymbolName::parse("org.dosgi.log.api.Logger").unwrap();
+    c.bench_function("e3/load_class_own", |b| {
+        b.iter(|| mgr.load_class(iid, bundle, black_box(&own)).unwrap())
+    });
+    c.bench_function("e3/load_class_host_delegated", |b| {
+        b.iter(|| mgr.load_class(iid, bundle, black_box(&delegated)).unwrap())
+    });
+    // The denial path matters too: it is on the attack surface.
+    let forbidden = SymbolName::parse("org.dosgi.http.api.Server").unwrap();
+    c.bench_function("e3/load_class_denied", |b| {
+        b.iter(|| mgr.load_class(iid, bundle, black_box(&forbidden)).unwrap_err())
+    });
+}
+
+fn bench_service_paths(c: &mut Criterion) {
+    let (mut mgr, iid, _) = setup();
+    c.bench_function("e3/call_instance_local_service", |b| {
+        b.iter(|| {
+            mgr.call_service(iid, workloads::WEB_SERVICE, "handle", black_box(&Value::Null))
+                .unwrap()
+        })
+    });
+    c.bench_function("e3/call_shared_host_service", |b| {
+        b.iter(|| {
+            mgr.call_service(iid, workloads::LOG_SERVICE, "log", black_box(&Value::Null))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_lookup_paths, bench_service_paths);
+criterion_main!(benches);

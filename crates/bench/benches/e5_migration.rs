@@ -1,0 +1,64 @@
+//! Criterion companion to experiment **E5**: wall-clock cost of driving a
+//! complete simulated migration and a complete simulated failover (the
+//! implementation's own overhead, as opposed to the simulated-time results
+//! the E5/E6 binaries report).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dosgi_core::{workloads, ClusterConfig, DosgiCluster};
+use dosgi_net::SimDuration;
+
+fn warmed_cluster(seed: u64) -> DosgiCluster {
+    let mut c = DosgiCluster::new(3, ClusterConfig::default(), seed);
+    c.run_for(SimDuration::from_millis(500));
+    c.deploy(workloads::counter_instance("bank", "ctr"), 0).unwrap();
+    c.run_for(SimDuration::from_millis(500));
+    c
+}
+
+fn bench_migration(c: &mut Criterion) {
+    c.bench_function("e5/graceful_migration_end_to_end", |b| {
+        b.iter_batched(
+            || warmed_cluster(1),
+            |mut cluster| {
+                cluster.migrate("ctr", 1).unwrap();
+                cluster.run_for(SimDuration::from_secs(2));
+                assert_eq!(cluster.home_of("ctr"), Some(1));
+                cluster
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("e5/crash_failover_end_to_end", |b| {
+        b.iter_batched(
+            || warmed_cluster(2),
+            |mut cluster| {
+                cluster.crash_node(0);
+                cluster.run_for(SimDuration::from_secs(2));
+                assert!(cluster.probe("ctr"));
+                cluster
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // How expensive is simulated time itself? One quiet second of a
+    // 3-node cluster (heartbeats, sampling, policy evaluations).
+    c.bench_function("e5/quiet_cluster_second", |b| {
+        b.iter_batched(
+            || warmed_cluster(3),
+            |mut cluster| {
+                cluster.run_for(SimDuration::from_secs(1));
+                cluster
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_migration
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion companion to experiment **E8**: raw routing throughput of the
+//! ipvs director per scheduler, and the cost of a failover.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dosgi_ipvs::{replicated_service, FaultTolerantIpvs, IpvsDirector, Scheduler};
+use dosgi_net::{IpAddr, IpBindings, NodeId, Port, SocketAddr};
+use std::hint::black_box;
+
+const VIP: SocketAddr = SocketAddr::new(IpAddr::new(10, 0, 0, 100), Port(80));
+
+fn director(scheduler: Scheduler, backends: u32) -> IpvsDirector {
+    let nodes: Vec<NodeId> = (0..backends).map(NodeId).collect();
+    let mut d = IpvsDirector::new();
+    d.add_service(replicated_service(VIP, scheduler, &nodes));
+    d
+}
+
+fn bench_routing(c: &mut Criterion) {
+    for scheduler in [
+        Scheduler::RoundRobin,
+        Scheduler::WeightedRoundRobin,
+        Scheduler::LeastConnections,
+        Scheduler::SourceHash,
+    ] {
+        c.bench_function(&format!("e8/route_{scheduler:?}"), |b| {
+            let mut d = director(scheduler, 8);
+            let mut client = 0u64;
+            b.iter(|| {
+                client = client.wrapping_add(1);
+                let node = d.connect(black_box(client), VIP).unwrap();
+                d.release(client, VIP);
+                node
+            })
+        });
+    }
+}
+
+fn bench_failover(c: &mut Criterion) {
+    c.bench_function("e8/director_failover_300_conns", |b| {
+        b.iter_batched(
+            || {
+                let mut ft =
+                    FaultTolerantIpvs::new(NodeId(0), NodeId(1), director(Scheduler::RoundRobin, 8), true);
+                let mut bindings = IpBindings::new();
+                ft.bind_vips(&mut bindings);
+                for client in 0..300u64 {
+                    ft.connect(client, VIP).unwrap();
+                }
+                (ft, bindings)
+            },
+            |(mut ft, mut bindings)| {
+                ft.fail_active(&mut bindings);
+                (ft, bindings)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_routing, bench_failover);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Micro-benchmarks of the hot substrate paths: LDAP filter parse/eval,
+//! SAN value codec, resolver, policy engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dosgi_osgi::{Filter, ManifestBuilder, PropValue, Version};
+use dosgi_san::Value;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench_filter(c: &mut Criterion) {
+    let source = "(&(objectClass=org.dosgi.log.Logger)(ranking>=5)(!(vendor=acme))(region=eu-*))";
+    c.bench_function("filter/parse", |b| {
+        b.iter(|| Filter::parse(black_box(source)).unwrap())
+    });
+    let filter = Filter::parse(source).unwrap();
+    let mut props: BTreeMap<String, PropValue> = BTreeMap::new();
+    props.insert("objectClass".into(), PropValue::from("org.dosgi.log.Logger"));
+    props.insert("ranking".into(), PropValue::from(9i64));
+    props.insert("vendor".into(), PropValue::from("globex"));
+    props.insert("region".into(), PropValue::from("eu-west"));
+    c.bench_function("filter/eval", |b| {
+        b.iter(|| filter.matches(black_box(&props)))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    // A realistic framework snapshot-shaped value.
+    let snapshot = Value::map()
+        .with("next_bundle", 12u64)
+        .with("start_level", 3i64)
+        .with(
+            "bundles",
+            Value::List(
+                (0..10)
+                    .map(|i| {
+                        Value::map()
+                            .with("id", i as u64)
+                            .with("name", format!("org.example.bundle{i}").as_str())
+                            .with("state", "ACTIVE")
+                            .with("data", Value::Bytes(vec![7u8; 256]))
+                    })
+                    .collect(),
+            ),
+        );
+    let encoded = snapshot.encode();
+    c.bench_function("codec/encode_snapshot", |b| {
+        b.iter(|| black_box(&snapshot).encode())
+    });
+    c.bench_function("codec/decode_snapshot", |b| {
+        b.iter(|| Value::decode(black_box(&encoded)).unwrap())
+    });
+}
+
+fn bench_resolver(c: &mut Criterion) {
+    // 40 bundles in a dependency chain + fan-in on a base package.
+    let base = ManifestBuilder::new("base", Version::new(1, 0, 0))
+        .export_package("base.api", Version::new(1, 0, 0), ["Base"])
+        .build()
+        .unwrap();
+    let mut manifests = vec![base];
+    for i in 0..40 {
+        let mut b = ManifestBuilder::new(&format!("b{i}"), Version::new(1, 0, 0))
+            .export_package(&format!("pkg{i}.api"), Version::new(1, 0, 0), ["X"])
+            .import_package("base.api", "[1.0,2.0)".parse().unwrap());
+        if i > 0 {
+            b = b.import_package(&format!("pkg{}.api", i - 1), "1.0".parse().unwrap());
+        }
+        manifests.push(b.build().unwrap());
+    }
+    c.bench_function("resolver/40_bundle_chain", |b| {
+        b.iter_batched(
+            || {
+                let mut fw = dosgi_osgi::Framework::new("bench");
+                for m in &manifests {
+                    fw.install(m.clone(), None).unwrap();
+                }
+                fw
+            },
+            |mut fw| {
+                let resolved = fw.resolve_all();
+                assert_eq!(resolved.len(), manifests.len());
+                fw
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let script = dosgi_core::autonomic::DEFAULT_POLICY;
+    c.bench_function("policy/compile_default", |b| {
+        b.iter(|| dosgi_policy::PolicyEngine::compile(black_box(script)).unwrap())
+    });
+    let mut engine = dosgi_policy::PolicyEngine::compile(script).unwrap();
+    let mut bb = dosgi_policy::Blackboard::new();
+    let subjects: Vec<String> = (0..20).map(|i| format!("inst-{i}")).collect();
+    for s in &subjects {
+        bb.set_subject_metric(s, "cpu_share", 0.05);
+        bb.set_subject_metric(s, "memory", 1_000_000.0);
+        bb.set_subject_metric(s, "quota_cpu", 0.5);
+        bb.set_subject_metric(s, "quota_mem", 100_000_000.0);
+    }
+    c.bench_function("policy/evaluate_20_subjects", |b| {
+        b.iter(|| engine.evaluate(black_box(&bb), black_box(&subjects)))
+    });
+}
+
+criterion_group!(benches, bench_filter, bench_codec, bench_resolver, bench_policy);
+criterion_main!(benches);

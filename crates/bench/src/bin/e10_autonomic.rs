@@ -1,0 +1,127 @@
+//! **E10 — §3.3/§4: autonomic SLA enforcement and consolidation.**
+//!
+//! Part A: a CPU-hogging tenant shares a node with a tame one. With the
+//! Autonomic Module off (the baseline), the violation persists for the
+//! whole run; with the default policy on, the hog is detected and migrated
+//! within a few evaluation periods. The metric is *violation duration*:
+//! how long the hog ran over quota on the shared node.
+//!
+//! Part B: §4's consolidation claim — idle instances are concentrated and
+//! freed nodes hibernate, *"reduc\[ing\] power usage by shutting down or
+//! hibernating nodes"*. The metric is hibernated nodes and the power proxy
+//! (node-seconds awake).
+
+use dosgi_bench::print_table;
+use dosgi_core::{autonomic, workloads, ClusterConfig, DosgiCluster, NodeEvent};
+use dosgi_net::SimDuration;
+use dosgi_san::Value;
+use dosgi_vosgi::{InstanceDescriptor, ResourceQuota};
+
+fn hog_descriptor() -> InstanceDescriptor {
+    InstanceDescriptor::builder("hog-corp", "hog")
+        .bundle(workloads::WEB_BUNDLE)
+        .quota(ResourceQuota::small()) // 100 ms CPU / s
+        .build()
+}
+
+fn run_sla(policy_on: bool, seed: u64) -> (SimDuration, usize) {
+    let mut config = ClusterConfig::default();
+    if !policy_on {
+        config.node.policy = None;
+    }
+    let mut c = DosgiCluster::new(3, config, seed);
+    c.run_for(SimDuration::from_secs(1));
+    c.deploy(hog_descriptor(), 0).unwrap();
+    c.deploy(workloads::web_instance("tame", "tame"), 0).unwrap();
+    c.run_for(SimDuration::from_millis(500));
+
+    // Drive the hog at ~400 ms CPU/s (4x quota) for 10 simulated seconds
+    // while it shares node 0; once migrated, keep driving it on its new
+    // home (the violation there is its own node's problem — what we
+    // measure is contention on the *shared* node 0).
+    let mut violation = SimDuration::ZERO;
+    let mut migrations = 0usize;
+    for _ in 0..100 {
+        for _ in 0..4 {
+            let _ = c.call(
+                "hog",
+                workloads::WEB_SERVICE,
+                "handle",
+                &Value::map().with("work_us", 10_000i64),
+            );
+        }
+        c.run_for(SimDuration::from_millis(100));
+        if c.home_of("hog") == Some(0) {
+            violation += SimDuration::from_millis(100);
+        }
+        migrations = c
+            .take_events()
+            .iter()
+            .filter(|(_, e)| matches!(e, NodeEvent::Adopted { .. }))
+            .count()
+            .max(migrations);
+    }
+    (violation, migrations)
+}
+
+fn run_consolidation(seed: u64) -> (usize, f64) {
+    let mut config = ClusterConfig::default();
+    // Node-level consolidation policy everywhere (paper §4).
+    config.node.policy = Some(format!(
+        "{}{}",
+        autonomic::DEFAULT_POLICY,
+        autonomic::CONSOLIDATION_POLICY
+    ));
+    let mut c = DosgiCluster::new(4, config, seed);
+    c.run_for(SimDuration::from_secs(1));
+    // Four idle instances spread over four nodes.
+    for i in 0..4 {
+        c.deploy(workloads::web_instance("idle", &format!("idle-{i}")), i).unwrap();
+    }
+    // Idle period: nobody sends requests; the consolidation rule fires.
+    let total_nodes = 4.0;
+    let mut awake_node_seconds = 0.0;
+    for _ in 0..30 {
+        c.run_for(SimDuration::from_secs(1));
+        awake_node_seconds += total_nodes - c.hibernated_nodes() as f64;
+    }
+    // All instances must still be served somewhere.
+    for i in 0..4 {
+        assert!(
+            c.probe(&format!("idle-{i}")),
+            "idle-{i} must survive consolidation"
+        );
+    }
+    (c.hibernated_nodes(), awake_node_seconds / (30.0 * total_nodes))
+}
+
+fn main() {
+    let (without, _) = run_sla(false, 2000);
+    let (with, _) = run_sla(true, 2001);
+    print_table(
+        "E10a: SLA violation duration on the shared node (10s hog at 4x quota)",
+        &["autonomic module", "time hog stayed on the shared node"],
+        &[
+            vec!["off (baseline)".to_string(), format!("{without}")],
+            vec!["on (default policy)".to_string(), format!("{with}")],
+        ],
+    );
+
+    let (hibernated, awake_fraction) = run_consolidation(2002);
+    print_table(
+        "E10b: consolidation of 4 idle instances over 4 nodes (30s idle)",
+        &["metric", "value"],
+        &[
+            vec!["nodes hibernated at the end".to_string(), hibernated.to_string()],
+            vec![
+                "power proxy (awake node fraction)".to_string(),
+                format!("{:.2}", awake_fraction),
+            ],
+        ],
+    );
+    println!(
+        "\nShape check (§3.3/§4): the policy bounds the violation to a few \
+         evaluation periods instead of the whole run, and consolidation parks \
+         idle capacity — every instance still probing as available."
+    );
+}

@@ -1,0 +1,77 @@
+//! **E1 — Figures 1–4: the deployment-design space.**
+//!
+//! The paper argues each successive design is lighter and easier to
+//! manage: one JVM per customer (Fig. 1) → shared JVM (Fig. 2) → nested
+//! virtual instances (Fig. 3) → shared host bundles (Fig. 4). This binary
+//! quantifies the argument with the documented cost model
+//! ([`dosgi_vosgi::FootprintModel`]) across a customer sweep, and reports
+//! the management-operation latency gap (remote RMI/JMX channel vs
+//! in-process call).
+
+use dosgi_bench::{mib, print_table, ratio};
+use dosgi_vosgi::{DeploymentTopology, FootprintModel};
+
+fn main() {
+    let model = FootprintModel::default();
+    let bundles_per_customer = 8;
+    let shareable = 4; // log, http, metrics, management — the Fig. 4 hoist
+
+    for customers in [1u64, 5, 10, 20, 50] {
+        let rows: Vec<Vec<String>> = DeploymentTopology::ALL
+            .iter()
+            .map(|t| {
+                let f = t.footprint(&model, customers, bundles_per_customer, shareable);
+                vec![
+                    format!("{} ({:?})", t.figure(), t),
+                    f.jvm_count.to_string(),
+                    f.bundle_copies.to_string(),
+                    mib(f.memory_bytes),
+                    format!("{}", f.management_op),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("E1: {customers} customers x {bundles_per_customer} bundles ({shareable} shareable)"),
+            &["design", "JVMs", "bundle copies", "memory", "mgmt op"],
+            &rows,
+        );
+    }
+
+    // The headline series: memory vs customer count, per design.
+    let sweep: Vec<u64> = vec![1, 2, 5, 10, 20, 30, 40, 50];
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|&n| {
+            let mut row = vec![n.to_string()];
+            for t in DeploymentTopology::ALL {
+                row.push(mib(
+                    t.footprint(&model, n, bundles_per_customer, shareable).memory_bytes,
+                ));
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "E1 series: memory footprint vs customers",
+        &["customers", "Fig.1 jvm/cust", "Fig.2 shared jvm", "Fig.3 nested", "Fig.4 shared bundles"],
+        &rows,
+    );
+
+    let at50: Vec<u64> = DeploymentTopology::ALL
+        .iter()
+        .map(|t| t.footprint(&model, 50, bundles_per_customer, shareable).memory_bytes)
+        .collect();
+    println!(
+        "\nAt 50 customers, Fig.4 uses {} of Fig.1's memory ({} -> {});",
+        ratio(at50[3] as f64, at50[0] as f64),
+        mib(at50[0]),
+        mib(at50[3]),
+    );
+    println!(
+        "management ops are {} faster in-process than over the remote channel.",
+        ratio(
+            FootprintModel::default().remote_op.as_micros() as f64,
+            FootprintModel::default().local_op.as_micros() as f64
+        )
+    );
+}

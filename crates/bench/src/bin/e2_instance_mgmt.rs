@@ -1,0 +1,85 @@
+//! **E2 — Figure 3: the Instance Manager inside OSGi.**
+//!
+//! Measures the real (wall-clock) cost of the instance life-cycle against
+//! the `dosgi-vosgi` implementation: create / start / call / stop /
+//! destroy, and how per-operation cost scales with the number of resident
+//! virtual instances on the host.
+
+use dosgi_bench::print_table;
+use dosgi_core::workloads;
+use dosgi_osgi::Framework;
+use dosgi_san::Value;
+use dosgi_vosgi::InstanceManager;
+use std::time::Instant;
+
+fn manager() -> InstanceManager {
+    InstanceManager::new(
+        Framework::new("host"),
+        workloads::standard_repository(),
+        workloads::standard_factory(),
+    )
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for population in [1usize, 10, 50, 100, 250] {
+        let mut mgr = manager();
+        // Pre-populate.
+        for i in 0..population - 1 {
+            let id = mgr
+                .create_instance(workloads::web_instance("cust", &format!("pre-{i}")))
+                .unwrap();
+            mgr.start_instance(id).unwrap();
+        }
+        // Measure the marginal instance.
+        let t0 = Instant::now();
+        let id = mgr
+            .create_instance(workloads::web_instance("cust", "probe"))
+            .unwrap();
+        let create = t0.elapsed();
+        let t0 = Instant::now();
+        mgr.start_instance(id).unwrap();
+        let start = t0.elapsed();
+        let t0 = Instant::now();
+        for _ in 0..1000 {
+            mgr.call_service(id, workloads::WEB_SERVICE, "handle", &Value::Null)
+                .unwrap();
+        }
+        let call = t0.elapsed() / 1000;
+        let t0 = Instant::now();
+        mgr.stop_instance(id).unwrap();
+        let stop = t0.elapsed();
+        let t0 = Instant::now();
+        mgr.destroy_instance(id, true).unwrap();
+        let destroy = t0.elapsed();
+        rows.push(vec![
+            population.to_string(),
+            format!("{create:?}"),
+            format!("{start:?}"),
+            format!("{call:?}"),
+            format!("{stop:?}"),
+            format!("{destroy:?}"),
+        ]);
+    }
+    print_table(
+        "E2: marginal instance life-cycle cost vs resident population (wall clock)",
+        &["resident", "create", "start", "call (avg)", "stop", "destroy"],
+        &rows,
+    );
+
+    // Bulk churn: how many full cycles per second does the manager sustain?
+    let mut mgr = manager();
+    let t0 = Instant::now();
+    let cycles = 200;
+    for i in 0..cycles {
+        let id = mgr
+            .create_instance(workloads::web_instance("cust", &format!("churn-{i}")))
+            .unwrap();
+        mgr.start_instance(id).unwrap();
+        mgr.stop_instance(id).unwrap();
+        mgr.destroy_instance(id, true).unwrap();
+    }
+    let per = t0.elapsed() / cycles;
+    println!("\nfull create+start+stop+destroy cycle: {per:?} (over {cycles} cycles)");
+    println!("the management path is an in-process map lookup — no RMI/JMX hop (Fig. 2–3 vs Fig. 1).");
+}

@@ -1,0 +1,85 @@
+//! # dosgi-bench — the experiment harness
+//!
+//! The paper (MW4SOC 2008) has **no quantitative evaluation section**: its
+//! six figures are architecture/scenario diagrams and its claims are
+//! qualitative. This crate turns every figure and every quantifiable claim
+//! into a reproducible experiment (see `DESIGN.md` §6 and
+//! `EXPERIMENTS.md` for the index):
+//!
+//! | binary | paper anchor |
+//! |---|---|
+//! | `e1_topology` | Fig. 1–4 deployment-design footprints |
+//! | `e2_instance_mgmt` | Fig. 3 instance life-cycle management |
+//! | `e3_sharing` | Fig. 4 shared host bundles + explicit exports |
+//! | `e4_isolation` | §2 isolation claims |
+//! | `e5_migration_cost` | §3.2 "comparable to a normal startup" |
+//! | `e6_failover` | §3.2 node-failure redeployment |
+//! | `e7_vip_migration` | Fig. 5 unique-IP service localization |
+//! | `e8_ipvs` | Fig. 6 shared-IP ipvs scaling + failover |
+//! | `e9_replication` | §3.2 future work: context replication ablation |
+//! | `e10_autonomic` | §3.3/§4 SLA enforcement + consolidation |
+//!
+//! Run any of them with `cargo run -p dosgi-bench --release --bin <name>`;
+//! the Criterion benches (`cargo bench -p dosgi-bench`) measure the
+//! corresponding wall-clock costs of the implementation itself.
+
+use std::fmt::Display;
+
+/// Prints a Markdown-style table: header row then aligned data rows.
+pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
+    println!("\n## {title}\n");
+    let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!(" {:>width$} |", c, width = widths[i]));
+        }
+        out
+    };
+    println!("{}", line(&headers));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", line(&sep));
+    for row in &rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Formats bytes human-readably (MiB with two decimals).
+pub fn mib(bytes: u64) -> String {
+    format!("{:.2} MiB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a ratio as `x.yz×`.
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "∞".to_owned()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(mib(1 << 20), "1.00 MiB");
+        assert_eq!(ratio(3.0, 2.0), "1.50x");
+        assert_eq!(ratio(1.0, 0.0), "∞");
+        // Table printing must not panic on ragged input.
+        print_table("t", &["a", "b"], &[vec!["1".to_string(), "2".to_string()]]);
+    }
+}

@@ -1,0 +1,513 @@
+//! The cluster: the deterministic simulation driver every experiment runs
+//! on.
+
+use crate::node::{DosgiNode, NodeConfig, NodeState, Wire};
+use crate::registry::InstanceStatus;
+use crate::{CoreError, NodeEvent, SlaTracker};
+use dosgi_net::{LinkConfig, NodeId, Partition, SimDuration, SimNet, SimTime};
+use dosgi_san::{SharedStore, Value};
+use dosgi_vosgi::InstanceDescriptor;
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Per-node configuration.
+    pub node: NodeConfig,
+    /// Default link quality.
+    pub link: LinkConfig,
+    /// Driver step size (how often nodes tick).
+    pub tick: SimDuration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            node: NodeConfig::default(),
+            link: LinkConfig::lan(),
+            tick: SimDuration::from_millis(5),
+        }
+    }
+}
+
+struct Slot {
+    node: DosgiNode,
+    alive: bool,
+}
+
+/// A simulated cluster of [`DosgiNode`]s sharing a SAN and a network.
+///
+/// The driver advances simulated time in fixed ticks; at each tick the
+/// network delivers due messages, every live node runs its event loop, and
+/// the availability of every registered instance is probed into the
+/// [`SlaTracker`] — the downtime instrument behind experiments E5–E10.
+pub struct DosgiCluster {
+    net: SimNet<Wire>,
+    store: SharedStore,
+    slots: Vec<Slot>,
+    config: ClusterConfig,
+    sla: SlaTracker,
+    events: Vec<(NodeId, NodeEvent)>,
+}
+
+impl std::fmt::Debug for DosgiCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DosgiCluster")
+            .field("nodes", &self.slots.len())
+            .field("now", &self.net.now())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DosgiCluster {
+    /// Builds a cluster of `n` nodes with the given config and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, config: ClusterConfig, seed: u64) -> Self {
+        assert!(n > 0, "a cluster needs at least one node");
+        let mut net = SimNet::new(config.link, seed);
+        let store = SharedStore::new();
+        let ids: Vec<NodeId> = (0..n).map(|_| net.register_node()).collect();
+        let slots = ids
+            .iter()
+            .map(|&id| Slot {
+                node: DosgiNode::new(
+                    id,
+                    ids.clone(),
+                    config.node.clone(),
+                    store.clone(),
+                    net.now(),
+                ),
+                alive: true,
+            })
+            .collect();
+        DosgiCluster {
+            net,
+            store,
+            slots,
+            config,
+            sla: SlaTracker::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// The shared SAN.
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    /// The simulated network (partition injection, stats).
+    pub fn net_mut(&mut self) -> &mut SimNet<Wire>{
+        &mut self.net
+    }
+
+    /// Number of nodes (alive or not).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the cluster has no nodes (never: see [`new`](Self::new)).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// A node by index, if it exists and is alive.
+    pub fn node(&self, idx: usize) -> Option<&DosgiNode> {
+        self.slots.get(idx).filter(|s| s.alive).map(|s| &s.node)
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, idx: usize) -> Option<&mut DosgiNode> {
+        self.slots
+            .get_mut(idx)
+            .filter(|s| s.alive)
+            .map(|s| &mut s.node)
+    }
+
+    /// Indexes of nodes that are alive and `Running`.
+    pub fn running_nodes(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive && s.node.state() == NodeState::Running)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of hibernated nodes (the E10 power metric).
+    pub fn hibernated_nodes(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.alive && s.node.state() == NodeState::Hibernated)
+            .count()
+    }
+
+    // ------------------------------------------------------------------
+    // Operations
+    // ------------------------------------------------------------------
+
+    /// Deploys an instance on node `idx` and waits (in simulated time) for
+    /// the deployment to **commit** — i.e. for the ordered `Deployed`
+    /// record to reach the replicated registry **of every live node**.
+    /// (The sequencer alone is not enough: if the deploying node is the
+    /// sequencer, its self-delivery is instant while the broadcast could
+    /// still die with it.) Only then can a crash of any single node not
+    /// lose the instance.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NodeUnavailable`], [`CoreError::DuplicateInstance`],
+    /// instance-manager errors, or [`CoreError::BadMigration`] if the
+    /// commit does not land within five simulated seconds (no sequencer
+    /// reachable).
+    pub fn deploy(
+        &mut self,
+        descriptor: InstanceDescriptor,
+        idx: usize,
+    ) -> Result<(), CoreError> {
+        if self.find_record(&descriptor.name).is_some() {
+            return Err(CoreError::DuplicateInstance(descriptor.name));
+        }
+        let name = descriptor.name.clone();
+        let now = self.net.now();
+        let slot = self
+            .slots
+            .get_mut(idx)
+            .filter(|s| s.alive)
+            .ok_or(CoreError::NodeUnavailable(NodeId(idx as u32)))?;
+        slot.node.deploy(descriptor, &mut self.net, now)?;
+        let deadline = self.net.now() + SimDuration::from_secs(5);
+        while self.net.now() < deadline {
+            let everywhere = self
+                .slots
+                .iter()
+                .filter(|s| s.alive && s.node.state() == NodeState::Running)
+                .all(|s| s.node.registry().record(&name).is_some());
+            if everywhere {
+                return Ok(());
+            }
+            self.step();
+        }
+        Err(CoreError::BadMigration(format!(
+            "deployment of {name:?} did not commit"
+        )))
+    }
+
+    /// Permanently removes an instance from the cluster (state wiped).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotPlaced`] when the instance has no live home.
+    pub fn undeploy(&mut self, name: &str) -> Result<(), CoreError> {
+        let home = self
+            .home_of(name)
+            .ok_or_else(|| CoreError::NotPlaced(name.to_owned()))?;
+        let slot = self
+            .slots
+            .get_mut(home)
+            .ok_or(CoreError::NodeUnavailable(NodeId(home as u32)))?;
+        slot.node.undeploy(name, &mut self.net)
+    }
+
+    /// Requests a migration of `name` to node `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownInstance`] / [`CoreError::NotPlaced`] /
+    /// [`CoreError::BadMigration`].
+    pub fn migrate(&mut self, name: &str, to: usize) -> Result<(), CoreError> {
+        let home = self
+            .home_of(name)
+            .ok_or_else(|| CoreError::NotPlaced(name.to_owned()))?;
+        if self.node(to).is_none() {
+            return Err(CoreError::BadMigration(format!("destination n{to} is down")));
+        }
+        let dest = NodeId(to as u32);
+        let slot = self
+            .slots
+            .get_mut(home)
+            .ok_or(CoreError::NodeUnavailable(NodeId(home as u32)))?;
+        slot.node.migrate_away(name, dest, &mut self.net)
+    }
+
+    /// Crashes node `idx` (crash-stop: volatile state lost, SAN intact).
+    pub fn crash_node(&mut self, idx: usize) {
+        if let Some(slot) = self.slots.get_mut(idx) {
+            slot.alive = false;
+            self.net.crash(NodeId(idx as u32));
+        }
+    }
+
+    /// Restarts a crashed node with fresh volatile state; it rejoins the
+    /// group and receives a registry sync from the coordinator.
+    pub fn restart_node(&mut self, idx: usize) {
+        let ids: Vec<NodeId> = (0..self.slots.len()).map(|i| NodeId(i as u32)).collect();
+        let id = NodeId(idx as u32);
+        self.net.restart(id);
+        if let Some(slot) = self.slots.get_mut(idx) {
+            slot.node = DosgiNode::new(
+                id,
+                ids,
+                self.config.node.clone(),
+                self.store.clone(),
+                self.net.now(),
+            );
+            slot.alive = true;
+        }
+    }
+
+    /// Wakes a hibernated (or orderly-stopped) node: it rejoins the group
+    /// with fresh volatile state and becomes a placement candidate again —
+    /// the scale-back-up half of §4's consolidation story ("relocating
+    /// them in another node when they need more performance").
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NodeUnavailable`] if the node is crashed or running.
+    pub fn wake_node(&mut self, idx: usize) -> Result<(), CoreError> {
+        let state = self
+            .slots
+            .get(idx)
+            .filter(|s| s.alive)
+            .map(|s| s.node.state())
+            .ok_or(CoreError::NodeUnavailable(NodeId(idx as u32)))?;
+        if !matches!(state, NodeState::Hibernated | NodeState::Stopped) {
+            return Err(CoreError::NodeUnavailable(NodeId(idx as u32)));
+        }
+        // Waking is a restart with empty volatile state; the SAN still has
+        // everything durable.
+        self.restart_node(idx);
+        Ok(())
+    }
+
+    /// Starts a graceful shutdown of node `idx` (drain, then leave).
+    pub fn graceful_shutdown(&mut self, idx: usize) {
+        let now = self.net.now();
+        if let Some(slot) = self.slots.get_mut(idx) {
+            if slot.alive {
+                slot.node.begin_shutdown(&mut self.net, now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client-side views
+    // ------------------------------------------------------------------
+
+    fn reference_registry(&self) -> Option<&crate::ClusterRegistry> {
+        self.slots
+            .iter()
+            .find(|s| s.alive && s.node.state() == NodeState::Running)
+            .map(|s| s.node.registry())
+    }
+
+    fn find_record(&self, name: &str) -> Option<&crate::InstanceRecord> {
+        self.reference_registry().and_then(|r| r.record(name))
+    }
+
+    /// The node index currently responsible for `name` (per the replicated
+    /// registry), if placed on a live node.
+    pub fn home_of(&self, name: &str) -> Option<usize> {
+        let rec = self.find_record(name)?;
+        if rec.status != InstanceStatus::Placed {
+            return None;
+        }
+        let idx = rec.home.index();
+        self.node(idx).map(|_| idx)
+    }
+
+    /// True if `name` is currently serving somewhere — the availability
+    /// probe (a client that knows the service's location, as the paper's
+    /// localization schemes provide).
+    pub fn probe(&self, name: &str) -> bool {
+        self.home_of(name)
+            .and_then(|idx| self.node(idx))
+            .map(|n| n.probe_local(name))
+            .unwrap_or(false)
+    }
+
+    /// Routes a client request to the instance's current home.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotPlaced`] while the instance is down (counted as
+    /// downtime by callers), [`CoreError::Throttled`] when the SLA layer
+    /// throttled it, plus service errors.
+    pub fn call(
+        &mut self,
+        name: &str,
+        interface: &str,
+        method: &str,
+        arg: &Value,
+    ) -> Result<Value, CoreError> {
+        let idx = self
+            .home_of(name)
+            .ok_or_else(|| CoreError::NotPlaced(name.to_owned()))?;
+        let node = self
+            .node_mut(idx)
+            .ok_or(CoreError::NodeUnavailable(NodeId(idx as u32)))?;
+        if node.is_throttled(name) {
+            return Err(CoreError::Throttled(name.to_owned()));
+        }
+        node.call_local(name, interface, method, arg)
+    }
+
+    /// The SLA/availability tracker fed by per-tick probes.
+    pub fn sla(&self) -> &SlaTracker {
+        &self.sla
+    }
+
+    /// Drains all node events collected so far, as `(node, event)` pairs in
+    /// observation order.
+    pub fn take_events(&mut self) -> Vec<(NodeId, NodeEvent)> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Injects a network partition.
+    pub fn partition(&mut self, p: Partition) {
+        self.net.partition(p);
+    }
+
+    /// Heals any partition.
+    pub fn heal(&mut self) {
+        self.net.heal();
+    }
+
+    // ------------------------------------------------------------------
+    // The driver loop
+    // ------------------------------------------------------------------
+
+    /// Advances the cluster by `duration`, ticking every live node each
+    /// step and probing every registered instance's availability.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let end = self.net.now() + duration;
+        while self.net.now() < end {
+            self.step();
+        }
+    }
+
+    /// One driver step: advance the network by one tick, tick the nodes,
+    /// collect events, probe availability — public so experiments can
+    /// interleave fine-grained actions with time.
+    pub fn step(&mut self) {
+        self.net.advance(self.config.tick);
+        let now = self.net.now();
+        for slot in &mut self.slots {
+            if slot.alive {
+                slot.node.tick(&mut self.net, now);
+            }
+        }
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            for e in slot.node.take_events() {
+                self.events.push((NodeId(i as u32), e));
+            }
+        }
+        // Availability probes.
+        let names: Vec<String> = self
+            .reference_registry()
+            .map(|r| r.records().map(|rec| rec.name.clone()).collect())
+            .unwrap_or_default();
+        for name in names {
+            let up = self.probe(&name);
+            self.sla.probe(&name, now, up);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use dosgi_san::Value;
+
+    fn cluster() -> DosgiCluster {
+        let mut c = DosgiCluster::new(3, ClusterConfig::default(), 77);
+        c.run_for(SimDuration::from_millis(500));
+        c
+    }
+
+    #[test]
+    fn deploy_undeploy_round_trip() {
+        let mut c = cluster();
+        c.deploy(workloads::web_instance("a", "web"), 0).unwrap();
+        c.run_for(SimDuration::from_millis(300));
+        assert!(c.probe("web"));
+        assert_eq!(c.home_of("web"), Some(0));
+        c.undeploy("web").unwrap();
+        c.run_for(SimDuration::from_millis(500));
+        assert!(!c.probe("web"));
+        assert_eq!(c.home_of("web"), None);
+        // The SAN state is wiped too: nothing under the instance namespace.
+        assert_eq!(c.store().namespace_bytes_prefixed("instance/web"), 0);
+        // And the name is reusable.
+        c.deploy(workloads::web_instance("a", "web"), 1).unwrap();
+        c.run_for(SimDuration::from_millis(300));
+        assert_eq!(c.home_of("web"), Some(1));
+    }
+
+    #[test]
+    fn undeploy_of_unknown_instance_errors() {
+        let mut c = cluster();
+        assert!(matches!(
+            c.undeploy("ghost"),
+            Err(CoreError::NotPlaced(_))
+        ));
+    }
+
+    #[test]
+    fn node_accessors_respect_liveness() {
+        let mut c = cluster();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(c.node(0).is_some());
+        assert!(c.node(9).is_none());
+        assert_eq!(c.running_nodes(), vec![0, 1, 2]);
+        assert_eq!(c.hibernated_nodes(), 0);
+        c.crash_node(1);
+        assert!(c.node(1).is_none());
+        assert_eq!(c.running_nodes(), vec![0, 2]);
+    }
+
+    #[test]
+    fn call_to_unplaced_instance_is_not_placed_error() {
+        let mut c = cluster();
+        let err = c
+            .call("nope", workloads::WEB_SERVICE, "handle", &Value::Null)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NotPlaced(_)));
+    }
+
+    #[test]
+    fn deploy_rejects_dead_node_and_duplicates() {
+        let mut c = cluster();
+        c.crash_node(2);
+        assert!(matches!(
+            c.deploy(workloads::web_instance("a", "w"), 2),
+            Err(CoreError::NodeUnavailable(_))
+        ));
+        c.deploy(workloads::web_instance("a", "w"), 0).unwrap();
+        c.run_for(SimDuration::from_millis(300));
+        assert!(matches!(
+            c.deploy(workloads::web_instance("b", "w"), 1),
+            Err(CoreError::DuplicateInstance(_))
+        ));
+    }
+
+    #[test]
+    fn events_are_tagged_with_their_node() {
+        let mut c = cluster();
+        c.deploy(workloads::web_instance("a", "w"), 1).unwrap();
+        c.run_for(SimDuration::from_millis(300));
+        let events = c.take_events();
+        assert!(events
+            .iter()
+            .any(|(n, e)| *n == NodeId(1) && matches!(e, crate::NodeEvent::Deployed { .. })));
+        assert!(c.take_events().is_empty(), "drained");
+    }
+}

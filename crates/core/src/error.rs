@@ -1,0 +1,70 @@
+//! Core error type.
+
+use dosgi_net::NodeId;
+use dosgi_vosgi::VosgiError;
+use std::fmt;
+
+/// Errors from cluster-level operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The node index does not exist or the node is down.
+    NodeUnavailable(NodeId),
+    /// No instance with that name is known to the cluster.
+    UnknownInstance(String),
+    /// An instance with that name already exists.
+    DuplicateInstance(String),
+    /// The instance is not currently placed on a live node.
+    NotPlaced(String),
+    /// The migration cannot proceed (bad destination, already migrating…).
+    BadMigration(String),
+    /// The SLA layer throttled this instance; the request was shed.
+    Throttled(String),
+    /// An instance-manager operation failed.
+    Vosgi(VosgiError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NodeUnavailable(n) => write!(f, "node {n} unavailable"),
+            CoreError::UnknownInstance(name) => write!(f, "unknown instance {name:?}"),
+            CoreError::DuplicateInstance(name) => write!(f, "instance {name:?} already exists"),
+            CoreError::NotPlaced(name) => write!(f, "instance {name:?} is not placed"),
+            CoreError::BadMigration(msg) => write!(f, "bad migration: {msg}"),
+            CoreError::Throttled(name) => write!(f, "instance {name:?} is throttled"),
+            CoreError::Vosgi(e) => write!(f, "instance manager: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Vosgi(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VosgiError> for CoreError {
+    fn from(e: VosgiError) -> Self {
+        CoreError::Vosgi(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            CoreError::UnknownInstance("x".into()).to_string(),
+            "unknown instance \"x\""
+        );
+        assert_eq!(
+            CoreError::NodeUnavailable(NodeId(2)).to_string(),
+            "node n2 unavailable"
+        );
+    }
+}

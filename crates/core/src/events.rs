@@ -1,0 +1,119 @@
+//! Node-level events: the observable record experiments assert on.
+
+use dosgi_net::{NodeId, SimTime};
+use dosgi_policy::PolicyDecision;
+
+/// Something noteworthy that happened on a node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeEvent {
+    /// A membership view was installed.
+    ViewChanged {
+        /// When.
+        at: SimTime,
+        /// Members now.
+        members: Vec<NodeId>,
+        /// Who left (crash or graceful departure).
+        left: Vec<NodeId>,
+    },
+    /// An instance was deployed locally.
+    Deployed {
+        /// When.
+        at: SimTime,
+        /// Which instance.
+        name: String,
+    },
+    /// This node stopped and released an instance for migration.
+    Released {
+        /// When.
+        at: SimTime,
+        /// Which instance.
+        name: String,
+        /// The destination.
+        to: NodeId,
+    },
+    /// This node adopted an instance.
+    Adopted {
+        /// When.
+        at: SimTime,
+        /// Which instance.
+        name: String,
+        /// Why it arrived here.
+        reason: AdoptReason,
+    },
+    /// The autonomic module executed a policy decision.
+    PolicyFired {
+        /// When.
+        at: SimTime,
+        /// The decision.
+        decision: PolicyDecision,
+    },
+    /// The node began draining for a graceful shutdown.
+    Draining {
+        /// When.
+        at: SimTime,
+    },
+    /// The node finished draining: no local instances remain.
+    Drained {
+        /// When.
+        at: SimTime,
+    },
+    /// The node hibernated (consolidation/power saving).
+    Hibernated {
+        /// When.
+        at: SimTime,
+    },
+    /// An instance failed to adopt (error text preserved).
+    AdoptFailed {
+        /// When.
+        at: SimTime,
+        /// Which instance.
+        name: String,
+        /// Why.
+        error: String,
+    },
+}
+
+/// Why an instance arrived on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdoptReason {
+    /// Planned migration (SLA or operator initiated).
+    Migration,
+    /// Failover after the previous home crashed.
+    Failover,
+}
+
+impl NodeEvent {
+    /// When the event happened.
+    pub fn at(&self) -> SimTime {
+        match self {
+            NodeEvent::ViewChanged { at, .. }
+            | NodeEvent::Deployed { at, .. }
+            | NodeEvent::Released { at, .. }
+            | NodeEvent::Adopted { at, .. }
+            | NodeEvent::PolicyFired { at, .. }
+            | NodeEvent::Draining { at }
+            | NodeEvent::Drained { at }
+            | NodeEvent::Hibernated { at }
+            | NodeEvent::AdoptFailed { at, .. } => *at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_accessor() {
+        let e = NodeEvent::Drained {
+            at: SimTime::from_millis(5),
+        };
+        assert_eq!(e.at(), SimTime::from_millis(5));
+        let e = NodeEvent::Adopted {
+            at: SimTime::from_secs(1),
+            name: "x".into(),
+            reason: AdoptReason::Failover,
+        };
+        assert_eq!(e.at(), SimTime::from_secs(1));
+    }
+}

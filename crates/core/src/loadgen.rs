@@ -1,0 +1,175 @@
+//! Open-loop workload generation for experiments.
+//!
+//! Availability and SLA numbers are only as honest as the load behind
+//! them; this module provides a deterministic Poisson-process request
+//! generator (seeded, exponential inter-arrival gaps) and a bounded-Pareto
+//! work-size sampler, the standard open-loop web workload shape.
+
+use dosgi_net::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Poisson arrival process on the simulated clock.
+#[derive(Debug, Clone)]
+pub struct LoadGenerator {
+    rng: StdRng,
+    rate_per_sec: f64,
+    next_arrival: SimTime,
+}
+
+impl LoadGenerator {
+    /// A generator producing `rate_per_sec` arrivals per simulated second,
+    /// starting at `start`, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate_per_sec` is positive and finite.
+    pub fn new(rate_per_sec: f64, seed: u64, start: SimTime) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "rate must be positive"
+        );
+        let mut gen = LoadGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            rate_per_sec,
+            next_arrival: start,
+        };
+        gen.advance_gap();
+        gen
+    }
+
+    fn advance_gap(&mut self) {
+        // Exponential(λ) inter-arrival: -ln(U)/λ.
+        let u: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let gap_secs = -u.ln() / self.rate_per_sec;
+        self.next_arrival =
+            self.next_arrival + SimDuration::from_micros((gap_secs * 1e6) as u64);
+    }
+
+    /// Number of arrivals with timestamps `<= now` since the last call.
+    /// Call once per driver tick and issue that many requests.
+    pub fn arrivals_until(&mut self, now: SimTime) -> u32 {
+        let mut n = 0;
+        while self.next_arrival <= now {
+            n += 1;
+            self.advance_gap();
+        }
+        n
+    }
+
+    /// The timestamp of the next pending arrival.
+    pub fn next_arrival(&self) -> SimTime {
+        self.next_arrival
+    }
+}
+
+/// A bounded-Pareto sampler for request service demands (heavy-tailed work,
+/// as web traffic measurements consistently show).
+#[derive(Debug, Clone)]
+pub struct WorkSampler {
+    rng: StdRng,
+    min_us: f64,
+    max_us: f64,
+    alpha: f64,
+}
+
+impl WorkSampler {
+    /// Work sizes in `[min, max]` with tail index `alpha` (1.1–2.5 is the
+    /// empirical web range; lower = heavier tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `min < max` and `alpha > 0`.
+    pub fn new(min: SimDuration, max: SimDuration, alpha: f64, seed: u64) -> Self {
+        assert!(min < max, "min must be below max");
+        assert!(alpha > 0.0, "alpha must be positive");
+        WorkSampler {
+            rng: StdRng::seed_from_u64(seed),
+            min_us: min.as_micros() as f64,
+            max_us: max.as_micros() as f64,
+            alpha,
+        }
+    }
+
+    /// Draws one service demand.
+    pub fn sample(&mut self) -> SimDuration {
+        // Inverse-CDF of the bounded Pareto.
+        let u: f64 = self.rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
+        let (l, h, a) = (self.min_us, self.max_us, self.alpha);
+        let x = (u * h.powf(a) - u * l.powf(a) - h.powf(a))
+            / (h.powf(a) * l.powf(a));
+        let v = (-x).powf(-1.0 / a);
+        SimDuration::from_micros(v.clamp(l, h) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_rate_is_approximately_right() {
+        let mut gen = LoadGenerator::new(100.0, 7, SimTime::ZERO);
+        let mut total = 0u32;
+        for s in 1..=20 {
+            total += gen.arrivals_until(SimTime::from_secs(s));
+        }
+        // 100/s over 20s: expect ~2000, Poisson σ≈45.
+        assert!((1700..=2300).contains(&total), "total={total}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let run = |seed| {
+            let mut gen = LoadGenerator::new(50.0, seed, SimTime::ZERO);
+            (1..=10)
+                .map(|s| gen.arrivals_until(SimTime::from_secs(s)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_consumed() {
+        let mut gen = LoadGenerator::new(10.0, 3, SimTime::ZERO);
+        let first = gen.arrivals_until(SimTime::from_secs(5));
+        let again = gen.arrivals_until(SimTime::from_secs(5));
+        assert!(first > 0);
+        assert_eq!(again, 0, "same instant yields nothing new");
+        assert!(gen.next_arrival() > SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn work_sampler_respects_bounds() {
+        let min = SimDuration::from_micros(100);
+        let max = SimDuration::from_millis(50);
+        let mut s = WorkSampler::new(min, max, 1.5, 11);
+        let mut total = SimDuration::ZERO;
+        for _ in 0..1000 {
+            let w = s.sample();
+            assert!(w >= min && w <= max, "{w}");
+            total += w;
+        }
+        let mean = total / 1000;
+        // Heavy tail: mean well above min, well below max.
+        assert!(mean > min && mean < max, "mean={mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = LoadGenerator::new(0.0, 1, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "min must be below max")]
+    fn bad_bounds_rejected() {
+        let _ = WorkSampler::new(
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(5),
+            1.5,
+            1,
+        );
+    }
+}

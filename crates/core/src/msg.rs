@@ -1,0 +1,113 @@
+//! Cluster application messages (carried inside the GCS).
+
+use dosgi_net::NodeId;
+use dosgi_san::Value;
+
+/// Application payloads exchanged between nodes through the group
+/// communication layer. Control-plane messages that mutate the replicated
+/// instance registry travel **totally ordered** so every node applies them
+/// in the same sequence; announcements travel FIFO-reliable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppPayload {
+    /// (ordered) A new instance was deployed on `home`. Carries the
+    /// serialized descriptor so any node can later re-materialize it.
+    Deployed {
+        /// The instance name.
+        name: String,
+        /// The serialized [`InstanceDescriptor`](dosgi_vosgi::InstanceDescriptor).
+        descriptor: Value,
+        /// The node it was deployed on.
+        home: NodeId,
+    },
+    /// (ordered) A migration was decided: `name` moves `from → to`.
+    Migrate {
+        /// The instance to move.
+        name: String,
+        /// Current home.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+    },
+    /// (ordered) The source has stopped the instance and its state is in
+    /// the SAN; the destination may adopt it.
+    Released {
+        /// The instance released.
+        name: String,
+        /// The destination that should adopt it.
+        to: NodeId,
+    },
+    /// (ordered) A failover **claim**: `node` takes over an instance
+    /// stranded on `prior_home`. Carrying the dead home makes the claim
+    /// self-contained: it applies identically on nodes that have already
+    /// orphaned the record locally and on nodes whose failure detector is
+    /// still lagging — the first claim per instance in the total order wins
+    /// everywhere.
+    Adopted {
+        /// The instance claimed.
+        name: String,
+        /// Its new home (the claimant).
+        node: NodeId,
+        /// The home the claimant observed as dead.
+        prior_home: NodeId,
+    },
+    /// (ordered) An instance was destroyed on purpose (undeploy).
+    Undeployed {
+        /// The instance removed.
+        name: String,
+    },
+    /// (ordered) A node announces it is draining for a graceful shutdown;
+    /// its instances will be migrated away before it leaves the group.
+    Draining {
+        /// The node shutting down.
+        node: NodeId,
+    },
+    /// (ordered) A node announces it (re)started. Peers answer with a
+    /// `RegistrySync`, which lets a node that crashed and restarted *below
+    /// the suspicion timeout* — invisible to the failure detector — learn
+    /// the registry and re-adopt the instances it silently lost.
+    Hello {
+        /// The (re)started node.
+        node: NodeId,
+    },
+    /// (ordered) Full registry state, sent by the coordinator when a node
+    /// (re)joins — application-level state transfer so a restarted node
+    /// catches up with the replicated instance registry.
+    RegistrySync {
+        /// The serialized registry (see
+        /// [`ClusterRegistry::export`](crate::ClusterRegistry::export)).
+        registry: Value,
+    },
+}
+
+impl AppPayload {
+    /// The instance name this message concerns, if any.
+    pub fn instance(&self) -> Option<&str> {
+        match self {
+            AppPayload::Deployed { name, .. }
+            | AppPayload::Migrate { name, .. }
+            | AppPayload::Released { name, .. }
+            | AppPayload::Adopted { name, .. }
+            | AppPayload::Undeployed { name } => Some(name),
+            AppPayload::Draining { .. }
+            | AppPayload::Hello { .. }
+            | AppPayload::RegistrySync { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_accessor() {
+        let m = AppPayload::Migrate {
+            name: "a".into(),
+            from: NodeId(0),
+            to: NodeId(1),
+        };
+        assert_eq!(m.instance(), Some("a"));
+        assert_eq!(AppPayload::Draining { node: NodeId(0) }.instance(), None);
+        assert_eq!(m.clone(), m);
+    }
+}

@@ -1,0 +1,939 @@
+//! One node of the dependable distributed OSGi environment.
+
+use crate::autonomic::AutonomicModule;
+use crate::events::{AdoptReason, NodeEvent};
+use crate::msg::AppPayload;
+use crate::placement::PlacementPolicy;
+use crate::registry::{ClusterRegistry, InstanceStatus};
+use crate::workloads;
+use crate::CoreError;
+use dosgi_gcs::{GcsConfig, GcsEvent, GcsWire, GroupNode, SimTransport};
+use dosgi_monitor::{MonitoringModule, NodeCapacity};
+use dosgi_net::{NodeId, SimDuration, SimNet, SimTime};
+use dosgi_osgi::Framework;
+use dosgi_policy::PolicyAction;
+use dosgi_san::{SharedStore, Value};
+use dosgi_vosgi::{InstanceDescriptor, InstanceManager, ResourceQuota};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The wire type carried by the cluster's simulated network.
+pub type Wire = GcsWire<AppPayload>;
+
+/// A node's coarse operational state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeState {
+    /// Serving normally.
+    #[default]
+    Running,
+    /// Migrating its instances away ahead of a graceful shutdown.
+    Draining,
+    /// Powered down for consolidation (paper §4's green side effect).
+    Hibernated,
+    /// Orderly stopped (drain complete).
+    Stopped,
+}
+
+/// Per-node configuration.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Group communication timing.
+    pub gcs: GcsConfig,
+    /// Monitoring sample period.
+    pub sample_interval: SimDuration,
+    /// Placement discipline for failover and SLA migrations.
+    pub placement: PlacementPolicy,
+    /// Physical capacity.
+    pub capacity: NodeCapacity,
+    /// Autonomic policy script (`None` disables the module — the E10
+    /// baseline).
+    pub policy: Option<String>,
+    /// Autonomic evaluation period.
+    pub policy_interval: SimDuration,
+    /// Simulated cost of installing + starting one bundle (re-materializing
+    /// an instance pays this per bundle; calibrated to a small 2008-era
+    /// bundle start).
+    pub start_cost_per_bundle: SimDuration,
+    /// SAN latency profile: adoption pays a read of the instance's
+    /// persisted state.
+    pub san: dosgi_san::SanProfile,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            gcs: GcsConfig::lan(),
+            sample_interval: SimDuration::from_millis(250),
+            placement: PlacementPolicy::FewestInstances,
+            capacity: NodeCapacity::standard(),
+            policy: Some(crate::autonomic::DEFAULT_POLICY.to_owned()),
+            policy_interval: SimDuration::from_millis(500),
+            start_cost_per_bundle: SimDuration::from_millis(50),
+            san: dosgi_san::SanProfile::fast(),
+        }
+    }
+}
+
+/// One cluster node: host OSGi framework + Instance Manager + Migration
+/// Module + Monitoring Module + Autonomic Module + GCS endpoint.
+pub struct DosgiNode {
+    id: NodeId,
+    state: NodeState,
+    config: NodeConfig,
+    mgr: InstanceManager,
+    gcs: GroupNode<AppPayload>,
+    registry: ClusterRegistry,
+    monitor: MonitoringModule,
+    autonomic: Option<AutonomicModule>,
+    draining_peers: BTreeSet<NodeId>,
+    departed_peers: BTreeSet<NodeId>,
+    throttled: BTreeSet<String>,
+    hibernate_when_empty: bool,
+    last_sample: Option<SimTime>,
+    last_sweep: Option<SimTime>,
+    hello_sent: bool,
+    store: SharedStore,
+    pending_adoptions: Vec<PendingAdoption>,
+    events: Vec<NodeEvent>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingAdoption {
+    ready_at: SimTime,
+    name: String,
+    reason: AdoptReason,
+}
+
+impl std::fmt::Debug for DosgiNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DosgiNode")
+            .field("id", &self.id)
+            .field("state", &self.state)
+            .field("instances", &self.mgr.len())
+            .field("view", &self.gcs.view().members.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DosgiNode {
+    /// Creates a node: host framework with the standard host bundles (log,
+    /// HTTP, metrics) started, SAN attached, GCS endpoint joined.
+    pub fn new(
+        id: NodeId,
+        peers: Vec<NodeId>,
+        config: NodeConfig,
+        store: SharedStore,
+        now: SimTime,
+    ) -> Self {
+        let mut host = Framework::new(&format!("host/{id}"));
+        host.attach_store(store.clone(), &format!("host/{id}"));
+        let factory = workloads::standard_factory();
+        for manifest in workloads::host_bundles() {
+            let activator = factory.create(&manifest);
+            let bid = host.install(manifest, activator).expect("fresh framework");
+            host.start(bid).expect("host bundles start");
+        }
+        let mut mgr =
+            InstanceManager::new(host, workloads::standard_repository(), factory);
+        mgr.attach_store(store.clone());
+        let autonomic = config.policy.as_ref().map(|script| {
+            AutonomicModule::new(script, config.policy_interval)
+                .expect("node policy script must compile")
+        });
+        DosgiNode {
+            id,
+            state: NodeState::Running,
+            gcs: GroupNode::new(id, peers, config.gcs, now),
+            config,
+            mgr,
+            registry: ClusterRegistry::new(),
+            monitor: MonitoringModule::new(),
+            autonomic,
+            draining_peers: BTreeSet::new(),
+            departed_peers: BTreeSet::new(),
+            throttled: BTreeSet::new(),
+            hibernate_when_empty: false,
+            last_sample: None,
+            last_sweep: None,
+            hello_sent: false,
+            store,
+            pending_adoptions: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Operational state.
+    pub fn state(&self) -> NodeState {
+        self.state
+    }
+
+    /// The node's copy of the replicated instance registry.
+    pub fn registry(&self) -> &ClusterRegistry {
+        &self.registry
+    }
+
+    /// The node's instance manager.
+    pub fn manager(&self) -> &InstanceManager {
+        &self.mgr
+    }
+
+    /// Mutable instance-manager access (tests and workload drivers).
+    pub fn manager_mut(&mut self) -> &mut InstanceManager {
+        &mut self.mgr
+    }
+
+    /// The node's monitoring module.
+    pub fn monitor(&self) -> &MonitoringModule {
+        &self.monitor
+    }
+
+    /// The current membership view.
+    pub fn view(&self) -> &dosgi_gcs::View {
+        self.gcs.view()
+    }
+
+    /// Debug visibility into the GCS endpoint: pending (unsequenced)
+    /// ordered messages.
+    #[doc(hidden)]
+    pub fn gcs_pending(&self) -> usize {
+        self.gcs.pending_orders()
+    }
+
+    /// Drains accumulated node events.
+    pub fn take_events(&mut self) -> Vec<NodeEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// True if `name` is an SLA-throttled instance.
+    pub fn is_throttled(&self, name: &str) -> bool {
+        self.throttled.contains(name)
+    }
+
+    /// True if the instance is running locally.
+    pub fn probe_local(&self, name: &str) -> bool {
+        self.mgr
+            .find_by_name(name)
+            .and_then(|id| self.mgr.instance(id))
+            .map(|i| i.is_running())
+            .unwrap_or(false)
+    }
+
+    /// Calls a service of a locally running instance.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotPlaced`] when the instance is not running here;
+    /// service errors otherwise.
+    pub fn call_local(
+        &mut self,
+        name: &str,
+        interface: &str,
+        method: &str,
+        arg: &Value,
+    ) -> Result<Value, CoreError> {
+        let iid = self
+            .mgr
+            .find_by_name(name)
+            .ok_or_else(|| CoreError::NotPlaced(name.to_owned()))?;
+        Ok(self.mgr.call_service(iid, interface, method, arg)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Cluster operations
+    // ------------------------------------------------------------------
+
+    /// Deploys a new instance locally and announces it cluster-wide.
+    ///
+    /// # Errors
+    ///
+    /// Instance-manager errors (duplicate name, unknown bundle, …).
+    pub fn deploy(
+        &mut self,
+        descriptor: InstanceDescriptor,
+        net: &mut SimNet<Wire>,
+        now: SimTime,
+    ) -> Result<(), CoreError> {
+        let name = descriptor.name.clone();
+        let value = descriptor.to_value();
+        let iid = self.mgr.create_instance(descriptor)?;
+        self.mgr.start_instance(iid)?;
+        self.order(
+            net,
+            AppPayload::Deployed {
+                name: name.clone(),
+                descriptor: value,
+                home: self.id,
+            },
+        );
+        self.events.push(NodeEvent::Deployed { at: now, name });
+        Ok(())
+    }
+
+    /// Requests migration of a locally-placed instance to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotPlaced`] when the instance is not here,
+    /// [`CoreError::BadMigration`] for a self-destination.
+    pub fn migrate_away(
+        &mut self,
+        name: &str,
+        to: NodeId,
+        net: &mut SimNet<Wire>,
+    ) -> Result<(), CoreError> {
+        if to == self.id {
+            return Err(CoreError::BadMigration("destination is the source".into()));
+        }
+        if self.mgr.find_by_name(name).is_none() {
+            return Err(CoreError::NotPlaced(name.to_owned()));
+        }
+        self.order(
+            net,
+            AppPayload::Migrate {
+                name: name.to_owned(),
+                from: self.id,
+                to,
+            },
+        );
+        Ok(())
+    }
+
+    /// Permanently removes a locally-placed instance: stops it, wipes its
+    /// SAN state and announces the removal cluster-wide.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotPlaced`] when the instance is not running here.
+    pub fn undeploy(&mut self, name: &str, net: &mut SimNet<Wire>) -> Result<(), CoreError> {
+        let iid = self
+            .mgr
+            .find_by_name(name)
+            .ok_or_else(|| CoreError::NotPlaced(name.to_owned()))?;
+        let _ = self.mgr.stop_instance(iid);
+        self.mgr.destroy_instance(iid, true)?;
+        self.monitor.forget(name);
+        self.throttled.remove(name);
+        if let Some(a) = &mut self.autonomic {
+            a.forget(name);
+        }
+        self.order(
+            net,
+            AppPayload::Undeployed {
+                name: name.to_owned(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Begins a graceful shutdown: announce draining, migrate every local
+    /// instance away; once empty the node leaves the group and stops
+    /// (§3.2's "normal expected shutdown" path).
+    pub fn begin_shutdown(&mut self, net: &mut SimNet<Wire>, now: SimTime) {
+        if self.state != NodeState::Running {
+            return;
+        }
+        self.state = NodeState::Draining;
+        self.events.push(NodeEvent::Draining { at: now });
+        self.order(net, AppPayload::Draining { node: self.id });
+        self.migrate_all_local(net);
+    }
+
+    fn migrate_all_local(&mut self, net: &mut SimNet<Wire>) {
+        let locals: Vec<String> = self
+            .mgr
+            .instances()
+            .map(|i| i.descriptor.name.clone())
+            .collect();
+        let candidates = self.placement_candidates();
+        for name in locals {
+            if let Some(dest) = self.config.placement.choose(
+                &name,
+                &candidates,
+                &self.registry,
+                &BTreeMap::new(),
+            ) {
+                let _ = self.migrate_away(&name, dest, net);
+            }
+        }
+    }
+
+    fn placement_candidates(&self) -> Vec<NodeId> {
+        self.gcs
+            .view()
+            .members
+            .iter()
+            .filter(|m| **m != self.id && !self.draining_peers.contains(m))
+            .copied()
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // The tick: the node's event loop
+    // ------------------------------------------------------------------
+
+    /// Processes incoming messages, runs the failure detector, samples
+    /// usage and evaluates policies. The cluster driver calls this at every
+    /// simulation step.
+    pub fn tick(&mut self, net: &mut SimNet<Wire>, now: SimTime) {
+        if matches!(self.state, NodeState::Hibernated | NodeState::Stopped) {
+            return;
+        }
+        // Inbound messages → protocol engine.
+        for env in net.drain(self.id) {
+            let mut t = SimTransport::new(net, self.id);
+            self.gcs.handle(&mut t, env.from, env.payload, now);
+        }
+        {
+            let mut t = SimTransport::new(net, self.id);
+            self.gcs.tick(&mut t, now);
+        }
+        // Protocol events → migration/failover logic.
+        for event in self.gcs.take_events() {
+            self.on_gcs_event(event, net, now);
+        }
+        if !self.hello_sent {
+            self.hello_sent = true;
+            self.order(net, AppPayload::Hello { node: self.id });
+        }
+        self.process_pending_adoptions(now);
+        self.sample(now);
+        self.run_autonomic(net, now);
+        self.sweep_stranded(net, now);
+        self.check_drained(net, now);
+    }
+
+    /// Level-triggered failover: periodically claim any instance whose
+    /// placement points at a node outside the current view. The
+    /// edge-triggered path (view changes) catches ordinary crashes; this
+    /// sweep catches the races it cannot — e.g. a `Migrate` sequenced
+    /// *after* the destination's death was already processed, which leaves
+    /// a record homed on a dead node with no further view change to react
+    /// to. Claims stay race-free: they carry the observed dead home and
+    /// the first one in the total order wins everywhere.
+    fn sweep_stranded(&mut self, net: &mut SimNet<Wire>, now: SimTime) {
+        if self.state != NodeState::Running {
+            return;
+        }
+        let due = self
+            .last_sweep
+            .map(|at| now.since(at) >= SimDuration::from_millis(1_000))
+            .unwrap_or(true);
+        if !due {
+            return;
+        }
+        self.last_sweep = Some(now);
+        let view = self.gcs.view().clone();
+        if !view.has_majority(self.gcs.universe() - self.departed_peers.len()) {
+            return;
+        }
+        let stranded: Vec<NodeId> = {
+            let mut v: Vec<NodeId> = self
+                .registry
+                .records()
+                .flat_map(|r| {
+                    let mut endpoints = vec![r.home];
+                    if let InstanceStatus::Migrating { to } = r.status {
+                        endpoints.push(to);
+                    }
+                    endpoints
+                })
+                .filter(|n| !view.contains(*n))
+                .collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        if !stranded.is_empty() {
+                self.handle_failover(&stranded, net);
+        }
+    }
+
+    fn order(&mut self, net: &mut SimNet<Wire>, payload: AppPayload) {
+        let mut t = SimTransport::new(net, self.id);
+        self.gcs.order(&mut t, payload);
+    }
+
+    fn on_gcs_event(&mut self, event: GcsEvent<AppPayload>, net: &mut SimNet<Wire>, now: SimTime) {
+        match event {
+            GcsEvent::ViewChange { view, joined, left } => {
+                self.events.push(NodeEvent::ViewChanged {
+                    at: now,
+                    members: view.members.clone(),
+                    left: left.clone(),
+                });
+                // Classify departures: a node that announced Draining left
+                // voluntarily and stops counting toward the quorum
+                // universe; anything else is a crash.
+                for l in &left {
+                    if self.draining_peers.remove(l) {
+                        self.departed_peers.insert(*l);
+                    }
+                }
+                for j in &joined {
+                    self.draining_peers.remove(j);
+                    self.departed_peers.remove(j);
+                }
+                // State transfer for joiners: the lowest-id member that
+                // was *already* in the group sends its registry (the new
+                // coordinator may well be the freshly-restarted joiner,
+                // whose registry is empty).
+                let sync_sender = view
+                    .members
+                    .iter()
+                    .filter(|m| !joined.contains(m))
+                    .min()
+                    .copied();
+                if !joined.is_empty() && sync_sender == Some(self.id) {
+                    let snapshot = self.registry.export();
+                    self.order(net, AppPayload::RegistrySync { registry: snapshot });
+                }
+                let effective_universe =
+                    self.gcs.universe() - self.departed_peers.len();
+                if !left.is_empty() && view.has_majority(effective_universe) {
+                    self.handle_failover(&left, net);
+                }
+            }
+            GcsEvent::OrderedDeliver { payload, .. } => {
+                self.apply_control(payload, net, now);
+            }
+            GcsEvent::Deliver { .. } => {
+                // All control traffic is ordered; FIFO deliveries are
+                // reserved for future bulk data.
+            }
+        }
+    }
+
+    /// §3.2's decentralized redeployment: every survivor computes the same
+    /// assignment from the same replicated registry and agreed view, then
+    /// *claims* (via the total order) only the instances assigned to
+    /// itself. The first claim per orphan wins on every node alike.
+    fn handle_failover(&mut self, left: &[NodeId], net: &mut SimNet<Wire>) {
+        // Claim both newly-orphaned records AND records still sitting in
+        // Orphaned (an earlier claim may have been lost or overwritten):
+        // the sweep retries until the registry converges.
+        let mut orphans = self.registry.orphan_homes(left);
+        orphans.extend(self.registry.orphans());
+        orphans.sort();
+        orphans.dedup();
+        if orphans.is_empty() || self.state != NodeState::Running {
+            return;
+        }
+        let candidates = {
+            let mut c = self.placement_candidates();
+            c.push(self.id);
+            c.sort();
+            c
+        };
+        let assignment =
+            self.config
+                .placement
+                .assign_all(&orphans, &candidates, &self.registry);
+        for (name, dest) in assignment {
+            if dest == self.id {
+                let prior_home = self
+                    .registry
+                    .record(&name)
+                    .map(|r| r.home)
+                    .unwrap_or(self.id);
+                self.order(
+                    net,
+                    AppPayload::Adopted {
+                        name,
+                        node: self.id,
+                        prior_home,
+                    },
+                );
+            }
+        }
+    }
+
+    fn apply_control(&mut self, payload: AppPayload, net: &mut SimNet<Wire>, now: SimTime) {
+        // Snapshot pre-application status for claim/adoption decisions.
+        let prior_status = payload
+            .instance()
+            .and_then(|n| self.registry.record(n))
+            .map(|r| r.status);
+        self.registry.apply(&payload);
+        match payload {
+            AppPayload::Migrate { name, from, to } => {
+                if from == self.id && prior_status != Some(InstanceStatus::Orphaned) {
+                    self.release_instance(&name, to, net, now);
+                }
+            }
+            AppPayload::Released { name, to } => {
+                if to == self.id && prior_status != Some(InstanceStatus::Orphaned) {
+                    self.adopt(&name, AdoptReason::Migration, now);
+                }
+            }
+            AppPayload::Adopted { name, node, .. } => {
+                // Decide by post-application state: did this claim win?
+                let won = self
+                    .registry
+                    .record(&name)
+                    .map(|r| r.home == node && r.status == InstanceStatus::Placed)
+                    .unwrap_or(false);
+                if won {
+                    if node == self.id {
+                        let already_running = self
+                            .mgr
+                            .find_by_name(&name)
+                            .and_then(|i| self.mgr.instance(i))
+                            .map(|i| i.is_running())
+                            .unwrap_or(false);
+                        if !already_running
+                            && !self.pending_adoptions.iter().any(|p| p.name == name)
+                        {
+                            self.adopt(&name, AdoptReason::Failover, now);
+                        }
+                    } else if self.mgr.find_by_name(&name).is_some() {
+                        // A stale local copy (healed partition / lost
+                        // race): the total order says it lives elsewhere.
+                        self.drop_local(&name);
+                    }
+                }
+            }
+            AppPayload::Draining { node } => {
+                if node != self.id {
+                    self.draining_peers.insert(node);
+                }
+            }
+            AppPayload::Hello { node } => {
+                // Answer a (re)started peer with the registry, so a silent
+                // restart (crash + rejoin under the suspicion timeout)
+                // still converges. The lowest-id *other* view member
+                // answers; merge-import makes duplicates harmless.
+                let responder = self
+                    .gcs
+                    .view()
+                    .members
+                    .iter()
+                    .find(|m| **m != node)
+                    .copied();
+                if node != self.id
+                    && responder == Some(self.id)
+                    && !self.registry.is_empty()
+                {
+                    let snapshot = self.registry.export();
+                    self.order(net, AppPayload::RegistrySync { registry: snapshot });
+                }
+            }
+            AppPayload::RegistrySync { registry } => {
+                // Authoritative snapshot in the total order: everyone
+                // replaces their copy at the same logical instant, then
+                // reconciles local instances against it (partition heal).
+                self.registry.import(&registry);
+                self.reconcile_with_registry(now);
+            }
+            AppPayload::Deployed { .. } | AppPayload::Undeployed { .. } => {}
+        }
+    }
+
+    /// Destroys a stale local copy (keeping the SAN state — the instance
+    /// lives on elsewhere).
+    fn drop_local(&mut self, name: &str) {
+        if let Some(iid) = self.mgr.find_by_name(name) {
+            let _ = self.mgr.stop_instance(iid);
+            let _ = self.mgr.destroy_instance(iid, false);
+        }
+        self.monitor.forget(name);
+        self.throttled.remove(name);
+        if let Some(a) = &mut self.autonomic {
+            a.forget(name);
+        }
+    }
+
+    /// After importing an authoritative registry snapshot, converge the
+    /// local state to it in both directions: local copies the registry
+    /// homes elsewhere are stale and dropped; instances the registry homes
+    /// *here* but that are not running locally are (re-)adopted from the
+    /// SAN. The second direction is what makes merge-time sync storms
+    /// self-healing: whatever snapshot ends up last in the total order,
+    /// its designated home re-materializes the instance.
+    fn reconcile_with_registry(&mut self, now: SimTime) {
+        let stale: Vec<String> = self
+            .mgr
+            .instances()
+            .map(|i| i.descriptor.name.clone())
+            .filter(|name| {
+                // An instance with no record at all is kept: it may be a
+                // local deploy whose `Deployed` is still in flight.
+                self.registry
+                    .record(name)
+                    .map(|r| r.home != self.id)
+                    .unwrap_or(false)
+            })
+            .collect();
+        for name in stale {
+            self.drop_local(&name);
+        }
+        let missing: Vec<String> = self
+            .registry
+            .records()
+            .filter(|r| {
+                r.home == self.id
+                    && r.status == InstanceStatus::Placed
+                    && !self.probe_local(&r.name)
+                    && !self.pending_adoptions.iter().any(|p| p.name == r.name)
+            })
+            .map(|r| r.name.clone())
+            .collect();
+        for name in missing {
+            self.adopt(&name, AdoptReason::Failover, now);
+        }
+    }
+
+    fn release_instance(
+        &mut self,
+        name: &str,
+        to: NodeId,
+        net: &mut SimNet<Wire>,
+        now: SimTime,
+    ) {
+        let Some(iid) = self.mgr.find_by_name(name) else {
+            return;
+        };
+        let _ = self.mgr.stop_instance(iid);
+        let _ = self.mgr.destroy_instance(iid, false);
+        self.monitor.forget(name);
+        self.throttled.remove(name);
+        if let Some(a) = &mut self.autonomic {
+            a.forget(name);
+        }
+        self.events.push(NodeEvent::Released {
+            at: now,
+            name: name.to_owned(),
+            to,
+        });
+        self.order(
+            net,
+            AppPayload::Released {
+                name: name.to_owned(),
+                to,
+            },
+        );
+    }
+
+    /// Queues an adoption: re-materializing an instance costs simulated
+    /// time — a SAN read of its persisted state plus a start cost per
+    /// bundle. §3.2: *"The cost of this operation is therefore comparable
+    /// to a normal startup of the platform, probably less, as we already
+    /// have the basic services deployed on the underlying framework."*
+    /// A pre-created hot standby (see [`crate::replication`]) skips the
+    /// install half and pays only the start cost.
+    fn adopt(&mut self, name: &str, reason: AdoptReason, now: SimTime) {
+        let Some(rec) = self.registry.record(name) else {
+            return;
+        };
+        let descriptor = match InstanceDescriptor::from_value(&rec.descriptor) {
+            Ok(d) => d,
+            Err(e) => {
+                self.events.push(NodeEvent::AdoptFailed {
+                    at: now,
+                    name: name.to_owned(),
+                    error: e,
+                });
+                return;
+            }
+        };
+        let state_bytes = self
+            .store
+            .namespace_bytes_prefixed(&descriptor.state_namespace());
+        let bundles = descriptor.bundles.len() as u64;
+        let standby = self.mgr.find_by_name(name).is_some();
+        let cost = if standby {
+            // Bundles already installed: pay only the start sweep.
+            (self.config.start_cost_per_bundle / 2) * bundles
+        } else {
+            self.config.san.read_cost(state_bytes)
+                + self.config.start_cost_per_bundle * bundles
+        };
+        self.pending_adoptions.push(PendingAdoption {
+            ready_at: now + cost,
+            name: name.to_owned(),
+            reason,
+        });
+    }
+
+    fn process_pending_adoptions(&mut self, now: SimTime) {
+        let due: Vec<PendingAdoption> = {
+            let (ready, rest): (Vec<_>, Vec<_>) = self
+                .pending_adoptions
+                .drain(..)
+                .partition(|p| p.ready_at <= now);
+            self.pending_adoptions = rest;
+            ready
+        };
+        for p in due {
+            let outcome = match self.mgr.find_by_name(&p.name) {
+                // Hot standby: already installed, just start it.
+                Some(iid) => self.mgr.start_instance(iid).map(|_| iid),
+                None => {
+                    let Some(rec) = self.registry.record(&p.name) else {
+                        continue;
+                    };
+                    match InstanceDescriptor::from_value(&rec.descriptor) {
+                        Ok(d) => self.mgr.adopt_instance(d),
+                        Err(e) => {
+                            self.events.push(NodeEvent::AdoptFailed {
+                                at: now,
+                                name: p.name,
+                                error: e,
+                            });
+                            continue;
+                        }
+                    }
+                }
+            };
+            match outcome {
+                Ok(_) => self.events.push(NodeEvent::Adopted {
+                    at: now,
+                    name: p.name,
+                    reason: p.reason,
+                }),
+                Err(e) => self.events.push(NodeEvent::AdoptFailed {
+                    at: now,
+                    name: p.name,
+                    error: e.to_string(),
+                }),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Monitoring + autonomic
+    // ------------------------------------------------------------------
+
+    fn sample(&mut self, now: SimTime) {
+        let due = self
+            .last_sample
+            .map(|at| now.since(at) >= self.config.sample_interval)
+            .unwrap_or(true);
+        if !due {
+            return;
+        }
+        self.last_sample = Some(now);
+        let usages: Vec<(String, dosgi_osgi::UsageSnapshot)> = self
+            .mgr
+            .instances()
+            .map(|i| (i.descriptor.name.clone(), i.usage()))
+            .collect();
+        for (name, usage) in usages {
+            self.monitor.record(&name, now, usage);
+        }
+    }
+
+    fn run_autonomic(&mut self, net: &mut SimNet<Wire>, now: SimTime) {
+        let Some(autonomic) = &mut self.autonomic else {
+            return;
+        };
+        if !autonomic.due(now) || self.state != NodeState::Running {
+            return;
+        }
+        let quotas: BTreeMap<String, ResourceQuota> = self
+            .mgr
+            .instances()
+            .map(|i| (i.descriptor.name.clone(), i.descriptor.quota))
+            .collect();
+        let view = self.gcs.view();
+        let node_count = view.members.len();
+        let node_rank = view
+            .members
+            .iter()
+            .position(|m| *m == self.id)
+            .unwrap_or(0);
+        let decisions = autonomic.evaluate(
+            now,
+            &self.monitor,
+            &quotas,
+            &self.config.capacity,
+            node_count,
+            node_rank,
+        );
+        for decision in decisions {
+            self.events.push(NodeEvent::PolicyFired {
+                at: now,
+                decision: decision.clone(),
+            });
+            self.execute(decision.action, net, now);
+        }
+    }
+
+    fn execute(&mut self, action: PolicyAction, net: &mut SimNet<Wire>, _now: SimTime) {
+        match action {
+            PolicyAction::Migrate { subject } => {
+                let candidates = self.placement_candidates();
+                if let Some(dest) = self.config.placement.choose(
+                    &subject,
+                    &candidates,
+                    &self.registry,
+                    &BTreeMap::new(),
+                ) {
+                    let _ = self.migrate_away(&subject, dest, net);
+                }
+            }
+            PolicyAction::Stop { subject } => {
+                if let Some(iid) = self.mgr.find_by_name(&subject) {
+                    let _ = self.mgr.stop_instance(iid);
+                }
+            }
+            PolicyAction::Restart { subject } => {
+                if let Some(iid) = self.mgr.find_by_name(&subject) {
+                    let _ = self.mgr.stop_instance(iid);
+                    let _ = self.mgr.start_instance(iid);
+                }
+            }
+            PolicyAction::Throttle { subject } => {
+                self.throttled.insert(subject);
+            }
+            PolicyAction::HibernateNode => {
+                // Announce the drain so peers stop placing instances here,
+                // migrate everything away, then hibernate once empty AND
+                // once every pending ordered message has been sequenced
+                // (check_drained gates on both).
+                self.hibernate_when_empty = true;
+                self.order(net, AppPayload::Draining { node: self.id });
+                self.migrate_all_local(net);
+            }
+            PolicyAction::Custom { name, .. } if name == "migrate_all" => {
+                self.migrate_all_local(net);
+            }
+            PolicyAction::WakeNode
+            | PolicyAction::Alert { .. }
+            | PolicyAction::Custom { .. } => {
+                // Alerts are visible through the PolicyFired event; wake is
+                // a cluster-level operation.
+            }
+        }
+    }
+
+    fn hibernate(&mut self, net: &mut SimNet<Wire>, now: SimTime) {
+        let mut t = SimTransport::new(net, self.id);
+        self.gcs.leave(&mut t);
+        self.state = NodeState::Hibernated;
+        self.events.push(NodeEvent::Hibernated { at: now });
+    }
+
+    fn check_drained(&mut self, net: &mut SimNet<Wire>, now: SimTime) {
+        // Leaving before our last control messages (Released!) are
+        // sequenced would strand the instances we just handed off.
+        let flushed = self.gcs.pending_orders() == 0;
+        if self.state == NodeState::Draining && self.mgr.is_empty() && flushed {
+            let mut t = SimTransport::new(net, self.id);
+            self.gcs.leave(&mut t);
+            self.state = NodeState::Stopped;
+            self.events.push(NodeEvent::Drained { at: now });
+        }
+        if self.hibernate_when_empty
+            && self.mgr.is_empty()
+            && flushed
+            && self.state == NodeState::Running
+        {
+            self.hibernate_when_empty = false;
+            self.hibernate(net, now);
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! The replicated instance registry.
+//!
+//! §3.2, issue 1: *"Knowledge of the available nodes and its resources …
+//! by exchanging messages with information about the virtual instances
+//! running on each node, we reliably address issue number 1."*
+//!
+//! Every node holds a copy of this registry and mutates it **only** by
+//! applying the totally-ordered [`AppPayload`](crate::AppPayload) stream,
+//! so all copies stay identical — which is what lets failover placement be
+//! computed independently yet identically on every survivor, and what makes
+//! failover *claims* race-free: the first claim for an orphan in the total
+//! order wins everywhere; later claims are ignored everywhere.
+
+use crate::msg::AppPayload;
+use dosgi_net::NodeId;
+use dosgi_san::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Where an instance is in its placement life-cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceStatus {
+    /// Running on its home node.
+    Placed,
+    /// A migration was ordered; the source is stopping it.
+    Migrating {
+        /// The destination node.
+        to: NodeId,
+    },
+    /// Its home crashed (or a migration was stranded); awaiting a failover
+    /// claim.
+    Orphaned,
+}
+
+/// One instance's replicated record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceRecord {
+    /// The instance name (unique cluster-wide).
+    pub name: String,
+    /// The serialized descriptor (policy-free; see
+    /// [`InstanceDescriptor::from_value`](dosgi_vosgi::InstanceDescriptor::from_value)).
+    pub descriptor: Value,
+    /// The node responsible for it.
+    pub home: NodeId,
+    /// Placement status.
+    pub status: InstanceStatus,
+    /// Revision: bumped by every *ordered* mutation that takes effect
+    /// (never by local orphan marking), so it is identical on every node
+    /// of a partition. Snapshot imports use it to refuse regressions: a
+    /// sync exported before a claim can never overwrite the claim.
+    pub rev: u64,
+}
+
+/// The replicated registry: apply ordered messages, query placements.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterRegistry {
+    records: BTreeMap<String, InstanceRecord>,
+}
+
+impl ClusterRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one ordered control message. Unknown instances in
+    /// non-deploy messages are ignored (idempotent replay tolerance), and
+    /// messages that lost a race against an orphaning are ignored too:
+    ///
+    /// * `Released` completes a migration — unless the record was orphaned
+    ///   in the meantime (destination died), in which case the failover
+    ///   claim protocol takes over;
+    /// * `Adopted` is a **failover claim**: it only takes effect on an
+    ///   `Orphaned` record, so exactly the first claim in the total order
+    ///   wins, on every node alike.
+    pub fn apply(&mut self, msg: &AppPayload) {
+        match msg {
+            AppPayload::Deployed {
+                name,
+                descriptor,
+                home,
+            } => {
+                let rev = self.records.get(name).map(|r| r.rev).unwrap_or(0) + 1;
+                self.records.insert(
+                    name.clone(),
+                    InstanceRecord {
+                        name: name.clone(),
+                        descriptor: descriptor.clone(),
+                        home: *home,
+                        status: InstanceStatus::Placed,
+                        rev,
+                    },
+                );
+            }
+            AppPayload::Migrate { name, to, .. } => {
+                if let Some(r) = self.records.get_mut(name) {
+                    if r.status != InstanceStatus::Orphaned {
+                        r.status = InstanceStatus::Migrating { to: *to };
+                        r.rev += 1;
+                    }
+                }
+            }
+            AppPayload::Released { name, to } => {
+                if let Some(r) = self.records.get_mut(name) {
+                    if r.status != InstanceStatus::Orphaned {
+                        r.home = *to;
+                        r.status = InstanceStatus::Placed;
+                        r.rev += 1;
+                    }
+                }
+            }
+            AppPayload::Adopted {
+                name,
+                node,
+                prior_home,
+            } => {
+                if let Some(r) = self.records.get_mut(name) {
+                    // The claim wins iff the record is orphaned locally OR
+                    // still points at the home the claimant saw die (this
+                    // node's failure detector is merely behind).
+                    let claimable = r.status == InstanceStatus::Orphaned
+                        || r.home == *prior_home
+                        || matches!(r.status, InstanceStatus::Migrating { to } if to == *prior_home);
+                    if claimable {
+                        r.home = *node;
+                        r.status = InstanceStatus::Placed;
+                        r.rev += 1;
+                    }
+                }
+            }
+            AppPayload::Undeployed { name } => {
+                self.records.remove(name);
+            }
+            AppPayload::Draining { .. }
+            | AppPayload::Hello { .. }
+            | AppPayload::RegistrySync { .. } => {}
+        }
+    }
+
+    /// Marks every instance stranded by the departure of `left` as
+    /// orphaned; returns the orphaned names, sorted. A `Placed` instance is
+    /// stranded when its home left; a `Migrating` one when either endpoint
+    /// left.
+    pub fn orphan_homes(&mut self, left: &[NodeId]) -> Vec<String> {
+        let mut orphans = Vec::new();
+        for r in self.records.values_mut() {
+            let stranded = match r.status {
+                InstanceStatus::Migrating { to } => {
+                    left.contains(&r.home) || left.contains(&to)
+                }
+                InstanceStatus::Placed => left.contains(&r.home),
+                InstanceStatus::Orphaned => false,
+            };
+            if stranded {
+                r.status = InstanceStatus::Orphaned;
+                orphans.push(r.name.clone());
+            }
+        }
+        orphans.sort();
+        orphans
+    }
+
+    /// Looks up a record.
+    pub fn record(&self, name: &str) -> Option<&InstanceRecord> {
+        self.records.get(name)
+    }
+
+    /// All records, in name order.
+    pub fn records(&self) -> impl Iterator<Item = &InstanceRecord> {
+        self.records.values()
+    }
+
+    /// Names of instances currently homed (and placed) on `node`, sorted.
+    pub fn placed_on(&self, node: NodeId) -> Vec<String> {
+        self.records
+            .values()
+            .filter(|r| r.home == node && r.status == InstanceStatus::Placed)
+            .map(|r| r.name.clone())
+            .collect()
+    }
+
+    /// Count of placed instances per node (the deterministic load signal
+    /// placement uses).
+    pub fn load_by_node(&self) -> BTreeMap<NodeId, usize> {
+        let mut m = BTreeMap::new();
+        for r in self.records.values() {
+            if r.status == InstanceStatus::Placed {
+                *m.entry(r.home).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+
+    /// Names of instances with [`InstanceStatus::Orphaned`], sorted.
+    pub fn orphans(&self) -> Vec<String> {
+        self.records
+            .values()
+            .filter(|r| r.status == InstanceStatus::Orphaned)
+            .map(|r| r.name.clone())
+            .collect()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no instances are registered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serializes the full registry for state transfer to a joining node.
+    pub fn export(&self) -> Value {
+        Value::List(
+            self.records
+                .values()
+                .map(|r| {
+                    let (status, to) = match r.status {
+                        InstanceStatus::Placed => ("placed", None),
+                        InstanceStatus::Migrating { to } => ("migrating", Some(to)),
+                        InstanceStatus::Orphaned => ("orphaned", None),
+                    };
+                    let mut v = Value::map()
+                        .with("name", r.name.as_str())
+                        .with("descriptor", r.descriptor.clone())
+                        .with("home", u64::from(r.home.0))
+                        .with("status", status)
+                        .with("rev", r.rev);
+                    if let Some(to) = to {
+                        v = v.with("to", u64::from(to.0));
+                    }
+                    v
+                })
+                .collect(),
+        )
+    }
+
+    /// Merges an exported snapshot into this registry: present records are
+    /// overwritten by the incoming version, records the snapshot does not
+    /// mention are **kept**. Merge (rather than replace) semantics make
+    /// sync storms safe: a stale snapshot — e.g. one exported before an
+    /// in-flight `Deployed` re-sequenced — cannot wipe fresher records, and
+    /// since every node applies the same syncs in the same total order, all
+    /// copies still converge. Malformed entries are skipped (a sync must
+    /// never wedge a joining node).
+    pub fn import(&mut self, v: &Value) {
+        let Some(list) = v.as_list() else { return };
+        for entry in list {
+            let Some(name) = entry.get("name").and_then(Value::as_str) else {
+                continue;
+            };
+            let Some(home) = entry.get("home").and_then(Value::as_int) else {
+                continue;
+            };
+            let to = entry
+                .get("to")
+                .and_then(Value::as_int)
+                .map(|i| NodeId(i as u32));
+            let status = match (entry.get("status").and_then(Value::as_str), to) {
+                (Some("placed"), _) => InstanceStatus::Placed,
+                (Some("migrating"), Some(to)) => InstanceStatus::Migrating { to },
+                (Some("orphaned"), _) => InstanceStatus::Orphaned,
+                _ => continue,
+            };
+            let rev = entry.get("rev").and_then(Value::as_int).unwrap_or(0) as u64;
+            // Refuse regressions: only adopt the incoming record if it is
+            // at least as fresh as ours.
+            if self
+                .records
+                .get(name)
+                .map(|local| rev < local.rev)
+                .unwrap_or(false)
+            {
+                continue;
+            }
+            self.records.insert(
+                name.to_owned(),
+                InstanceRecord {
+                    name: name.to_owned(),
+                    descriptor: entry.get("descriptor").cloned().unwrap_or(Value::Null),
+                    home: NodeId(home as u32),
+                    status,
+                    rev,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deployed(name: &str, home: u32) -> AppPayload {
+        AppPayload::Deployed {
+            name: name.into(),
+            descriptor: Value::map().with("name", name),
+            home: NodeId(home),
+        }
+    }
+
+    #[test]
+    fn deploy_migrate_release_cycle() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        assert_eq!(r.record("a").unwrap().home, NodeId(0));
+        assert_eq!(r.record("a").unwrap().status, InstanceStatus::Placed);
+
+        r.apply(&AppPayload::Migrate {
+            name: "a".into(),
+            from: NodeId(0),
+            to: NodeId(1),
+        });
+        assert_eq!(
+            r.record("a").unwrap().status,
+            InstanceStatus::Migrating { to: NodeId(1) }
+        );
+        // Released completes the move: home flips, status placed.
+        r.apply(&AppPayload::Released {
+            name: "a".into(),
+            to: NodeId(1),
+        });
+        let rec = r.record("a").unwrap();
+        assert_eq!(rec.home, NodeId(1));
+        assert_eq!(rec.status, InstanceStatus::Placed);
+
+        r.apply(&AppPayload::Undeployed { name: "a".into() });
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn unknown_instances_are_ignored() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&AppPayload::Adopted {
+            name: "ghost".into(),
+            node: NodeId(1),
+            prior_home: NodeId(0),
+        });
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn orphaning_marks_crashed_homes() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        r.apply(&deployed("b", 1));
+        r.apply(&deployed("c", 0));
+        let orphans = r.orphan_homes(&[NodeId(0)]);
+        assert_eq!(orphans, vec!["a", "c"]);
+        assert_eq!(r.orphans(), vec!["a", "c"]);
+        assert_eq!(r.record("b").unwrap().status, InstanceStatus::Placed);
+        assert_eq!(r.placed_on(NodeId(1)), vec!["b"]);
+        // Idempotent: a second sweep orphans nothing new.
+        assert!(r.orphan_homes(&[NodeId(0)]).is_empty());
+    }
+
+    #[test]
+    fn first_claim_in_total_order_wins() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        r.orphan_homes(&[NodeId(0)]);
+        r.apply(&AppPayload::Adopted {
+            name: "a".into(),
+            node: NodeId(1),
+            prior_home: NodeId(0),
+        });
+        // A competing later claim (against the same dead home) is ignored:
+        // the record no longer points at the dead node.
+        r.apply(&AppPayload::Adopted {
+            name: "a".into(),
+            node: NodeId(2),
+            prior_home: NodeId(0),
+        });
+        assert_eq!(r.record("a").unwrap().home, NodeId(1));
+        assert_eq!(r.record("a").unwrap().status, InstanceStatus::Placed);
+    }
+
+    #[test]
+    fn claims_only_apply_to_orphans() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        r.apply(&AppPayload::Adopted {
+            name: "a".into(),
+            node: NodeId(2),
+            prior_home: NodeId(7),
+        });
+        assert_eq!(
+            r.record("a").unwrap().home,
+            NodeId(0),
+            "claim against an unrelated home is ignored"
+        );
+    }
+
+    #[test]
+    fn stale_release_loses_to_orphaning() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        r.apply(&AppPayload::Migrate {
+            name: "a".into(),
+            from: NodeId(0),
+            to: NodeId(1),
+        });
+        // Destination n1 dies mid-migration: orphaned.
+        assert_eq!(r.orphan_homes(&[NodeId(1)]), vec!["a"]);
+        // The source's Released (racing the view change) must not resurrect
+        // a placement on the dead destination.
+        r.apply(&AppPayload::Released {
+            name: "a".into(),
+            to: NodeId(1),
+        });
+        assert_eq!(r.record("a").unwrap().status, InstanceStatus::Orphaned);
+    }
+
+    #[test]
+    fn source_crash_mid_migration_orphans() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        r.apply(&AppPayload::Migrate {
+            name: "a".into(),
+            from: NodeId(0),
+            to: NodeId(1),
+        });
+        assert_eq!(r.orphan_homes(&[NodeId(0)]), vec!["a"]);
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        r.apply(&deployed("b", 1));
+        r.apply(&AppPayload::Migrate {
+            name: "b".into(),
+            from: NodeId(1),
+            to: NodeId(2),
+        });
+        r.apply(&deployed("c", 2));
+        r.orphan_homes(&[NodeId(2)]);
+        let mut r2 = ClusterRegistry::new();
+        r2.import(&r.export());
+        assert_eq!(r2, r);
+        // Import through the binary codec (the wire path).
+        let mut r3 = ClusterRegistry::new();
+        r3.import(&Value::decode(&r.export().encode()).unwrap());
+        assert_eq!(r3, r);
+    }
+
+    #[test]
+    fn import_skips_garbage_entries() {
+        let mut r = ClusterRegistry::new();
+        r.import(&Value::List(vec![
+            Value::map().with("name", "ok").with("home", 1u64).with("status", "placed"),
+            Value::map().with("home", 1u64), // no name
+            Value::Int(7),                   // not a map
+        ]));
+        assert_eq!(r.len(), 1);
+        assert!(r.record("ok").is_some());
+        // Non-list import is a no-op.
+        r.import(&Value::Null);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn load_by_node_counts_placed_only() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        r.apply(&deployed("b", 0));
+        r.apply(&deployed("c", 1));
+        r.orphan_homes(&[NodeId(1)]);
+        let load = r.load_by_node();
+        assert_eq!(load.get(&NodeId(0)), Some(&2));
+        assert_eq!(load.get(&NodeId(1)), None);
+    }
+}

@@ -1,0 +1,62 @@
+//! Running-context replication — the paper's future work, implemented.
+//!
+//! §3.2 closes with: *"In the future we intend to address this by further
+//! instrumenting the platform to be able to lively migrate the running
+//! context of the bundles … having the running context of the bundle
+//! replicated on other nodes and doing instantaneous failover in case of
+//! node failures. Naturally this approach has many issues to solve, namely
+//! the costs and feasibility."*
+//!
+//! Experiment **E9** quantifies exactly that cost/benefit trade-off across
+//! four durability strategies for a stateful bundle:
+//!
+//! | strategy | context lost on crash | per-update overhead | failover extra cost |
+//! |---|---|---|---|
+//! | restart (paper baseline, [`COUNTER_ON_STOP`]) | everything since start | none | full re-materialization |
+//! | periodic checkpoint ([`COUNTER_CHECKPOINT`]) | ≤ one checkpoint period | 1/k SAN writes | full re-materialization |
+//! | write-through ([`COUNTER_WRITE_THROUGH`]) | nothing | one SAN write per update | full re-materialization |
+//! | hot standby ([`prepare_standby`]) | per chosen durability | standby memory on another node | start-only (skips install + SAN restore) |
+//!
+//! [`COUNTER_ON_STOP`]: crate::workloads::COUNTER_ON_STOP
+//! [`COUNTER_CHECKPOINT`]: crate::workloads::COUNTER_CHECKPOINT
+//! [`COUNTER_WRITE_THROUGH`]: crate::workloads::COUNTER_WRITE_THROUGH
+
+use crate::{CoreError, DosgiCluster};
+use dosgi_vosgi::InstanceDescriptor;
+
+/// Pre-creates `name`'s bundles on node `standby` without starting them: a
+/// **hot standby**. If `standby` later adopts the instance (failover or
+/// migration), it skips the install-and-restore half of re-materialization
+/// and pays only the start sweep — the "instantaneous failover" direction
+/// the paper sketches.
+///
+/// # Errors
+///
+/// [`CoreError::UnknownInstance`] when the registry has no such instance,
+/// [`CoreError::NodeUnavailable`] when the standby node is down, and
+/// instance-manager errors (e.g. the standby already hosts it).
+pub fn prepare_standby(
+    cluster: &mut DosgiCluster,
+    name: &str,
+    standby: usize,
+) -> Result<(), CoreError> {
+    let descriptor = {
+        let node = cluster
+            .running_nodes()
+            .first()
+            .copied()
+            .and_then(|i| cluster.node(i))
+            .ok_or(CoreError::NodeUnavailable(dosgi_net::NodeId(0)))?;
+        let rec = node
+            .registry()
+            .record(name)
+            .ok_or_else(|| CoreError::UnknownInstance(name.to_owned()))?;
+        InstanceDescriptor::from_value(&rec.descriptor)
+            .map_err(CoreError::BadMigration)?
+    };
+    let node = cluster
+        .node_mut(standby)
+        .ok_or(CoreError::NodeUnavailable(dosgi_net::NodeId(standby as u32)))?;
+    node.manager_mut().create_instance(descriptor)?;
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Transport abstraction: how a group node's messages reach the network.
+//!
+//! `GroupNode` is transport-agnostic so the cluster layer can multiplex GCS
+//! traffic with its own messages over one simulated network. For direct use
+//! (and for this crate's own tests) [`SimTransport`] adapts a
+//! [`SimNet`](dosgi_net::SimNet) whose payload type *is* the GCS wire type.
+
+use crate::GcsWire;
+use dosgi_net::{NodeId, SimNet};
+
+/// The sending half a [`GroupNode`](crate::GroupNode) needs.
+pub trait Transport<A> {
+    /// Sends `msg` to `to`.
+    fn send(&mut self, to: NodeId, msg: GcsWire<A>);
+}
+
+/// Adapts a `SimNet<GcsWire<A>>` as the transport of one node.
+#[derive(Debug)]
+pub struct SimTransport<'a, A> {
+    net: &'a mut SimNet<GcsWire<A>>,
+    from: NodeId,
+}
+
+impl<'a, A> SimTransport<'a, A> {
+    /// Wraps `net` for messages sent by `from`.
+    pub fn new(net: &'a mut SimNet<GcsWire<A>>, from: NodeId) -> Self {
+        SimTransport { net, from }
+    }
+}
+
+impl<'a, A> Transport<A> for SimTransport<'a, A> {
+    fn send(&mut self, to: NodeId, msg: GcsWire<A>) {
+        self.net.send(self.from, to, msg);
+    }
+}
+
+impl<A, F> Transport<A> for F
+where
+    F: FnMut(NodeId, GcsWire<A>),
+{
+    fn send(&mut self, to: NodeId, msg: GcsWire<A>) {
+        self(to, msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosgi_net::{LinkConfig, SimDuration};
+
+    #[test]
+    fn sim_transport_routes_through_the_net() {
+        let mut net: SimNet<GcsWire<u32>> = SimNet::new(LinkConfig::ideal(), 1);
+        let a = net.register_node();
+        let b = net.register_node();
+        SimTransport::new(&mut net, a).send(b, GcsWire::Heartbeat { sent: 0, ordered: 0, incarnation: 1 });
+        net.advance(SimDuration::from_millis(1));
+        assert_eq!(net.recv(b).unwrap().payload, GcsWire::Heartbeat { sent: 0, ordered: 0, incarnation: 1 });
+    }
+
+    #[test]
+    fn closures_are_transports() {
+        let mut sent = Vec::new();
+        {
+            let mut t = |to: NodeId, msg: GcsWire<u32>| sent.push((to, msg));
+            Transport::send(&mut t, NodeId(3), GcsWire::Leave);
+        }
+        assert_eq!(sent, vec![(NodeId(3), GcsWire::Leave)]);
+    }
+}

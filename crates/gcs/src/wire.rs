@@ -1,0 +1,97 @@
+//! The wire protocol between group members.
+
+use crate::View;
+use crate::ViewId;
+use dosgi_net::NodeId;
+
+/// Messages exchanged by [`GroupNode`](crate::GroupNode)s. Generic over the
+/// application payload `A` so upper layers send plain Rust values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GcsWire<A> {
+    /// "I am alive" — the failure-detector pulse. Carries the sender's
+    /// current FIFO head and (when the sender is the sequencer) its ordered
+    /// head, so receivers can detect streams they lost entirely
+    /// (anti-entropy: a receiver behind either counter nacks even if it
+    /// never saw a gap).
+    Heartbeat {
+        /// The sender's highest assigned FIFO sequence number.
+        sent: u64,
+        /// The sender's highest assigned global order number (meaningful
+        /// only from the current coordinator).
+        ordered: u64,
+        /// The sender's incarnation (its start time): receivers reset the
+        /// sender's FIFO stream when this changes — and only then. A mere
+        /// suspicion flap must NOT reset the stream (that would re-deliver
+        /// the retransmission buffer).
+        incarnation: u64,
+    },
+    /// "I am leaving gracefully" — peers exclude the sender immediately
+    /// instead of waiting for suspicion (the paper's normal-shutdown path).
+    Leave,
+    /// Coordinator proposes a new view.
+    ViewPropose(View),
+    /// A member acknowledges a proposal.
+    ViewAck(ViewId),
+    /// Coordinator commits an acknowledged view.
+    ViewCommit(View),
+    /// Reliable FIFO application data, sequenced per sender.
+    Data {
+        /// Per-sender sequence number (1-based, contiguous).
+        seq: u64,
+        /// The application payload.
+        payload: A,
+    },
+    /// Receiver signals a gap in a sender's stream: "resend from `from_seq`".
+    Nack {
+        /// First missing sequence number.
+        from_seq: u64,
+    },
+    /// A lagging member asks the sequencer to replay its ordered stream
+    /// from `from_gseq`.
+    OrderedReplayRequest {
+        /// First missing global sequence number.
+        from_gseq: u64,
+    },
+    /// A member asks the sequencer (coordinator) to order a message.
+    OrderRequest {
+        /// The origin's incarnation: ordering identity is
+        /// `(origin, incarnation, origin_seq)`, so a restarted origin's
+        /// fresh sequence numbers can never collide with its previous
+        /// life's in the sequencer's dedupe state.
+        incarnation: u64,
+        /// The origin's local ordering sequence (for dedupe/retry).
+        origin_seq: u64,
+        /// The application payload.
+        payload: A,
+    },
+    /// The sequencer's ordered announcement, carried inside its own
+    /// FIFO-reliable stream.
+    Ordered {
+        /// Global sequence number.
+        gseq: u64,
+        /// The node that originated the message.
+        origin: NodeId,
+        /// The origin's incarnation at ordering time.
+        origin_inc: u64,
+        /// The origin's local ordering sequence.
+        origin_seq: u64,
+        /// The application payload.
+        payload: A,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_values_are_cloneable_and_comparable() {
+        let m: GcsWire<u32> = GcsWire::Data {
+            seq: 1,
+            payload: 42,
+        };
+        assert_eq!(m.clone(), m);
+        let hb: GcsWire<u32> = GcsWire::Heartbeat { sent: 0, ordered: 0, incarnation: 1 };
+        assert_ne!(hb, GcsWire::Leave);
+    }
+}

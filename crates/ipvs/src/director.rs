@@ -1,0 +1,289 @@
+//! The ipvs director: request routing and connection tracking.
+
+use crate::{RealServer, Scheduler, VirtualService};
+use dosgi_net::{NodeId, SocketAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Routing failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// No virtual service is configured at the address.
+    NoSuchService(SocketAddr),
+    /// The service exists but every replica is down.
+    NoLiveServers(SocketAddr),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::NoSuchService(a) => write!(f, "no virtual service at {a}"),
+            RouteError::NoLiveServers(a) => write!(f, "no live servers for {a}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Director counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IpvsStats {
+    /// Requests routed to a backend.
+    pub routed: u64,
+    /// Requests rejected (no service / no live backend).
+    pub rejected: u64,
+    /// Connections currently tracked.
+    pub tracked: u64,
+}
+
+/// The load-balancer core: virtual services, connection tracking, stats.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IpvsDirector {
+    services: HashMap<SocketAddr, VirtualService>,
+    // (client, service) → backend node, for connection affinity.
+    connections: HashMap<(u64, SocketAddr), NodeId>,
+    per_server: HashMap<(SocketAddr, NodeId), u64>,
+    stats: IpvsStats,
+}
+
+impl IpvsDirector {
+    /// Creates an empty director.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a virtual service.
+    pub fn add_service(&mut self, service: VirtualService) {
+        self.services.insert(service.address, service);
+    }
+
+    /// Removes a virtual service and its tracked connections.
+    pub fn remove_service(&mut self, address: SocketAddr) -> bool {
+        let existed = self.services.remove(&address).is_some();
+        if existed {
+            self.connections.retain(|(_, a), _| *a != address);
+            self.stats.tracked = self.connections.len() as u64;
+        }
+        existed
+    }
+
+    /// Access to a service (e.g. to add replicas at run-time).
+    pub fn service_mut(&mut self, address: SocketAddr) -> Option<&mut VirtualService> {
+        self.services.get_mut(&address)
+    }
+
+    /// Read access to a service.
+    pub fn service(&self, address: SocketAddr) -> Option<&VirtualService> {
+        self.services.get(&address)
+    }
+
+    /// Routes a request from `client` to `address`, opening a tracked
+    /// connection. Existing connections stick to their backend while it is
+    /// alive (connection affinity, as in real ipvs).
+    ///
+    /// # Errors
+    ///
+    /// See [`RouteError`].
+    pub fn connect(&mut self, client: u64, address: SocketAddr) -> Result<NodeId, RouteError> {
+        if !self.services.contains_key(&address) {
+            self.stats.rejected += 1;
+            return Err(RouteError::NoSuchService(address));
+        }
+        // Affinity: reuse the existing backend if still alive.
+        if let Some(&node) = self.connections.get(&(client, address)) {
+            let still_alive = self.services[&address]
+                .servers
+                .iter()
+                .any(|s| s.node == node && s.alive);
+            if still_alive {
+                self.stats.routed += 1;
+                *self.per_server.entry((address, node)).or_insert(0) += 1;
+                return Ok(node);
+            }
+            self.release(client, address);
+        }
+        let vs = self.services.get_mut(&address).expect("checked above");
+        let scheduler = vs.scheduler;
+        let Some(idx) = scheduler.pick(vs, client) else {
+            self.stats.rejected += 1;
+            return Err(RouteError::NoLiveServers(address));
+        };
+        vs.servers[idx].active_connections += 1;
+        let node = vs.servers[idx].node;
+        self.connections.insert((client, address), node);
+        self.stats.routed += 1;
+        self.stats.tracked = self.connections.len() as u64;
+        *self.per_server.entry((address, node)).or_insert(0) += 1;
+        Ok(node)
+    }
+
+    /// Closes a tracked connection.
+    pub fn release(&mut self, client: u64, address: SocketAddr) {
+        if let Some(node) = self.connections.remove(&(client, address)) {
+            if let Some(vs) = self.services.get_mut(&address) {
+                if let Some(s) = vs.servers.iter_mut().find(|s| s.node == node) {
+                    s.active_connections = s.active_connections.saturating_sub(1);
+                }
+            }
+            self.stats.tracked = self.connections.len() as u64;
+        }
+    }
+
+    /// Marks every replica on `node` down across all services and drops its
+    /// tracked connections (the health-check reaction to a node crash).
+    /// Returns how many connections were broken.
+    pub fn node_down(&mut self, node: NodeId) -> usize {
+        for vs in self.services.values_mut() {
+            vs.set_alive(node, false);
+        }
+        let before = self.connections.len();
+        self.connections.retain(|_, n| *n != node);
+        self.stats.tracked = self.connections.len() as u64;
+        before - self.connections.len()
+    }
+
+    /// Marks every replica on `node` back up.
+    pub fn node_up(&mut self, node: NodeId) {
+        for vs in self.services.values_mut() {
+            vs.set_alive(node, true);
+        }
+    }
+
+    /// Requests routed to `node` for `address` (the balance data for E8).
+    pub fn routed_to(&self, address: SocketAddr, node: NodeId) -> u64 {
+        self.per_server.get(&(address, node)).copied().unwrap_or(0)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> IpvsStats {
+        self.stats
+    }
+
+    /// Drops all connection-tracking state (what a failover *without*
+    /// connection synchronization loses).
+    pub fn clear_connections(&mut self) {
+        self.connections.clear();
+        for vs in self.services.values_mut() {
+            for s in &mut vs.servers {
+                s.active_connections = 0;
+            }
+        }
+        self.stats.tracked = 0;
+    }
+
+    /// Registered service addresses, sorted.
+    pub fn addresses(&self) -> Vec<SocketAddr> {
+        let mut v: Vec<SocketAddr> = self.services.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+/// Convenience: builds a service with `n` equal replicas on nodes `0..n`.
+pub fn replicated_service(
+    address: SocketAddr,
+    scheduler: Scheduler,
+    nodes: &[NodeId],
+) -> VirtualService {
+    let mut vs = VirtualService::new(address, scheduler);
+    for &n in nodes {
+        vs.add_server(RealServer::new(n));
+    }
+    vs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosgi_net::{IpAddr, Port};
+
+    fn addr() -> SocketAddr {
+        SocketAddr::new(IpAddr::new(10, 0, 0, 100), Port(80))
+    }
+
+    fn director(nodes: usize) -> IpvsDirector {
+        let mut d = IpvsDirector::new();
+        let nodes: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
+        d.add_service(replicated_service(addr(), Scheduler::RoundRobin, &nodes));
+        d
+    }
+
+    #[test]
+    fn connect_balances_round_robin() {
+        let mut d = director(3);
+        let picks: Vec<NodeId> = (0..6).map(|c| d.connect(c, addr()).unwrap()).collect();
+        assert_eq!(
+            picks,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0), NodeId(1), NodeId(2)]
+        );
+        assert_eq!(d.stats().routed, 6);
+        assert_eq!(d.stats().tracked, 6);
+        assert_eq!(d.routed_to(addr(), NodeId(0)), 2);
+    }
+
+    #[test]
+    fn affinity_sticks_until_release() {
+        let mut d = director(3);
+        let first = d.connect(42, addr()).unwrap();
+        for _ in 0..5 {
+            assert_eq!(d.connect(42, addr()).unwrap(), first);
+        }
+        d.release(42, addr());
+        assert_eq!(d.stats().tracked, 0);
+        // After release the scheduler moves on.
+        let second = d.connect(42, addr()).unwrap();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn node_down_breaks_connections_and_reroutes() {
+        let mut d = director(2);
+        let n0 = d.connect(1, addr()).unwrap();
+        assert_eq!(n0, NodeId(0));
+        let broken = d.node_down(NodeId(0));
+        assert_eq!(broken, 1);
+        // The same client is rerouted to the survivor.
+        assert_eq!(d.connect(1, addr()).unwrap(), NodeId(1));
+        d.node_up(NodeId(0));
+        assert_eq!(d.service(addr()).unwrap().alive_count(), 2);
+    }
+
+    #[test]
+    fn errors_and_rejection_counting() {
+        let mut d = IpvsDirector::new();
+        assert_eq!(
+            d.connect(1, addr()),
+            Err(RouteError::NoSuchService(addr()))
+        );
+        d.add_service(replicated_service(addr(), Scheduler::RoundRobin, &[NodeId(0)]));
+        d.node_down(NodeId(0));
+        assert_eq!(d.connect(1, addr()), Err(RouteError::NoLiveServers(addr())));
+        // Both the missing-service and the no-backend requests count.
+        assert_eq!(d.stats().rejected, 2);
+    }
+
+    #[test]
+    fn remove_service_drops_connections() {
+        let mut d = director(2);
+        d.connect(1, addr()).unwrap();
+        assert!(d.remove_service(addr()));
+        assert!(!d.remove_service(addr()));
+        assert_eq!(d.stats().tracked, 0);
+        assert!(d.addresses().is_empty());
+    }
+
+    #[test]
+    fn clear_connections_resets_tracking() {
+        let mut d = director(2);
+        for c in 0..4 {
+            d.connect(c, addr()).unwrap();
+        }
+        d.clear_connections();
+        assert_eq!(d.stats().tracked, 0);
+        assert_eq!(
+            d.service(addr()).unwrap().servers[0].active_connections,
+            0
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Scheduling disciplines.
+
+use crate::VirtualService;
+use serde::{Deserialize, Serialize};
+
+/// The scheduling disciplines of Linux ipvs that the paper's load-balancing
+/// claim rests on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Scheduler {
+    /// Each request to the next live server in turn.
+    #[default]
+    RoundRobin,
+    /// Round-robin proportional to server weights.
+    WeightedRoundRobin,
+    /// The live server with the fewest tracked connections.
+    LeastConnections,
+    /// Hash of the client address — deterministic per-client affinity.
+    SourceHash,
+}
+
+impl Scheduler {
+    /// Picks a live server index for a request from `source` (a client
+    /// identity used only by [`Scheduler::SourceHash`]). Returns `None`
+    /// when no live server exists. Mutates cursor/credit state on the
+    /// service.
+    pub fn pick(self, vs: &mut VirtualService, source: u64) -> Option<usize> {
+        let n = vs.servers.len();
+        if n == 0 || vs.alive_count() == 0 {
+            return None;
+        }
+        match self {
+            Scheduler::RoundRobin => {
+                for step in 0..n {
+                    let idx = (vs.rr_cursor + step) % n;
+                    if vs.servers[idx].alive {
+                        vs.rr_cursor = (idx + 1) % n;
+                        return Some(idx);
+                    }
+                }
+                None
+            }
+            Scheduler::WeightedRoundRobin => {
+                // Two sweeps: one with remaining credit, then refill once.
+                for _ in 0..2 {
+                    for step in 0..n {
+                        let idx = (vs.rr_cursor + step) % n;
+                        if vs.servers[idx].alive && vs.wrr_credit[idx] > 0 {
+                            vs.wrr_credit[idx] -= 1;
+                            // Cursor advances only when credit is spent, so
+                            // a heavy server receives its burst.
+                            if vs.wrr_credit[idx] == 0 {
+                                vs.rr_cursor = (idx + 1) % n;
+                            }
+                            return Some(idx);
+                        }
+                    }
+                    for i in 0..n {
+                        vs.wrr_credit[i] = vs.servers[i].weight;
+                    }
+                }
+                None
+            }
+            Scheduler::LeastConnections => vs
+                .servers
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.alive)
+                .min_by_key(|(i, s)| (s.active_connections, *i))
+                .map(|(i, _)| i),
+            Scheduler::SourceHash => {
+                // FNV-1a over the source id, probed until a live server.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in source.to_le_bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                for probe in 0..n as u64 {
+                    let idx = ((h.wrapping_add(probe)) % n as u64) as usize;
+                    if vs.servers[idx].alive {
+                        return Some(idx);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RealServer;
+    use dosgi_net::{IpAddr, NodeId, Port, SocketAddr};
+
+    fn service(scheduler: Scheduler, weights: &[u32]) -> VirtualService {
+        let mut vs = VirtualService::new(
+            SocketAddr::new(IpAddr::new(10, 0, 0, 100), Port(80)),
+            scheduler,
+        );
+        for (i, w) in weights.iter().enumerate() {
+            vs.add_server(RealServer::new(NodeId(i as u32)).with_weight(*w));
+        }
+        vs
+    }
+
+    #[test]
+    fn round_robin_cycles_evenly() {
+        let mut vs = service(Scheduler::RoundRobin, &[1, 1, 1]);
+        let picks: Vec<usize> = (0..6)
+            .map(|_| Scheduler::RoundRobin.pick(&mut vs, 0).unwrap())
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_dead_servers() {
+        let mut vs = service(Scheduler::RoundRobin, &[1, 1, 1]);
+        vs.set_alive(NodeId(1), false);
+        let picks: Vec<usize> = (0..4)
+            .map(|_| Scheduler::RoundRobin.pick(&mut vs, 0).unwrap())
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn weighted_round_robin_respects_weights() {
+        let mut vs = service(Scheduler::WeightedRoundRobin, &[3, 1]);
+        let mut counts = [0usize; 2];
+        for _ in 0..40 {
+            counts[Scheduler::WeightedRoundRobin.pick(&mut vs, 0).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 30);
+        assert_eq!(counts[1], 10);
+    }
+
+    #[test]
+    fn least_connections_prefers_idle() {
+        let mut vs = service(Scheduler::LeastConnections, &[1, 1]);
+        vs.servers[0].active_connections = 5;
+        assert_eq!(Scheduler::LeastConnections.pick(&mut vs, 0), Some(1));
+        vs.servers[1].active_connections = 9;
+        assert_eq!(Scheduler::LeastConnections.pick(&mut vs, 0), Some(0));
+        // Ties break by index.
+        vs.servers[0].active_connections = 9;
+        assert_eq!(Scheduler::LeastConnections.pick(&mut vs, 0), Some(0));
+    }
+
+    #[test]
+    fn source_hash_is_sticky_and_fails_over() {
+        let mut vs = service(Scheduler::SourceHash, &[1, 1, 1]);
+        let a = Scheduler::SourceHash.pick(&mut vs, 1234).unwrap();
+        for _ in 0..10 {
+            assert_eq!(Scheduler::SourceHash.pick(&mut vs, 1234), Some(a));
+        }
+        // Different clients spread across servers (statistically).
+        let spread: std::collections::HashSet<usize> = (0..64)
+            .map(|c| Scheduler::SourceHash.pick(&mut vs, c).unwrap())
+            .collect();
+        assert!(spread.len() > 1);
+        // Failover: the sticky target dies, the client still lands somewhere.
+        vs.set_alive(NodeId(a as u32), false);
+        let b = Scheduler::SourceHash.pick(&mut vs, 1234).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn no_live_servers_returns_none() {
+        let mut vs = service(Scheduler::RoundRobin, &[1]);
+        vs.set_alive(NodeId(0), false);
+        for s in [
+            Scheduler::RoundRobin,
+            Scheduler::WeightedRoundRobin,
+            Scheduler::LeastConnections,
+            Scheduler::SourceHash,
+        ] {
+            assert_eq!(s.pick(&mut vs, 7), None, "{s:?}");
+        }
+        let mut empty = service(Scheduler::RoundRobin, &[]);
+        assert_eq!(Scheduler::RoundRobin.pick(&mut empty, 0), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! Virtual services and real servers.
+
+use crate::Scheduler;
+use dosgi_net::{NodeId, SocketAddr};
+use serde::{Deserialize, Serialize};
+
+/// A backend node serving a virtual service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RealServer {
+    /// The node hosting the service replica.
+    pub node: NodeId,
+    /// Scheduling weight (used by weighted round-robin).
+    pub weight: u32,
+    /// Health: down servers are skipped.
+    pub alive: bool,
+    /// Currently tracked connections (used by least-connections).
+    pub active_connections: u32,
+}
+
+impl RealServer {
+    /// A healthy server with weight 1.
+    pub fn new(node: NodeId) -> Self {
+        RealServer {
+            node,
+            weight: 1,
+            alive: true,
+            active_connections: 0,
+        }
+    }
+
+    /// Sets the weight (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is zero — a zero-weight server can never be
+    /// scheduled, which is expressed by marking it down instead.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        assert!(weight > 0, "weight must be positive");
+        self.weight = weight;
+        self
+    }
+}
+
+/// One `VIP:port` virtual service: scheduler plus backend set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VirtualService {
+    /// The service's public endpoint.
+    pub address: SocketAddr,
+    /// The scheduling discipline.
+    pub scheduler: Scheduler,
+    /// Backend replicas.
+    pub servers: Vec<RealServer>,
+    /// Round-robin cursor (scheduler state).
+    pub(crate) rr_cursor: usize,
+    /// Weighted round-robin remaining credit per server.
+    pub(crate) wrr_credit: Vec<u32>,
+}
+
+impl VirtualService {
+    /// Creates an empty service at `address` with `scheduler`.
+    pub fn new(address: SocketAddr, scheduler: Scheduler) -> Self {
+        VirtualService {
+            address,
+            scheduler,
+            servers: Vec::new(),
+            rr_cursor: 0,
+            wrr_credit: Vec::new(),
+        }
+    }
+
+    /// Adds a backend replica.
+    pub fn add_server(&mut self, server: RealServer) {
+        self.servers.push(server);
+        self.wrr_credit.push(server.weight);
+    }
+
+    /// Removes the replica on `node`, returning whether one was found.
+    pub fn remove_server(&mut self, node: NodeId) -> bool {
+        match self.servers.iter().position(|s| s.node == node) {
+            Some(i) => {
+                self.servers.remove(i);
+                self.wrr_credit.remove(i);
+                if self.rr_cursor >= self.servers.len() {
+                    self.rr_cursor = 0;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks the replica on `node` up or down (health checks / failover).
+    pub fn set_alive(&mut self, node: NodeId, alive: bool) -> bool {
+        match self.servers.iter_mut().find(|s| s.node == node) {
+            Some(s) => {
+                s.alive = alive;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Live replica count.
+    pub fn alive_count(&self) -> usize {
+        self.servers.iter().filter(|s| s.alive).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosgi_net::{IpAddr, Port};
+
+    fn addr() -> SocketAddr {
+        SocketAddr::new(IpAddr::new(10, 0, 0, 100), Port(80))
+    }
+
+    #[test]
+    fn add_remove_servers() {
+        let mut vs = VirtualService::new(addr(), Scheduler::RoundRobin);
+        vs.add_server(RealServer::new(NodeId(1)));
+        vs.add_server(RealServer::new(NodeId(2)).with_weight(3));
+        assert_eq!(vs.servers.len(), 2);
+        assert_eq!(vs.alive_count(), 2);
+        assert!(vs.remove_server(NodeId(1)));
+        assert!(!vs.remove_server(NodeId(1)));
+        assert_eq!(vs.servers.len(), 1);
+        assert_eq!(vs.servers[0].weight, 3);
+    }
+
+    #[test]
+    fn health_marking() {
+        let mut vs = VirtualService::new(addr(), Scheduler::RoundRobin);
+        vs.add_server(RealServer::new(NodeId(1)));
+        assert!(vs.set_alive(NodeId(1), false));
+        assert_eq!(vs.alive_count(), 0);
+        assert!(!vs.set_alive(NodeId(9), false));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_weight_rejected() {
+        let _ = RealServer::new(NodeId(1)).with_weight(0);
+    }
+}

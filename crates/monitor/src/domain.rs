@@ -1,0 +1,244 @@
+//! JSR-284-style resource domains.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The resource dimensions a domain accounts for.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ResourceType {
+    /// CPU time, microseconds.
+    CpuTime,
+    /// Resident memory, bytes.
+    Memory,
+    /// Persistent storage, bytes.
+    DiskSpace,
+    /// Live threads, count.
+    Threads,
+    /// Network bandwidth, bytes/sec.
+    NetworkBandwidth,
+}
+
+impl fmt::Display for ResourceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ResourceType::CpuTime => "cpu",
+            ResourceType::Memory => "memory",
+            ResourceType::DiskSpace => "disk",
+            ResourceType::Threads => "threads",
+            ResourceType::NetworkBandwidth => "net",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Notifications emitted by a [`ResourceDomain`] on threshold crossings —
+/// the JSR-284 "resource event" concept the Autonomic Module consumes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainEvent {
+    /// Consumption crossed the soft threshold (fraction of the limit).
+    SoftLimit {
+        /// Which resource.
+        resource: ResourceType,
+        /// Current consumption.
+        used: u64,
+        /// The configured hard limit.
+        limit: u64,
+    },
+    /// A consume request was denied because it would exceed the hard limit.
+    HardLimit {
+        /// Which resource.
+        resource: ResourceType,
+        /// Consumption at the time of the denial.
+        used: u64,
+        /// The amount requested.
+        requested: u64,
+        /// The configured hard limit.
+        limit: u64,
+    },
+}
+
+/// A per-customer resource accounting domain in the JSR-284 style:
+/// consumption is metered against optional hard limits, with soft-threshold
+/// events for early warning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceDomain {
+    name: String,
+    limits: BTreeMap<ResourceType, u64>,
+    used: BTreeMap<ResourceType, u64>,
+    soft_fraction: f64,
+    events: Vec<DomainEvent>,
+}
+
+impl ResourceDomain {
+    /// Creates a domain named `name` with no limits and a 0.8 soft
+    /// threshold.
+    pub fn new(name: &str) -> Self {
+        ResourceDomain {
+            name: name.to_owned(),
+            limits: BTreeMap::new(),
+            used: BTreeMap::new(),
+            soft_fraction: 0.8,
+            events: Vec::new(),
+        }
+    }
+
+    /// The domain's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets a hard limit for `resource` (builder style).
+    pub fn with_limit(mut self, resource: ResourceType, limit: u64) -> Self {
+        self.limits.insert(resource, limit);
+        self
+    }
+
+    /// Sets the soft-threshold fraction (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < fraction <= 1.0`.
+    pub fn with_soft_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "soft fraction must be in (0,1]"
+        );
+        self.soft_fraction = fraction;
+        self
+    }
+
+    /// Attempts to consume `amount` of `resource`.
+    ///
+    /// Returns `true` and records the consumption if within the hard limit;
+    /// returns `false` (and queues a [`DomainEvent::HardLimit`]) otherwise.
+    /// Crossing the soft threshold queues a [`DomainEvent::SoftLimit`] once
+    /// per crossing.
+    pub fn consume(&mut self, resource: ResourceType, amount: u64) -> bool {
+        let used = self.used.get(&resource).copied().unwrap_or(0);
+        if let Some(&limit) = self.limits.get(&resource) {
+            if used.saturating_add(amount) > limit {
+                self.events.push(DomainEvent::HardLimit {
+                    resource,
+                    used,
+                    requested: amount,
+                    limit,
+                });
+                return false;
+            }
+            let soft = (limit as f64 * self.soft_fraction) as u64;
+            if used < soft && used + amount >= soft {
+                self.events.push(DomainEvent::SoftLimit {
+                    resource,
+                    used: used + amount,
+                    limit,
+                });
+            }
+        }
+        self.used.insert(resource, used + amount);
+        true
+    }
+
+    /// Releases `amount` of `resource` (gauges such as memory go down).
+    pub fn release(&mut self, resource: ResourceType, amount: u64) {
+        let used = self.used.get(&resource).copied().unwrap_or(0);
+        self.used.insert(resource, used.saturating_sub(amount));
+    }
+
+    /// Current consumption of `resource`.
+    pub fn used(&self, resource: ResourceType) -> u64 {
+        self.used.get(&resource).copied().unwrap_or(0)
+    }
+
+    /// The hard limit for `resource`, if configured.
+    pub fn limit(&self, resource: ResourceType) -> Option<u64> {
+        self.limits.get(&resource).copied()
+    }
+
+    /// Remaining headroom before the hard limit (`u64::MAX` if unlimited).
+    pub fn headroom(&self, resource: ResourceType) -> u64 {
+        match self.limit(resource) {
+            Some(limit) => limit.saturating_sub(self.used(resource)),
+            None => u64::MAX,
+        }
+    }
+
+    /// Drains queued threshold events.
+    pub fn take_events(&mut self) -> Vec<DomainEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_consumption_is_allowed() {
+        let mut d = ResourceDomain::new("acme");
+        assert!(d.consume(ResourceType::CpuTime, 1_000_000));
+        assert_eq!(d.used(ResourceType::CpuTime), 1_000_000);
+        assert_eq!(d.headroom(ResourceType::CpuTime), u64::MAX);
+        assert!(d.take_events().is_empty());
+    }
+
+    #[test]
+    fn hard_limit_denies_and_reports() {
+        let mut d = ResourceDomain::new("acme").with_limit(ResourceType::Memory, 100);
+        assert!(d.consume(ResourceType::Memory, 90));
+        assert!(!d.consume(ResourceType::Memory, 20));
+        assert_eq!(d.used(ResourceType::Memory), 90);
+        assert_eq!(d.headroom(ResourceType::Memory), 10);
+        let events = d.take_events();
+        // 90 crossed the soft threshold (80), then the denial.
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], DomainEvent::SoftLimit { .. }));
+        assert!(matches!(
+            events[1],
+            DomainEvent::HardLimit {
+                requested: 20,
+                used: 90,
+                limit: 100,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn soft_limit_fires_once_per_crossing() {
+        let mut d = ResourceDomain::new("a")
+            .with_limit(ResourceType::Memory, 100)
+            .with_soft_fraction(0.5);
+        assert!(d.consume(ResourceType::Memory, 49));
+        assert!(d.take_events().is_empty());
+        assert!(d.consume(ResourceType::Memory, 1)); // crosses 50
+        assert_eq!(d.take_events().len(), 1);
+        assert!(d.consume(ResourceType::Memory, 10)); // already above: no event
+        assert!(d.take_events().is_empty());
+        // Release below, cross again: fires again.
+        d.release(ResourceType::Memory, 30);
+        assert!(d.consume(ResourceType::Memory, 25));
+        assert_eq!(d.take_events().len(), 1);
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut d = ResourceDomain::new("a");
+        d.release(ResourceType::Threads, 10);
+        assert_eq!(d.used(ResourceType::Threads), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "soft fraction")]
+    fn bad_soft_fraction_panics() {
+        let _ = ResourceDomain::new("a").with_soft_fraction(0.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ResourceType::CpuTime.to_string(), "cpu");
+        assert_eq!(ResourceType::NetworkBandwidth.to_string(), "net");
+    }
+}

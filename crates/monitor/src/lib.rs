@@ -1,0 +1,36 @@
+//! # dosgi-monitor — the Monitoring Module
+//!
+//! §3.1 of the paper calls monitoring *"the least mature part of all the
+//! work developed as there are no adequate mechanisms to measure and
+//! monitor resource usage in the actual JVM specification"* — memory is
+//! only visible platform-wide via `MemoryMXBean`, CPU only roughly per
+//! thread via `ThreadMXBean`, and the authors pin their hopes on **JSR-284,
+//! the Resource Consumption Management API**.
+//!
+//! The simulation is not subject to the JVM's limits, so this crate simply
+//! *implements* the JSR-284 model the paper wanted:
+//!
+//! * [`ResourceDomain`] — a named accounting domain (one per customer
+//!   instance) with per-[`ResourceType`] limits, reservations and
+//!   consumption, in the JSR-284 style;
+//! * [`Sampler`] — turns cumulative [`UsageSnapshot`]s (from the
+//!   `dosgi-osgi` ledger) into windowed rates: CPU share of a core, calls
+//!   per second, memory gauge;
+//! * [`TimeSeries`] — bounded history with mean/max/EWMA/percentile, the
+//!   inputs to autonomic policy conditions;
+//! * [`NodeCapacity`] — a node's total resources and the `fits` test the
+//!   Migration Module uses when choosing a failover destination.
+//!
+//! [`UsageSnapshot`]: dosgi_osgi::UsageSnapshot
+
+mod capacity;
+mod domain;
+mod module;
+mod sample;
+mod series;
+
+pub use capacity::NodeCapacity;
+pub use domain::{DomainEvent, ResourceDomain, ResourceType};
+pub use module::{MonitoringModule, SubjectReport};
+pub use sample::{Sampler, WindowedUsage};
+pub use series::TimeSeries;

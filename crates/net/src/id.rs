@@ -1,0 +1,55 @@
+//! Node identity.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a physical node in the simulated cluster.
+///
+/// Node ids are allocated densely by [`SimNet::register_node`] and never
+/// reused, so they double as a stable total order over nodes — the group
+/// communication layer uses the lowest live id as its coordinator, exactly
+/// like rank-based coordinator election in classic view-synchronous systems.
+///
+/// [`SimNet::register_node`]: crate::SimNet::register_node
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(NodeId(3).index(), 3);
+        assert_eq!(NodeId::from(7), NodeId(7));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![NodeId(2), NodeId(0), NodeId(1)];
+        v.sort();
+        assert_eq!(v, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+}

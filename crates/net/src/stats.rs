@@ -1,0 +1,60 @@
+//! Network traffic statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by [`SimNet`](crate::SimNet).
+///
+/// The benchmark harness reads these to report message complexity — e.g. how
+/// many control messages a failover consumed (experiment **E6**) or the
+/// metadata dissemination cost of the migration module.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Messages accepted by `send`/`broadcast`.
+    pub sent: u64,
+    /// Messages placed in a destination mailbox.
+    pub delivered: u64,
+    /// Messages dropped by random loss.
+    pub lost: u64,
+    /// Messages dropped because source and destination were partitioned.
+    pub partitioned: u64,
+    /// Messages dropped because the destination (or source) was crashed.
+    pub dropped_dead: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+}
+
+impl NetStats {
+    /// Messages that never reached a mailbox, for any reason.
+    pub fn total_dropped(&self) -> u64 {
+        self.lost + self.partitioned + self.dropped_dead
+    }
+
+    /// Delivery ratio in `[0, 1]`; `1.0` when nothing has been sent.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = NetStats::default();
+        assert_eq!(s.delivery_ratio(), 1.0);
+        let s = NetStats {
+            sent: 10,
+            delivered: 8,
+            lost: 1,
+            partitioned: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.total_dropped(), 2);
+        assert!((s.delivery_ratio() - 0.8).abs() < 1e-12);
+    }
+}

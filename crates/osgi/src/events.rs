@@ -1,0 +1,140 @@
+//! Framework, bundle and service events.
+//!
+//! Events are the observability backbone the paper's Monitoring and
+//! Autonomic modules rely on: lifecycle transitions and service
+//! registrations are queued by the framework and drained by whoever manages
+//! it (the instance manager, the monitoring module, tests).
+
+use crate::{BundleId, ServiceId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What happened to a bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BundleEventKind {
+    /// The bundle was installed.
+    Installed,
+    /// The bundle's imports were wired.
+    Resolved,
+    /// The bundle reached `ACTIVE`.
+    Started,
+    /// The bundle left `ACTIVE`.
+    Stopped,
+    /// The bundle's manifest was replaced at run-time.
+    Updated,
+    /// The bundle was uninstalled.
+    Uninstalled,
+}
+
+/// A bundle lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BundleEvent {
+    /// The bundle concerned.
+    pub bundle: BundleId,
+    /// What happened.
+    pub kind: BundleEventKind,
+}
+
+impl fmt::Display for BundleEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:?}", self.bundle, self.kind)
+    }
+}
+
+/// What happened to a service registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceEventKind {
+    /// A service was registered.
+    Registered,
+    /// A service's properties changed.
+    Modified,
+    /// A service is being removed.
+    Unregistering,
+}
+
+/// A service registry event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceEvent {
+    /// The service concerned.
+    pub service: ServiceId,
+    /// The interfaces it was registered under.
+    pub interfaces: Vec<String>,
+    /// What happened.
+    pub kind: ServiceEventKind,
+}
+
+impl fmt::Display for ServiceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:?} ({})", self.service, self.kind, self.interfaces.join(","))
+    }
+}
+
+/// A framework-level event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FrameworkEvent {
+    /// The framework finished starting.
+    Started,
+    /// The framework began an orderly shutdown.
+    ShuttingDown,
+    /// The active start level changed.
+    StartLevelChanged {
+        /// The new start level.
+        level: u32,
+    },
+    /// A non-fatal error was recorded (e.g. an activator failure during a
+    /// start-level sweep).
+    Error {
+        /// The bundle involved, if any.
+        bundle: Option<BundleId>,
+        /// A description.
+        message: String,
+    },
+}
+
+impl fmt::Display for FrameworkEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkEvent::Started => write!(f, "framework started"),
+            FrameworkEvent::ShuttingDown => write!(f, "framework shutting down"),
+            FrameworkEvent::StartLevelChanged { level } => {
+                write!(f, "start level changed to {level}")
+            }
+            FrameworkEvent::Error { bundle, message } => match bundle {
+                Some(b) => write!(f, "error in {b}: {message}"),
+                None => write!(f, "framework error: {message}"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = BundleEvent {
+            bundle: BundleId(1),
+            kind: BundleEventKind::Started,
+        };
+        assert_eq!(e.to_string(), "b1 Started");
+        let e = ServiceEvent {
+            service: ServiceId(2),
+            interfaces: vec!["Log".into()],
+            kind: ServiceEventKind::Registered,
+        };
+        assert_eq!(e.to_string(), "s2 Registered (Log)");
+        assert_eq!(
+            FrameworkEvent::StartLevelChanged { level: 3 }.to_string(),
+            "start level changed to 3"
+        );
+        assert_eq!(
+            FrameworkEvent::Error {
+                bundle: Some(BundleId(4)),
+                message: "boom".into()
+            }
+            .to_string(),
+            "error in b4: boom"
+        );
+    }
+}

@@ -1,0 +1,1257 @@
+//! The framework: bundle lifecycle orchestration, class loading, services,
+//! start levels and persistent state.
+
+use crate::loader::BootDelegation;
+use crate::{
+    Activator, ActivatorFactory, BundleContext, BundleError, BundleEvent, BundleEventKind,
+    BundleId, BundleManifest, BundleState, ClassRef, FrameworkEvent, LoadError, PropValue,
+    Service, ServiceError, ServiceEvent, ServiceId, ServiceRegistry, SymbolName, UsageLedger,
+    Wiring,
+};
+use crate::loader::LoadPath;
+use crate::persist;
+use dosgi_san::{SharedStore, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Framework construction parameters.
+#[derive(Debug, Clone)]
+pub struct FrameworkConfig {
+    /// A human-readable name; also the default persistence namespace.
+    pub name: String,
+    /// Packages served by the platform itself (the `java.*` analogue).
+    pub boot: BootDelegation,
+    /// The initial active start level.
+    pub start_level: u32,
+}
+
+impl FrameworkConfig {
+    /// A config named `name` with standard boot delegation and start level 1.
+    pub fn new(name: &str) -> Self {
+        FrameworkConfig {
+            name: name.to_owned(),
+            boot: BootDelegation::standard(),
+            start_level: 1,
+        }
+    }
+}
+
+/// An installed bundle.
+pub struct Bundle {
+    /// Framework-local id.
+    pub id: BundleId,
+    /// The bundle's manifest.
+    pub manifest: BundleManifest,
+    /// Current lifecycle state.
+    pub state: BundleState,
+    /// Whether the bundle is persistently started (survives reboots and
+    /// start-level sweeps; the OSGi "autostart" setting).
+    pub autostart: bool,
+    pub(crate) activator: Option<Box<dyn Activator>>,
+}
+
+impl fmt::Debug for Bundle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bundle")
+            .field("id", &self.id)
+            .field("symbolic_name", &self.manifest.symbolic_name)
+            .field("version", &self.manifest.version)
+            .field("state", &self.state)
+            .field("autostart", &self.autostart)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An OSGi-like framework instance.
+///
+/// See the [crate docs](crate) for the model. A `Framework` is used both as
+/// the **host** platform of a node and (wrapped by `dosgi-vosgi`) as each
+/// customer's **virtual instance**.
+pub struct Framework {
+    config: FrameworkConfig,
+    bundles: BTreeMap<BundleId, Bundle>,
+    next_bundle: u64,
+    registry: ServiceRegistry,
+    wirings: BTreeMap<BundleId, Wiring>,
+    ledger: UsageLedger,
+    bundle_events: Vec<BundleEvent>,
+    framework_events: Vec<FrameworkEvent>,
+    data_areas: HashMap<String, BTreeMap<String, Value>>,
+    store: Option<(SharedStore, String)>,
+}
+
+impl fmt::Debug for Framework {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Framework")
+            .field("name", &self.config.name)
+            .field("bundles", &self.bundles.len())
+            .field("services", &self.registry.len())
+            .field("start_level", &self.config.start_level)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Framework {
+    /// Creates a framework with default configuration.
+    pub fn new(name: &str) -> Self {
+        Self::with_config(FrameworkConfig::new(name))
+    }
+
+    /// Creates a framework from an explicit configuration.
+    pub fn with_config(config: FrameworkConfig) -> Self {
+        let mut fw = Framework {
+            config,
+            bundles: BTreeMap::new(),
+            next_bundle: 1,
+            registry: ServiceRegistry::new(),
+            wirings: BTreeMap::new(),
+            ledger: UsageLedger::new(),
+            bundle_events: Vec::new(),
+            framework_events: Vec::new(),
+            data_areas: HashMap::new(),
+            store: None,
+        };
+        fw.framework_events.push(FrameworkEvent::Started);
+        fw
+    }
+
+    /// The framework's name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// Attaches a SAN store; framework state and bundle data areas become
+    /// persistent under `namespace`, as the OSGi specification requires.
+    pub fn attach_store(&mut self, store: SharedStore, namespace: &str) {
+        self.store = Some((store, namespace.to_owned()));
+        self.persist();
+    }
+
+    /// The persistence namespace, if a store is attached.
+    pub fn store_namespace(&self) -> Option<&str> {
+        self.store.as_ref().map(|(_, ns)| ns.as_str())
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Installs a bundle, leaving it `INSTALLED`.
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::DuplicateBundle`] if a bundle with the same symbolic
+    /// name and version is already installed.
+    pub fn install(
+        &mut self,
+        manifest: BundleManifest,
+        activator: Option<Box<dyn Activator>>,
+    ) -> Result<BundleId, BundleError> {
+        if let Some(existing) = self.bundles.values().find(|b| {
+            b.manifest.symbolic_name == manifest.symbolic_name
+                && b.manifest.version == manifest.version
+        }) {
+            return Err(BundleError::DuplicateBundle {
+                existing: existing.id,
+            });
+        }
+        let id = BundleId(self.next_bundle);
+        self.next_bundle += 1;
+        self.bundles.insert(
+            id,
+            Bundle {
+                id,
+                manifest,
+                state: BundleState::Installed,
+                autostart: false,
+                activator,
+            },
+        );
+        self.event(id, BundleEventKind::Installed);
+        self.persist();
+        Ok(id)
+    }
+
+    /// Attempts to resolve every `INSTALLED` bundle. Returns the ids that
+    /// newly resolved.
+    pub fn resolve_all(&mut self) -> Vec<BundleId> {
+        let candidates: BTreeMap<BundleId, &BundleManifest> = self
+            .bundles
+            .values()
+            .filter(|b| b.state == BundleState::Installed)
+            .map(|b| (b.id, &b.manifest))
+            .collect();
+        let resolved_pool: BTreeMap<BundleId, &BundleManifest> = self
+            .bundles
+            .values()
+            .filter(|b| b.state.is_resolved())
+            .map(|b| (b.id, &b.manifest))
+            .collect();
+        let report = crate::resolver::resolve(&candidates, &resolved_pool);
+        let ids: Vec<BundleId> = report.resolved.keys().copied().collect();
+        for (id, wiring) in report.resolved {
+            self.wirings.insert(id, wiring);
+            self.bundles.get_mut(&id).expect("candidate exists").state = BundleState::Resolved;
+            self.event(id, BundleEventKind::Resolved);
+        }
+        if !ids.is_empty() {
+            self.persist();
+        }
+        ids
+    }
+
+    /// Starts a bundle: resolves it if necessary, runs its activator, and
+    /// marks it `ACTIVE` and persistently started. Starting an `ACTIVE`
+    /// bundle is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::NotFound`], [`BundleError::ResolutionFailed`],
+    /// [`BundleError::ActivatorFailed`] (bundle rolls back to `RESOLVED`),
+    /// or [`BundleError::InvalidTransition`] from transient/terminal states.
+    pub fn start(&mut self, id: BundleId) -> Result<(), BundleError> {
+        let state = self.bundle_state(id)?;
+        match state {
+            BundleState::Active => return Ok(()),
+            BundleState::Installed => {
+                self.resolve_all();
+                let state = self.bundle_state(id)?;
+                if state == BundleState::Installed {
+                    let missing = self
+                        .bundles
+                        .get(&id)
+                        .expect("exists")
+                        .manifest
+                        .imports
+                        .iter()
+                        .filter(|i| !i.optional)
+                        .map(|i| i.name.clone())
+                        .collect();
+                    return Err(BundleError::ResolutionFailed {
+                        bundle: id,
+                        missing,
+                    });
+                }
+            }
+            BundleState::Resolved => {}
+            other => {
+                return Err(BundleError::InvalidTransition {
+                    bundle: id,
+                    state: other,
+                    operation: "start",
+                })
+            }
+        }
+        self.set_state(id, BundleState::Starting);
+        let mut activator = self
+            .bundles
+            .get_mut(&id)
+            .expect("exists")
+            .activator
+            .take();
+        let result = match activator.as_mut() {
+            Some(a) => {
+                let mut ctx = BundleContext::new(id, self);
+                a.start(&mut ctx)
+            }
+            None => Ok(()),
+        };
+        let bundle = self.bundles.get_mut(&id).expect("exists");
+        bundle.activator = activator;
+        match result {
+            Ok(()) => {
+                bundle.state = BundleState::Active;
+                bundle.autostart = true;
+                self.event(id, BundleEventKind::Started);
+                self.persist();
+                Ok(())
+            }
+            Err(message) => {
+                bundle.state = BundleState::Resolved;
+                // Services a half-started activator registered are swept.
+                self.registry.unregister_bundle(id);
+                self.framework_events.push(FrameworkEvent::Error {
+                    bundle: Some(id),
+                    message: message.clone(),
+                });
+                Err(BundleError::ActivatorFailed {
+                    bundle: id,
+                    message,
+                })
+            }
+        }
+    }
+
+    /// Stops an `ACTIVE` bundle: runs its activator's `stop`, sweeps its
+    /// services, and clears the persistent-start flag. Stopping a non-active
+    /// bundle is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::NotFound`] for unknown ids.
+    pub fn stop(&mut self, id: BundleId) -> Result<(), BundleError> {
+        self.stop_internal(id, true)
+    }
+
+    /// Stops a bundle without clearing its persistent-start flag — used by
+    /// start-level sweeps and framework shutdown, after which the bundle
+    /// must come back on restart (OSGi semantics).
+    pub fn stop_transient(&mut self, id: BundleId) -> Result<(), BundleError> {
+        self.stop_internal(id, false)
+    }
+
+    fn stop_internal(&mut self, id: BundleId, persistent: bool) -> Result<(), BundleError> {
+        let state = self.bundle_state(id)?;
+        if state != BundleState::Active {
+            if persistent {
+                if let Some(b) = self.bundles.get_mut(&id) {
+                    b.autostart = false;
+                }
+            }
+            return Ok(());
+        }
+        self.set_state(id, BundleState::Stopping);
+        let mut activator = self
+            .bundles
+            .get_mut(&id)
+            .expect("exists")
+            .activator
+            .take();
+        let result = match activator.as_mut() {
+            Some(a) => {
+                let mut ctx = BundleContext::new(id, self);
+                a.stop(&mut ctx)
+            }
+            None => Ok(()),
+        };
+        if let Err(message) = result {
+            self.framework_events.push(FrameworkEvent::Error {
+                bundle: Some(id),
+                message,
+            });
+        }
+        self.registry.unregister_bundle(id);
+        let bundle = self.bundles.get_mut(&id).expect("exists");
+        bundle.activator = activator;
+        bundle.state = BundleState::Resolved;
+        if persistent {
+            bundle.autostart = false;
+        }
+        self.event(id, BundleEventKind::Stopped);
+        self.persist();
+        Ok(())
+    }
+
+    /// Uninstalls a bundle (stopping it first if active).
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::NotFound`] or [`BundleError::InvalidTransition`] if
+    /// called from a transient state.
+    pub fn uninstall(&mut self, id: BundleId) -> Result<(), BundleError> {
+        let state = self.bundle_state(id)?;
+        if !state.can_uninstall() {
+            return Err(BundleError::InvalidTransition {
+                bundle: id,
+                state,
+                operation: "uninstall",
+            });
+        }
+        if state == BundleState::Active {
+            self.stop(id)?;
+        }
+        self.bundles.remove(&id);
+        self.wirings.remove(&id);
+        self.ledger.forget(id);
+        self.event(id, BundleEventKind::Uninstalled);
+        self.persist();
+        Ok(())
+    }
+
+    /// Replaces a bundle's manifest at run-time (the OSGi `update`
+    /// operation): the bundle is stopped if active, re-wired, and restarted
+    /// if it was active — the "change a module without disrupting the
+    /// production environment" capability the paper's introduction credits
+    /// OSGi with.
+    ///
+    /// # Errors
+    ///
+    /// Lifecycle errors from the embedded stop/start, or
+    /// [`BundleError::ResolutionFailed`] if the new manifest cannot wire.
+    pub fn update(&mut self, id: BundleId, manifest: BundleManifest) -> Result<(), BundleError> {
+        self.update_with_activator(id, manifest, None)
+    }
+
+    /// Like [`update`](Self::update), but also replaces the bundle's
+    /// activator — the analogue of the new bundle revision bringing a new
+    /// activator class. The old activator's `stop` runs first; the new one
+    /// `start`s. `None` keeps the existing activator.
+    ///
+    /// # Errors
+    ///
+    /// As [`update`](Self::update).
+    pub fn update_with_activator(
+        &mut self,
+        id: BundleId,
+        manifest: BundleManifest,
+        activator: Option<Box<dyn Activator>>,
+    ) -> Result<(), BundleError> {
+        let state = self.bundle_state(id)?;
+        let was_active = state == BundleState::Active;
+        if was_active {
+            self.stop_transient(id)?;
+        }
+        let bundle = self.bundles.get_mut(&id).expect("exists");
+        bundle.manifest = manifest;
+        bundle.state = BundleState::Installed;
+        if let Some(a) = activator {
+            bundle.activator = Some(a);
+        }
+        self.wirings.remove(&id);
+        self.event(id, BundleEventKind::Updated);
+        self.refresh();
+        if was_active {
+            self.start(id)?;
+        }
+        self.persist();
+        Ok(())
+    }
+
+    /// Recomputes all wirings from scratch. Active bundles whose imports can
+    /// no longer be satisfied are stopped and demoted to `INSTALLED`
+    /// (a simplified OSGi *refresh packages* operation).
+    pub fn refresh(&mut self) {
+        let candidates: BTreeMap<BundleId, &BundleManifest> = self
+            .bundles
+            .values()
+            .filter(|b| b.state != BundleState::Uninstalled)
+            .map(|b| (b.id, &b.manifest))
+            .collect();
+        let report = crate::resolver::resolve(&candidates, &BTreeMap::new());
+        let failed: Vec<BundleId> = report.failed.keys().copied().collect();
+        self.wirings = report.resolved.clone();
+        for (id, _) in report.resolved {
+            let b = self.bundles.get_mut(&id).expect("exists");
+            if b.state == BundleState::Installed {
+                b.state = BundleState::Resolved;
+                self.event(id, BundleEventKind::Resolved);
+            }
+        }
+        for id in failed {
+            let state = self.bundles.get(&id).map(|b| b.state);
+            if state == Some(BundleState::Active) {
+                let _ = self.stop_transient(id);
+            }
+            if let Some(b) = self.bundles.get_mut(&id) {
+                if b.state != BundleState::Installed {
+                    b.state = BundleState::Installed;
+                }
+            }
+            self.wirings.remove(&id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Start levels and shutdown
+    // ------------------------------------------------------------------
+
+    /// The active start level.
+    pub fn start_level(&self) -> u32 {
+        self.config.start_level
+    }
+
+    /// Moves the framework to `level`: persistently-started bundles at or
+    /// below the level are started (ascending level order); active bundles
+    /// above it are stopped transiently (descending order). Activator
+    /// failures are recorded as framework events and do not abort the sweep.
+    pub fn set_start_level(&mut self, level: u32) {
+        let mut to_start: Vec<(u32, BundleId)> = self
+            .bundles
+            .values()
+            .filter(|b| {
+                b.autostart && b.state != BundleState::Active && b.manifest.start_level <= level
+            })
+            .map(|b| (b.manifest.start_level, b.id))
+            .collect();
+        to_start.sort();
+        let mut to_stop: Vec<(u32, BundleId)> = self
+            .bundles
+            .values()
+            .filter(|b| b.state == BundleState::Active && b.manifest.start_level > level)
+            .map(|b| (b.manifest.start_level, b.id))
+            .collect();
+        to_stop.sort_by(|a, b| b.cmp(a));
+        for (_, id) in to_stop {
+            let _ = self.stop_transient(id);
+        }
+        for (_, id) in to_start {
+            if let Err(e) = self.start(id) {
+                self.framework_events.push(FrameworkEvent::Error {
+                    bundle: Some(id),
+                    message: e.to_string(),
+                });
+            }
+        }
+        self.config.start_level = level;
+        self.framework_events
+            .push(FrameworkEvent::StartLevelChanged { level });
+        self.persist();
+    }
+
+    /// Orderly shutdown: stops all active bundles in descending start-level
+    /// order *without* clearing their persistent-start flags, then persists
+    /// the final state. After `restore`, the same bundles come back.
+    pub fn shutdown(&mut self) {
+        self.framework_events.push(FrameworkEvent::ShuttingDown);
+        let mut active: Vec<(u32, BundleId)> = self
+            .bundles
+            .values()
+            .filter(|b| b.state == BundleState::Active)
+            .map(|b| (b.manifest.start_level, b.id))
+            .collect();
+        active.sort_by(|a, b| b.cmp(a));
+        for (_, id) in active {
+            let _ = self.stop_transient(id);
+        }
+        self.persist();
+    }
+
+    // ------------------------------------------------------------------
+    // Class loading
+    // ------------------------------------------------------------------
+
+    /// Loads `symbol` through `bundle`'s class space: boot delegation, then
+    /// imported packages, then the bundle's own content.
+    ///
+    /// # Errors
+    ///
+    /// See [`LoadError`]. An `INSTALLED` bundle triggers a resolution
+    /// attempt first, as in OSGi.
+    pub fn load_class(
+        &mut self,
+        bundle: BundleId,
+        symbol: &SymbolName,
+    ) -> Result<ClassRef, LoadError> {
+        let state = self
+            .bundles
+            .get(&bundle)
+            .map(|b| b.state)
+            .ok_or(LoadError::Unresolved(bundle))?;
+        if state == BundleState::Installed {
+            self.resolve_all();
+        }
+        let b = self
+            .bundles
+            .get(&bundle)
+            .ok_or(LoadError::Unresolved(bundle))?;
+        if !b.state.is_resolved() {
+            return Err(LoadError::Unresolved(bundle));
+        }
+        // 1. Boot delegation.
+        if self.config.boot.covers(symbol.package()) {
+            return Ok(ClassRef {
+                symbol: symbol.clone(),
+                defined_by: None,
+                via: LoadPath::Boot,
+            });
+        }
+        // 2. Imported packages (imports shadow own content, as in OSGi).
+        if let Some(wiring) = self.wirings.get(&bundle) {
+            if let Some(&(exporter, _)) = wiring.imports.get(symbol.package()) {
+                let exp = self.bundles.get(&exporter).ok_or_else(|| {
+                    LoadError::NotFound(symbol.clone())
+                })?;
+                let pkg = exp
+                    .manifest
+                    .exports
+                    .iter()
+                    .find(|e| &e.name == symbol.package())
+                    .ok_or_else(|| LoadError::NotFound(symbol.clone()))?;
+                return if pkg.symbols.iter().any(|s| s == symbol.simple()) {
+                    Ok(ClassRef {
+                        symbol: symbol.clone(),
+                        defined_by: Some(exporter),
+                        via: LoadPath::Import,
+                    })
+                } else {
+                    Err(LoadError::NoSuchSymbol {
+                        package: symbol.package().clone(),
+                        simple: symbol.simple().to_owned(),
+                    })
+                };
+            }
+        }
+        // 3. The bundle's own content.
+        for pkg in b.manifest.own_packages() {
+            if &pkg.name == symbol.package() {
+                return if pkg.symbols.iter().any(|s| s == symbol.simple()) {
+                    Ok(ClassRef {
+                        symbol: symbol.clone(),
+                        defined_by: Some(bundle),
+                        via: LoadPath::Own,
+                    })
+                } else {
+                    Err(LoadError::NoSuchSymbol {
+                        package: symbol.package().clone(),
+                        simple: symbol.simple().to_owned(),
+                    })
+                };
+            }
+        }
+        Err(LoadError::NotFound(symbol.clone()))
+    }
+
+    // ------------------------------------------------------------------
+    // Services
+    // ------------------------------------------------------------------
+
+    /// Registers a service on behalf of `owner`.
+    pub fn register_service(
+        &mut self,
+        owner: BundleId,
+        interfaces: &[&str],
+        properties: BTreeMap<String, PropValue>,
+        implementation: Box<dyn Service>,
+    ) -> ServiceId {
+        self.registry
+            .register(owner, interfaces, properties, implementation)
+    }
+
+    /// The best service offering `interface`.
+    pub fn best_service(&self, interface: &str) -> Option<ServiceId> {
+        self.registry.best(interface)
+    }
+
+    /// Invokes a service, charging usage to its owner. The owning bundle's
+    /// persistent storage area is attached to the call context; if the call
+    /// writes to it, the area is flushed to the SAN afterwards — so a
+    /// stateful service's persisted state is already on shared storage when
+    /// a crash happens.
+    ///
+    /// # Errors
+    ///
+    /// Lookup and implementation errors (see [`ServiceError`]).
+    pub fn call_service(
+        &mut self,
+        id: ServiceId,
+        method: &str,
+        arg: &Value,
+    ) -> Result<Value, ServiceError> {
+        let owner_sn = self
+            .registry
+            .owner_of(id)
+            .and_then(|b| self.bundles.get(&b))
+            .map(|b| b.manifest.symbolic_name.as_str().to_owned());
+        let Some(sn) = owner_sn else {
+            // Unknown service: let the registry produce the right error.
+            return self.registry.call(id, &mut self.ledger, method, arg);
+        };
+        let mut area = self.data_areas.remove(&sn).unwrap_or_default();
+        // After a restore the in-memory area starts empty while the SAN
+        // holds the persisted state: warm it up on first access.
+        if area.is_empty() {
+            if let Some((store, ns)) = &self.store {
+                for (k, v) in store.read_namespace(&format!("{ns}/data/{sn}")) {
+                    area.insert(k, v);
+                }
+            }
+        }
+        let outcome =
+            self.registry
+                .call_with_store(id, &mut self.ledger, &mut area, method, arg);
+        if let Ok((_, true)) = &outcome {
+            if let Some((store, ns)) = &self.store {
+                for (k, v) in &area {
+                    store.put(&format!("{ns}/data/{sn}"), k, v.clone());
+                }
+            }
+        }
+        self.data_areas.insert(sn, area);
+        outcome.map(|(v, _)| v)
+    }
+
+    /// Read access to the service registry.
+    pub fn registry(&self) -> &ServiceRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the service registry (used by the vosgi layer to
+    /// register manager services and share host services).
+    pub fn registry_mut(&mut self) -> &mut ServiceRegistry {
+        &mut self.registry
+    }
+
+    // ------------------------------------------------------------------
+    // Bundle data areas (persistent storage)
+    // ------------------------------------------------------------------
+
+    /// Writes to a bundle's persistent storage area (write-through to the
+    /// SAN if attached), charging the bytes to the bundle's disk account.
+    pub fn bundle_store_put(&mut self, bundle: BundleId, key: &str, value: Value) {
+        let Some(sn) = self
+            .bundles
+            .get(&bundle)
+            .map(|b| b.manifest.symbolic_name.as_str().to_owned())
+        else {
+            return;
+        };
+        self.ledger
+            .charge_disk(bundle, value.encoded_len() as u64);
+        if let Some((store, ns)) = &self.store {
+            store.put(&format!("{ns}/data/{sn}"), key, value.clone());
+        }
+        self.data_areas
+            .entry(sn)
+            .or_default()
+            .insert(key.to_owned(), value);
+    }
+
+    /// Reads from a bundle's persistent storage area (falling back to the
+    /// SAN, which is how state written before a migration is found again on
+    /// the destination node).
+    pub fn bundle_store_get(&self, bundle: BundleId, key: &str) -> Option<Value> {
+        let sn = self
+            .bundles
+            .get(&bundle)
+            .map(|b| b.manifest.symbolic_name.as_str().to_owned())?;
+        if let Some(v) = self.data_areas.get(&sn).and_then(|m| m.get(key)) {
+            return Some(v.clone());
+        }
+        if let Some((store, ns)) = &self.store {
+            return store.get(&format!("{ns}/data/{sn}"), key);
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// A bundle's current state.
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::NotFound`] for unknown ids.
+    pub fn bundle_state(&self, id: BundleId) -> Result<BundleState, BundleError> {
+        self.bundles
+            .get(&id)
+            .map(|b| b.state)
+            .ok_or(BundleError::NotFound(id))
+    }
+
+    /// Looks up a bundle by id.
+    pub fn bundle(&self, id: BundleId) -> Option<&Bundle> {
+        self.bundles.get(&id)
+    }
+
+    /// Iterates over installed bundles in id order.
+    pub fn bundles(&self) -> impl Iterator<Item = &Bundle> {
+        self.bundles.values()
+    }
+
+    /// Finds a bundle by symbolic name (any version; lowest id wins).
+    pub fn find_bundle(&self, symbolic_name: &str) -> Option<BundleId> {
+        self.bundles
+            .values()
+            .find(|b| b.manifest.symbolic_name.as_str() == symbolic_name)
+            .map(|b| b.id)
+    }
+
+    /// The wiring of a resolved bundle.
+    pub fn wiring(&self, id: BundleId) -> Option<&Wiring> {
+        self.wirings.get(&id)
+    }
+
+    /// The resource-usage ledger.
+    pub fn ledger(&self) -> &UsageLedger {
+        &self.ledger
+    }
+
+    /// Mutable access to the ledger (activation-time accounting).
+    pub fn ledger_mut(&mut self) -> &mut UsageLedger {
+        &mut self.ledger
+    }
+
+    /// Drains queued bundle events.
+    pub fn take_bundle_events(&mut self) -> Vec<BundleEvent> {
+        std::mem::take(&mut self.bundle_events)
+    }
+
+    /// Drains queued framework events.
+    pub fn take_framework_events(&mut self) -> Vec<FrameworkEvent> {
+        std::mem::take(&mut self.framework_events)
+    }
+
+    /// Drains queued service events.
+    pub fn take_service_events(&mut self) -> Vec<ServiceEvent> {
+        self.registry.take_events()
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence
+    // ------------------------------------------------------------------
+
+    /// Writes a snapshot of the framework state to the attached store, if
+    /// any. Called automatically after every lifecycle mutation.
+    pub fn persist(&mut self) {
+        if let Some((store, ns)) = &self.store {
+            let snapshot = persist::snapshot(
+                self.next_bundle,
+                self.config.start_level,
+                self.bundles.values(),
+            );
+            store.put(ns, "snapshot", snapshot);
+        }
+    }
+
+    /// The encoded size of the persisted snapshot in bytes (0 when no store
+    /// is attached) — the state a migration must move.
+    pub fn snapshot_bytes(&self) -> u64 {
+        match &self.store {
+            Some((store, ns)) => store
+                .get(ns, "snapshot")
+                .map(|v| v.encoded_len() as u64)
+                .unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Reconstructs a framework from the snapshot stored under
+    /// `namespace`, reinstalling every bundle (activators re-created via
+    /// `factory`) and restarting the ones that were persistently started.
+    ///
+    /// This is the paper's migration/redeployment path: the OSGi spec makes
+    /// framework state persistent, the SAN makes it visible cluster-wide, so
+    /// any node can re-materialize the instance.
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::CorruptState`] when no snapshot exists or it fails to
+    /// parse.
+    pub fn restore(
+        config: FrameworkConfig,
+        store: SharedStore,
+        namespace: &str,
+        factory: &ActivatorFactory,
+    ) -> Result<Framework, BundleError> {
+        let snapshot = store
+            .get(namespace, "snapshot")
+            .ok_or_else(|| BundleError::CorruptState(format!("no snapshot in {namespace}")))?;
+        let parsed = persist::parse_snapshot(&snapshot).map_err(BundleError::CorruptState)?;
+        let mut fw = Framework::with_config(config);
+        fw.config.start_level = parsed.start_level;
+        for record in &parsed.bundles {
+            let activator = factory.create(&record.manifest);
+            fw.bundles.insert(
+                record.id,
+                Bundle {
+                    id: record.id,
+                    manifest: record.manifest.clone(),
+                    state: BundleState::Installed,
+                    autostart: record.autostart,
+                    activator,
+                },
+            );
+            fw.event(record.id, BundleEventKind::Installed);
+        }
+        fw.next_bundle = parsed.next_bundle;
+        // Attach the store before restarting anything: activators read
+        // their persisted data areas during start.
+        fw.store = Some((store, namespace.to_owned()));
+        fw.resolve_all();
+        // Restart persistently-started bundles within the start level, in
+        // (start level, id) order.
+        let mut to_start: Vec<(u32, BundleId)> = parsed
+            .bundles
+            .iter()
+            .filter(|r| r.autostart && r.manifest.start_level <= parsed.start_level)
+            .map(|r| (r.manifest.start_level, r.id))
+            .collect();
+        to_start.sort();
+        for (_, id) in to_start {
+            if let Err(e) = fw.start(id) {
+                fw.framework_events.push(FrameworkEvent::Error {
+                    bundle: Some(id),
+                    message: e.to_string(),
+                });
+            }
+        }
+        fw.persist();
+        Ok(fw)
+    }
+
+    fn event(&mut self, bundle: BundleId, kind: BundleEventKind) {
+        self.bundle_events.push(BundleEvent { bundle, kind });
+    }
+
+    fn set_state(&mut self, id: BundleId, state: BundleState) {
+        if let Some(b) = self.bundles.get_mut(&id) {
+            b.state = state;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnActivator, ManifestBuilder, Version, VersionRange};
+    use dosgi_san::SharedStore;
+
+    fn log_manifest() -> BundleManifest {
+        ManifestBuilder::new("org.test.log", Version::new(1, 0, 0))
+            .export_package("org.test.log.api", Version::new(1, 0, 0), ["Logger"])
+            .build()
+            .unwrap()
+    }
+
+    fn app_manifest() -> BundleManifest {
+        ManifestBuilder::new("org.test.app", Version::new(1, 0, 0))
+            .import_package("org.test.log.api", "[1.0,2.0)".parse().unwrap())
+            .private_package("org.test.app.impl", ["Main"])
+            .start_level(2)
+            .build()
+            .unwrap()
+    }
+
+    fn log_activator() -> Box<dyn Activator> {
+        Box::new(FnActivator::on_start(|ctx| {
+            let mut props = BTreeMap::new();
+            props.insert("service.ranking".to_owned(), PropValue::Int(5));
+            ctx.register_service(
+                &["org.test.log.Logger"],
+                props,
+                Box::new(|_: &mut crate::CallContext<'_>, method: &str, arg: &Value| {
+                    match method {
+                        "log" => Ok(arg.clone()),
+                        other => Err(ServiceError::Failed(format!("no {other}"))),
+                    }
+                }),
+            );
+            Ok(())
+        }))
+    }
+
+    #[test]
+    fn install_assigns_ids_and_rejects_duplicates() {
+        let mut fw = Framework::new("t");
+        let a = fw.install(log_manifest(), None).unwrap();
+        assert_eq!(a, BundleId(1));
+        assert!(matches!(
+            fw.install(log_manifest(), None),
+            Err(BundleError::DuplicateBundle { existing }) if existing == a
+        ));
+        // Same name, different version is fine.
+        let m2 = ManifestBuilder::new("org.test.log", Version::new(2, 0, 0))
+            .build()
+            .unwrap();
+        assert_eq!(fw.install(m2, None).unwrap(), BundleId(2));
+    }
+
+    #[test]
+    fn start_resolves_and_runs_activator() {
+        let mut fw = Framework::new("t");
+        let log = fw.install(log_manifest(), Some(log_activator())).unwrap();
+        let app = fw.install(app_manifest(), None).unwrap();
+        fw.start(log).unwrap();
+        fw.start(app).unwrap();
+        assert!(fw.bundle_state(log).unwrap().is_active());
+        assert!(fw.bundle_state(app).unwrap().is_active());
+        // The activator registered the logger service.
+        let sid = fw.best_service("org.test.log.Logger").unwrap();
+        let out = fw.call_service(sid, "log", &Value::from("hi")).unwrap();
+        assert_eq!(out, Value::from("hi"));
+        // Starting an active bundle is a no-op.
+        fw.start(log).unwrap();
+    }
+
+    #[test]
+    fn start_fails_cleanly_on_unresolvable_imports() {
+        let mut fw = Framework::new("t");
+        let app = fw.install(app_manifest(), None).unwrap();
+        let err = fw.start(app).unwrap_err();
+        assert!(matches!(err, BundleError::ResolutionFailed { bundle, .. } if bundle == app));
+        assert_eq!(fw.bundle_state(app).unwrap(), BundleState::Installed);
+    }
+
+    #[test]
+    fn failing_activator_rolls_back_and_sweeps_services() {
+        let mut fw = Framework::new("t");
+        let m = ManifestBuilder::new("org.test.bad", Version::new(1, 0, 0))
+            .build()
+            .unwrap();
+        let id = fw
+            .install(
+                m,
+                Some(Box::new(FnActivator::on_start(|ctx| {
+                    // Register, then fail: the registration must be swept.
+                    ctx.register_service(
+                        &["ghost"],
+                        BTreeMap::new(),
+                        Box::new(|_: &mut crate::CallContext<'_>, _: &str, _: &Value| {
+                            Ok(Value::Null)
+                        }),
+                    );
+                    Err("deliberate".to_owned())
+                }))),
+            )
+            .unwrap();
+        let err = fw.start(id).unwrap_err();
+        assert!(matches!(err, BundleError::ActivatorFailed { .. }));
+        assert_eq!(fw.bundle_state(id).unwrap(), BundleState::Resolved);
+        assert!(fw.best_service("ghost").is_none());
+        let events = fw.take_framework_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, FrameworkEvent::Error { bundle: Some(b), .. } if *b == id)));
+    }
+
+    #[test]
+    fn stop_unregisters_services_and_clears_autostart() {
+        let mut fw = Framework::new("t");
+        let log = fw.install(log_manifest(), Some(log_activator())).unwrap();
+        fw.start(log).unwrap();
+        assert!(fw.bundle(log).unwrap().autostart);
+        fw.stop(log).unwrap();
+        assert_eq!(fw.bundle_state(log).unwrap(), BundleState::Resolved);
+        assert!(!fw.bundle(log).unwrap().autostart);
+        assert!(fw.best_service("org.test.log.Logger").is_none());
+        // Stop of non-active bundle is a no-op.
+        fw.stop(log).unwrap();
+    }
+
+    #[test]
+    fn uninstall_removes_bundle_and_dependents_lose_resolution() {
+        let mut fw = Framework::new("t");
+        let log = fw.install(log_manifest(), Some(log_activator())).unwrap();
+        let app = fw.install(app_manifest(), None).unwrap();
+        fw.start(log).unwrap();
+        fw.start(app).unwrap();
+        fw.uninstall(log).unwrap();
+        assert!(matches!(
+            fw.bundle_state(log),
+            Err(BundleError::NotFound(_))
+        ));
+        // Refresh demotes the dependent.
+        fw.refresh();
+        assert_eq!(fw.bundle_state(app).unwrap(), BundleState::Installed);
+    }
+
+    #[test]
+    fn update_replaces_manifest_and_restarts() {
+        let mut fw = Framework::new("t");
+        let log = fw.install(log_manifest(), Some(log_activator())).unwrap();
+        fw.start(log).unwrap();
+        let v2 = ManifestBuilder::new("org.test.log", Version::new(1, 1, 0))
+            .export_package("org.test.log.api", Version::new(1, 1, 0), ["Logger", "Appender"])
+            .build()
+            .unwrap();
+        fw.update(log, v2).unwrap();
+        assert!(fw.bundle_state(log).unwrap().is_active());
+        assert_eq!(fw.bundle(log).unwrap().manifest.version, Version::new(1, 1, 0));
+        let kinds: Vec<BundleEventKind> =
+            fw.take_bundle_events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&BundleEventKind::Updated));
+        // Service re-registered by the restarted activator.
+        assert!(fw.best_service("org.test.log.Logger").is_some());
+    }
+
+    #[test]
+    fn class_loading_follows_delegation_order() {
+        let mut fw = Framework::new("t");
+        let log = fw.install(log_manifest(), None).unwrap();
+        let app = fw.install(app_manifest(), None).unwrap();
+        fw.resolve_all();
+
+        // Boot delegation.
+        let sym = SymbolName::parse("std.collections.HashMap").unwrap();
+        let r = fw.load_class(app, &sym).unwrap();
+        assert_eq!(r.via, LoadPath::Boot);
+        assert_eq!(r.defined_by, None);
+
+        // Imported package resolves in the exporter.
+        let sym = SymbolName::parse("org.test.log.api.Logger").unwrap();
+        let r = fw.load_class(app, &sym).unwrap();
+        assert_eq!(r.via, LoadPath::Import);
+        assert_eq!(r.defined_by, Some(log));
+
+        // Own private content.
+        let sym = SymbolName::parse("org.test.app.impl.Main").unwrap();
+        let r = fw.load_class(app, &sym).unwrap();
+        assert_eq!(r.via, LoadPath::Own);
+        assert_eq!(r.defined_by, Some(app));
+
+        // Wired package without the symbol: NoSuchSymbol, no fallback.
+        let sym = SymbolName::parse("org.test.log.api.Missing").unwrap();
+        assert!(matches!(
+            fw.load_class(app, &sym),
+            Err(LoadError::NoSuchSymbol { .. })
+        ));
+
+        // Unknown package.
+        let sym = SymbolName::parse("com.nowhere.X").unwrap();
+        assert!(matches!(fw.load_class(app, &sym), Err(LoadError::NotFound(_))));
+
+        // Private content of another bundle is NOT visible.
+        let sym = SymbolName::parse("org.test.app.impl.Main").unwrap();
+        assert!(matches!(fw.load_class(log, &sym), Err(LoadError::NotFound(_))));
+    }
+
+    #[test]
+    fn start_levels_sweep_up_and_down() {
+        let mut fw = Framework::new("t");
+        let log = fw.install(log_manifest(), Some(log_activator())).unwrap(); // level 1
+        let app = fw.install(app_manifest(), None).unwrap(); // level 2
+        fw.start(log).unwrap();
+        fw.start(app).unwrap();
+        // Sweep down to level 1: app stops (transiently), log stays.
+        fw.set_start_level(1);
+        assert_eq!(fw.bundle_state(app).unwrap(), BundleState::Resolved);
+        assert!(fw.bundle(app).unwrap().autostart, "transient stop keeps autostart");
+        assert!(fw.bundle_state(log).unwrap().is_active());
+        // Sweep back up: app restarts.
+        fw.set_start_level(2);
+        assert!(fw.bundle_state(app).unwrap().is_active());
+        assert_eq!(fw.start_level(), 2);
+    }
+
+    #[test]
+    fn shutdown_then_restore_recreates_active_set() {
+        let store = SharedStore::new();
+        let mut factory = ActivatorFactory::new();
+        factory.register("org.test.log", |_| log_activator());
+
+        let mut fw = Framework::new("node-a");
+        fw.attach_store(store.clone(), "fw/a");
+        let log = fw.install(log_manifest(), Some(log_activator())).unwrap();
+        let app = fw.install(app_manifest(), None).unwrap();
+        fw.set_start_level(2);
+        fw.start(log).unwrap();
+        fw.start(app).unwrap();
+        fw.shutdown();
+        assert_eq!(fw.bundle_state(log).unwrap(), BundleState::Resolved);
+        drop(fw);
+
+        // "Another node" restores from the SAN.
+        let fw2 = Framework::restore(
+            FrameworkConfig::new("node-b"),
+            store,
+            "fw/a",
+            &factory,
+        )
+        .unwrap();
+        assert_eq!(fw2.start_level(), 2);
+        assert!(fw2.bundle_state(log).unwrap().is_active());
+        assert!(fw2.bundle_state(app).unwrap().is_active());
+        // The activator was re-created and re-registered its service.
+        assert!(fw2.best_service("org.test.log.Logger").is_some());
+        // Ids preserved.
+        assert_eq!(fw2.find_bundle("org.test.app"), Some(app));
+    }
+
+    #[test]
+    fn restore_fails_on_missing_snapshot() {
+        let err = Framework::restore(
+            FrameworkConfig::new("x"),
+            SharedStore::new(),
+            "nope",
+            &ActivatorFactory::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, BundleError::CorruptState(_)));
+    }
+
+    #[test]
+    fn data_area_survives_restore_via_san() {
+        let store = SharedStore::new();
+        let mut fw = Framework::new("a");
+        fw.attach_store(store.clone(), "fw/a");
+        let log = fw.install(log_manifest(), None).unwrap();
+        fw.bundle_store_put(log, "counter", Value::Int(41));
+        drop(fw);
+
+        let fw2 = Framework::restore(
+            FrameworkConfig::new("b"),
+            store,
+            "fw/a",
+            &ActivatorFactory::new(),
+        )
+        .unwrap();
+        let log2 = fw2.find_bundle("org.test.log").unwrap();
+        assert_eq!(fw2.bundle_store_get(log2, "counter"), Some(Value::Int(41)));
+        assert_eq!(fw2.bundle_store_get(log2, "missing"), None);
+    }
+
+    #[test]
+    fn ledger_tracks_service_calls() {
+        let mut fw = Framework::new("t");
+        let log = fw.install(log_manifest(), Some(log_activator())).unwrap();
+        fw.start(log).unwrap();
+        let sid = fw.best_service("org.test.log.Logger").unwrap();
+        for _ in 0..5 {
+            fw.call_service(sid, "log", &Value::Null).unwrap();
+        }
+        assert_eq!(fw.ledger().snapshot(log).calls, 5);
+    }
+
+    #[test]
+    fn snapshot_bytes_reports_persisted_size() {
+        let store = SharedStore::new();
+        let mut fw = Framework::new("a");
+        assert_eq!(fw.snapshot_bytes(), 0);
+        fw.attach_store(store, "fw/a");
+        fw.install(log_manifest(), None).unwrap();
+        assert!(fw.snapshot_bytes() > 0);
+    }
+
+    #[test]
+    fn events_flow_for_full_lifecycle() {
+        let mut fw = Framework::new("t");
+        let log = fw.install(log_manifest(), Some(log_activator())).unwrap();
+        fw.start(log).unwrap();
+        fw.stop(log).unwrap();
+        fw.uninstall(log).unwrap();
+        let kinds: Vec<BundleEventKind> =
+            fw.take_bundle_events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                BundleEventKind::Installed,
+                BundleEventKind::Resolved,
+                BundleEventKind::Started,
+                BundleEventKind::Stopped,
+                BundleEventKind::Uninstalled,
+            ]
+        );
+        let service_kinds: Vec<crate::ServiceEventKind> =
+            fw.take_service_events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            service_kinds,
+            vec![
+                crate::ServiceEventKind::Registered,
+                crate::ServiceEventKind::Unregistering
+            ]
+        );
+    }
+
+    #[test]
+    fn optional_import_wires_when_available() {
+        let mut fw = Framework::new("t");
+        let m = ManifestBuilder::new("opt.app", Version::new(1, 0, 0))
+            .import_package_optional("org.test.log.api", VersionRange::ANY)
+            .build()
+            .unwrap();
+        let app = fw.install(m, None).unwrap();
+        fw.resolve_all();
+        assert_eq!(fw.bundle_state(app).unwrap(), BundleState::Resolved);
+        assert!(fw.wiring(app).unwrap().imports.is_empty());
+        // Install the exporter, refresh: the optional import now wires.
+        let log = fw.install(log_manifest(), None).unwrap();
+        fw.refresh();
+        assert_eq!(
+            fw.wiring(app)
+                .unwrap()
+                .exporter_of(&crate::PackageName::new("org.test.log.api").unwrap()),
+            Some(log)
+        );
+    }
+}

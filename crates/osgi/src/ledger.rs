@@ -1,0 +1,149 @@
+//! Per-bundle resource usage accounting.
+//!
+//! §3.1 of the paper laments that the JVM offers no per-customer resource
+//! accounting (only whole-platform `MemoryMXBean`, rough per-thread CPU via
+//! `ThreadMXBean`) and looks forward to JSR-284, the Resource Consumption
+//! API. The simulation does not have that limitation: every service call
+//! charges its CPU, memory and disk demand to the owning bundle's
+//! [`UsageLedger`], and the `dosgi-monitor` crate aggregates ledgers into
+//! per-instance resource domains.
+
+use crate::BundleId;
+use dosgi_net::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A point-in-time reading of one bundle's accumulated usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UsageSnapshot {
+    /// Total CPU time consumed.
+    pub cpu: SimDuration,
+    /// Memory currently held, in bytes.
+    pub memory: u64,
+    /// Total bytes written to persistent storage.
+    pub disk: u64,
+    /// Number of service calls served.
+    pub calls: u64,
+}
+
+/// Accumulated resource usage per bundle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UsageLedger {
+    entries: BTreeMap<BundleId, UsageSnapshot>,
+}
+
+impl UsageLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entry(&mut self, bundle: BundleId) -> &mut UsageSnapshot {
+        self.entries.entry(bundle).or_default()
+    }
+
+    /// Adds CPU time to a bundle's account.
+    pub fn charge_cpu(&mut self, bundle: BundleId, d: SimDuration) {
+        self.entry(bundle).cpu += d;
+    }
+
+    /// Adds held memory to a bundle's account.
+    pub fn alloc(&mut self, bundle: BundleId, bytes: u64) {
+        self.entry(bundle).memory += bytes;
+    }
+
+    /// Releases held memory (saturating: freeing more than held clamps to
+    /// zero rather than corrupting the account).
+    pub fn free(&mut self, bundle: BundleId, bytes: u64) {
+        let e = self.entry(bundle);
+        e.memory = e.memory.saturating_sub(bytes);
+    }
+
+    /// Adds persistent-storage writes to a bundle's account.
+    pub fn charge_disk(&mut self, bundle: BundleId, bytes: u64) {
+        self.entry(bundle).disk += bytes;
+    }
+
+    /// Increments the bundle's served-call counter.
+    pub fn count_call(&mut self, bundle: BundleId) {
+        self.entry(bundle).calls += 1;
+    }
+
+    /// The bundle's current snapshot (zeroes if never charged).
+    pub fn snapshot(&self, bundle: BundleId) -> UsageSnapshot {
+        self.entries.get(&bundle).copied().unwrap_or_default()
+    }
+
+    /// Sum over all bundles — the "whole JVM" view that is all a stock JVM
+    /// would give the paper's authors.
+    pub fn total(&self) -> UsageSnapshot {
+        let mut acc = UsageSnapshot::default();
+        for s in self.entries.values() {
+            acc.cpu += s.cpu;
+            acc.memory += s.memory;
+            acc.disk += s.disk;
+            acc.calls += s.calls;
+        }
+        acc
+    }
+
+    /// Iterates over `(bundle, snapshot)` pairs in bundle order.
+    pub fn iter(&self) -> impl Iterator<Item = (BundleId, UsageSnapshot)> + '_ {
+        self.entries.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Drops a bundle's account (on uninstall).
+    pub fn forget(&mut self, bundle: BundleId) {
+        self.entries.remove(&bundle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_bundle() {
+        let mut l = UsageLedger::new();
+        l.charge_cpu(BundleId(1), SimDuration::from_micros(10));
+        l.charge_cpu(BundleId(1), SimDuration::from_micros(5));
+        l.charge_cpu(BundleId(2), SimDuration::from_micros(3));
+        l.count_call(BundleId(1));
+        assert_eq!(l.snapshot(BundleId(1)).cpu, SimDuration::from_micros(15));
+        assert_eq!(l.snapshot(BundleId(1)).calls, 1);
+        assert_eq!(l.snapshot(BundleId(2)).cpu, SimDuration::from_micros(3));
+        assert_eq!(l.snapshot(BundleId(9)), UsageSnapshot::default());
+    }
+
+    #[test]
+    fn memory_is_a_gauge_not_a_counter() {
+        let mut l = UsageLedger::new();
+        l.alloc(BundleId(1), 100);
+        l.alloc(BundleId(1), 50);
+        l.free(BundleId(1), 30);
+        assert_eq!(l.snapshot(BundleId(1)).memory, 120);
+        // Over-free clamps.
+        l.free(BundleId(1), 1_000_000);
+        assert_eq!(l.snapshot(BundleId(1)).memory, 0);
+    }
+
+    #[test]
+    fn total_aggregates_all_bundles() {
+        let mut l = UsageLedger::new();
+        l.alloc(BundleId(1), 100);
+        l.alloc(BundleId(2), 200);
+        l.charge_disk(BundleId(2), 77);
+        let t = l.total();
+        assert_eq!(t.memory, 300);
+        assert_eq!(t.disk, 77);
+    }
+
+    #[test]
+    fn forget_removes_account() {
+        let mut l = UsageLedger::new();
+        l.alloc(BundleId(1), 100);
+        l.forget(BundleId(1));
+        assert_eq!(l.total().memory, 0);
+        assert_eq!(l.iter().count(), 0);
+    }
+}

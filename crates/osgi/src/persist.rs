@@ -1,0 +1,153 @@
+//! Serialization of framework state to SAN values.
+//!
+//! The OSGi specification (quoted in §3.2 of the paper) requires that
+//! *"the framework state shall be persistent across framework reboots.
+//! Here state means the information associated with the life-cycle of the
+//! bundles in the framework, namely which ones are installed and its
+//! running state."* That is exactly what a snapshot captures.
+
+use crate::framework::Bundle;
+use crate::{BundleId, BundleManifest, BundleState};
+use dosgi_san::Value;
+
+/// One bundle's persisted record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BundleRecord {
+    /// The bundle's id (preserved across restore).
+    pub id: BundleId,
+    /// The manifest.
+    pub manifest: BundleManifest,
+    /// The persisted lifecycle state (`ACTIVE` collapses transient states).
+    pub state: BundleState,
+    /// Whether the bundle is persistently started.
+    pub autostart: bool,
+}
+
+/// A parsed framework snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Next bundle id to allocate.
+    pub next_bundle: u64,
+    /// Active start level at persist time.
+    pub start_level: u32,
+    /// All installed bundles.
+    pub bundles: Vec<BundleRecord>,
+}
+
+/// Serializes framework state into a [`Value`].
+pub fn snapshot<'a>(
+    next_bundle: u64,
+    start_level: u32,
+    bundles: impl Iterator<Item = &'a Bundle>,
+) -> Value {
+    Value::map()
+        .with("next_bundle", next_bundle)
+        .with("start_level", i64::from(start_level))
+        .with(
+            "bundles",
+            Value::List(
+                bundles
+                    .map(|b| {
+                        Value::map()
+                            .with("id", b.id.0)
+                            .with("manifest", b.manifest.to_value())
+                            .with("state", b.state.as_str())
+                            .with("autostart", b.autostart)
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Parses a snapshot produced by [`snapshot`].
+///
+/// # Errors
+///
+/// Returns a description of the first missing or malformed field.
+pub fn parse_snapshot(v: &Value) -> Result<Snapshot, String> {
+    let next_bundle = v
+        .get("next_bundle")
+        .and_then(Value::as_int)
+        .ok_or("snapshot missing next_bundle")? as u64;
+    let start_level = v
+        .get("start_level")
+        .and_then(Value::as_int)
+        .ok_or("snapshot missing start_level")?
+        .try_into()
+        .map_err(|_| "negative start_level")?;
+    let bundles = v
+        .get("bundles")
+        .and_then(Value::as_list)
+        .ok_or("snapshot missing bundles")?
+        .iter()
+        .map(|b| {
+            let id = b
+                .get("id")
+                .and_then(Value::as_int)
+                .ok_or("bundle record missing id")? as u64;
+            let manifest = BundleManifest::from_value(
+                b.get("manifest").ok_or("bundle record missing manifest")?,
+            )?;
+            let state = BundleState::parse(
+                b.get("state")
+                    .and_then(Value::as_str)
+                    .ok_or("bundle record missing state")?,
+            )?;
+            Ok::<BundleRecord, String>(BundleRecord {
+                id: BundleId(id),
+                manifest,
+                state,
+                autostart: b.get("autostart").and_then(Value::as_bool).unwrap_or(false),
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Snapshot {
+        next_bundle,
+        start_level,
+        bundles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Framework, ManifestBuilder, Version};
+
+    #[test]
+    fn snapshot_round_trip_through_framework() {
+        let mut fw = Framework::new("t");
+        let m = ManifestBuilder::new("a.b", Version::new(1, 0, 0))
+            .export_package("a.b.api", Version::new(1, 0, 0), ["X"])
+            .build()
+            .unwrap();
+        let id = fw.install(m.clone(), None).unwrap();
+        fw.start(id).unwrap();
+        let v = snapshot(2, 1, fw.bundles());
+        let parsed = parse_snapshot(&v).unwrap();
+        assert_eq!(parsed.next_bundle, 2);
+        assert_eq!(parsed.start_level, 1);
+        assert_eq!(parsed.bundles.len(), 1);
+        assert_eq!(parsed.bundles[0].id, id);
+        assert_eq!(parsed.bundles[0].manifest, m);
+        assert_eq!(parsed.bundles[0].state, BundleState::Active);
+        assert!(parsed.bundles[0].autostart);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_snapshots() {
+        assert!(parse_snapshot(&Value::Null).is_err());
+        assert!(parse_snapshot(&Value::map().with("next_bundle", 1u64)).is_err());
+        let bad_bundle = Value::map()
+            .with("next_bundle", 1u64)
+            .with("start_level", 1i64)
+            .with("bundles", Value::List(vec![Value::map().with("id", 1u64)]));
+        assert!(parse_snapshot(&bad_bundle).is_err());
+    }
+
+    #[test]
+    fn binary_codec_round_trip() {
+        let v = snapshot(7, 3, std::iter::empty());
+        let decoded = Value::decode(&v.encode()).unwrap();
+        assert_eq!(parse_snapshot(&decoded).unwrap().next_bundle, 7);
+    }
+}

@@ -1,0 +1,160 @@
+//! Service property values.
+
+use dosgi_san::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A value in a service's property dictionary.
+///
+/// Mirrors the property types OSGi filters operate on. Ordered comparisons
+/// (`>=`, `<=`) are defined for numeric values; strings compare
+/// lexicographically, as in the OSGi filter specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PropValue {
+    /// A string.
+    Str(String),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A list of strings (multi-valued property; a filter equality matches
+    /// if *any* element matches).
+    List(Vec<String>),
+}
+
+impl PropValue {
+    /// Renders the value the way a filter literal would be written.
+    pub fn literal(&self) -> String {
+        match self {
+            PropValue::Str(s) => s.clone(),
+            PropValue::Int(i) => i.to_string(),
+            PropValue::Float(f) => f.to_string(),
+            PropValue::Bool(b) => b.to_string(),
+            PropValue::List(l) => l.join(","),
+        }
+    }
+
+    /// Converts to a SAN [`Value`] for persistence.
+    pub fn to_value(&self) -> Value {
+        match self {
+            PropValue::Str(s) => Value::map().with("t", "s").with("v", s.as_str()),
+            PropValue::Int(i) => Value::map().with("t", "i").with("v", *i),
+            PropValue::Float(f) => Value::map().with("t", "f").with("v", *f),
+            PropValue::Bool(b) => Value::map().with("t", "b").with("v", *b),
+            PropValue::List(l) => Value::map().with("t", "l").with(
+                "v",
+                Value::List(l.iter().map(|s| Value::from(s.as_str())).collect()),
+            ),
+        }
+    }
+
+    /// Reads back a value produced by [`to_value`](Self::to_value).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the tree is not a valid encoding.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let t = v
+            .get("t")
+            .and_then(Value::as_str)
+            .ok_or("missing prop tag")?;
+        let val = v.get("v").ok_or("missing prop value")?;
+        match t {
+            "s" => Ok(PropValue::Str(
+                val.as_str().ok_or("bad str prop")?.to_owned(),
+            )),
+            "i" => Ok(PropValue::Int(val.as_int().ok_or("bad int prop")?)),
+            "f" => Ok(PropValue::Float(val.as_float().ok_or("bad float prop")?)),
+            "b" => Ok(PropValue::Bool(val.as_bool().ok_or("bad bool prop")?)),
+            "l" => {
+                let items = val.as_list().ok_or("bad list prop")?;
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(item.as_str().ok_or("bad list element")?.to_owned());
+                }
+                Ok(PropValue::List(out))
+            }
+            other => Err(format!("unknown prop tag {other:?}")),
+        }
+    }
+}
+
+impl fmt::Display for PropValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.literal())
+    }
+}
+
+impl From<&str> for PropValue {
+    fn from(v: &str) -> Self {
+        PropValue::Str(v.to_owned())
+    }
+}
+impl From<String> for PropValue {
+    fn from(v: String) -> Self {
+        PropValue::Str(v)
+    }
+}
+impl From<i64> for PropValue {
+    fn from(v: i64) -> Self {
+        PropValue::Int(v)
+    }
+}
+impl From<i32> for PropValue {
+    fn from(v: i32) -> Self {
+        PropValue::Int(v as i64)
+    }
+}
+impl From<f64> for PropValue {
+    fn from(v: f64) -> Self {
+        PropValue::Float(v)
+    }
+}
+impl From<bool> for PropValue {
+    fn from(v: bool) -> Self {
+        PropValue::Bool(v)
+    }
+}
+impl From<Vec<String>> for PropValue {
+    fn from(v: Vec<String>) -> Self {
+        PropValue::List(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals() {
+        assert_eq!(PropValue::from("x").literal(), "x");
+        assert_eq!(PropValue::from(3i64).literal(), "3");
+        assert_eq!(PropValue::from(true).literal(), "true");
+        assert_eq!(
+            PropValue::List(vec!["a".into(), "b".into()]).literal(),
+            "a,b"
+        );
+    }
+
+    #[test]
+    fn value_round_trip() {
+        for p in [
+            PropValue::from("hello"),
+            PropValue::from(-7i64),
+            PropValue::from(2.5f64),
+            PropValue::from(false),
+            PropValue::List(vec!["x".into(), "y".into()]),
+        ] {
+            assert_eq!(PropValue::from_value(&p.to_value()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn from_value_rejects_garbage() {
+        assert!(PropValue::from_value(&Value::Int(3)).is_err());
+        assert!(PropValue::from_value(&Value::map().with("t", "z").with("v", 1i64)).is_err());
+        assert!(PropValue::from_value(&Value::map().with("t", "i").with("v", "nope")).is_err());
+    }
+}

@@ -1,0 +1,408 @@
+//! The service registry.
+
+use crate::{
+    BundleId, CallContext, Filter, PropValue, Service, ServiceError, ServiceEvent,
+    ServiceEventKind, ServiceId, UsageLedger,
+};
+use dosgi_san::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A registered service: metadata plus the (type-erased) implementation.
+pub struct ServiceRecord {
+    /// The service's id.
+    pub id: ServiceId,
+    /// The bundle that registered it.
+    pub owner: BundleId,
+    /// The interface names it is registered under.
+    pub interfaces: Vec<String>,
+    /// Its property dictionary (includes the auto-set `objectClass`,
+    /// `service.id` and `service.ranking` keys, as in OSGi).
+    pub properties: BTreeMap<String, PropValue>,
+    /// Its ranking; higher wins ties in [`ServiceRegistry::best`].
+    pub ranking: i64,
+    implementation: Box<dyn Service>,
+}
+
+impl fmt::Debug for ServiceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceRecord")
+            .field("id", &self.id)
+            .field("owner", &self.owner)
+            .field("interfaces", &self.interfaces)
+            .field("ranking", &self.ranking)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The framework's service registry.
+///
+/// Services are registered under one or more interface names with a property
+/// dictionary; consumers look them up by interface, optionally narrowed by
+/// an LDAP-style [`Filter`], and receive references ordered by ranking
+/// (descending) then id (ascending) — the OSGi tie-break.
+#[derive(Debug, Default)]
+pub struct ServiceRegistry {
+    services: BTreeMap<ServiceId, ServiceRecord>,
+    next_id: u64,
+    events: Vec<ServiceEvent>,
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `implementation` under `interfaces` on behalf of `owner`.
+    ///
+    /// The keys `objectClass`, `service.id` and `service.ranking` are set
+    /// automatically (`service.ranking` is read from `properties` if present,
+    /// defaulting to 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interfaces` is empty — a service must be registered under
+    /// at least one name.
+    pub fn register(
+        &mut self,
+        owner: BundleId,
+        interfaces: &[&str],
+        mut properties: BTreeMap<String, PropValue>,
+        implementation: Box<dyn Service>,
+    ) -> ServiceId {
+        assert!(
+            !interfaces.is_empty(),
+            "a service must offer at least one interface"
+        );
+        let id = ServiceId(self.next_id);
+        self.next_id += 1;
+        let ranking = match properties.get("service.ranking") {
+            Some(PropValue::Int(r)) => *r,
+            _ => 0,
+        };
+        let interfaces: Vec<String> = interfaces.iter().map(|s| (*s).to_owned()).collect();
+        properties.insert(
+            "objectClass".to_owned(),
+            PropValue::List(interfaces.clone()),
+        );
+        properties.insert("service.id".to_owned(), PropValue::Int(id.0 as i64));
+        properties.insert("service.ranking".to_owned(), PropValue::Int(ranking));
+        self.services.insert(
+            id,
+            ServiceRecord {
+                id,
+                owner,
+                interfaces: interfaces.clone(),
+                properties,
+                ranking,
+                implementation,
+            },
+        );
+        self.events.push(ServiceEvent {
+            service: id,
+            interfaces,
+            kind: ServiceEventKind::Registered,
+        });
+        id
+    }
+
+    /// Removes a registration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Gone`] if the id is unknown.
+    pub fn unregister(&mut self, id: ServiceId) -> Result<(), ServiceError> {
+        match self.services.remove(&id) {
+            Some(rec) => {
+                self.events.push(ServiceEvent {
+                    service: id,
+                    interfaces: rec.interfaces,
+                    kind: ServiceEventKind::Unregistering,
+                });
+                Ok(())
+            }
+            None => Err(ServiceError::Gone(id)),
+        }
+    }
+
+    /// Removes every service registered by `owner` (called when a bundle
+    /// stops), returning the ids removed.
+    pub fn unregister_bundle(&mut self, owner: BundleId) -> Vec<ServiceId> {
+        let ids: Vec<ServiceId> = self
+            .services
+            .values()
+            .filter(|r| r.owner == owner)
+            .map(|r| r.id)
+            .collect();
+        for id in &ids {
+            let _ = self.unregister(*id);
+        }
+        ids
+    }
+
+    /// Replaces a service's properties (preserving the auto-set keys) and
+    /// emits a `Modified` event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Gone`] if the id is unknown.
+    pub fn set_properties(
+        &mut self,
+        id: ServiceId,
+        mut properties: BTreeMap<String, PropValue>,
+    ) -> Result<(), ServiceError> {
+        let rec = self.services.get_mut(&id).ok_or(ServiceError::Gone(id))?;
+        let ranking = match properties.get("service.ranking") {
+            Some(PropValue::Int(r)) => *r,
+            _ => rec.ranking,
+        };
+        properties.insert(
+            "objectClass".to_owned(),
+            PropValue::List(rec.interfaces.clone()),
+        );
+        properties.insert("service.id".to_owned(), PropValue::Int(id.0 as i64));
+        properties.insert("service.ranking".to_owned(), PropValue::Int(ranking));
+        rec.ranking = ranking;
+        rec.properties = properties;
+        self.events.push(ServiceEvent {
+            service: id,
+            interfaces: rec.interfaces.clone(),
+            kind: ServiceEventKind::Modified,
+        });
+        Ok(())
+    }
+
+    /// References matching `interface` (if given) and `filter` (if given),
+    /// ordered by ranking descending then id ascending.
+    pub fn references(
+        &self,
+        interface: Option<&str>,
+        filter: Option<&Filter>,
+    ) -> Vec<&ServiceRecord> {
+        let mut out: Vec<&ServiceRecord> = self
+            .services
+            .values()
+            .filter(|r| interface.is_none_or(|i| r.interfaces.iter().any(|x| x == i)))
+            .filter(|r| filter.is_none_or(|f| f.matches(&r.properties)))
+            .collect();
+        out.sort_by(|a, b| b.ranking.cmp(&a.ranking).then(a.id.cmp(&b.id)));
+        out
+    }
+
+    /// The best (highest-ranked, then lowest-id) service offering
+    /// `interface`.
+    pub fn best(&self, interface: &str) -> Option<ServiceId> {
+        self.references(Some(interface), None)
+            .first()
+            .map(|r| r.id)
+    }
+
+    /// Looks up a record by id.
+    pub fn record(&self, id: ServiceId) -> Option<&ServiceRecord> {
+        self.services.get(&id)
+    }
+
+    /// Invokes `method` on service `id`, charging resource use to the
+    /// owning bundle's account in `ledger`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Gone`] for unknown ids, plus whatever the
+    /// implementation returns.
+    pub fn call(
+        &mut self,
+        id: ServiceId,
+        ledger: &mut UsageLedger,
+        method: &str,
+        arg: &Value,
+    ) -> Result<Value, ServiceError> {
+        let rec = self.services.get_mut(&id).ok_or(ServiceError::Gone(id))?;
+        ledger.count_call(rec.owner);
+        let mut ctx = CallContext::new(rec.owner, ledger);
+        rec.implementation.call(&mut ctx, method, arg)
+    }
+
+    /// Like [`call`](Self::call), but with the owning bundle's persistent
+    /// storage area attached to the context. Returns the result and whether
+    /// the call dirtied the area (the framework then flushes it to the
+    /// SAN).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`call`](Self::call).
+    pub fn call_with_store(
+        &mut self,
+        id: ServiceId,
+        ledger: &mut UsageLedger,
+        data: &mut std::collections::BTreeMap<String, Value>,
+        method: &str,
+        arg: &Value,
+    ) -> Result<(Value, bool), ServiceError> {
+        let rec = self.services.get_mut(&id).ok_or(ServiceError::Gone(id))?;
+        ledger.count_call(rec.owner);
+        let mut ctx = CallContext::with_store(rec.owner, ledger, data);
+        let result = rec.implementation.call(&mut ctx, method, arg);
+        let dirty = ctx.is_dirty();
+        result.map(|v| (v, dirty))
+    }
+
+    /// The bundle that registered service `id`.
+    pub fn owner_of(&self, id: ServiceId) -> Option<BundleId> {
+        self.services.get(&id).map(|r| r.owner)
+    }
+
+    /// Number of live registrations.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// True if no services are registered.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    /// Drains accumulated registry events.
+    pub fn take_events(&mut self) -> Vec<ServiceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosgi_net::SimDuration;
+
+    fn echo_service() -> Box<dyn Service> {
+        Box::new(
+            |ctx: &mut CallContext<'_>, method: &str, arg: &Value| match method {
+                "echo" => {
+                    ctx.charge_cpu(SimDuration::from_micros(10));
+                    Ok(arg.clone())
+                }
+                other => Err(ServiceError::MethodNotFound {
+                    service: ServiceId(0),
+                    method: other.to_owned(),
+                }),
+            },
+        )
+    }
+
+    fn props(ranking: i64) -> BTreeMap<String, PropValue> {
+        let mut p = BTreeMap::new();
+        p.insert("service.ranking".to_owned(), PropValue::Int(ranking));
+        p
+    }
+
+    #[test]
+    fn register_sets_standard_properties() {
+        let mut r = ServiceRegistry::new();
+        let id = r.register(BundleId(1), &["log.Service"], BTreeMap::new(), echo_service());
+        let rec = r.record(id).unwrap();
+        assert_eq!(
+            rec.properties.get("objectClass"),
+            Some(&PropValue::List(vec!["log.Service".into()]))
+        );
+        assert_eq!(rec.properties.get("service.id"), Some(&PropValue::Int(0)));
+        assert_eq!(rec.ranking, 0);
+    }
+
+    #[test]
+    fn ranking_orders_references() {
+        let mut r = ServiceRegistry::new();
+        let low = r.register(BundleId(1), &["svc"], props(1), echo_service());
+        let high = r.register(BundleId(1), &["svc"], props(9), echo_service());
+        let mid = r.register(BundleId(2), &["svc"], props(5), echo_service());
+        let refs = r.references(Some("svc"), None);
+        assert_eq!(
+            refs.iter().map(|x| x.id).collect::<Vec<_>>(),
+            vec![high, mid, low]
+        );
+        assert_eq!(r.best("svc"), Some(high));
+    }
+
+    #[test]
+    fn equal_ranking_breaks_ties_by_lowest_id() {
+        let mut r = ServiceRegistry::new();
+        let first = r.register(BundleId(1), &["svc"], props(5), echo_service());
+        let _second = r.register(BundleId(1), &["svc"], props(5), echo_service());
+        assert_eq!(r.best("svc"), Some(first));
+    }
+
+    #[test]
+    fn filter_narrows_lookup() {
+        let mut r = ServiceRegistry::new();
+        let mut p = BTreeMap::new();
+        p.insert("vendor".to_owned(), PropValue::from("acme"));
+        let acme = r.register(BundleId(1), &["svc"], p, echo_service());
+        let _plain = r.register(BundleId(1), &["svc"], BTreeMap::new(), echo_service());
+        let f: Filter = "(vendor=acme)".parse().unwrap();
+        let refs = r.references(Some("svc"), Some(&f));
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].id, acme);
+        // Filter on objectClass works because registration injects it.
+        let f: Filter = "(objectClass=svc)".parse().unwrap();
+        assert_eq!(r.references(None, Some(&f)).len(), 2);
+    }
+
+    #[test]
+    fn call_dispatches_and_charges_owner() {
+        let mut r = ServiceRegistry::new();
+        let mut ledger = UsageLedger::new();
+        let id = r.register(BundleId(7), &["svc"], BTreeMap::new(), echo_service());
+        let out = r.call(id, &mut ledger, "echo", &Value::Int(3)).unwrap();
+        assert_eq!(out, Value::Int(3));
+        let snap = ledger.snapshot(BundleId(7));
+        assert_eq!(snap.calls, 1);
+        assert_eq!(snap.cpu, SimDuration::from_micros(10));
+        assert!(matches!(
+            r.call(ServiceId(99), &mut ledger, "echo", &Value::Null),
+            Err(ServiceError::Gone(_))
+        ));
+    }
+
+    #[test]
+    fn unregister_and_events() {
+        let mut r = ServiceRegistry::new();
+        let id = r.register(BundleId(1), &["svc"], BTreeMap::new(), echo_service());
+        r.unregister(id).unwrap();
+        assert!(r.is_empty());
+        assert!(matches!(r.unregister(id), Err(ServiceError::Gone(_))));
+        let events = r.take_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, ServiceEventKind::Registered);
+        assert_eq!(events[1].kind, ServiceEventKind::Unregistering);
+        assert!(r.take_events().is_empty());
+    }
+
+    #[test]
+    fn unregister_bundle_sweeps_all_of_its_services() {
+        let mut r = ServiceRegistry::new();
+        let a = r.register(BundleId(1), &["x"], BTreeMap::new(), echo_service());
+        let _b = r.register(BundleId(2), &["x"], BTreeMap::new(), echo_service());
+        let c = r.register(BundleId(1), &["y"], BTreeMap::new(), echo_service());
+        let removed = r.unregister_bundle(BundleId(1));
+        assert_eq!(removed, vec![a, c]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn set_properties_updates_ranking_and_emits_modified() {
+        let mut r = ServiceRegistry::new();
+        let id = r.register(BundleId(1), &["svc"], BTreeMap::new(), echo_service());
+        r.set_properties(id, props(42)).unwrap();
+        assert_eq!(r.record(id).unwrap().ranking, 42);
+        let kinds: Vec<ServiceEventKind> = r.take_events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![ServiceEventKind::Registered, ServiceEventKind::Modified]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one interface")]
+    fn register_requires_an_interface() {
+        let mut r = ServiceRegistry::new();
+        let _ = r.register(BundleId(1), &[], BTreeMap::new(), echo_service());
+    }
+}

@@ -1,0 +1,137 @@
+//! Actions a policy can request.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A concrete action the embedding (the node's Autonomic Module) should
+/// execute. §3.3: *"stopping a given virtual instance, giving it lower
+/// priority … or swap it, if possible, to a suitable node"*, plus the
+/// consolidation/power actions from §4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyAction {
+    /// Move the instance to another node (destination chosen by the
+    /// Migration Module's placement logic).
+    Migrate {
+        /// The instance to move.
+        subject: String,
+    },
+    /// Stop the instance (hard SLA enforcement).
+    Stop {
+        /// The instance to stop.
+        subject: String,
+    },
+    /// Reduce the instance's scheduling priority / CPU share.
+    Throttle {
+        /// The instance to deprioritize.
+        subject: String,
+    },
+    /// Restart the instance.
+    Restart {
+        /// The instance to restart.
+        subject: String,
+    },
+    /// Raise an operator alert.
+    Alert {
+        /// The subject the alert concerns, if per-subject.
+        subject: Option<String>,
+        /// The alert text.
+        message: String,
+    },
+    /// Consolidate: this node should hand off its instances and power down
+    /// (the paper's green-computing side effect).
+    HibernateNode,
+    /// Bring a hibernated node back.
+    WakeNode,
+    /// An action the engine does not recognize; forwarded verbatim so
+    /// embeddings can extend the vocabulary.
+    Custom {
+        /// The action name from the script.
+        name: String,
+        /// The subject, if the rule was per-subject.
+        subject: Option<String>,
+        /// Stringified arguments.
+        args: Vec<String>,
+    },
+}
+
+impl fmt::Display for PolicyAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyAction::Migrate { subject } => write!(f, "migrate({subject})"),
+            PolicyAction::Stop { subject } => write!(f, "stop({subject})"),
+            PolicyAction::Throttle { subject } => write!(f, "throttle({subject})"),
+            PolicyAction::Restart { subject } => write!(f, "restart({subject})"),
+            PolicyAction::Alert { subject, message } => match subject {
+                Some(s) => write!(f, "alert({s}, {message:?})"),
+                None => write!(f, "alert({message:?})"),
+            },
+            PolicyAction::HibernateNode => write!(f, "hibernate()"),
+            PolicyAction::WakeNode => write!(f, "wake()"),
+            PolicyAction::Custom { name, subject, args } => {
+                write!(f, "{name}(")?;
+                if let Some(s) = subject {
+                    write!(f, "{s}")?;
+                    if !args.is_empty() {
+                        write!(f, ", ")?;
+                    }
+                }
+                write!(f, "{})", args.join(", "))
+            }
+        }
+    }
+}
+
+/// One firing of one rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyDecision {
+    /// The rule that fired.
+    pub rule: String,
+    /// The subject the rule fired for (`None` for global rules).
+    pub subject: Option<String>,
+    /// The requested action.
+    pub action: PolicyAction,
+}
+
+impl fmt::Display for PolicyDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.subject {
+            Some(s) => write!(f, "[{}/{}] {}", self.rule, s, self.action),
+            None => write!(f, "[{}] {}", self.rule, self.action),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let d = PolicyDecision {
+            rule: "hot".into(),
+            subject: Some("acme".into()),
+            action: PolicyAction::Migrate {
+                subject: "acme".into(),
+            },
+        };
+        assert_eq!(d.to_string(), "[hot/acme] migrate(acme)");
+        assert_eq!(PolicyAction::HibernateNode.to_string(), "hibernate()");
+        assert_eq!(
+            PolicyAction::Alert {
+                subject: None,
+                message: "x".into()
+            }
+            .to_string(),
+            "alert(\"x\")"
+        );
+        assert_eq!(
+            PolicyAction::Custom {
+                name: "boost".into(),
+                subject: Some("a".into()),
+                args: vec!["2".into()]
+            }
+            .to_string(),
+            "boost(a, 2)"
+        );
+    }
+}

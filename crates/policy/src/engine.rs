@@ -1,0 +1,344 @@
+//! The rule engine: compiled script + sustained-condition tracking.
+
+use crate::ast::{ActionCall, Expr, Script};
+use crate::eval::{eval, MetricSource, Value};
+use crate::parser::{parse, ParseError};
+use crate::{PolicyAction, PolicyDecision};
+use std::collections::BTreeMap;
+
+/// A compiled policy script plus its evaluation state.
+///
+/// The engine is *stateless with respect to the system* (Serpentine's
+/// design): all system knowledge arrives through the blackboard each
+/// evaluation; the only internal state is the consecutive-hit counters that
+/// implement `for N` debouncing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyEngine {
+    script: Script,
+    // (rule, subject-or-"") → consecutive true evaluations.
+    streaks: BTreeMap<(String, String), u32>,
+    // Evaluation errors from the last pass (missing metrics etc.).
+    errors: Vec<String>,
+}
+
+impl PolicyEngine {
+    /// Compiles a policy script.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed scripts.
+    pub fn compile(source: &str) -> Result<Self, ParseError> {
+        Ok(PolicyEngine {
+            script: parse(source)?,
+            streaks: BTreeMap::new(),
+            errors: Vec::new(),
+        })
+    }
+
+    /// Builds an engine from an already-parsed script.
+    pub fn from_script(script: Script) -> Self {
+        PolicyEngine {
+            script,
+            streaks: BTreeMap::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// The compiled script.
+    pub fn script(&self) -> &Script {
+        &self.script
+    }
+
+    /// Evaluates every rule once: per-subject rules against each of
+    /// `subjects`, global rules once. Returns the actions of rules whose
+    /// conditions have held for their `for N` requirement.
+    ///
+    /// Rules whose conditions fail to evaluate (e.g. a metric missing for a
+    /// just-created instance) are treated as *false* and recorded in
+    /// [`last_errors`](Self::last_errors) — a policy must never crash the
+    /// platform it governs.
+    pub fn evaluate(
+        &mut self,
+        source: &dyn MetricSource,
+        subjects: &[String],
+    ) -> Vec<PolicyDecision> {
+        self.errors.clear();
+        let mut decisions = Vec::new();
+        let rules = self.script.rules.clone();
+        for rule in &rules {
+            let per_subject = rule_uses_subject(rule);
+            let bindings: Vec<Option<&str>> = if per_subject {
+                subjects.iter().map(|s| Some(s.as_str())).collect()
+            } else {
+                vec![None]
+            };
+            for subject in bindings {
+                let key = (
+                    rule.name.clone(),
+                    subject.unwrap_or("").to_owned(),
+                );
+                let holds = match eval(&rule.condition, source, subject) {
+                    Ok(Value::Bool(b)) => b,
+                    Ok(other) => {
+                        self.errors.push(format!(
+                            "rule {}: condition evaluated to {other}, not bool",
+                            rule.name
+                        ));
+                        false
+                    }
+                    Err(e) => {
+                        self.errors.push(format!("rule {}: {e}", rule.name));
+                        false
+                    }
+                };
+                let streak = self.streaks.entry(key).or_insert(0);
+                if holds {
+                    *streak += 1;
+                } else {
+                    *streak = 0;
+                }
+                if holds && *streak >= rule.sustain {
+                    // Re-arm: a sustained rule fires once per sustained
+                    // window, not on every subsequent evaluation.
+                    *streak = 0;
+                    for call in &rule.actions {
+                        match resolve_action(call, source, subject) {
+                            Ok(action) => decisions.push(PolicyDecision {
+                                rule: rule.name.clone(),
+                                subject: subject.map(str::to_owned),
+                                action,
+                            }),
+                            Err(e) => self.errors.push(format!("rule {}: {e}", rule.name)),
+                        }
+                    }
+                }
+            }
+        }
+        decisions
+    }
+
+    /// Evaluation problems from the most recent [`evaluate`](Self::evaluate)
+    /// pass.
+    pub fn last_errors(&self) -> &[String] {
+        &self.errors
+    }
+
+    /// Resets all sustained-condition counters (e.g. after reconfiguring).
+    pub fn reset(&mut self) {
+        self.streaks.clear();
+    }
+}
+
+fn rule_uses_subject(rule: &crate::ast::Rule) -> bool {
+    fn expr_uses(e: &Expr) -> bool {
+        match e {
+            Expr::Subject => true,
+            Expr::Call { args, .. } => args.iter().any(expr_uses),
+            Expr::Neg(x) | Expr::Not(x) => expr_uses(x),
+            Expr::Binary { lhs, rhs, .. } => expr_uses(lhs) || expr_uses(rhs),
+            _ => false,
+        }
+    }
+    expr_uses(&rule.condition) || rule.actions.iter().any(|a| a.args.iter().any(expr_uses))
+}
+
+fn resolve_action(
+    call: &ActionCall,
+    source: &dyn MetricSource,
+    subject: Option<&str>,
+) -> Result<PolicyAction, String> {
+    let arg_subject = |idx: usize| -> Result<String, String> {
+        match call.args.get(idx) {
+            None => subject
+                .map(str::to_owned)
+                .ok_or_else(|| format!("{} needs a subject", call.name)),
+            Some(e) => match eval(e, source, subject).map_err(|e| e.to_string())? {
+                Value::Str(s) => Ok(s),
+                other => Err(format!("{} subject must be a string, got {other}", call.name)),
+            },
+        }
+    };
+    match call.name.as_str() {
+        "migrate" => Ok(PolicyAction::Migrate {
+            subject: arg_subject(0)?,
+        }),
+        "stop" => Ok(PolicyAction::Stop {
+            subject: arg_subject(0)?,
+        }),
+        "throttle" => Ok(PolicyAction::Throttle {
+            subject: arg_subject(0)?,
+        }),
+        "restart" => Ok(PolicyAction::Restart {
+            subject: arg_subject(0)?,
+        }),
+        "alert" => {
+            let message = match call.args.first() {
+                Some(e) => match eval(e, source, subject).map_err(|e| e.to_string())? {
+                    Value::Str(s) => s,
+                    other => other.to_string(),
+                },
+                None => "policy alert".to_owned(),
+            };
+            Ok(PolicyAction::Alert {
+                subject: subject.map(str::to_owned),
+                message,
+            })
+        }
+        "hibernate" => Ok(PolicyAction::HibernateNode),
+        "wake" => Ok(PolicyAction::WakeNode),
+        other => {
+            let mut args = Vec::new();
+            for e in &call.args {
+                args.push(eval(e, source, subject).map_err(|e| e.to_string())?.to_string());
+            }
+            Ok(PolicyAction::Custom {
+                name: other.to_owned(),
+                subject: subject.map(str::to_owned),
+                args,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Blackboard;
+
+    fn subjects(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn per_subject_rule_fires_for_each_matching_subject() {
+        let mut e = PolicyEngine::compile(
+            "rule hot { when cpu($i) > 0.5 then migrate($i) }",
+        )
+        .unwrap();
+        let mut bb = Blackboard::new();
+        bb.set_subject_metric("a", "cpu", 0.9);
+        bb.set_subject_metric("b", "cpu", 0.1);
+        bb.set_subject_metric("c", "cpu", 0.7);
+        let d = e.evaluate(&bb, &subjects(&["a", "b", "c"]));
+        assert_eq!(d.len(), 2);
+        assert_eq!(
+            d[0].action,
+            PolicyAction::Migrate { subject: "a".into() }
+        );
+        assert_eq!(
+            d[1].action,
+            PolicyAction::Migrate { subject: "c".into() }
+        );
+        assert!(e.last_errors().is_empty());
+    }
+
+    #[test]
+    fn sustain_debounces_and_rearms() {
+        let mut e = PolicyEngine::compile(
+            "rule hot { when cpu($i) > 0.5 for 3 then stop($i) }",
+        )
+        .unwrap();
+        let mut bb = Blackboard::new();
+        bb.set_subject_metric("a", "cpu", 0.9);
+        let s = subjects(&["a"]);
+        assert!(e.evaluate(&bb, &s).is_empty(), "1st hit");
+        assert!(e.evaluate(&bb, &s).is_empty(), "2nd hit");
+        assert_eq!(e.evaluate(&bb, &s).len(), 1, "3rd hit fires");
+        // Counter re-armed: two more quiet evaluations before next firing.
+        assert!(e.evaluate(&bb, &s).is_empty());
+        assert!(e.evaluate(&bb, &s).is_empty());
+        assert_eq!(e.evaluate(&bb, &s).len(), 1);
+        // A dip resets the streak.
+        bb.set_subject_metric("a", "cpu", 0.1);
+        assert!(e.evaluate(&bb, &s).is_empty());
+        bb.set_subject_metric("a", "cpu", 0.9);
+        assert!(e.evaluate(&bb, &s).is_empty());
+        assert!(e.evaluate(&bb, &s).is_empty());
+        assert_eq!(e.evaluate(&bb, &s).len(), 1);
+    }
+
+    #[test]
+    fn global_rules_evaluate_once() {
+        let mut e = PolicyEngine::compile(
+            "rule idle { when node_cpu() < 0.2 then hibernate() }",
+        )
+        .unwrap();
+        let mut bb = Blackboard::new();
+        bb.set_global_metric("node_cpu", 0.1);
+        let d = e.evaluate(&bb, &subjects(&["a", "b", "c"]));
+        assert_eq!(d.len(), 1, "not once per subject");
+        assert_eq!(d[0].action, PolicyAction::HibernateNode);
+        assert_eq!(d[0].subject, None);
+    }
+
+    #[test]
+    fn missing_metrics_are_false_not_fatal() {
+        let mut e = PolicyEngine::compile(
+            "rule hot { when cpu($i) > 0.5 then stop($i) }",
+        )
+        .unwrap();
+        let bb = Blackboard::new();
+        let d = e.evaluate(&bb, &subjects(&["ghost"]));
+        assert!(d.is_empty());
+        assert_eq!(e.last_errors().len(), 1);
+        assert!(e.last_errors()[0].contains("unknown metric"));
+    }
+
+    #[test]
+    fn multiple_actions_fire_in_order() {
+        let mut e = PolicyEngine::compile(
+            r#"rule bad { when memory($i) > 100 then stop($i); alert("oom") }"#,
+        )
+        .unwrap();
+        let mut bb = Blackboard::new();
+        bb.set_subject_metric("a", "memory", 200.0);
+        let d = e.evaluate(&bb, &subjects(&["a"]));
+        assert_eq!(d.len(), 2);
+        assert!(matches!(d[0].action, PolicyAction::Stop { .. }));
+        assert!(matches!(
+            &d[1].action,
+            PolicyAction::Alert { message, .. } if message == "oom"
+        ));
+    }
+
+    #[test]
+    fn custom_actions_are_forwarded() {
+        let mut e = PolicyEngine::compile(
+            "rule x { when true then boost($i, 2) }",
+        )
+        .unwrap();
+        let bb = Blackboard::new();
+        let d = e.evaluate(&bb, &subjects(&["a"]));
+        assert_eq!(
+            d[0].action,
+            PolicyAction::Custom {
+                name: "boost".into(),
+                subject: Some("a".into()),
+                args: vec!["a".into(), "2".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn non_bool_condition_is_an_error_not_a_panic() {
+        let mut e = PolicyEngine::compile("rule x { when 1 + 1 then stop(\"a\") }").unwrap();
+        let bb = Blackboard::new();
+        assert!(e.evaluate(&bb, &[]).is_empty());
+        assert!(e.last_errors()[0].contains("not bool"));
+    }
+
+    #[test]
+    fn reset_clears_streaks() {
+        let mut e = PolicyEngine::compile(
+            "rule hot { when cpu($i) > 0.5 for 2 then stop($i) }",
+        )
+        .unwrap();
+        let mut bb = Blackboard::new();
+        bb.set_subject_metric("a", "cpu", 0.9);
+        let s = subjects(&["a"]);
+        assert!(e.evaluate(&bb, &s).is_empty());
+        e.reset();
+        assert!(e.evaluate(&bb, &s).is_empty(), "streak restarted");
+        assert_eq!(e.evaluate(&bb, &s).len(), 1);
+    }
+}

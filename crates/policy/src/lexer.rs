@@ -1,0 +1,339 @@
+//! Tokenizer for the policy-script language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `rule`, `when`, `then`, `for`, `and`, `or`, `not`, `true`, `false`
+    /// or an identifier.
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A double-quoted string literal.
+    Str(String),
+    /// `$i` — the subject variable.
+    Subject,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Subject => write!(f, "$i"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Gt => write!(f, ">"),
+            Token::Lt => write!(f, "<"),
+            Token::Ge => write!(f, ">="),
+            Token::Le => write!(f, "<="),
+            Token::EqEq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+        }
+    }
+}
+
+/// A tokenization failure with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a script. `#` starts a comment running to end of line.
+pub fn lex(input: &str) -> Result<Vec<(usize, Token)>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => pos += 1,
+            b'#' => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'{' => {
+                tokens.push((pos, Token::LBrace));
+                pos += 1;
+            }
+            b'}' => {
+                tokens.push((pos, Token::RBrace));
+                pos += 1;
+            }
+            b'(' => {
+                tokens.push((pos, Token::LParen));
+                pos += 1;
+            }
+            b')' => {
+                tokens.push((pos, Token::RParen));
+                pos += 1;
+            }
+            b',' => {
+                tokens.push((pos, Token::Comma));
+                pos += 1;
+            }
+            b';' => {
+                tokens.push((pos, Token::Semi));
+                pos += 1;
+            }
+            b'+' => {
+                tokens.push((pos, Token::Plus));
+                pos += 1;
+            }
+            b'-' => {
+                tokens.push((pos, Token::Minus));
+                pos += 1;
+            }
+            b'*' => {
+                tokens.push((pos, Token::Star));
+                pos += 1;
+            }
+            b'/' => {
+                tokens.push((pos, Token::Slash));
+                pos += 1;
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push((pos, Token::Ge));
+                    pos += 2;
+                } else {
+                    tokens.push((pos, Token::Gt));
+                    pos += 1;
+                }
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push((pos, Token::Le));
+                    pos += 2;
+                } else {
+                    tokens.push((pos, Token::Lt));
+                    pos += 1;
+                }
+            }
+            b'=' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push((pos, Token::EqEq));
+                    pos += 2;
+                } else {
+                    return Err(LexError {
+                        at: pos,
+                        message: "single '=' (use '==')".into(),
+                    });
+                }
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push((pos, Token::Ne));
+                    pos += 2;
+                } else {
+                    return Err(LexError {
+                        at: pos,
+                        message: "single '!' (use 'not' or '!=')".into(),
+                    });
+                }
+            }
+            b'$' => {
+                if bytes.get(pos + 1) == Some(&b'i') {
+                    tokens.push((pos, Token::Subject));
+                    pos += 2;
+                } else {
+                    return Err(LexError {
+                        at: pos,
+                        message: "only $i is a valid variable".into(),
+                    });
+                }
+            }
+            b'"' => {
+                let start = pos + 1;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'"' {
+                    end += 1;
+                }
+                if end == bytes.len() {
+                    return Err(LexError {
+                        at: pos,
+                        message: "unterminated string".into(),
+                    });
+                }
+                let s = std::str::from_utf8(&bytes[start..end]).map_err(|_| LexError {
+                    at: start,
+                    message: "string not UTF-8".into(),
+                })?;
+                tokens.push((pos, Token::Str(s.to_owned())));
+                pos = end + 1;
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_digit() || bytes[pos] == b'.')
+                {
+                    pos += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..pos]).expect("ascii");
+                let n: f64 = text.parse().map_err(|_| LexError {
+                    at: start,
+                    message: format!("bad number {text:?}"),
+                })?;
+                tokens.push((start, Token::Number(n)));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..pos]).expect("ascii");
+                tokens.push((start, Token::Ident(text.to_owned())));
+            }
+            other => {
+                return Err(LexError {
+                    at: pos,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        lex(input).unwrap().into_iter().map(|(_, t)| t).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("rule x { when a($i) >= 1.5 then stop($i) }"),
+            vec![
+                Token::Ident("rule".into()),
+                Token::Ident("x".into()),
+                Token::LBrace,
+                Token::Ident("when".into()),
+                Token::Ident("a".into()),
+                Token::LParen,
+                Token::Subject,
+                Token::RParen,
+                Token::Ge,
+                Token::Number(1.5),
+                Token::Ident("then".into()),
+                Token::Ident("stop".into()),
+                Token::LParen,
+                Token::Subject,
+                Token::RParen,
+                Token::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_comments() {
+        assert_eq!(
+            toks("a > b # comment\n c < d == e != f <= g"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Gt,
+                Token::Ident("b".into()),
+                Token::Ident("c".into()),
+                Token::Lt,
+                Token::Ident("d".into()),
+                Token::EqEq,
+                Token::Ident("e".into()),
+                Token::Ne,
+                Token::Ident("f".into()),
+                Token::Le,
+                Token::Ident("g".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_numbers() {
+        assert_eq!(
+            toks(r#"alert("too hot", 2.5)"#),
+            vec![
+                Token::Ident("alert".into()),
+                Token::LParen,
+                Token::Str("too hot".into()),
+                Token::Comma,
+                Token::Number(2.5),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert_eq!(lex("a = b").unwrap_err().at, 2);
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("$x").is_err());
+        assert!(lex("café").is_err()); // non-ascii identifier
+        assert!(lex("1.2.3").is_err());
+        assert!(lex("!x").is_err());
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(Token::Ge.to_string(), ">=");
+        assert_eq!(Token::Subject.to_string(), "$i");
+        assert_eq!(Token::Str("x".into()).to_string(), "\"x\"");
+    }
+}

@@ -1,0 +1,283 @@
+//! Compact binary encoding for [`Value`] trees.
+//!
+//! The format is a simple tag-length-value scheme with varint lengths:
+//!
+//! ```text
+//! 0x00            Null
+//! 0x01 / 0x02     Bool false / true
+//! 0x03 <zigzag>   Int
+//! 0x04 <8 bytes>  Float (little-endian IEEE-754)
+//! 0x05 <len> ..   Str (UTF-8)
+//! 0x06 <len> ..   Bytes
+//! 0x07 <count> .. List
+//! 0x08 <count> (<keylen> key <value>)*   Map
+//! ```
+//!
+//! The codec exists so the experiment harness can report *bytes written to
+//! the SAN* for framework snapshots and bundle state — real state-transfer
+//! cost, not a hand-wave.
+
+use crate::Value;
+use std::collections::BTreeMap;
+
+const T_NULL: u8 = 0x00;
+const T_FALSE: u8 = 0x01;
+const T_TRUE: u8 = 0x02;
+const T_INT: u8 = 0x03;
+const T_FLOAT: u8 = 0x04;
+const T_STR: u8 = 0x05;
+const T_BYTES: u8 = 0x06;
+const T_LIST: u8 = 0x07;
+const T_MAP: u8 = 0x08;
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes.get(*pos).ok_or("truncated varint")?;
+        *pos += 1;
+        v |= u64::from(b & 0x7f)
+            .checked_shl(shift)
+            .ok_or("varint overflow")?;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err("varint too long".to_owned());
+        }
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encodes `value` into its binary representation.
+pub fn encode(value: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_value(&mut out, value);
+    out
+}
+
+fn write_value(out: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Null => out.push(T_NULL),
+        Value::Bool(false) => out.push(T_FALSE),
+        Value::Bool(true) => out.push(T_TRUE),
+        Value::Int(i) => {
+            out.push(T_INT);
+            put_varint(out, zigzag(*i));
+        }
+        Value::Float(f) => {
+            out.push(T_FLOAT);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(T_STR);
+            put_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(T_BYTES);
+            put_varint(out, b.len() as u64);
+            out.extend_from_slice(b);
+        }
+        Value::List(l) => {
+            out.push(T_LIST);
+            put_varint(out, l.len() as u64);
+            for v in l {
+                write_value(out, v);
+            }
+        }
+        Value::Map(m) => {
+            out.push(T_MAP);
+            put_varint(out, m.len() as u64);
+            for (k, v) in m {
+                put_varint(out, k.len() as u64);
+                out.extend_from_slice(k.as_bytes());
+                write_value(out, v);
+            }
+        }
+    }
+}
+
+/// Decodes a value; the entire input must be consumed.
+///
+/// # Errors
+///
+/// Returns a description of the malformation (truncation, bad tag, invalid
+/// UTF-8, trailing garbage).
+pub fn decode(bytes: &[u8]) -> Result<Value, String> {
+    let mut pos = 0;
+    let v = read_value(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn read_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let tag = *bytes.get(*pos).ok_or("truncated value")?;
+    *pos += 1;
+    match tag {
+        T_NULL => Ok(Value::Null),
+        T_FALSE => Ok(Value::Bool(false)),
+        T_TRUE => Ok(Value::Bool(true)),
+        T_INT => Ok(Value::Int(unzigzag(get_varint(bytes, pos)?))),
+        T_FLOAT => {
+            let end = *pos + 8;
+            let slice = bytes.get(*pos..end).ok_or("truncated float")?;
+            *pos = end;
+            Ok(Value::Float(f64::from_le_bytes(
+                slice.try_into().expect("8 bytes"),
+            )))
+        }
+        T_STR => {
+            let s = read_slice(bytes, pos)?;
+            Ok(Value::Str(
+                String::from_utf8(s.to_vec()).map_err(|e| e.to_string())?,
+            ))
+        }
+        T_BYTES => Ok(Value::Bytes(read_slice(bytes, pos)?.to_vec())),
+        T_LIST => {
+            let n = get_varint(bytes, pos)? as usize;
+            let mut l = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                l.push(read_value(bytes, pos)?);
+            }
+            Ok(Value::List(l))
+        }
+        T_MAP => {
+            let n = get_varint(bytes, pos)? as usize;
+            let mut m = BTreeMap::new();
+            for _ in 0..n {
+                let k = read_slice(bytes, pos)?;
+                let k = String::from_utf8(k.to_vec()).map_err(|e| e.to_string())?;
+                let v = read_value(bytes, pos)?;
+                m.insert(k, v);
+            }
+            Ok(Value::Map(m))
+        }
+        other => Err(format!("unknown tag 0x{other:02x}")),
+    }
+}
+
+fn read_slice<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], String> {
+    let len = get_varint(bytes, pos)? as usize;
+    let end = pos.checked_add(len).ok_or("length overflow")?;
+    let slice = bytes.get(*pos..end).ok_or("truncated payload")?;
+    *pos = end;
+    Ok(slice)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(-1),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Float(3.25),
+            Value::Str("hello".into()),
+            Value::Str(String::new()),
+            Value::Bytes(vec![0, 255, 128]),
+        ] {
+            assert_eq!(decode(&encode(&v)).unwrap(), v, "value {v:?}");
+        }
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        let v = Value::map()
+            .with("bundles", Value::List(vec![
+                Value::map().with("name", "logsvc").with("state", "ACTIVE"),
+                Value::map().with("name", "http").with("state", "RESOLVED"),
+            ]))
+            .with("start_level", 5i64);
+        assert_eq!(decode(&encode(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for i in [0u64, 127, 128, 16383, 16384, u64::MAX] {
+            let mut out = Vec::new();
+            put_varint(&mut out, i);
+            let mut pos = 0;
+            assert_eq!(get_varint(&out, &mut pos).unwrap(), i);
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for i in [0i64, 1, -1, i64::MAX, i64::MIN, 42, -42] {
+            assert_eq!(unzigzag(zigzag(i)), i);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[0xff]).is_err());
+        assert!(decode(&[T_STR, 5, b'a']).is_err()); // truncated string
+        assert!(decode(&[T_FLOAT, 1, 2]).is_err()); // truncated float
+        assert!(decode(&[T_NULL, T_NULL]).is_err()); // trailing garbage
+        assert!(decode(&[T_STR, 1, 0xff]).is_err()); // invalid UTF-8
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            // Avoid NaN, which breaks PartialEq round-trip comparison.
+            any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+            "[a-z]{0,12}".prop_map(Value::Str),
+            proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+        ];
+        leaf.prop_recursive(3, 64, 8, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..8).prop_map(Value::List),
+                proptest::collection::btree_map("[a-z]{1,8}", inner, 0..8).prop_map(Value::Map),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(v in arb_value()) {
+            let encoded = encode(&v);
+            prop_assert_eq!(decode(&encoded).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Store errors.
+
+use std::fmt;
+
+/// Errors returned by conditional [`SharedStore`](crate::SharedStore)
+/// operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A compare-and-swap found a different version than expected.
+    CasConflict {
+        /// The version the caller expected.
+        expected: u64,
+        /// The version actually present (0 if the key was absent).
+        found: u64,
+    },
+    /// The key does not exist.
+    NotFound {
+        /// The namespace queried.
+        namespace: String,
+        /// The missing key.
+        key: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::CasConflict { expected, found } => {
+                write!(f, "cas conflict: expected version {expected}, found {found}")
+            }
+            StoreError::NotFound { namespace, key } => {
+                write!(f, "key not found: {namespace}/{key}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = StoreError::CasConflict {
+            expected: 1,
+            found: 2,
+        };
+        assert_eq!(e.to_string(), "cas conflict: expected version 1, found 2");
+        let e = StoreError::NotFound {
+            namespace: "a".into(),
+            key: "b".into(),
+        };
+        assert_eq!(e.to_string(), "key not found: a/b");
+    }
+}

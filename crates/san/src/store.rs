@@ -1,0 +1,343 @@
+//! The cluster-wide shared object store.
+
+use crate::{StoreError, Value};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// A stored value together with its monotonically increasing version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Versioned {
+    /// Version counter: 1 on first write, +1 per update.
+    pub version: u64,
+    /// The value.
+    pub value: Value,
+}
+
+/// I/O counters for experiment reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Successful read operations.
+    pub reads: u64,
+    /// Successful write operations (put, cas, delete).
+    pub writes: u64,
+    /// Total encoded bytes written.
+    pub bytes_written: u64,
+    /// Total encoded bytes read.
+    pub bytes_read: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    namespaces: HashMap<String, BTreeMap<String, Versioned>>,
+    stats: StoreStats,
+}
+
+/// The simulated SAN: a shared, durable, versioned key-value store.
+///
+/// Clones share the same underlying storage (`Arc` semantics), modeling the
+/// paper's assumption that every node sees the same storage tier. Node
+/// crashes in the simulation never touch this store — that is precisely the
+/// property migration relies on.
+///
+/// Keys live inside string *namespaces* (e.g. `"framework/n3"`,
+/// `"instance/42/data"`), which map onto the per-framework and per-bundle
+/// storage areas of the OSGi specification.
+#[derive(Debug, Clone, Default)]
+pub struct SharedStore {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl SharedStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes `value` under `namespace/key`, returning the new version.
+    pub fn put(&self, namespace: &str, key: &str, value: Value) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.stats.writes += 1;
+        inner.stats.bytes_written += value.encoded_len() as u64;
+        let ns = inner.namespaces.entry(namespace.to_owned()).or_default();
+        let version = ns.get(key).map(|v| v.version).unwrap_or(0) + 1;
+        ns.insert(key.to_owned(), Versioned { version, value });
+        version
+    }
+
+    /// Reads the value under `namespace/key`.
+    pub fn get(&self, namespace: &str, key: &str) -> Option<Value> {
+        self.get_versioned(namespace, key).map(|v| v.value)
+    }
+
+    /// Reads the value and its version.
+    pub fn get_versioned(&self, namespace: &str, key: &str) -> Option<Versioned> {
+        let mut inner = self.inner.lock();
+        let v = inner
+            .namespaces
+            .get(namespace)
+            .and_then(|ns| ns.get(key))
+            .cloned();
+        if let Some(v) = &v {
+            inner.stats.reads += 1;
+            inner.stats.bytes_read += v.value.encoded_len() as u64;
+        }
+        v
+    }
+
+    /// Compare-and-swap: writes `value` only if the current version equals
+    /// `expected` (use 0 for "key must not exist"). Returns the new version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::CasConflict`] if the version does not match.
+    pub fn cas(
+        &self,
+        namespace: &str,
+        key: &str,
+        expected: u64,
+        value: Value,
+    ) -> Result<u64, StoreError> {
+        let mut inner = self.inner.lock();
+        let ns = inner.namespaces.entry(namespace.to_owned()).or_default();
+        let found = ns.get(key).map(|v| v.version).unwrap_or(0);
+        if found != expected {
+            return Err(StoreError::CasConflict { expected, found });
+        }
+        let version = found + 1;
+        let len = value.encoded_len() as u64;
+        ns.insert(key.to_owned(), Versioned { version, value });
+        inner.stats.writes += 1;
+        inner.stats.bytes_written += len;
+        Ok(version)
+    }
+
+    /// Deletes `namespace/key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NotFound`] if the key is absent.
+    pub fn delete(&self, namespace: &str, key: &str) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        let removed = inner
+            .namespaces
+            .get_mut(namespace)
+            .and_then(|ns| ns.remove(key));
+        match removed {
+            Some(_) => {
+                inner.stats.writes += 1;
+                Ok(())
+            }
+            None => Err(StoreError::NotFound {
+                namespace: namespace.to_owned(),
+                key: key.to_owned(),
+            }),
+        }
+    }
+
+    /// Deletes an entire namespace, returning how many keys it held.
+    pub fn delete_namespace(&self, namespace: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let n = inner
+            .namespaces
+            .remove(namespace)
+            .map(|ns| ns.len())
+            .unwrap_or(0);
+        if n > 0 {
+            inner.stats.writes += 1;
+        }
+        n
+    }
+
+    /// Keys in a namespace, sorted.
+    pub fn list_keys(&self, namespace: &str) -> Vec<String> {
+        self.inner
+            .lock()
+            .namespaces
+            .get(namespace)
+            .map(|ns| ns.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// All namespaces with at least one key, sorted.
+    pub fn list_namespaces(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        let mut v: Vec<String> = inner
+            .namespaces
+            .iter()
+            .filter(|(_, ns)| !ns.is_empty())
+            .map(|(k, _)| k.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Reads a whole namespace as `(key, value)` pairs, sorted by key.
+    pub fn read_namespace(&self, namespace: &str) -> Vec<(String, Value)> {
+        let mut inner = self.inner.lock();
+        let pairs: Vec<(String, Value)> = inner
+            .namespaces
+            .get(namespace)
+            .map(|ns| {
+                ns.iter()
+                    .map(|(k, v)| (k.clone(), v.value.clone()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (_, v) in &pairs {
+            inner.stats.reads += 1;
+            inner.stats.bytes_read += v.encoded_len() as u64;
+        }
+        pairs
+    }
+
+    /// Total encoded size of a namespace in bytes (no stats impact) —
+    /// the "how much state would a migration move" metric.
+    pub fn namespace_bytes(&self, namespace: &str) -> u64 {
+        self.inner
+            .lock()
+            .namespaces
+            .get(namespace)
+            .map(|ns| ns.values().map(|v| v.value.encoded_len() as u64).sum())
+            .unwrap_or(0)
+    }
+
+    /// Total encoded size across every namespace equal to `prefix` or
+    /// under `prefix/…` — an instance's full footprint (framework snapshot
+    /// plus all bundle data areas).
+    pub fn namespace_bytes_prefixed(&self, prefix: &str) -> u64 {
+        let inner = self.inner.lock();
+        let sub = format!("{prefix}/");
+        inner
+            .namespaces
+            .iter()
+            .filter(|(name, _)| *name == prefix || name.starts_with(&sub))
+            .map(|(_, ns)| ns.values().map(|v| v.value.encoded_len() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Current I/O counters.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().stats
+    }
+
+    /// Resets the I/O counters (between experiment phases).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = StoreStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip_and_versions() {
+        let s = SharedStore::new();
+        assert_eq!(s.put("ns", "k", Value::Int(1)), 1);
+        assert_eq!(s.put("ns", "k", Value::Int(2)), 2);
+        assert_eq!(s.get("ns", "k"), Some(Value::Int(2)));
+        assert_eq!(s.get_versioned("ns", "k").unwrap().version, 2);
+        assert_eq!(s.get("ns", "missing"), None);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let s = SharedStore::new();
+        let s2 = s.clone();
+        s.put("ns", "k", Value::Int(1));
+        assert_eq!(s2.get("ns", "k"), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn cas_succeeds_only_on_matching_version() {
+        let s = SharedStore::new();
+        // Create-if-absent.
+        assert_eq!(s.cas("ns", "k", 0, Value::Int(1)), Ok(1));
+        assert_eq!(
+            s.cas("ns", "k", 0, Value::Int(9)),
+            Err(StoreError::CasConflict {
+                expected: 0,
+                found: 1
+            })
+        );
+        assert_eq!(s.cas("ns", "k", 1, Value::Int(2)), Ok(2));
+        assert_eq!(s.get("ns", "k"), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn delete_and_not_found() {
+        let s = SharedStore::new();
+        s.put("ns", "k", Value::Int(1));
+        s.delete("ns", "k").unwrap();
+        assert_eq!(s.get("ns", "k"), None);
+        assert!(matches!(
+            s.delete("ns", "k"),
+            Err(StoreError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn namespace_operations() {
+        let s = SharedStore::new();
+        s.put("a", "k1", Value::Int(1));
+        s.put("a", "k2", Value::Int(2));
+        s.put("b", "k3", Value::Int(3));
+        assert_eq!(s.list_keys("a"), vec!["k1", "k2"]);
+        assert_eq!(s.list_namespaces(), vec!["a", "b"]);
+        let all = s.read_namespace("a");
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], ("k1".to_owned(), Value::Int(1)));
+        assert_eq!(s.delete_namespace("a"), 2);
+        assert_eq!(s.list_namespaces(), vec!["b"]);
+        assert_eq!(s.delete_namespace("a"), 0);
+    }
+
+    #[test]
+    fn stats_account_bytes() {
+        let s = SharedStore::new();
+        let v = Value::Str("hello".into());
+        let len = v.encoded_len() as u64;
+        s.put("ns", "k", v);
+        let _ = s.get("ns", "k");
+        let st = s.stats();
+        assert_eq!(st.writes, 1);
+        assert_eq!(st.reads, 1);
+        assert_eq!(st.bytes_written, len);
+        assert_eq!(st.bytes_read, len);
+        s.reset_stats();
+        assert_eq!(s.stats(), StoreStats::default());
+    }
+
+    #[test]
+    fn namespace_bytes_reports_encoded_size() {
+        let s = SharedStore::new();
+        let v1 = Value::Str("abc".into());
+        let v2 = Value::Int(7);
+        let expect = (v1.encoded_len() + v2.encoded_len()) as u64;
+        s.put("ns", "k1", v1);
+        s.put("ns", "k2", v2);
+        assert_eq!(s.namespace_bytes("ns"), expect);
+        assert_eq!(s.namespace_bytes("other"), 0);
+    }
+
+    #[test]
+    fn prefixed_bytes_cover_sub_namespaces_only() {
+        let s = SharedStore::new();
+        s.put("inst/a", "k", Value::Int(1));
+        s.put("inst/a/data/x", "k", Value::Int(2));
+        s.put("inst/ab", "k", Value::Int(3)); // sibling, NOT under inst/a
+        let expect = Value::Int(1).encoded_len() as u64 + Value::Int(2).encoded_len() as u64;
+        assert_eq!(s.namespace_bytes_prefixed("inst/a"), expect);
+        assert!(s.namespace_bytes_prefixed("inst/ab") > 0);
+        assert_eq!(s.namespace_bytes_prefixed("nope"), 0);
+    }
+
+    #[test]
+    fn misses_do_not_count_as_reads() {
+        let s = SharedStore::new();
+        let _ = s.get("ns", "missing");
+        assert_eq!(s.stats().reads, 0);
+    }
+}

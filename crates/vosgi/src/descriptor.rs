@@ -1,0 +1,263 @@
+//! Instance descriptors: everything needed to (re)deploy a customer.
+
+use crate::{ResourceQuota, SecurityPolicy};
+use dosgi_osgi::PackageName;
+use dosgi_san::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a virtual instance within an [`InstanceManager`].
+///
+/// [`InstanceManager`]: crate::InstanceManager
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct InstanceId(pub u64);
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vosgi-{}", self.0)
+    }
+}
+
+/// Identifies the customer who owns an instance (SLAs attach to customers).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CustomerId(pub String);
+
+impl fmt::Display for CustomerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for CustomerId {
+    fn from(s: &str) -> Self {
+        CustomerId(s.to_owned())
+    }
+}
+
+/// The complete deployment description of one customer's virtual instance.
+///
+/// A descriptor is **data** — it serializes to the SAN (via
+/// [`to_value`](Self::to_value)) and is what the Migration Module ships
+/// between nodes; the destination re-materializes the instance from the
+/// descriptor plus the SAN-persisted framework state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceDescriptor {
+    /// The owning customer.
+    pub customer: CustomerId,
+    /// Unique instance name (also its storage namespace key).
+    pub name: String,
+    /// Symbolic names of the bundles to deploy, resolved against the node's
+    /// [`BundleRepository`](crate::BundleRepository).
+    pub bundles: Vec<String>,
+    /// Host packages this instance may see through the delegating loader
+    /// (the paper's *"explicitly indicated"* export list).
+    pub shared_packages: Vec<PackageName>,
+    /// Host service interfaces this instance may call.
+    pub shared_services: Vec<String>,
+    /// Sandbox policy.
+    pub policy: SecurityPolicy,
+    /// Resource quota from the customer's SLA.
+    pub quota: ResourceQuota,
+}
+
+impl InstanceDescriptor {
+    /// Starts building a descriptor.
+    pub fn builder(customer: impl Into<CustomerId>, name: &str) -> InstanceDescriptorBuilder {
+        InstanceDescriptorBuilder {
+            descriptor: InstanceDescriptor {
+                customer: customer.into(),
+                name: name.to_owned(),
+                bundles: Vec::new(),
+                shared_packages: Vec::new(),
+                shared_services: Vec::new(),
+                policy: SecurityPolicy::deny_all(),
+                quota: ResourceQuota::standard(),
+            },
+        }
+    }
+
+    /// The SAN namespace holding this instance's framework state.
+    pub fn state_namespace(&self) -> String {
+        format!("instance/{}", self.name)
+    }
+
+    /// Serializes the descriptor for SAN storage / migration metadata.
+    pub fn to_value(&self) -> Value {
+        Value::map()
+            .with("customer", self.customer.0.as_str())
+            .with("name", self.name.as_str())
+            .with(
+                "bundles",
+                Value::List(self.bundles.iter().map(|b| Value::from(b.as_str())).collect()),
+            )
+            .with(
+                "shared_packages",
+                Value::List(
+                    self.shared_packages
+                        .iter()
+                        .map(|p| Value::from(p.as_str()))
+                        .collect(),
+                ),
+            )
+            .with(
+                "shared_services",
+                Value::List(
+                    self.shared_services
+                        .iter()
+                        .map(|s| Value::from(s.as_str()))
+                        .collect(),
+                ),
+            )
+            .with("quota_cpu_us", self.quota.cpu_per_sec.as_micros())
+            .with("quota_mem", self.quota.memory_bytes)
+            .with("quota_disk", self.quota.disk_bytes)
+    }
+
+    /// Reads a descriptor back from [`to_value`](Self::to_value) form.
+    ///
+    /// The sandbox policy is intentionally *not* shipped in the value: the
+    /// destination node's administrator re-derives it from local business
+    /// policy (a descriptor from the network must not be able to grant
+    /// itself permissions).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let str_list = |key: &str| -> Result<Vec<String>, String> {
+            v.get(key)
+                .and_then(Value::as_list)
+                .ok_or_else(|| format!("missing {key}"))?
+                .iter()
+                .map(|x| x.as_str().map(str::to_owned).ok_or_else(|| format!("bad {key} entry")))
+                .collect()
+        };
+        let customer = v
+            .get("customer")
+            .and_then(Value::as_str)
+            .ok_or("missing customer")?;
+        let name = v.get("name").and_then(Value::as_str).ok_or("missing name")?;
+        let shared_packages = str_list("shared_packages")?
+            .into_iter()
+            .map(|p| PackageName::new(&p))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(InstanceDescriptor {
+            customer: CustomerId(customer.to_owned()),
+            name: name.to_owned(),
+            bundles: str_list("bundles")?,
+            shared_packages,
+            shared_services: str_list("shared_services")?,
+            policy: SecurityPolicy::deny_all(),
+            quota: ResourceQuota {
+                cpu_per_sec: dosgi_net::SimDuration::from_micros(
+                    v.get("quota_cpu_us").and_then(Value::as_int).unwrap_or(0) as u64,
+                ),
+                memory_bytes: v.get("quota_mem").and_then(Value::as_int).unwrap_or(0) as u64,
+                disk_bytes: v.get("quota_disk").and_then(Value::as_int).unwrap_or(0) as u64,
+            },
+        })
+    }
+}
+
+/// Builder for [`InstanceDescriptor`].
+#[derive(Debug, Clone)]
+pub struct InstanceDescriptorBuilder {
+    descriptor: InstanceDescriptor,
+}
+
+impl InstanceDescriptorBuilder {
+    /// Adds a bundle (by symbolic name) to deploy.
+    pub fn bundle(mut self, symbolic_name: &str) -> Self {
+        self.descriptor.bundles.push(symbolic_name.to_owned());
+        self
+    }
+
+    /// Exposes a host package to the instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `package` is not a valid package name.
+    pub fn share_package(mut self, package: &str) -> Self {
+        self.descriptor
+            .shared_packages
+            .push(PackageName::new(package).expect("valid package name"));
+        self
+    }
+
+    /// Exposes a host service interface to the instance.
+    pub fn share_service(mut self, interface: &str) -> Self {
+        self.descriptor.shared_services.push(interface.to_owned());
+        self
+    }
+
+    /// Sets the sandbox policy.
+    pub fn policy(mut self, policy: SecurityPolicy) -> Self {
+        self.descriptor.policy = policy;
+        self
+    }
+
+    /// Sets the resource quota.
+    pub fn quota(mut self, quota: ResourceQuota) -> Self {
+        self.descriptor.quota = quota;
+        self
+    }
+
+    /// Finishes the descriptor.
+    pub fn build(self) -> InstanceDescriptor {
+        self.descriptor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InstanceDescriptor {
+        InstanceDescriptor::builder("acme", "acme-prod")
+            .bundle("org.acme.shop")
+            .bundle("org.acme.billing")
+            .share_package("org.host.log.api")
+            .share_service("org.host.log.Logger")
+            .quota(ResourceQuota::small())
+            .build()
+    }
+
+    #[test]
+    fn builder_collects_fields() {
+        let d = sample();
+        assert_eq!(d.customer, CustomerId::from("acme"));
+        assert_eq!(d.bundles.len(), 2);
+        assert_eq!(d.shared_packages.len(), 1);
+        assert_eq!(d.shared_services, vec!["org.host.log.Logger"]);
+        assert_eq!(d.state_namespace(), "instance/acme-prod");
+    }
+
+    #[test]
+    fn value_round_trip_preserves_everything_but_policy() {
+        let mut d = sample();
+        d.policy = SecurityPolicy::deny_all().grant_file_rw("/data/acme");
+        let back = InstanceDescriptor::from_value(&d.to_value()).unwrap();
+        assert_eq!(back.customer, d.customer);
+        assert_eq!(back.name, d.name);
+        assert_eq!(back.bundles, d.bundles);
+        assert_eq!(back.shared_packages, d.shared_packages);
+        assert_eq!(back.shared_services, d.shared_services);
+        assert_eq!(back.quota, d.quota);
+        // Policy is never shipped: deny-all on arrival.
+        assert!(back.policy.grants().is_empty());
+    }
+
+    #[test]
+    fn from_value_rejects_garbage() {
+        assert!(InstanceDescriptor::from_value(&Value::Null).is_err());
+        assert!(InstanceDescriptor::from_value(&Value::map().with("customer", "x")).is_err());
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(InstanceId(3).to_string(), "vosgi-3");
+        assert_eq!(CustomerId::from("acme").to_string(), "acme");
+    }
+}

@@ -1,0 +1,103 @@
+//! vosgi error type.
+
+use crate::InstanceId;
+use dosgi_osgi::{BundleError, LoadError, ServiceError};
+use std::fmt;
+
+/// Errors from virtual-instance operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VosgiError {
+    /// The instance id is unknown.
+    NoSuchInstance(InstanceId),
+    /// An instance with the same name already exists.
+    DuplicateInstance(String),
+    /// The operation is illegal in the instance's current state.
+    BadState {
+        /// The instance.
+        instance: InstanceId,
+        /// A description of what was attempted.
+        operation: &'static str,
+    },
+    /// A bundle named in the descriptor is not in the repository.
+    UnknownBundle(String),
+    /// The sandbox denied an access.
+    Denied(String),
+    /// The instance's quota disallows the operation.
+    QuotaExceeded(String),
+    /// An underlying framework operation failed.
+    Framework(BundleError),
+    /// An underlying service operation failed.
+    Service(ServiceError),
+    /// A class-loading failure.
+    Load(LoadError),
+}
+
+impl fmt::Display for VosgiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VosgiError::NoSuchInstance(id) => write!(f, "no such instance: {id}"),
+            VosgiError::DuplicateInstance(name) => {
+                write!(f, "instance {name:?} already exists")
+            }
+            VosgiError::BadState {
+                instance,
+                operation,
+            } => write!(f, "cannot {operation} instance {instance} in its current state"),
+            VosgiError::UnknownBundle(name) => {
+                write!(f, "bundle {name:?} not found in repository")
+            }
+            VosgiError::Denied(what) => write!(f, "sandbox denied: {what}"),
+            VosgiError::QuotaExceeded(what) => write!(f, "quota exceeded: {what}"),
+            VosgiError::Framework(e) => write!(f, "framework error: {e}"),
+            VosgiError::Service(e) => write!(f, "service error: {e}"),
+            VosgiError::Load(e) => write!(f, "load error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VosgiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VosgiError::Framework(e) => Some(e),
+            VosgiError::Service(e) => Some(e),
+            VosgiError::Load(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<BundleError> for VosgiError {
+    fn from(e: BundleError) -> Self {
+        VosgiError::Framework(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<ServiceError> for VosgiError {
+    fn from(e: ServiceError) -> Self {
+        VosgiError::Service(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<LoadError> for VosgiError {
+    fn from(e: LoadError) -> Self {
+        VosgiError::Load(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = VosgiError::Denied("write /etc".into());
+        assert_eq!(e.to_string(), "sandbox denied: write /etc");
+        let e: VosgiError = BundleError::NotFound(dosgi_osgi::BundleId(1)).into();
+        assert!(e.to_string().contains("b1"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&VosgiError::NoSuchInstance(InstanceId(1))).is_none());
+    }
+}

@@ -1,0 +1,123 @@
+//! The bundle repository: the node's local "bundle cache".
+//!
+//! Descriptors name bundles symbolically; the repository resolves names to
+//! manifests (and, paired with an
+//! [`ActivatorFactory`](dosgi_osgi::ActivatorFactory), to behaviour). In a
+//! real deployment this is the provisioning system every node can reach —
+//! the reason a migrated instance's bundles can be re-materialized anywhere.
+
+use dosgi_osgi::BundleManifest;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A name → manifest catalogue.
+#[derive(Clone, Default)]
+pub struct BundleRepository {
+    manifests: HashMap<String, BundleManifest>,
+}
+
+impl fmt::Debug for BundleRepository {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BundleRepository")
+            .field("bundles", &self.names())
+            .finish()
+    }
+}
+
+impl BundleRepository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a manifest, keyed by its symbolic name.
+    pub fn add(&mut self, manifest: BundleManifest) {
+        self.manifests
+            .insert(manifest.symbolic_name.as_str().to_owned(), manifest);
+    }
+
+    /// Looks up a manifest by symbolic name.
+    pub fn manifest(&self, symbolic_name: &str) -> Option<&BundleManifest> {
+        self.manifests.get(symbolic_name)
+    }
+
+    /// True if the repository knows `symbolic_name`.
+    pub fn contains(&self, symbolic_name: &str) -> bool {
+        self.manifests.contains_key(symbolic_name)
+    }
+
+    /// All known symbolic names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.manifests.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of catalogued bundles.
+    pub fn len(&self) -> usize {
+        self.manifests.len()
+    }
+
+    /// True if the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.manifests.is_empty()
+    }
+}
+
+impl FromIterator<BundleManifest> for BundleRepository {
+    fn from_iter<T: IntoIterator<Item = BundleManifest>>(iter: T) -> Self {
+        let mut repo = BundleRepository::new();
+        for m in iter {
+            repo.add(m);
+        }
+        repo
+    }
+}
+
+impl Extend<BundleManifest> for BundleRepository {
+    fn extend<T: IntoIterator<Item = BundleManifest>>(&mut self, iter: T) {
+        for m in iter {
+            self.add(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosgi_osgi::{ManifestBuilder, Version};
+
+    fn m(name: &str) -> BundleManifest {
+        ManifestBuilder::new(name, Version::new(1, 0, 0)).build().unwrap()
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut repo = BundleRepository::new();
+        assert!(repo.is_empty());
+        repo.add(m("a.b"));
+        repo.add(m("c.d"));
+        assert!(repo.contains("a.b"));
+        assert!(!repo.contains("x.y"));
+        assert_eq!(repo.manifest("c.d").unwrap().symbolic_name.as_str(), "c.d");
+        assert_eq!(repo.names(), vec!["a.b", "c.d"]);
+        assert_eq!(repo.len(), 2);
+    }
+
+    #[test]
+    fn replace_keeps_latest() {
+        let mut repo = BundleRepository::new();
+        repo.add(m("a.b"));
+        let newer = ManifestBuilder::new("a.b", Version::new(2, 0, 0)).build().unwrap();
+        repo.add(newer);
+        assert_eq!(repo.manifest("a.b").unwrap().version, Version::new(2, 0, 0));
+        assert_eq!(repo.len(), 1);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut repo: BundleRepository = [m("a.b")].into_iter().collect();
+        repo.extend([m("c.d")]);
+        assert_eq!(repo.len(), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! The sandbox: the paper's `SecurityManager` analogue.
+//!
+//! §2: *"To address isolation at the filesystem and network levels we rely
+//! on the SecurityManager provided by the JAVA platform that should be
+//! configured by the administrator according to the business policies."*
+//!
+//! Here the administrator grants each instance an explicit set of
+//! [`Permission`]s; every simulated filesystem or network operation is
+//! checked against them, deny-by-default.
+
+use dosgi_net::{IpAddr, Port};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The direction of an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Access {
+    /// Reading (files) / connecting out (sockets).
+    Read,
+    /// Writing (files) / binding a listener (sockets).
+    Write,
+}
+
+/// A grantable capability.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Permission {
+    /// Access to the file subtree rooted at `prefix`.
+    File {
+        /// Path prefix, e.g. `/data/customer-a`.
+        prefix: String,
+        /// Granted access direction.
+        access: Access,
+    },
+    /// Permission to bind a listening socket on `ip:port`.
+    ///
+    /// The paper notes that when an IP is attributed to a virtual instance
+    /// *"we also must ensure that bundles running on that instance could
+    /// only bind to that IP address"* — this is that check.
+    Bind {
+        /// The address the instance may bind.
+        ip: IpAddr,
+        /// The port, or `None` for any port on that IP.
+        port: Option<Port>,
+    },
+    /// Permission to open outbound connections to `ip` (any port).
+    Connect {
+        /// The destination address.
+        ip: IpAddr,
+    },
+}
+
+impl fmt::Display for Permission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Permission::File { prefix, access } => {
+                write!(f, "file {prefix} ({access:?})")
+            }
+            Permission::Bind { ip, port } => match port {
+                Some(p) => write!(f, "bind {ip}:{p}"),
+                None => write!(f, "bind {ip}:*"),
+            },
+            Permission::Connect { ip } => write!(f, "connect {ip}"),
+        }
+    }
+}
+
+/// An instance's granted permissions: deny-by-default capability set.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SecurityPolicy {
+    grants: Vec<Permission>,
+}
+
+impl SecurityPolicy {
+    /// An empty (deny-everything) policy.
+    pub fn deny_all() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style grant.
+    pub fn grant(mut self, p: Permission) -> Self {
+        self.grants.push(p);
+        self
+    }
+
+    /// Grants read+write on a file subtree.
+    pub fn grant_file_rw(self, prefix: &str) -> Self {
+        self.grant(Permission::File {
+            prefix: prefix.to_owned(),
+            access: Access::Read,
+        })
+        .grant(Permission::File {
+            prefix: prefix.to_owned(),
+            access: Access::Write,
+        })
+    }
+
+    /// True if the policy allows `access` on file `path`.
+    pub fn allows_file(&self, path: &str, access: Access) -> bool {
+        self.grants.iter().any(|g| match g {
+            Permission::File {
+                prefix,
+                access: granted,
+            } => *granted == access && path_within(path, prefix),
+            _ => false,
+        })
+    }
+
+    /// True if the policy allows binding `ip:port`.
+    pub fn allows_bind(&self, ip: IpAddr, port: Port) -> bool {
+        self.grants.iter().any(|g| match g {
+            Permission::Bind { ip: gip, port: gp } => {
+                *gip == ip && gp.map(|p| p == port).unwrap_or(true)
+            }
+            _ => false,
+        })
+    }
+
+    /// True if the policy allows connecting to `ip`.
+    pub fn allows_connect(&self, ip: IpAddr) -> bool {
+        self.grants
+            .iter()
+            .any(|g| matches!(g, Permission::Connect { ip: gip } if *gip == ip))
+    }
+
+    /// The granted permissions.
+    pub fn grants(&self) -> &[Permission] {
+        &self.grants
+    }
+}
+
+/// Path-prefix containment with component boundaries: `/a/b` contains
+/// `/a/b/c` and `/a/b` itself, but not `/a/bc`.
+fn path_within(path: &str, prefix: &str) -> bool {
+    if !path.starts_with(prefix) {
+        return false;
+    }
+    let rest = &path[prefix.len()..];
+    rest.is_empty() || rest.starts_with('/') || prefix.ends_with('/')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IP: IpAddr = IpAddr::new(10, 0, 0, 5);
+
+    #[test]
+    fn deny_by_default() {
+        let p = SecurityPolicy::deny_all();
+        assert!(!p.allows_file("/anything", Access::Read));
+        assert!(!p.allows_bind(IP, Port(80)));
+        assert!(!p.allows_connect(IP));
+    }
+
+    #[test]
+    fn file_prefix_respects_component_boundaries() {
+        let p = SecurityPolicy::deny_all().grant_file_rw("/data/cust-a");
+        assert!(p.allows_file("/data/cust-a", Access::Read));
+        assert!(p.allows_file("/data/cust-a/x/y", Access::Write));
+        assert!(!p.allows_file("/data/cust-ab", Access::Read));
+        assert!(!p.allows_file("/data", Access::Read));
+        assert!(!p.allows_file("/other", Access::Write));
+    }
+
+    #[test]
+    fn read_grant_does_not_imply_write() {
+        let p = SecurityPolicy::deny_all().grant(Permission::File {
+            prefix: "/logs".into(),
+            access: Access::Read,
+        });
+        assert!(p.allows_file("/logs/app.log", Access::Read));
+        assert!(!p.allows_file("/logs/app.log", Access::Write));
+    }
+
+    #[test]
+    fn bind_permissions() {
+        let p = SecurityPolicy::deny_all().grant(Permission::Bind {
+            ip: IP,
+            port: Some(Port(8080)),
+        });
+        assert!(p.allows_bind(IP, Port(8080)));
+        assert!(!p.allows_bind(IP, Port(8081)));
+        assert!(!p.allows_bind(IpAddr::new(10, 0, 0, 6), Port(8080)));
+
+        let any_port = SecurityPolicy::deny_all().grant(Permission::Bind { ip: IP, port: None });
+        assert!(any_port.allows_bind(IP, Port(1)));
+        assert!(any_port.allows_bind(IP, Port(65000)));
+    }
+
+    #[test]
+    fn connect_permissions() {
+        let p = SecurityPolicy::deny_all().grant(Permission::Connect { ip: IP });
+        assert!(p.allows_connect(IP));
+        assert!(!p.allows_connect(IpAddr::new(1, 2, 3, 4)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Permission::Bind {
+                ip: IP,
+                port: Some(Port(80))
+            }
+            .to_string(),
+            "bind 10.0.0.5:80"
+        );
+        assert_eq!(
+            Permission::Bind { ip: IP, port: None }.to_string(),
+            "bind 10.0.0.5:*"
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! The deployment-topology cost model behind experiment **E1** (Figures
+//! 1–4 of the paper).
+//!
+//! The paper argues qualitatively: one JVM per customer (Fig. 1) is heavy
+//! and awkward to manage; co-locating frameworks in one JVM (Fig. 2)
+//! removes the JVM multiplier; nesting them in a host OSGi (Fig. 3) makes
+//! the manager itself a bundle; sharing host bundles (Fig. 4) removes the
+//! last per-customer duplication. This module turns that argument into an
+//! explicit, documented cost model so the experiment can plot it.
+//!
+//! The constants are calibrated to 2008-era Java numbers (a bare HotSpot
+//! JVM ≈ 40–60 MiB resident; an embedded Felix ≈ 4–8 MiB; a small bundle a
+//! few hundred KiB) — the *shape* of the comparison, not the absolute
+//! values, is the claim under test.
+
+use dosgi_net::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Per-component memory and management-latency constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FootprintModel {
+    /// Resident overhead of one JVM process.
+    pub jvm_bytes: u64,
+    /// Overhead of one OSGi framework inside a JVM.
+    pub framework_bytes: u64,
+    /// Overhead of one *virtual* instance nested in a host framework
+    /// (cheaper than a full framework: shares the host's infrastructure).
+    pub vosgi_bytes: u64,
+    /// Resident size of one loaded bundle copy.
+    pub bundle_bytes: u64,
+    /// Latency of one management operation via an external channel
+    /// (RMI/JMX/TCP — Fig. 1's "no direct method of accessing each one").
+    pub remote_op: SimDuration,
+    /// Latency of one in-process management operation (a map lookup and a
+    /// method call — Fig. 2–4).
+    pub local_op: SimDuration,
+}
+
+impl Default for FootprintModel {
+    fn default() -> Self {
+        FootprintModel {
+            jvm_bytes: 48 << 20,
+            framework_bytes: 6 << 20,
+            vosgi_bytes: 1 << 20,
+            bundle_bytes: 512 << 10,
+            remote_op: SimDuration::from_micros(500),
+            local_op: SimDuration::from_micros(2),
+        }
+    }
+}
+
+/// The four deployment designs from §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeploymentTopology {
+    /// Figure 1: one JVM + framework per customer, external manager.
+    JvmPerCustomer,
+    /// Figure 2: one JVM, one framework per customer, in-process manager.
+    SharedJvm,
+    /// Figure 3: host framework + nested virtual instances; manager is a
+    /// bundle. Every customer still carries copies of common bundles.
+    NestedInstances,
+    /// Figure 4: nested virtual instances that *share* common bundles
+    /// provided once by the host.
+    SharedBundles,
+}
+
+impl DeploymentTopology {
+    /// All four topologies in paper order.
+    pub const ALL: [DeploymentTopology; 4] = [
+        DeploymentTopology::JvmPerCustomer,
+        DeploymentTopology::SharedJvm,
+        DeploymentTopology::NestedInstances,
+        DeploymentTopology::SharedBundles,
+    ];
+
+    /// The figure each topology corresponds to.
+    pub fn figure(self) -> &'static str {
+        match self {
+            DeploymentTopology::JvmPerCustomer => "Fig.1",
+            DeploymentTopology::SharedJvm => "Fig.2",
+            DeploymentTopology::NestedInstances => "Fig.3",
+            DeploymentTopology::SharedBundles => "Fig.4",
+        }
+    }
+
+    /// Computes the footprint of deploying `customers` customers, each
+    /// needing `bundles_per_customer` bundles of which `shareable` are
+    /// common infrastructure (log service, HTTP service, …) that Fig. 4
+    /// hoists into the host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shareable > bundles_per_customer`.
+    pub fn footprint(
+        self,
+        model: &FootprintModel,
+        customers: u64,
+        bundles_per_customer: u64,
+        shareable: u64,
+    ) -> TopologyFootprint {
+        assert!(
+            shareable <= bundles_per_customer,
+            "shareable bundles cannot exceed the per-customer total"
+        );
+        let (jvms, frameworks, vosgi, bundle_copies) = match self {
+            DeploymentTopology::JvmPerCustomer => {
+                (customers, customers, 0, customers * bundles_per_customer)
+            }
+            DeploymentTopology::SharedJvm => {
+                (1, customers, 0, customers * bundles_per_customer)
+            }
+            DeploymentTopology::NestedInstances => {
+                // Host framework + manager; each customer a vosgi instance
+                // with its own copies of every bundle.
+                (1, 1, customers, customers * bundles_per_customer)
+            }
+            DeploymentTopology::SharedBundles => {
+                // Shareable bundles exist once, in the host.
+                let per_customer = bundles_per_customer - shareable;
+                (1, 1, customers, customers * per_customer + shareable)
+            }
+        };
+        TopologyFootprint {
+            topology: self,
+            memory_bytes: jvms * model.jvm_bytes
+                + frameworks * model.framework_bytes
+                + vosgi * model.vosgi_bytes
+                + bundle_copies * model.bundle_bytes,
+            jvm_count: jvms,
+            bundle_copies,
+            management_op: match self {
+                DeploymentTopology::JvmPerCustomer => model.remote_op,
+                _ => model.local_op,
+            },
+        }
+    }
+}
+
+/// The computed cost of a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologyFootprint {
+    /// Which design.
+    pub topology: DeploymentTopology,
+    /// Total resident memory.
+    pub memory_bytes: u64,
+    /// Number of JVM processes.
+    pub jvm_count: u64,
+    /// Total loaded bundle copies.
+    pub bundle_copies: u64,
+    /// Latency of one management operation against one instance.
+    pub management_op: SimDuration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODEL: FootprintModel = FootprintModel {
+        jvm_bytes: 100,
+        framework_bytes: 10,
+        vosgi_bytes: 2,
+        bundle_bytes: 1,
+        remote_op: SimDuration::from_micros(500),
+        local_op: SimDuration::from_micros(2),
+    };
+
+    #[test]
+    fn fig1_scales_jvms_with_customers() {
+        let f = DeploymentTopology::JvmPerCustomer.footprint(&MODEL, 10, 5, 3);
+        assert_eq!(f.jvm_count, 10);
+        assert_eq!(f.memory_bytes, 10 * 100 + 10 * 10 + 50);
+        assert_eq!(f.management_op, SimDuration::from_micros(500));
+    }
+
+    #[test]
+    fn fig2_amortizes_the_jvm() {
+        let f = DeploymentTopology::SharedJvm.footprint(&MODEL, 10, 5, 3);
+        assert_eq!(f.jvm_count, 1);
+        assert_eq!(f.memory_bytes, 100 + 10 * 10 + 50);
+        assert_eq!(f.management_op, SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn fig3_amortizes_the_framework() {
+        let f = DeploymentTopology::NestedInstances.footprint(&MODEL, 10, 5, 3);
+        assert_eq!(f.memory_bytes, 100 + 10 + 10 * 2 + 50);
+        assert_eq!(f.bundle_copies, 50);
+    }
+
+    #[test]
+    fn fig4_deduplicates_shared_bundles() {
+        let f = DeploymentTopology::SharedBundles.footprint(&MODEL, 10, 5, 3);
+        // 10 customers × 2 private + 3 shared = 23 copies.
+        assert_eq!(f.bundle_copies, 23);
+        assert_eq!(f.memory_bytes, 100 + 10 + 10 * 2 + 23);
+    }
+
+    #[test]
+    fn ordering_matches_the_papers_argument() {
+        // For any non-trivial population, each successive design is lighter.
+        let model = FootprintModel::default();
+        let fp: Vec<u64> = DeploymentTopology::ALL
+            .iter()
+            .map(|t| t.footprint(&model, 20, 8, 4).memory_bytes)
+            .collect();
+        assert!(fp[0] > fp[1], "Fig.2 beats Fig.1");
+        assert!(fp[1] > fp[2], "Fig.3 beats Fig.2");
+        assert!(fp[2] > fp[3], "Fig.4 beats Fig.3");
+    }
+
+    #[test]
+    fn zero_shareable_makes_fig3_and_fig4_equal() {
+        let a = DeploymentTopology::NestedInstances.footprint(&MODEL, 5, 4, 0);
+        let b = DeploymentTopology::SharedBundles.footprint(&MODEL, 5, 4, 0);
+        assert_eq!(a.memory_bytes, b.memory_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "shareable bundles cannot exceed")]
+    fn invalid_share_count_panics() {
+        let _ = DeploymentTopology::SharedBundles.footprint(&MODEL, 1, 2, 3);
+    }
+
+    #[test]
+    fn figures_label_correctly() {
+        assert_eq!(DeploymentTopology::JvmPerCustomer.figure(), "Fig.1");
+        assert_eq!(DeploymentTopology::SharedBundles.figure(), "Fig.4");
+    }
+}
