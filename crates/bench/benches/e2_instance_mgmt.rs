@@ -1,11 +1,11 @@
-//! Criterion companion to experiment **E2**: wall-clock cost of the
+//! Bench companion to experiment **E2**: wall-clock cost of the
 //! virtual-instance life-cycle against the real `dosgi-vosgi`
-//! implementation.
+//! implementation. Runs on the in-tree `dosgi-testkit` bench harness.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dosgi_core::workloads;
 use dosgi_osgi::Framework;
 use dosgi_san::Value;
+use dosgi_testkit::{Plan, Suite};
 use dosgi_vosgi::InstanceManager;
 use std::hint::black_box;
 
@@ -17,72 +17,61 @@ fn manager() -> InstanceManager {
     )
 }
 
-fn bench_lifecycle(c: &mut Criterion) {
-    c.bench_function("e2/create_instance", |b| {
-        b.iter_batched(
-            manager,
-            |mut mgr| {
-                let id = mgr
-                    .create_instance(workloads::web_instance("cust", "probe"))
-                    .unwrap();
-                black_box(id);
-                mgr
-            },
-            BatchSize::SmallInput,
-        )
+const PLAN: Plan = Plan { warmup: 3, iters: 20 };
+
+fn bench_lifecycle(suite: &mut Suite) {
+    suite.bench_batched_with(PLAN, "e2/create_instance", manager, |mut mgr| {
+        let id = mgr
+            .create_instance(workloads::web_instance("cust", "probe"))
+            .unwrap();
+        black_box(id);
     });
 
-    c.bench_function("e2/start_instance", |b| {
-        b.iter_batched(
-            || {
-                let mut mgr = manager();
-                let id = mgr
-                    .create_instance(workloads::web_instance("cust", "probe"))
-                    .unwrap();
-                (mgr, id)
-            },
-            |(mut mgr, id)| {
-                mgr.start_instance(id).unwrap();
-                mgr
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    suite.bench_batched_with(
+        PLAN,
+        "e2/start_instance",
+        || {
+            let mut mgr = manager();
+            let id = mgr
+                .create_instance(workloads::web_instance("cust", "probe"))
+                .unwrap();
+            (mgr, id)
+        },
+        |(mut mgr, id)| {
+            mgr.start_instance(id).unwrap();
+        },
+    );
 
-    c.bench_function("e2/full_cycle", |b| {
-        b.iter_batched(
-            manager,
-            |mut mgr| {
-                let id = mgr
-                    .create_instance(workloads::web_instance("cust", "probe"))
-                    .unwrap();
-                mgr.start_instance(id).unwrap();
-                mgr.stop_instance(id).unwrap();
-                mgr.destroy_instance(id, true).unwrap();
-                mgr
-            },
-            BatchSize::SmallInput,
-        )
+    suite.bench_batched_with(PLAN, "e2/full_cycle", manager, |mut mgr| {
+        let id = mgr
+            .create_instance(workloads::web_instance("cust", "probe"))
+            .unwrap();
+        mgr.start_instance(id).unwrap();
+        mgr.stop_instance(id).unwrap();
+        mgr.destroy_instance(id, true).unwrap();
     });
 }
 
-fn bench_service_call(c: &mut Criterion) {
+fn bench_service_call(suite: &mut Suite) {
     let mut mgr = manager();
     let id = mgr
         .create_instance(workloads::web_instance("cust", "probe"))
         .unwrap();
     mgr.start_instance(id).unwrap();
-    c.bench_function("e2/service_call", |b| {
-        b.iter(|| {
+    suite.bench("e2/service_call", || {
+        black_box(
             mgr.call_service(id, workloads::WEB_SERVICE, "handle", black_box(&Value::Null))
-                .unwrap()
-        })
+                .unwrap(),
+        );
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_lifecycle, bench_service_call
+fn main() {
+    if Suite::invoked_as_test() {
+        return;
+    }
+    let mut suite = Suite::new("e2_instance_mgmt");
+    bench_lifecycle(&mut suite);
+    bench_service_call(&mut suite);
+    suite.finish();
 }
-criterion_main!(benches);

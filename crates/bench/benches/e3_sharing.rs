@@ -1,10 +1,11 @@
-//! Criterion companion to experiment **E3**: the cost of the explicit-
-//! export delegating classloader relative to instance-local lookup.
+//! Bench companion to experiment **E3**: the cost of the explicit-export
+//! delegating classloader relative to instance-local lookup. Runs on the
+//! in-tree `dosgi-testkit` bench harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dosgi_core::workloads;
 use dosgi_osgi::{Framework, SymbolName};
 use dosgi_san::Value;
+use dosgi_testkit::Suite;
 use dosgi_vosgi::{InstanceDescriptor, InstanceManager};
 use std::hint::black_box;
 
@@ -33,38 +34,45 @@ fn setup() -> (InstanceManager, dosgi_vosgi::InstanceId, dosgi_osgi::BundleId) {
     (mgr, iid, bundle)
 }
 
-fn bench_lookup_paths(c: &mut Criterion) {
+fn bench_lookup_paths(suite: &mut Suite) {
     let (mut mgr, iid, bundle) = setup();
     let own = SymbolName::parse("org.app.web.impl.Handler").unwrap();
     let delegated = SymbolName::parse("org.dosgi.log.api.Logger").unwrap();
-    c.bench_function("e3/load_class_own", |b| {
-        b.iter(|| mgr.load_class(iid, bundle, black_box(&own)).unwrap())
+    suite.bench("e3/load_class_own", || {
+        black_box(mgr.load_class(iid, bundle, black_box(&own)).unwrap());
     });
-    c.bench_function("e3/load_class_host_delegated", |b| {
-        b.iter(|| mgr.load_class(iid, bundle, black_box(&delegated)).unwrap())
+    suite.bench("e3/load_class_host_delegated", || {
+        black_box(mgr.load_class(iid, bundle, black_box(&delegated)).unwrap());
     });
     // The denial path matters too: it is on the attack surface.
     let forbidden = SymbolName::parse("org.dosgi.http.api.Server").unwrap();
-    c.bench_function("e3/load_class_denied", |b| {
-        b.iter(|| mgr.load_class(iid, bundle, black_box(&forbidden)).unwrap_err())
+    suite.bench("e3/load_class_denied", || {
+        black_box(mgr.load_class(iid, bundle, black_box(&forbidden)).unwrap_err());
     });
 }
 
-fn bench_service_paths(c: &mut Criterion) {
+fn bench_service_paths(suite: &mut Suite) {
     let (mut mgr, iid, _) = setup();
-    c.bench_function("e3/call_instance_local_service", |b| {
-        b.iter(|| {
+    suite.bench("e3/call_instance_local_service", || {
+        black_box(
             mgr.call_service(iid, workloads::WEB_SERVICE, "handle", black_box(&Value::Null))
-                .unwrap()
-        })
+                .unwrap(),
+        );
     });
-    c.bench_function("e3/call_shared_host_service", |b| {
-        b.iter(|| {
+    suite.bench("e3/call_shared_host_service", || {
+        black_box(
             mgr.call_service(iid, workloads::LOG_SERVICE, "log", black_box(&Value::Null))
-                .unwrap()
-        })
+                .unwrap(),
+        );
     });
 }
 
-criterion_group!(benches, bench_lookup_paths, bench_service_paths);
-criterion_main!(benches);
+fn main() {
+    if Suite::invoked_as_test() {
+        return;
+    }
+    let mut suite = Suite::new("e3_sharing");
+    bench_lookup_paths(&mut suite);
+    bench_service_paths(&mut suite);
+    suite.finish();
+}

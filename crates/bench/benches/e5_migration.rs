@@ -1,11 +1,11 @@
-//! Criterion companion to experiment **E5**: wall-clock cost of driving a
+//! Bench companion to experiment **E5**: wall-clock cost of driving a
 //! complete simulated migration and a complete simulated failover (the
 //! implementation's own overhead, as opposed to the simulated-time results
-//! the E5/E6 binaries report).
+//! the E5/E6 binaries report). Runs on the in-tree `dosgi-testkit` harness.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dosgi_core::{workloads, ClusterConfig, DosgiCluster};
 use dosgi_net::SimDuration;
+use dosgi_testkit::{Plan, Suite};
 
 fn warmed_cluster(seed: u64) -> DosgiCluster {
     let mut c = DosgiCluster::new(3, ClusterConfig::default(), seed);
@@ -15,50 +15,49 @@ fn warmed_cluster(seed: u64) -> DosgiCluster {
     c
 }
 
-fn bench_migration(c: &mut Criterion) {
-    c.bench_function("e5/graceful_migration_end_to_end", |b| {
-        b.iter_batched(
-            || warmed_cluster(1),
-            |mut cluster| {
-                cluster.migrate("ctr", 1).unwrap();
-                cluster.run_for(SimDuration::from_secs(2));
-                assert_eq!(cluster.home_of("ctr"), Some(1));
-                cluster
-            },
-            BatchSize::SmallInput,
-        )
-    });
+fn bench_migration(suite: &mut Suite) {
+    // Whole-cluster simulations: a handful of iterations is plenty.
+    let plan = Plan::heavy();
 
-    c.bench_function("e5/crash_failover_end_to_end", |b| {
-        b.iter_batched(
-            || warmed_cluster(2),
-            |mut cluster| {
-                cluster.crash_node(0);
-                cluster.run_for(SimDuration::from_secs(2));
-                assert!(cluster.probe("ctr"));
-                cluster
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    suite.bench_batched_with(
+        plan,
+        "e5/graceful_migration_end_to_end",
+        || warmed_cluster(1),
+        |mut cluster| {
+            cluster.migrate("ctr", 1).unwrap();
+            cluster.run_for(SimDuration::from_secs(2));
+            assert_eq!(cluster.home_of("ctr"), Some(1));
+        },
+    );
+
+    suite.bench_batched_with(
+        plan,
+        "e5/crash_failover_end_to_end",
+        || warmed_cluster(2),
+        |mut cluster| {
+            cluster.crash_node(0);
+            cluster.run_for(SimDuration::from_secs(2));
+            assert!(cluster.probe("ctr"));
+        },
+    );
 
     // How expensive is simulated time itself? One quiet second of a
     // 3-node cluster (heartbeats, sampling, policy evaluations).
-    c.bench_function("e5/quiet_cluster_second", |b| {
-        b.iter_batched(
-            || warmed_cluster(3),
-            |mut cluster| {
-                cluster.run_for(SimDuration::from_secs(1));
-                cluster
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    suite.bench_batched_with(
+        plan,
+        "e5/quiet_cluster_second",
+        || warmed_cluster(3),
+        |mut cluster| {
+            cluster.run_for(SimDuration::from_secs(1));
+        },
+    );
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_migration
+fn main() {
+    if Suite::invoked_as_test() {
+        return;
+    }
+    let mut suite = Suite::new("e5_migration");
+    bench_migration(&mut suite);
+    suite.finish();
 }
-criterion_main!(benches);

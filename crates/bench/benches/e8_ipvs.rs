@@ -1,9 +1,10 @@
-//! Criterion companion to experiment **E8**: raw routing throughput of the
-//! ipvs director per scheduler, and the cost of a failover.
+//! Bench companion to experiment **E8**: raw routing throughput of the
+//! ipvs director per scheduler, and the cost of a failover. Runs on the
+//! in-tree `dosgi-testkit` bench harness.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dosgi_ipvs::{replicated_service, FaultTolerantIpvs, IpvsDirector, Scheduler};
 use dosgi_net::{IpAddr, IpBindings, NodeId, Port, SocketAddr};
+use dosgi_testkit::Suite;
 use std::hint::black_box;
 
 const VIP: SocketAddr = SocketAddr::new(IpAddr::new(10, 0, 0, 100), Port(80));
@@ -15,47 +16,53 @@ fn director(scheduler: Scheduler, backends: u32) -> IpvsDirector {
     d
 }
 
-fn bench_routing(c: &mut Criterion) {
+fn bench_routing(suite: &mut Suite) {
     for scheduler in [
         Scheduler::RoundRobin,
         Scheduler::WeightedRoundRobin,
         Scheduler::LeastConnections,
         Scheduler::SourceHash,
     ] {
-        c.bench_function(&format!("e8/route_{scheduler:?}"), |b| {
-            let mut d = director(scheduler, 8);
-            let mut client = 0u64;
-            b.iter(|| {
-                client = client.wrapping_add(1);
-                let node = d.connect(black_box(client), VIP).unwrap();
-                d.release(client, VIP);
-                node
-            })
+        let mut d = director(scheduler, 8);
+        let mut client = 0u64;
+        suite.bench(&format!("e8/route_{scheduler:?}"), || {
+            client = client.wrapping_add(1);
+            let node = d.connect(black_box(client), VIP).unwrap();
+            d.release(client, VIP);
+            black_box(node);
         });
     }
 }
 
-fn bench_failover(c: &mut Criterion) {
-    c.bench_function("e8/director_failover_300_conns", |b| {
-        b.iter_batched(
-            || {
-                let mut ft =
-                    FaultTolerantIpvs::new(NodeId(0), NodeId(1), director(Scheduler::RoundRobin, 8), true);
-                let mut bindings = IpBindings::new();
-                ft.bind_vips(&mut bindings);
-                for client in 0..300u64 {
-                    ft.connect(client, VIP).unwrap();
-                }
-                (ft, bindings)
-            },
-            |(mut ft, mut bindings)| {
-                ft.fail_active(&mut bindings);
-                (ft, bindings)
-            },
-            BatchSize::SmallInput,
-        )
-    });
+fn bench_failover(suite: &mut Suite) {
+    suite.bench_batched(
+        "e8/director_failover_300_conns",
+        || {
+            let mut ft = FaultTolerantIpvs::new(
+                NodeId(0),
+                NodeId(1),
+                director(Scheduler::RoundRobin, 8),
+                true,
+            );
+            let mut bindings = IpBindings::new();
+            ft.bind_vips(&mut bindings);
+            for client in 0..300u64 {
+                ft.connect(client, VIP).unwrap();
+            }
+            (ft, bindings)
+        },
+        |(mut ft, mut bindings)| {
+            ft.fail_active(&mut bindings);
+        },
+    );
 }
 
-criterion_group!(benches, bench_routing, bench_failover);
-criterion_main!(benches);
+fn main() {
+    if Suite::invoked_as_test() {
+        return;
+    }
+    let mut suite = Suite::new("e8_ipvs");
+    bench_routing(&mut suite);
+    bench_failover(&mut suite);
+    suite.finish();
+}

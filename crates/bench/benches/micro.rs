@@ -1,16 +1,17 @@
 //! Micro-benchmarks of the hot substrate paths: LDAP filter parse/eval,
-//! SAN value codec, resolver, policy engine.
+//! SAN value codec, resolver, policy engine. Runs on the in-tree
+//! `dosgi-testkit` bench harness; JSON report in `results/bench_micro.json`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dosgi_osgi::{Filter, ManifestBuilder, PropValue, Version};
 use dosgi_san::Value;
+use dosgi_testkit::Suite;
 use std::collections::BTreeMap;
 use std::hint::black_box;
 
-fn bench_filter(c: &mut Criterion) {
+fn bench_filter(suite: &mut Suite) {
     let source = "(&(objectClass=org.dosgi.log.Logger)(ranking>=5)(!(vendor=acme))(region=eu-*))";
-    c.bench_function("filter/parse", |b| {
-        b.iter(|| Filter::parse(black_box(source)).unwrap())
+    suite.bench("filter/parse", || {
+        black_box(Filter::parse(black_box(source)).unwrap());
     });
     let filter = Filter::parse(source).unwrap();
     let mut props: BTreeMap<String, PropValue> = BTreeMap::new();
@@ -18,12 +19,12 @@ fn bench_filter(c: &mut Criterion) {
     props.insert("ranking".into(), PropValue::from(9i64));
     props.insert("vendor".into(), PropValue::from("globex"));
     props.insert("region".into(), PropValue::from("eu-west"));
-    c.bench_function("filter/eval", |b| {
-        b.iter(|| filter.matches(black_box(&props)))
+    suite.bench("filter/eval", || {
+        black_box(filter.matches(black_box(&props)));
     });
 }
 
-fn bench_codec(c: &mut Criterion) {
+fn bench_codec(suite: &mut Suite) {
     // A realistic framework snapshot-shaped value.
     let snapshot = Value::map()
         .with("next_bundle", 12u64)
@@ -43,15 +44,15 @@ fn bench_codec(c: &mut Criterion) {
             ),
         );
     let encoded = snapshot.encode();
-    c.bench_function("codec/encode_snapshot", |b| {
-        b.iter(|| black_box(&snapshot).encode())
+    suite.bench("codec/encode_snapshot", || {
+        black_box(black_box(&snapshot).encode());
     });
-    c.bench_function("codec/decode_snapshot", |b| {
-        b.iter(|| Value::decode(black_box(&encoded)).unwrap())
+    suite.bench("codec/decode_snapshot", || {
+        black_box(Value::decode(black_box(&encoded)).unwrap());
     });
 }
 
-fn bench_resolver(c: &mut Criterion) {
+fn bench_resolver(suite: &mut Suite) {
     // 40 bundles in a dependency chain + fan-in on a base package.
     let base = ManifestBuilder::new("base", Version::new(1, 0, 0))
         .export_package("base.api", Version::new(1, 0, 0), ["Base"])
@@ -67,29 +68,26 @@ fn bench_resolver(c: &mut Criterion) {
         }
         manifests.push(b.build().unwrap());
     }
-    c.bench_function("resolver/40_bundle_chain", |b| {
-        b.iter_batched(
-            || {
-                let mut fw = dosgi_osgi::Framework::new("bench");
-                for m in &manifests {
-                    fw.install(m.clone(), None).unwrap();
-                }
-                fw
-            },
-            |mut fw| {
-                let resolved = fw.resolve_all();
-                assert_eq!(resolved.len(), manifests.len());
-                fw
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    suite.bench_batched(
+        "resolver/40_bundle_chain",
+        || {
+            let mut fw = dosgi_osgi::Framework::new("bench");
+            for m in &manifests {
+                fw.install(m.clone(), None).unwrap();
+            }
+            fw
+        },
+        |mut fw| {
+            let resolved = fw.resolve_all();
+            assert_eq!(resolved.len(), manifests.len());
+        },
+    );
 }
 
-fn bench_policy(c: &mut Criterion) {
+fn bench_policy(suite: &mut Suite) {
     let script = dosgi_core::autonomic::DEFAULT_POLICY;
-    c.bench_function("policy/compile_default", |b| {
-        b.iter(|| dosgi_policy::PolicyEngine::compile(black_box(script)).unwrap())
+    suite.bench("policy/compile_default", || {
+        black_box(dosgi_policy::PolicyEngine::compile(black_box(script)).unwrap());
     });
     let mut engine = dosgi_policy::PolicyEngine::compile(script).unwrap();
     let mut bb = dosgi_policy::Blackboard::new();
@@ -100,10 +98,19 @@ fn bench_policy(c: &mut Criterion) {
         bb.set_subject_metric(s, "quota_cpu", 0.5);
         bb.set_subject_metric(s, "quota_mem", 100_000_000.0);
     }
-    c.bench_function("policy/evaluate_20_subjects", |b| {
-        b.iter(|| engine.evaluate(black_box(&bb), black_box(&subjects)))
+    suite.bench("policy/evaluate_20_subjects", || {
+        black_box(engine.evaluate(black_box(&bb), black_box(&subjects)));
     });
 }
 
-criterion_group!(benches, bench_filter, bench_codec, bench_resolver, bench_policy);
-criterion_main!(benches);
+fn main() {
+    if Suite::invoked_as_test() {
+        return;
+    }
+    let mut suite = Suite::new("micro");
+    bench_filter(&mut suite);
+    bench_codec(&mut suite);
+    bench_resolver(&mut suite);
+    bench_policy(&mut suite);
+    suite.finish();
+}

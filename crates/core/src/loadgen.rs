@@ -6,13 +6,12 @@
 //! work-size sampler, the standard open-loop web workload shape.
 
 use dosgi_net::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dosgi_testkit::TestRng;
 
 /// A Poisson arrival process on the simulated clock.
 #[derive(Debug, Clone)]
 pub struct LoadGenerator {
-    rng: StdRng,
+    rng: TestRng,
     rate_per_sec: f64,
     next_arrival: SimTime,
 }
@@ -30,7 +29,7 @@ impl LoadGenerator {
             "rate must be positive"
         );
         let mut gen = LoadGenerator {
-            rng: StdRng::seed_from_u64(seed),
+            rng: TestRng::new(seed),
             rate_per_sec,
             next_arrival: start,
         };
@@ -40,10 +39,9 @@ impl LoadGenerator {
 
     fn advance_gap(&mut self) {
         // Exponential(λ) inter-arrival: -ln(U)/λ.
-        let u: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u: f64 = self.rng.f64().max(f64::MIN_POSITIVE);
         let gap_secs = -u.ln() / self.rate_per_sec;
-        self.next_arrival =
-            self.next_arrival + SimDuration::from_micros((gap_secs * 1e6) as u64);
+        self.next_arrival += SimDuration::from_micros((gap_secs * 1e6) as u64);
     }
 
     /// Number of arrivals with timestamps `<= now` since the last call.
@@ -67,7 +65,7 @@ impl LoadGenerator {
 /// as web traffic measurements consistently show).
 #[derive(Debug, Clone)]
 pub struct WorkSampler {
-    rng: StdRng,
+    rng: TestRng,
     min_us: f64,
     max_us: f64,
     alpha: f64,
@@ -84,7 +82,7 @@ impl WorkSampler {
         assert!(min < max, "min must be below max");
         assert!(alpha > 0.0, "alpha must be positive");
         WorkSampler {
-            rng: StdRng::seed_from_u64(seed),
+            rng: TestRng::new(seed),
             min_us: min.as_micros() as f64,
             max_us: max.as_micros() as f64,
             alpha,
@@ -94,7 +92,7 @@ impl WorkSampler {
     /// Draws one service demand.
     pub fn sample(&mut self) -> SimDuration {
         // Inverse-CDF of the bounded Pareto.
-        let u: f64 = self.rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
+        let u: f64 = self.rng.f64().clamp(1e-12, 1.0 - 1e-12);
         let (l, h, a) = (self.min_us, self.max_us, self.alpha);
         let x = (u * h.powf(a) - u * l.powf(a) - h.powf(a))
             / (h.powf(a) * l.powf(a));

@@ -13,11 +13,10 @@
 
 use crate::registry::ClusterRegistry;
 use dosgi_net::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The placement disciplines the Autonomic Module can choose between.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PlacementPolicy {
     /// Spread instances evenly: always the candidate currently hosting the
     /// fewest placed instances (ties to the lowest node id).

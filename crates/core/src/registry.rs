@@ -14,11 +14,10 @@
 use crate::msg::AppPayload;
 use dosgi_net::NodeId;
 use dosgi_san::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Where an instance is in its placement life-cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InstanceStatus {
     /// Running on its home node.
     Placed,

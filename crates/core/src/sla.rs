@@ -2,12 +2,11 @@
 
 use dosgi_net::{SimDuration, SimTime};
 use dosgi_vosgi::ResourceQuota;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A customer's service level agreement: resource entitlement plus an
 /// availability target.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlaSpec {
     /// Resource entitlement.
     pub quota: ResourceQuota,
@@ -32,7 +31,7 @@ impl Default for SlaSpec {
 }
 
 /// Per-instance availability record derived from periodic probes.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AvailabilityRecord {
     /// Time observed up.
     pub up: SimDuration,

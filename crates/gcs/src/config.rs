@@ -1,14 +1,13 @@
 //! Protocol timing parameters.
 
 use dosgi_net::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Timing knobs for the membership and broadcast protocols.
 ///
 /// The failover experiment (**E6**) sweeps `heartbeat_interval` /
 /// `suspect_timeout` to show the classic detection-latency/false-positive
 /// trade-off the paper inherits from its GCS.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GcsConfig {
     /// How often each member broadcasts a heartbeat.
     pub heartbeat_interval: SimDuration,

@@ -1,14 +1,13 @@
 //! Membership views.
 
 use dosgi_net::NodeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A view identifier: `(epoch, proposer)`, totally ordered. Higher epochs
 /// supersede lower; the proposer id breaks ties between concurrent
 /// proposals (which can only arise across a partition).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct ViewId {
     /// Monotonically increasing epoch.
@@ -24,7 +23,7 @@ impl fmt::Display for ViewId {
 }
 
 /// An agreed membership view: the set of nodes currently believed alive.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct View {
     /// The view's identifier.
     pub id: ViewId,

@@ -2,7 +2,6 @@
 
 use crate::{RealServer, Scheduler, VirtualService};
 use dosgi_net::{NodeId, SocketAddr};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -27,7 +26,7 @@ impl fmt::Display for RouteError {
 impl std::error::Error for RouteError {}
 
 /// Director counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IpvsStats {
     /// Requests routed to a backend.
     pub routed: u64,

@@ -1,11 +1,10 @@
 //! Scheduling disciplines.
 
 use crate::VirtualService;
-use serde::{Deserialize, Serialize};
 
 /// The scheduling disciplines of Linux ipvs that the paper's load-balancing
 /// claim rests on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Scheduler {
     /// Each request to the next live server in turn.
     #[default]

@@ -2,10 +2,9 @@
 
 use crate::Scheduler;
 use dosgi_net::{NodeId, SocketAddr};
-use serde::{Deserialize, Serialize};
 
 /// A backend node serving a virtual service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RealServer {
     /// The node hosting the service replica.
     pub node: NodeId,
@@ -42,7 +41,7 @@ impl RealServer {
 }
 
 /// One `VIP:port` virtual service: scheduler plus backend set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VirtualService {
     /// The service's public endpoint.
     pub address: SocketAddr,

@@ -1,13 +1,12 @@
 //! Node capacity and placement fitting.
 
 use dosgi_net::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// A node's total resources — what the Migration Module weighs a
 /// destination against (§3.2: *"The decision of where to redeploy the
 /// virtual instance shall take into account its resource requirements and
 /// the resources available on the destination node"*).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeCapacity {
     /// Number of CPU cores.
     pub cpu_cores: f64,

@@ -1,12 +1,11 @@
 //! JSR-284-style resource domains.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// The resource dimensions a domain accounts for.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub enum ResourceType {
     /// CPU time, microseconds.
@@ -36,7 +35,7 @@ impl fmt::Display for ResourceType {
 
 /// Notifications emitted by a [`ResourceDomain`] on threshold crossings —
 /// the JSR-284 "resource event" concept the Autonomic Module consumes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DomainEvent {
     /// Consumption crossed the soft threshold (fraction of the limit).
     SoftLimit {
@@ -63,7 +62,7 @@ pub enum DomainEvent {
 /// A per-customer resource accounting domain in the JSR-284 style:
 /// consumption is metered against optional hard limits, with soft-threshold
 /// events for early warning.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResourceDomain {
     name: String,
     limits: BTreeMap<ResourceType, u64>,

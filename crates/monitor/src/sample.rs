@@ -2,10 +2,9 @@
 
 use dosgi_net::{SimDuration, SimTime};
 use dosgi_osgi::UsageSnapshot;
-use serde::{Deserialize, Serialize};
 
 /// Usage over one sampling window, as rates and gauges.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WindowedUsage {
     /// When the window closed.
     pub at: SimTime,
@@ -27,7 +26,7 @@ pub struct WindowedUsage {
 
 /// Converts a stream of cumulative [`UsageSnapshot`]s into
 /// [`WindowedUsage`] deltas. One `Sampler` per monitored subject.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Sampler {
     prev: Option<(SimTime, UsageSnapshot)>,
 }

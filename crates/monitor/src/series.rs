@@ -1,10 +1,9 @@
 //! Bounded time series with the statistics policy conditions need.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A bounded sliding window of `f64` observations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     window: usize,
     values: VecDeque<f64>,
@@ -123,7 +122,7 @@ impl Default for TimeSeries {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use dosgi_testkit::{prop, prop_verify};
 
     #[test]
     fn empty_series_returns_none() {
@@ -190,17 +189,19 @@ mod tests {
         let _ = TimeSeries::new(0, 0.5);
     }
 
-    proptest! {
-        #[test]
-        fn prop_mean_bounded_by_min_max(values in proptest::collection::vec(-1e6..1e6f64, 1..50)) {
+    #[test]
+    fn prop_mean_bounded_by_min_max() {
+        let values = prop::vecs(prop::f64s(-1e6, 1e6), 1, 49);
+        prop::check("prop_mean_bounded_by_min_max", &values, |values| {
             let mut s = TimeSeries::new(64, 0.3);
-            for v in &values {
+            for v in values {
                 s.push(*v);
             }
             let (mean, min, max) = (s.mean().unwrap(), s.min().unwrap(), s.max().unwrap());
-            prop_assert!(mean >= min - 1e-9 && mean <= max + 1e-9);
-            prop_assert!(s.percentile(50.0).unwrap() >= min);
-            prop_assert!(s.percentile(50.0).unwrap() <= max);
-        }
+            prop_verify!(mean >= min - 1e-9 && mean <= max + 1e-9);
+            prop_verify!(s.percentile(50.0).unwrap() >= min);
+            prop_verify!(s.percentile(50.0).unwrap() <= max);
+            Ok(())
+        });
     }
 }

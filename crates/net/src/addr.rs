@@ -8,7 +8,6 @@
 //! which node currently answers for which IP.
 
 use crate::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -17,7 +16,7 @@ use std::fmt;
 /// Only identity matters for the simulation; the dotted-quad rendering is for
 /// logs and experiment output.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct IpAddr(pub u32);
 
@@ -43,7 +42,7 @@ impl fmt::Display for IpAddr {
 
 /// A simulated transport port.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Port(pub u16);
 
@@ -55,7 +54,7 @@ impl fmt::Display for Port {
 
 /// An `IP:port` endpoint, the unit of service localization in the paper.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SocketAddr {
     /// The IP half of the endpoint.

@@ -1,7 +1,6 @@
 //! Link quality configuration.
 
 use crate::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Latency/jitter/loss parameters for a network link.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// two data centers).
 ///
 /// [`SimNet::set_link`]: crate::SimNet::set_link
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
     /// Base one-way latency applied to every message.
     pub latency: SimDuration,

@@ -1,6 +1,5 @@
 //! Node identity.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a physical node in the simulated cluster.
@@ -12,7 +11,7 @@ use std::fmt;
 ///
 /// [`SimNet::register_node`]: crate::SimNet::register_node
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct NodeId(pub u32);
 

@@ -1,8 +1,7 @@
 //! The discrete-event network simulator.
 
 use crate::{IpBindings, LinkConfig, NetStats, NodeId, Partition, SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dosgi_testkit::TestRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -83,7 +82,7 @@ pub struct SimNet<M> {
     fired: Vec<Vec<TimerToken>>,
     queue: BinaryHeap<Reverse<Queued<M>>>,
     seq: u64,
-    rng: StdRng,
+    rng: TestRng,
     stats: NetStats,
     ips: IpBindings,
 }
@@ -101,7 +100,7 @@ impl<M> SimNet<M> {
             fired: Vec::new(),
             queue: BinaryHeap::new(),
             seq: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: TestRng::new(seed),
             stats: NetStats::default(),
             ips: IpBindings::new(),
         }
@@ -181,14 +180,14 @@ impl<M> SimNet<M> {
             return;
         }
         let link = self.link(from, to);
-        if link.loss > 0.0 && self.rng.random::<f64>() < link.loss {
+        if link.loss > 0.0 && self.rng.f64() < link.loss {
             self.stats.lost += 1;
             return;
         }
         let jitter = if link.jitter.is_zero() {
             SimDuration::ZERO
         } else {
-            SimDuration::from_micros(self.rng.random_range(0..=link.jitter.as_micros()))
+            SimDuration::from_micros(self.rng.u64_in(0, link.jitter.as_micros()))
         };
         let at = self.now + link.latency + jitter;
         let env = Envelope {
@@ -233,7 +232,7 @@ impl<M> SimNet<M> {
     pub fn expired_timers(&mut self, node: NodeId) -> Vec<TimerToken> {
         self.fired
             .get_mut(node.index())
-            .map(|v| std::mem::take(v))
+            .map(std::mem::take)
             .unwrap_or_default()
     }
 

@@ -1,13 +1,12 @@
 //! Network traffic statistics.
 
-use serde::{Deserialize, Serialize};
 
 /// Counters maintained by [`SimNet`](crate::SimNet).
 ///
 /// The benchmark harness reads these to report message complexity — e.g. how
 /// many control messages a failover consumed (experiment **E6**) or the
 /// metadata dissemination cost of the migration module.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Messages accepted by `send`/`broadcast`.
     pub sent: u64,

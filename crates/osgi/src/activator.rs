@@ -34,11 +34,14 @@ pub trait Activator: Send {
     fn stop(&mut self, ctx: &mut BundleContext<'_>) -> Result<(), String>;
 }
 
+/// A boxed start/stop callback as stored by [`FnActivator`].
+type LifecycleFn = Box<dyn for<'a> FnMut(&mut BundleContext<'a>) -> Result<(), String> + Send>;
+
 /// An [`Activator`] built from two closures. Convenient in tests and
 /// examples.
 pub struct FnActivator {
-    on_start: Box<dyn FnMut(&mut BundleContext<'_>) -> Result<(), String> + Send>,
-    on_stop: Box<dyn FnMut(&mut BundleContext<'_>) -> Result<(), String> + Send>,
+    on_start: LifecycleFn,
+    on_stop: LifecycleFn,
 }
 
 impl FnActivator {
@@ -78,6 +81,9 @@ impl Activator for FnActivator {
     }
 }
 
+/// A boxed activator constructor as stored by [`ActivatorFactory`].
+type BuilderFn = Box<dyn Fn(&BundleManifest) -> Box<dyn Activator> + Send + Sync>;
+
 /// Recreates activators from manifests when a framework is restored from
 /// persistent state.
 ///
@@ -89,7 +95,7 @@ impl Activator for FnActivator {
 /// paper's migration — work.
 #[derive(Default)]
 pub struct ActivatorFactory {
-    builders: HashMap<String, Box<dyn Fn(&BundleManifest) -> Box<dyn Activator> + Send + Sync>>,
+    builders: HashMap<String, BuilderFn>,
 }
 
 impl fmt::Debug for ActivatorFactory {

@@ -6,11 +6,10 @@
 //! it (the instance manager, the monitoring module, tests).
 
 use crate::{BundleId, ServiceId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What happened to a bundle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BundleEventKind {
     /// The bundle was installed.
     Installed,
@@ -27,7 +26,7 @@ pub enum BundleEventKind {
 }
 
 /// A bundle lifecycle event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BundleEvent {
     /// The bundle concerned.
     pub bundle: BundleId,
@@ -42,7 +41,7 @@ impl fmt::Display for BundleEvent {
 }
 
 /// What happened to a service registration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServiceEventKind {
     /// A service was registered.
     Registered,
@@ -53,7 +52,7 @@ pub enum ServiceEventKind {
 }
 
 /// A service registry event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceEvent {
     /// The service concerned.
     pub service: ServiceId,
@@ -70,7 +69,7 @@ impl fmt::Display for ServiceEvent {
 }
 
 /// A framework-level event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FrameworkEvent {
     /// The framework finished starting.
     Started,

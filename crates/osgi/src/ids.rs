@@ -1,14 +1,13 @@
 //! Identifiers: bundle ids, service ids, symbolic names, versions and
 //! version ranges.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// A bundle's framework-local numeric identity, assigned at install time and
 /// never reused within a framework instance.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct BundleId(pub u64);
 
@@ -20,7 +19,7 @@ impl fmt::Display for BundleId {
 
 /// A registered service's framework-local numeric identity.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct ServiceId(pub u64);
 
@@ -42,7 +41,7 @@ fn valid_name(s: &str) -> bool {
 
 /// A bundle symbolic name (`Bundle-SymbolicName`), e.g.
 /// `org.example.logsvc`. Dot-separated segments of `[A-Za-z0-9_-]`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SymbolicName(String);
 
 impl SymbolicName {
@@ -78,7 +77,7 @@ impl AsRef<str> for SymbolicName {
 }
 
 /// A Java-style package name, e.g. `org.example.log`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PackageName(String);
 
 impl PackageName {
@@ -121,7 +120,7 @@ impl AsRef<str> for PackageName {
 
 /// A fully qualified "class" name, e.g. `org.example.log.Logger`: a package
 /// plus a final simple name. The simulation's unit of class loading.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SymbolName {
     package: PackageName,
     simple: String,
@@ -175,7 +174,7 @@ impl fmt::Display for SymbolName {
 
 /// An OSGi version: `major.minor.micro` (qualifiers are not modeled).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Version {
     /// Major component.
@@ -234,7 +233,7 @@ impl fmt::Display for Version {
 
 /// An OSGi version range, e.g. `[1.0,2.0)`, `(1.2.3,1.9]`, or the shorthand
 /// `1.0` meaning *at least 1.0* (`[1.0,∞)`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VersionRange {
     /// Lower bound.
     pub min: Version,
@@ -369,7 +368,7 @@ impl fmt::Display for VersionRange {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use dosgi_testkit::{prop, prop_verify_eq, Gen};
 
     #[test]
     fn symbolic_name_validation() {
@@ -459,21 +458,29 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_version_display_parse_round_trip(a in 0u32..100, b in 0u32..100, c in 0u32..100) {
+    #[test]
+    fn prop_version_display_parse_round_trip() {
+        let triples = Gen::new(|rng| {
+            (rng.u64_in(0, 99) as u32, rng.u64_in(0, 99) as u32, rng.u64_in(0, 99) as u32)
+        });
+        prop::check("prop_version_display_parse_round_trip", &triples, |&(a, b, c)| {
             let v = Version::new(a, b, c);
-            prop_assert_eq!(v.to_string().parse::<Version>().unwrap(), v);
-        }
+            prop_verify_eq!(v.to_string().parse::<Version>().unwrap(), v);
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_half_open_contains_iff_ordered(
-            a in 0u32..20, b in 0u32..20, x in 0u32..20
-        ) {
+    #[test]
+    fn prop_half_open_contains_iff_ordered() {
+        let triples = Gen::new(|rng| {
+            (rng.u64_in(0, 19) as u32, rng.u64_in(0, 19) as u32, rng.u64_in(0, 19) as u32)
+        });
+        prop::check("prop_half_open_contains_iff_ordered", &triples, |&(a, b, x)| {
             let (lo, hi) = (a.min(b), a.max(b));
             let r = VersionRange::half_open(Version::new(lo, 0, 0), Version::new(hi, 0, 0));
             let v = Version::new(x, 0, 0);
-            prop_assert_eq!(r.contains(v), x >= lo && x < hi);
-        }
+            prop_verify_eq!(r.contains(v), x >= lo && x < hi);
+            Ok(())
+        });
     }
 }

@@ -10,11 +10,10 @@
 
 use crate::BundleId;
 use dosgi_net::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A point-in-time reading of one bundle's accumulated usage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct UsageSnapshot {
     /// Total CPU time consumed.
     pub cpu: SimDuration,

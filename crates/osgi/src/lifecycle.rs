@@ -1,6 +1,5 @@
 //! The bundle lifecycle state machine.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The lifecycle states of an OSGi bundle.
@@ -19,7 +18,7 @@ use std::fmt;
 /// activator that fails leaves the bundle `Resolved`, and monitoring can
 /// observe them on slow activators.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub enum BundleState {
     /// Installed but its imports are not yet wired.

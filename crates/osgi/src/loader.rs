@@ -1,11 +1,10 @@
 //! Class spaces: symbol lookup through the OSGi delegation order.
 
 use crate::{BundleId, PackageName, SymbolName};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Where a successfully loaded class came from.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClassRef {
     /// The symbol that was requested.
     pub symbol: SymbolName,
@@ -16,7 +15,7 @@ pub struct ClassRef {
 }
 
 /// The delegation step that satisfied a lookup.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoadPath {
     /// Boot delegation (the platform's own packages, e.g. `std.*`).
     Boot,
@@ -68,7 +67,7 @@ impl std::error::Error for LoadError {}
 
 /// The boot-delegation list: package prefixes served by the platform itself
 /// rather than any bundle (the `java.*` analogue).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BootDelegation {
     prefixes: Vec<String>,
 }

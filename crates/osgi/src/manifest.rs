@@ -2,10 +2,9 @@
 
 use crate::{PackageName, SymbolicName, Version, VersionRange};
 use dosgi_san::Value;
-use serde::{Deserialize, Serialize};
 
 /// A package a bundle offers to others (`Export-Package`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackageExport {
     /// The exported package.
     pub name: PackageName,
@@ -16,7 +15,7 @@ pub struct PackageExport {
 }
 
 /// A package a bundle needs from others (`Import-Package`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackageImport {
     /// The imported package.
     pub name: PackageName,
@@ -33,7 +32,7 @@ pub struct PackageImport {
 /// [`dosgi_san::Value`] so the framework can persist its installed-bundle
 /// table to the SAN, which is what lets another node re-materialize the
 /// bundle after a migration or failover.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BundleManifest {
     /// `Bundle-SymbolicName`.
     pub symbolic_name: SymbolicName,

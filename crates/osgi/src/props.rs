@@ -1,7 +1,6 @@
 //! Service property values.
 
 use dosgi_san::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A value in a service's property dictionary.
@@ -9,7 +8,7 @@ use std::fmt;
 /// Mirrors the property types OSGi filters operate on. Ordered comparisons
 /// (`>=`, `<=`) are defined for numeric values; strings compare
 /// lexicographically, as in the OSGi filter specification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PropValue {
     /// A string.
     Str(String),

@@ -1,13 +1,12 @@
 //! Actions a policy can request.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A concrete action the embedding (the node's Autonomic Module) should
 /// execute. §3.3: *"stopping a given virtual instance, giving it lower
 /// priority … or swap it, if possible, to a suitable node"*, plus the
 /// consolidation/power actions from §4.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PolicyAction {
     /// Move the instance to another node (destination chosen by the
     /// Migration Module's placement logic).
@@ -82,7 +81,7 @@ impl fmt::Display for PolicyAction {
 }
 
 /// One firing of one rule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolicyDecision {
     /// The rule that fired.
     pub rule: String,

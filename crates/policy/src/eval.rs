@@ -218,14 +218,10 @@ fn eval_call(
         [] => None,
         [one] => match eval(one, source, subject)? {
             Value::Str(s) => Some(s),
-            other => {
+            _other => {
                 return Err(EvalError::Arity {
                     name: name.to_owned(),
                     expected: "a subject ($i or string)",
-                })
-                .map_err(|e| {
-                    let _ = other;
-                    e
                 })
             }
         },

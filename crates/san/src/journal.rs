@@ -7,8 +7,7 @@
 
 use crate::Value;
 use dosgi_net::SimTime;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// The kind of mutation recorded in a [`JournalEntry`].
 #[derive(Debug, Clone, PartialEq)]
@@ -65,9 +64,16 @@ impl Journal {
         Self::default()
     }
 
+    /// Locks the shared log, explicitly adopting a poisoned lock: the
+    /// journal holds plain owned data, and every critical section leaves it
+    /// structurally valid even if a caller's panic poisons the mutex.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Appends an operation, returning its sequence number.
     pub fn append(&self, at: SimTime, op: JournalOp) -> u64 {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let seq = inner.entries.len() as u64 + 1;
         inner.entries.push(JournalEntry { seq, at, op });
         seq
@@ -75,7 +81,7 @@ impl Journal {
 
     /// Entries with `seq > after`, in order. `after = 0` reads everything.
     pub fn read_after(&self, after: u64) -> Vec<JournalEntry> {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         inner
             .entries
             .iter()
@@ -86,13 +92,13 @@ impl Journal {
 
     /// The highest sequence number appended so far (0 when empty).
     pub fn head(&self) -> u64 {
-        self.inner.lock().entries.len() as u64
+        self.lock().entries.len() as u64
     }
 
     /// Drops entries with `seq <= upto` (after a checkpoint), returning how
     /// many were pruned. Sequence numbers of retained entries are preserved.
     pub fn prune(&self, upto: u64) -> usize {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let before = inner.entries.len();
         inner.entries.retain(|e| e.seq > upto);
         before - inner.entries.len()

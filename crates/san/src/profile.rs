@@ -1,7 +1,6 @@
 //! SAN latency profile.
 
 use dosgi_net::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Latency costs the simulation charges for SAN operations.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// simulation in `dosgi-core`) using this profile, so unit tests of the
 /// store stay instantaneous while cluster experiments account for real I/O
 /// proportions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SanProfile {
     /// Cost of one read operation.
     pub read: SimDuration,

@@ -1,10 +1,8 @@
 //! The cluster-wide shared object store.
 
 use crate::{StoreError, Value};
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A stored value together with its monotonically increasing version.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,7 +14,7 @@ pub struct Versioned {
 }
 
 /// I/O counters for experiment reporting.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Successful read operations.
     pub reads: u64,
@@ -55,9 +53,16 @@ impl SharedStore {
         Self::default()
     }
 
+    /// Locks the shared state, explicitly adopting a poisoned lock: the
+    /// store holds plain owned data, and every critical section leaves it
+    /// structurally valid even if a caller's panic poisons the mutex.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Writes `value` under `namespace/key`, returning the new version.
     pub fn put(&self, namespace: &str, key: &str, value: Value) -> u64 {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         inner.stats.writes += 1;
         inner.stats.bytes_written += value.encoded_len() as u64;
         let ns = inner.namespaces.entry(namespace.to_owned()).or_default();
@@ -73,7 +78,7 @@ impl SharedStore {
 
     /// Reads the value and its version.
     pub fn get_versioned(&self, namespace: &str, key: &str) -> Option<Versioned> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let v = inner
             .namespaces
             .get(namespace)
@@ -99,7 +104,7 @@ impl SharedStore {
         expected: u64,
         value: Value,
     ) -> Result<u64, StoreError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let ns = inner.namespaces.entry(namespace.to_owned()).or_default();
         let found = ns.get(key).map(|v| v.version).unwrap_or(0);
         if found != expected {
@@ -119,7 +124,7 @@ impl SharedStore {
     ///
     /// Returns [`StoreError::NotFound`] if the key is absent.
     pub fn delete(&self, namespace: &str, key: &str) -> Result<(), StoreError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let removed = inner
             .namespaces
             .get_mut(namespace)
@@ -138,7 +143,7 @@ impl SharedStore {
 
     /// Deletes an entire namespace, returning how many keys it held.
     pub fn delete_namespace(&self, namespace: &str) -> usize {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let n = inner
             .namespaces
             .remove(namespace)
@@ -152,8 +157,7 @@ impl SharedStore {
 
     /// Keys in a namespace, sorted.
     pub fn list_keys(&self, namespace: &str) -> Vec<String> {
-        self.inner
-            .lock()
+        self.lock()
             .namespaces
             .get(namespace)
             .map(|ns| ns.keys().cloned().collect())
@@ -162,7 +166,7 @@ impl SharedStore {
 
     /// All namespaces with at least one key, sorted.
     pub fn list_namespaces(&self) -> Vec<String> {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         let mut v: Vec<String> = inner
             .namespaces
             .iter()
@@ -175,7 +179,7 @@ impl SharedStore {
 
     /// Reads a whole namespace as `(key, value)` pairs, sorted by key.
     pub fn read_namespace(&self, namespace: &str) -> Vec<(String, Value)> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let pairs: Vec<(String, Value)> = inner
             .namespaces
             .get(namespace)
@@ -195,8 +199,7 @@ impl SharedStore {
     /// Total encoded size of a namespace in bytes (no stats impact) —
     /// the "how much state would a migration move" metric.
     pub fn namespace_bytes(&self, namespace: &str) -> u64 {
-        self.inner
-            .lock()
+        self.lock()
             .namespaces
             .get(namespace)
             .map(|ns| ns.values().map(|v| v.value.encoded_len() as u64).sum())
@@ -207,7 +210,7 @@ impl SharedStore {
     /// under `prefix/…` — an instance's full footprint (framework snapshot
     /// plus all bundle data areas).
     pub fn namespace_bytes_prefixed(&self, prefix: &str) -> u64 {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         let sub = format!("{prefix}/");
         inner
             .namespaces
@@ -219,12 +222,12 @@ impl SharedStore {
 
     /// Current I/O counters.
     pub fn stats(&self) -> StoreStats {
-        self.inner.lock().stats
+        self.lock().stats
     }
 
     /// Resets the I/O counters (between experiment phases).
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = StoreStats::default();
+        self.lock().stats = StoreStats::default();
     }
 }
 

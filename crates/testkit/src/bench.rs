@@ -1,0 +1,278 @@
+//! A tiny wall-clock benchmark harness.
+//!
+//! Replaces `criterion` for this workspace: warmup, a fixed iteration
+//! count, min/mean/median/p95 over per-iteration wall times, a text table
+//! on stdout, and a machine-readable JSON report under `results/`.
+//!
+//! Usage inside a `[[bench]]` target with `harness = false`:
+//!
+//! ```no_run
+//! use dosgi_testkit::bench::Suite;
+//!
+//! fn main() {
+//!     let mut suite = Suite::new("micro");
+//!     suite.bench("hot_path", || {
+//!         std::hint::black_box(2 + 2);
+//!     });
+//!     suite.finish();
+//! }
+//! ```
+
+use std::time::Instant;
+
+/// Per-benchmark sizing. `DOSGI_BENCH_ITERS` overrides `iters` globally.
+#[derive(Debug, Clone, Copy)]
+pub struct Plan {
+    /// Untimed warmup iterations (page in code and data, settle caches).
+    pub warmup: u32,
+    /// Timed iterations; each is measured individually.
+    pub iters: u32,
+}
+
+impl Default for Plan {
+    fn default() -> Self {
+        Plan { warmup: 10, iters: 60 }
+    }
+}
+
+impl Plan {
+    /// A plan for expensive benchmarks (whole-cluster simulations).
+    pub fn heavy() -> Self {
+        Plan { warmup: 1, iters: 8 }
+    }
+
+    fn effective_iters(&self) -> u32 {
+        std::env::var("DOSGI_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.iters)
+            .max(1)
+    }
+}
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Benchmark name (unique within a suite).
+    pub name: String,
+    /// Timed iterations behind the statistics.
+    pub iters: u32,
+    /// Fastest iteration.
+    pub min_ns: u64,
+    /// Arithmetic mean.
+    pub mean_ns: u64,
+    /// 50th percentile (nearest-rank).
+    pub median_ns: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95_ns: u64,
+    /// Slowest iteration.
+    pub max_ns: u64,
+}
+
+impl Report {
+    fn from_samples(name: &str, mut ns: Vec<u64>) -> Report {
+        ns.sort_unstable();
+        let iters = ns.len() as u32;
+        let sum: u128 = ns.iter().map(|&n| n as u128).sum();
+        let rank = |p: f64| ns[((p * (ns.len() - 1) as f64).round()) as usize];
+        Report {
+            name: name.to_string(),
+            iters,
+            min_ns: ns[0],
+            mean_ns: (sum / ns.len() as u128) as u64,
+            median_ns: rank(0.50),
+            p95_ns: rank(0.95),
+            max_ns: ns[ns.len() - 1],
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"name\":{:?},\"iters\":{},\"min_ns\":{},\"mean_ns\":{},\
+             \"median_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
+            self.name, self.iters, self.min_ns, self.mean_ns, self.median_ns,
+            self.p95_ns, self.max_ns
+        )
+    }
+}
+
+fn human(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns} ns"),
+        10_000..=9_999_999 => format!("{:.1} µs", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+/// A named collection of benchmarks producing one JSON report file.
+pub struct Suite {
+    name: String,
+    reports: Vec<Report>,
+}
+
+impl Suite {
+    /// Creates an empty suite. Call [`finish`](Self::finish) to emit the
+    /// report.
+    pub fn new(name: &str) -> Suite {
+        println!("suite {name}");
+        Suite { name: name.to_string(), reports: Vec::new() }
+    }
+
+    /// True when the binary was invoked by `cargo test` (which passes
+    /// `--test`): benchmarks should be skipped, compile-checking is enough.
+    pub fn invoked_as_test() -> bool {
+        std::env::args().any(|a| a == "--test")
+    }
+
+    /// Benchmarks `f` under the default [`Plan`].
+    pub fn bench(&mut self, name: &str, f: impl FnMut()) {
+        self.bench_with(Plan::default(), name, f)
+    }
+
+    /// Benchmarks `f` under an explicit plan.
+    pub fn bench_with(&mut self, plan: Plan, name: &str, mut f: impl FnMut()) {
+        self.bench_batched_with(plan, name, || (), |()| f())
+    }
+
+    /// Benchmarks `work` with a fresh untimed `setup` product per
+    /// iteration — the analogue of criterion's `iter_batched`.
+    pub fn bench_batched<S>(
+        &mut self,
+        name: &str,
+        setup: impl FnMut() -> S,
+        work: impl FnMut(S),
+    ) {
+        self.bench_batched_with(Plan::default(), name, setup, work)
+    }
+
+    /// [`bench_batched`](Self::bench_batched) under an explicit plan.
+    pub fn bench_batched_with<S>(
+        &mut self,
+        plan: Plan,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut work: impl FnMut(S),
+    ) {
+        let iters = plan.effective_iters();
+        for _ in 0..plan.warmup {
+            work(setup());
+        }
+        let mut samples = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            work(input);
+            samples.push(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+        let report = Report::from_samples(name, samples);
+        println!(
+            "  {:<40} median {:>10}   p95 {:>10}   ({} iters)",
+            report.name,
+            human(report.median_ns),
+            human(report.p95_ns),
+            report.iters
+        );
+        self.reports.push(report);
+    }
+
+    /// Prints a footer and writes `results/bench_<suite>.json` at the
+    /// workspace root (falling back to the current directory when no
+    /// workspace root is found). Returns the path written, if any.
+    pub fn finish(self) -> Option<std::path::PathBuf> {
+        let body: Vec<String> = self.reports.iter().map(Report::json).collect();
+        let json = format!(
+            "{{\"suite\":{:?},\"results\":[{}]}}\n",
+            self.name,
+            body.join(",")
+        );
+        let dir = workspace_root().join("results");
+        if std::fs::create_dir_all(&dir).is_err() {
+            return None;
+        }
+        let path = dir.join(format!("bench_{}.json", self.name));
+        match std::fs::write(&path, json) {
+            Ok(()) => {
+                println!("suite {} -> {}", self.name, path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("suite {}: could not write report: {e}", self.name);
+                None
+            }
+        }
+    }
+}
+
+/// Walks up from the current directory to the outermost `Cargo.toml`
+/// declaring `[workspace]`; benches run with a crate-local cwd, reports
+/// belong at the repo root.
+fn workspace_root() -> std::path::PathBuf {
+    let start = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    let mut found = start.clone();
+    for dir in start.ancestors() {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                found = dir.to_path_buf();
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_stats_are_order_statistics() {
+        let r = Report::from_samples("x", vec![50, 10, 30, 20, 40]);
+        assert_eq!(r.min_ns, 10);
+        assert_eq!(r.max_ns, 50);
+        assert_eq!(r.median_ns, 30);
+        assert_eq!(r.mean_ns, 30);
+        assert_eq!(r.p95_ns, 50);
+        assert_eq!(r.iters, 5);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = Report::from_samples("codec/encode", vec![1, 2, 3]);
+        let j = r.json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"name\":\"codec/encode\""));
+        assert!(j.contains("\"median_ns\":2"));
+    }
+
+    #[test]
+    fn human_units_scale() {
+        assert_eq!(human(500), "500 ns");
+        assert_eq!(human(25_000), "25.0 µs");
+        assert_eq!(human(25_000_000), "25.0 ms");
+        assert_eq!(human(12_500_000_000), "12.50 s");
+    }
+
+    #[test]
+    fn suite_runs_setup_per_iteration() {
+        let mut suite = Suite::new("selftest");
+        let mut setups = 0u32;
+        let mut works = 0u32;
+        let plan = Plan { warmup: 2, iters: 5 };
+        suite.bench_batched_with(
+            plan,
+            "counting",
+            || {
+                setups += 1;
+            },
+            |()| {
+                works += 1;
+            },
+        );
+        if std::env::var("DOSGI_BENCH_ITERS").is_err() {
+            assert_eq!(setups, 7); // 2 warmup + 5 timed
+            assert_eq!(works, 7);
+        }
+        assert_eq!(suite.reports.len(), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! # dosgi-testkit
+//!
+//! The workspace's self-contained test and measurement substrate. The
+//! dependability claims of this repo are only worth what its validation
+//! harness can demonstrate, and that harness must run anywhere — including
+//! fully offline build environments with an empty cargo registry. So this
+//! crate replaces the external `rand` / `proptest` / `criterion` stack
+//! with three small, dependency-free modules:
+//!
+//! * [`rng`] — a seedable xoshiro256** PRNG ([`TestRng`]), the single
+//!   source of pseudo-randomness for simulations, load generation and
+//!   tests. Deterministic in its seed, pinned by known-answer tests.
+//! * [`prop`] — a deterministic property-testing harness: generator
+//!   combinators ([`prop::Gen`]), fixed case counts, failing-seed
+//!   reporting with `DOSGI_PROP_SEED` replay, and opt-in linear shrinking.
+//! * [`bench`] — a wall-clock micro/macro benchmark harness
+//!   ([`bench::Suite`]): warmup + N timed iterations, median/p95, JSON
+//!   reports under `results/`.
+//!
+//! Policy: no crate in this workspace may depend on the crates.io
+//! registry. If a capability is missing, it is added here.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{Plan, Report, Suite};
+pub use prop::{Config as PropConfig, Gen, PropResult};
+pub use rng::{mix_seed, splitmix64, TestRng};

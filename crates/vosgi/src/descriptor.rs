@@ -3,14 +3,13 @@
 use crate::{ResourceQuota, SecurityPolicy};
 use dosgi_osgi::PackageName;
 use dosgi_san::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a virtual instance within an [`InstanceManager`].
 ///
 /// [`InstanceManager`]: crate::InstanceManager
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct InstanceId(pub u64);
 
@@ -21,7 +20,7 @@ impl fmt::Display for InstanceId {
 }
 
 /// Identifies the customer who owns an instance (SLAs attach to customers).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CustomerId(pub String);
 
 impl fmt::Display for CustomerId {
@@ -42,7 +41,7 @@ impl From<&str> for CustomerId {
 /// [`to_value`](Self::to_value)) and is what the Migration Module ships
 /// between nodes; the destination re-materializes the instance from the
 /// descriptor plus the SAN-persisted framework state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InstanceDescriptor {
     /// The owning customer.
     pub customer: CustomerId,

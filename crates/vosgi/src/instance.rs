@@ -3,12 +3,11 @@
 
 use crate::{InstanceDescriptor, InstanceId};
 use dosgi_osgi::{Framework, UsageSnapshot};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The coarse life-cycle of a virtual instance (distinct from the
 /// per-bundle lifecycle inside it).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum InstanceState {
     /// Created: bundles installed, nothing started.
     #[default]

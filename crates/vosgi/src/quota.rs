@@ -2,7 +2,6 @@
 
 use dosgi_net::SimDuration;
 use dosgi_osgi::UsageSnapshot;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Resource limits agreed in a customer's SLA.
@@ -10,7 +9,7 @@ use std::fmt;
 /// The Monitoring Module compares observed usage against the quota; the
 /// Autonomic Module reacts to [`QuotaViolation`]s (stop, throttle or migrate
 /// the instance — §3.3 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResourceQuota {
     /// CPU time allowed per second of wall-clock time (i.e. `500ms/s` means
     /// half a core).
@@ -92,7 +91,7 @@ impl Default for ResourceQuota {
 }
 
 /// A detected breach of a [`ResourceQuota`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QuotaViolation {
     /// CPU consumption exceeded the agreed rate over the window.
     Cpu {

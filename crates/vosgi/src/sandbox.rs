@@ -9,11 +9,10 @@
 //! checked against them, deny-by-default.
 
 use dosgi_net::{IpAddr, Port};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The direction of an access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Access {
     /// Reading (files) / connecting out (sockets).
     Read,
@@ -22,7 +21,7 @@ pub enum Access {
 }
 
 /// A grantable capability.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Permission {
     /// Access to the file subtree rooted at `prefix`.
     File {
@@ -65,7 +64,7 @@ impl fmt::Display for Permission {
 }
 
 /// An instance's granted permissions: deny-by-default capability set.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SecurityPolicy {
     grants: Vec<Permission>,
 }

@@ -14,10 +14,9 @@
 //! values, is the claim under test.
 
 use dosgi_net::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Per-component memory and management-latency constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FootprintModel {
     /// Resident overhead of one JVM process.
     pub jvm_bytes: u64,
@@ -50,7 +49,7 @@ impl Default for FootprintModel {
 }
 
 /// The four deployment designs from §2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeploymentTopology {
     /// Figure 1: one JVM + framework per customer, external manager.
     JvmPerCustomer,
@@ -137,7 +136,7 @@ impl DeploymentTopology {
 }
 
 /// The computed cost of a topology.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TopologyFootprint {
     /// Which design.
     pub topology: DeploymentTopology,

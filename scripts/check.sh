@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# The repeatable CI entrypoint. The workspace is hermetic: every dependency
+# is an in-tree path crate, so everything here must succeed with an empty
+# cargo registry cache and no network. If any step ever needs the registry,
+# that is a policy violation (see README.md "Hermetic build policy") and a
+# bug in the change that introduced it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "==> verifying zero registry dependencies"
+if cargo metadata --format-version 1 --offline \
+    | grep -o '"source":"[^"]*"' | grep -v '"source":""' | grep -q 'registry'; then
+  echo "ERROR: registry dependency detected; this workspace must stay path-only" >&2
+  cargo metadata --format-version 1 --offline \
+    | grep -o '"name":"[^"]*","version":"[^"]*","id":"[^"]*registry[^"]*"' >&2 || true
+  exit 1
+fi
+
+echo "All checks passed."

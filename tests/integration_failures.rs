@@ -303,8 +303,10 @@ fn fast_failure_detection_shrinks_downtime() {
 
 #[test]
 fn lossy_network_still_converges() {
-    let mut config = ClusterConfig::default();
-    config.link = dosgi_net::LinkConfig::lossy(0.05);
+    let config = ClusterConfig {
+        link: dosgi_net::LinkConfig::lossy(0.05),
+        ..ClusterConfig::default()
+    };
     let mut c = DosgiCluster::new(3, config, 24);
     warm_up(&mut c);
     c.deploy(workloads::web_instance("acme", "web"), 0).unwrap();

@@ -1,10 +1,15 @@
 //! Property-based integration tests: invariants over random operation
-//! sequences against the cluster.
+//! sequences against the cluster, on the in-tree `dosgi-testkit` harness.
+//!
+//! Cases are deterministic in the harness's fixed base seed; a failure
+//! prints the case seed and `DOSGI_PROP_SEED=0x<seed>` replays it exactly.
+//! Counterexamples found by the retired proptest harness are preserved
+//! below as explicit named `regression_*` tests.
 
 use dosgi_core::{workloads, ClusterConfig, DosgiCluster, InstanceStatus};
 use dosgi_net::SimDuration;
 use dosgi_san::Value;
-use proptest::prelude::*;
+use dosgi_testkit::{prop, prop_verify, prop_verify_eq, Gen, PropResult};
 
 /// A randomized cluster operation.
 #[derive(Debug, Clone)]
@@ -17,148 +22,249 @@ enum Op {
     Incr(u8),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..4).prop_map(Op::Deploy),
-        ((0u8..8), (0u8..4)).prop_map(|(i, n)| Op::Migrate(i, n)),
-        (0u8..4).prop_map(Op::Crash),
-        (0u8..4).prop_map(Op::Restart),
-        (100u16..800).prop_map(Op::Run),
-        (0u8..8).prop_map(Op::Incr),
-    ]
+fn op_gen() -> Gen<Op> {
+    prop::one_of(vec![
+        prop::u8s(0, 3).map(Op::Deploy),
+        Gen::new(|rng| Op::Migrate(rng.u64_in(0, 7) as u8, rng.u64_in(0, 3) as u8)),
+        prop::u8s(0, 3).map(Op::Crash),
+        prop::u8s(0, 3).map(Op::Restart),
+        prop::u16s(100, 799).map(Op::Run),
+        prop::u8s(0, 7).map(Op::Incr),
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12, // each case simulates seconds of cluster time
-        .. ProptestConfig::default()
-    })]
+/// After any sequence of deploys, migrations, crashes and restarts — as
+/// long as a majority is alive at the end and the cluster gets time to
+/// settle — every deployed instance is placed on a live node and probes as
+/// available, and all live nodes agree on the registry.
+fn check_cluster_invariants(ops: &[Op], seed: u64) -> PropResult {
+    let mut c = DosgiCluster::new(4, ClusterConfig::default(), seed);
+    c.run_for(SimDuration::from_millis(500));
+    let mut deployed: Vec<String> = Vec::new();
+    let mut alive = [true; 4];
 
-    /// After any sequence of deploys, migrations, crashes and restarts —
-    /// as long as a majority is alive at the end and the cluster gets time
-    /// to settle — every deployed instance is placed on a live node and
-    /// probes as available, and all live nodes agree on the registry.
-    #[test]
-    fn eventually_every_instance_is_served(ops in proptest::collection::vec(arb_op(), 1..14), seed in 0u64..1000) {
-        let mut c = DosgiCluster::new(4, ClusterConfig::default(), seed);
-        c.run_for(SimDuration::from_millis(500));
-        let mut deployed: Vec<String> = Vec::new();
-        let mut alive = [true; 4];
-
-        for op in ops {
-            match op {
-                Op::Deploy(n) => {
-                    let name = format!("inst-{}", deployed.len());
-                    let idx = (n as usize) % 4;
-                    if alive[idx]
-                        && c.deploy(workloads::counter_instance_with(
+    for op in ops {
+        match *op {
+            Op::Deploy(n) => {
+                let name = format!("inst-{}", deployed.len());
+                let idx = (n as usize) % 4;
+                if alive[idx]
+                    && c.deploy(
+                        workloads::counter_instance_with(
                             "cust",
                             &name,
                             workloads::COUNTER_WRITE_THROUGH,
-                        ), idx).is_ok()
-                    {
-                        deployed.push(name);
-                    }
+                        ),
+                        idx,
+                    )
+                    .is_ok()
+                {
+                    deployed.push(name);
                 }
-                Op::Migrate(i, n) => {
-                    if let Some(name) = deployed.get(i as usize % deployed.len().max(1)) {
-                        let _ = c.migrate(name, n as usize % 4);
-                    }
+            }
+            Op::Migrate(i, n) => {
+                if let Some(name) = deployed.get(i as usize % deployed.len().max(1)) {
+                    let _ = c.migrate(name, n as usize % 4);
                 }
-                Op::Crash(n) => {
-                    let idx = n as usize % 4;
-                    // Keep a majority alive at all times (the invariant we
-                    // promise under; minority behaviour is tested
-                    // separately).
-                    if alive[idx] && alive.iter().filter(|a| **a).count() > 3 {
-                        c.crash_node(idx);
-                        alive[idx] = false;
-                    }
+            }
+            Op::Crash(n) => {
+                let idx = n as usize % 4;
+                // Keep a majority alive at all times (the invariant we
+                // promise under; minority behaviour is tested separately).
+                if alive[idx] && alive.iter().filter(|a| **a).count() > 3 {
+                    c.crash_node(idx);
+                    alive[idx] = false;
                 }
-                Op::Restart(n) => {
-                    let idx = n as usize % 4;
-                    if !alive[idx] {
-                        c.restart_node(idx);
-                        alive[idx] = true;
-                    }
+            }
+            Op::Restart(n) => {
+                let idx = n as usize % 4;
+                if !alive[idx] {
+                    c.restart_node(idx);
+                    alive[idx] = true;
                 }
-                Op::Run(ms) => c.run_for(SimDuration::from_millis(u64::from(ms))),
-                Op::Incr(i) => {
-                    if let Some(name) = deployed.get(i as usize % deployed.len().max(1)) {
-                        let _ = c.call(name, workloads::COUNTER_SERVICE, "incr", &Value::Null);
-                    }
+            }
+            Op::Run(ms) => c.run_for(SimDuration::from_millis(u64::from(ms))),
+            Op::Incr(i) => {
+                if let Some(name) = deployed.get(i as usize % deployed.len().max(1)) {
+                    let _ = c.call(name, workloads::COUNTER_SERVICE, "incr", &Value::Null);
                 }
             }
         }
-        // Settle: give failure detection, claims and adoptions time.
-        c.run_for(SimDuration::from_secs(6));
+    }
+    // Settle: give failure detection, claims and adoptions time.
+    c.run_for(SimDuration::from_secs(6));
 
-        // Invariant 1: every instance is placed on a live node & serving.
-        for name in &deployed {
-            let home = c.home_of(name);
-            prop_assert!(home.is_some(), "{name} unplaced after settling");
-            prop_assert!(c.probe(name), "{name} not serving");
-        }
-        // Invariant 2: all live Running nodes agree on the registry
-        // (same homes, same statuses).
-        let nodes = c.running_nodes();
-        if let Some(&first) = nodes.first() {
-            let reference: Vec<(String, u32)> = c.node(first).unwrap().registry().records()
+    // Invariant 1: every instance is placed on a live node & serving.
+    for name in &deployed {
+        let home = c.home_of(name);
+        prop_verify!(home.is_some(), "{name} unplaced after settling");
+        prop_verify!(c.probe(name), "{name} not serving");
+    }
+    // Invariant 2: all live Running nodes agree on the registry
+    // (same homes, same statuses).
+    let nodes = c.running_nodes();
+    if let Some(&first) = nodes.first() {
+        let reference: Vec<(String, u32)> = c
+            .node(first)
+            .unwrap()
+            .registry()
+            .records()
+            .map(|r| (r.name.clone(), r.home.0))
+            .collect();
+        for &i in &nodes[1..] {
+            let other: Vec<(String, u32)> = c
+                .node(i)
+                .unwrap()
+                .registry()
+                .records()
                 .map(|r| (r.name.clone(), r.home.0))
                 .collect();
-            for &i in &nodes[1..] {
-                let other: Vec<(String, u32)> = c.node(i).unwrap().registry().records()
-                    .map(|r| (r.name.clone(), r.home.0))
-                    .collect();
-                prop_assert_eq!(&other, &reference, "node {} registry diverged", i);
-            }
-        }
-        // Invariant 3: no instance is stuck Migrating or Orphaned.
-        if let Some(&first) = nodes.first() {
-            for r in c.node(first).unwrap().registry().records() {
-                prop_assert_eq!(r.status, InstanceStatus::Placed, "{} stuck", &r.name);
-            }
+            prop_verify_eq!(&other, &reference, "node {i} registry diverged");
         }
     }
-
-    /// A write-through counter never loses acknowledged increments, no
-    /// matter how its host crashes or where it migrates.
-    #[test]
-    fn write_through_counter_never_loses_acked_increments(
-        crashes in proptest::collection::vec(0u8..3, 0..3),
-        seed in 0u64..1000,
-    ) {
-        let mut c = DosgiCluster::new(3, ClusterConfig::default(), seed);
-        c.run_for(SimDuration::from_millis(500));
-        c.deploy(
-            workloads::counter_instance_with("cust", "ctr", workloads::COUNTER_WRITE_THROUGH),
-            0,
-        ).unwrap();
-        c.run_for(SimDuration::from_millis(500));
-
-        let mut acked = 0i64;
-        for crash in crashes {
-            for _ in 0..3 {
-                if c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null).is_ok() {
-                    acked += 1;
-                }
-            }
-            let idx = crash as usize;
-            // Crash at most one node at a time, then restart it.
-            if c.node(idx).is_some() && c.running_nodes().len() == 3 {
-                c.crash_node(idx);
-                c.run_for(SimDuration::from_secs(4));
-                c.restart_node(idx);
-                c.run_for(SimDuration::from_secs(2));
-            }
-        }
-        c.run_for(SimDuration::from_secs(4));
-        if c.probe("ctr") {
-            let got = c.call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null).unwrap();
-            prop_assert!(
-                got.as_int().unwrap() >= acked,
-                "lost increments: got {got}, acked {acked}"
-            );
+    // Invariant 3: no instance is stuck Migrating or Orphaned.
+    if let Some(&first) = nodes.first() {
+        for r in c.node(first).unwrap().registry().records() {
+            prop_verify_eq!(r.status, InstanceStatus::Placed, "{} stuck", &r.name);
         }
     }
+    Ok(())
+}
+
+#[test]
+fn eventually_every_instance_is_served() {
+    // Each case simulates seconds of cluster time; 12 cases, like the
+    // retired proptest config.
+    let cfg = prop::Config { cases: 12, ..prop::Config::default() };
+    let op = op_gen();
+    let case = Gen::new(move |rng| {
+        let n = rng.usize_in(1, 13);
+        let ops: Vec<Op> = (0..n).map(|_| op.sample(rng)).collect();
+        (ops, rng.u64_below(1000))
+    });
+    prop::check_shrink(
+        &cfg,
+        "eventually_every_instance_is_served",
+        &case,
+        |(ops, seed)| {
+            prop::shrink_vec(ops)
+                .into_iter()
+                .filter(|v| !v.is_empty())
+                .map(|v| (v, *seed))
+                .collect()
+        },
+        |(ops, seed)| check_cluster_invariants(ops, *seed),
+    );
+}
+
+/// A write-through counter never loses acknowledged increments, no matter
+/// how its host crashes or where it migrates.
+fn check_counter_durability(crashes: &[u8], seed: u64) -> PropResult {
+    let mut c = DosgiCluster::new(3, ClusterConfig::default(), seed);
+    c.run_for(SimDuration::from_millis(500));
+    c.deploy(
+        workloads::counter_instance_with("cust", "ctr", workloads::COUNTER_WRITE_THROUGH),
+        0,
+    )
+    .unwrap();
+    c.run_for(SimDuration::from_millis(500));
+
+    let mut acked = 0i64;
+    for &crash in crashes {
+        for _ in 0..3 {
+            if c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null).is_ok() {
+                acked += 1;
+            }
+        }
+        let idx = crash as usize;
+        // Crash at most one node at a time, then restart it.
+        if c.node(idx).is_some() && c.running_nodes().len() == 3 {
+            c.crash_node(idx);
+            c.run_for(SimDuration::from_secs(4));
+            c.restart_node(idx);
+            c.run_for(SimDuration::from_secs(2));
+        }
+    }
+    c.run_for(SimDuration::from_secs(4));
+    if c.probe("ctr") {
+        let got = c.call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null).unwrap();
+        prop_verify!(
+            got.as_int().unwrap() >= acked,
+            "lost increments: got {got}, acked {acked}"
+        );
+    }
+    Ok(())
+}
+
+#[test]
+fn write_through_counter_never_loses_acked_increments() {
+    let cfg = prop::Config { cases: 12, ..prop::Config::default() };
+    let case = Gen::new(|rng| {
+        let crashes: Vec<u8> =
+            (0..rng.usize_in(0, 2)).map(|_| rng.u64_in(0, 2) as u8).collect();
+        (crashes, rng.u64_below(1000))
+    });
+    prop::check_shrink(
+        &cfg,
+        "write_through_counter_never_loses_acked_increments",
+        &case,
+        |(crashes, seed)| {
+            prop::shrink_vec(crashes).into_iter().map(|v| (v, *seed)).collect()
+        },
+        |(crashes, seed)| check_counter_durability(crashes, *seed),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Named regressions: counterexamples recorded by the retired proptest
+// harness (tests/integration_properties.proptest-regressions). Each runs
+// unconditionally on every `cargo test`.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn regression_deploy_then_crash_seed_411() {
+    check_cluster_invariants(&[Op::Deploy(1), Op::Crash(0)], 411).unwrap();
+}
+
+#[test]
+fn regression_deploy_crash_deploy_seed_108() {
+    check_cluster_invariants(&[Op::Deploy(3), Op::Crash(3), Op::Deploy(1)], 108).unwrap();
+}
+
+#[test]
+fn regression_crash_deploy_restart_seed_0() {
+    check_cluster_invariants(&[Op::Crash(0), Op::Deploy(1), Op::Restart(0)], 0).unwrap();
+}
+
+#[test]
+fn regression_crash_run_restart_deploy_crash_seed_0() {
+    check_cluster_invariants(
+        &[Op::Crash(3), Op::Run(171), Op::Restart(3), Op::Deploy(1), Op::Crash(0)],
+        0,
+    )
+    .unwrap();
+}
+
+#[test]
+fn regression_deploy_crash_restart_same_node_seed_0() {
+    check_cluster_invariants(&[Op::Deploy(0), Op::Crash(0), Op::Restart(0)], 0).unwrap();
+}
+
+#[test]
+fn regression_crash_restart_then_deploy_seed_88() {
+    check_cluster_invariants(&[Op::Crash(2), Op::Restart(2), Op::Deploy(2)], 88).unwrap();
+}
+
+#[test]
+fn regression_deploy_migrate_crash_seed_0() {
+    check_cluster_invariants(&[Op::Deploy(1), Op::Migrate(0, 0), Op::Crash(0)], 0).unwrap();
+}
+
+#[test]
+fn regression_crash_deploy_restart_crash_seed_0() {
+    check_cluster_invariants(
+        &[Op::Crash(0), Op::Deploy(2), Op::Restart(0), Op::Crash(2)],
+        0,
+    )
+    .unwrap();
 }
