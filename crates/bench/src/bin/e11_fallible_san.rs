@@ -1,0 +1,163 @@
+//! **E11 — the fallible SAN: dependability under storage faults.**
+//!
+//! The paper's architecture hangs all durability on the SAN ("the state of
+//! the platform is stored in the SAN"), and §3.2's redeployment story
+//! silently assumes the SAN answers. This experiment measures what the
+//! retry/backoff + quarantine machinery actually delivers when it does
+//! not:
+//!
+//! (a) failover downtime after a node crash as a function of the SAN's
+//!     transient error rate — retries absorb flakiness at the cost of
+//!     re-materialization latency;
+//! (b) the quarantine/heal cycle under a full brown-out — downtime is
+//!     dominated by the brown-out itself, and the instance returns
+//!     automatically (with state intact) once the SAN heals.
+//!
+//! All time is simulated, all randomness seeded: re-running produces the
+//! same table byte for byte. A JSON copy lands in
+//! `results/e11_fallible_san.json`.
+
+use dosgi_bench::print_table;
+use dosgi_core::{workloads, ClusterConfig, DosgiCluster, NodeEvent};
+use dosgi_net::SimDuration;
+use dosgi_san::{FaultPlan, Value};
+
+struct Row {
+    error_rate: f64,
+    downtime_us: u64,
+    retries: u64,
+    quarantined: bool,
+    state_intact: bool,
+}
+
+fn crash_under_flaky_san(error_rate: f64) -> Row {
+    let mut c = DosgiCluster::new(3, ClusterConfig::default(), 1_100);
+    c.run_for(SimDuration::from_secs(1));
+    c.deploy(
+        workloads::counter_instance_with("acme", "ctr", workloads::COUNTER_WRITE_THROUGH),
+        0,
+    )
+    .unwrap();
+    c.run_for(SimDuration::from_millis(500));
+    for _ in 0..5 {
+        c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+            .unwrap();
+    }
+    if error_rate > 0.0 {
+        c.set_fault_plan(FaultPlan::flaky(error_rate, 0xE11_5EED));
+    }
+    c.crash_node(0);
+    c.run_for(SimDuration::from_secs(8));
+    c.clear_faults();
+    c.run_for(SimDuration::from_secs(4));
+
+    let events = c.take_events();
+    let retries = events
+        .iter()
+        .filter(|(_, e)| matches!(e, NodeEvent::AdoptRetried { .. }))
+        .count() as u64;
+    let quarantined = events
+        .iter()
+        .any(|(_, e)| matches!(e, NodeEvent::Quarantined { .. }));
+    let state_intact = c
+        .call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+        == Ok(Value::Int(6));
+    Row {
+        error_rate,
+        downtime_us: c.sla().record("ctr").down.as_micros(),
+        retries,
+        quarantined,
+        state_intact,
+    }
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    // (a) Crash + flaky SAN: downtime vs transient error rate.
+    // ------------------------------------------------------------------
+    let rows: Vec<Row> = [0.0, 0.05, 0.10, 0.20, 0.30, 0.50]
+        .into_iter()
+        .map(crash_under_flaky_san)
+        .collect();
+    print_table(
+        "E11a: crash failover vs SAN transient error rate (3 nodes)",
+        &["error rate", "downtime", "adopt retries", "quarantined", "state intact"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0}%", r.error_rate * 100.0),
+                    format!("{} ms", r.downtime_us / 1_000),
+                    r.retries.to_string(),
+                    r.quarantined.to_string(),
+                    r.state_intact.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // ------------------------------------------------------------------
+    // (b) Crash during a SAN brown-out: quarantine, then heal.
+    // ------------------------------------------------------------------
+    let mut rows_b = Vec::new();
+    for brownout_s in [2u64, 5, 10] {
+        let mut c = DosgiCluster::new(3, ClusterConfig::default(), 1_200);
+        c.run_for(SimDuration::from_secs(1));
+        c.deploy(
+            workloads::counter_instance_with("acme", "ctr", workloads::COUNTER_WRITE_THROUGH),
+            0,
+        )
+        .unwrap();
+        c.run_for(SimDuration::from_millis(500));
+        for _ in 0..5 {
+            c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+                .unwrap();
+        }
+        let from = c.now();
+        c.set_fault_plan(
+            FaultPlan::none().with_brownout(from, from + SimDuration::from_secs(brownout_s)),
+        );
+        c.crash_node(0);
+        c.run_for(SimDuration::from_secs(brownout_s + 8));
+        let events = c.take_events();
+        let quarantined = events
+            .iter()
+            .any(|(_, e)| matches!(e, NodeEvent::Quarantined { .. }));
+        let healed = c.probe("ctr");
+        let state_intact = c
+            .call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+            == Ok(Value::Int(6));
+        rows_b.push(vec![
+            format!("{brownout_s} s"),
+            format!("{} ms", c.sla().record("ctr").down.as_micros() / 1_000),
+            quarantined.to_string(),
+            healed.to_string(),
+            state_intact.to_string(),
+        ]);
+    }
+    print_table(
+        "E11b: crash during SAN brown-out (quarantine -> heal, 3 nodes)",
+        &["brown-out", "downtime", "quarantined", "healed", "state intact"],
+        &rows_b,
+    );
+
+    // JSON copy for tooling.
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"error_rate\":{},\"downtime_us\":{},\"retries\":{},\
+                 \"quarantined\":{},\"state_intact\":{}}}",
+                r.error_rate, r.downtime_us, r.retries, r.quarantined, r.state_intact
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"experiment\":\"e11_fallible_san\",\"flaky_crash\":[{}]}}\n",
+        json_rows.join(",")
+    );
+    let _ = std::fs::create_dir_all("results");
+    if let Err(e) = std::fs::write("results/e11_fallible_san.json", json) {
+        eprintln!("could not write results/e11_fallible_san.json: {e}");
+    }
+}

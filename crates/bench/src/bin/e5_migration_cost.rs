@@ -42,7 +42,9 @@ fn main() {
             let ns = "instance/ctr/data/org.app.counter";
             let blob = vec![0u8; 1024];
             for i in 0..state_kib {
-                c.store().put(ns, &format!("blob-{i}"), Value::Bytes(blob.clone()));
+                c.store()
+                    .put(ns, &format!("blob-{i}"), Value::Bytes(blob.clone()))
+                    .expect("no faults armed in this benchmark");
             }
         }
         for _ in 0..5 {

@@ -1,0 +1,539 @@
+//! The deterministic chaos (nemesis) harness.
+//!
+//! [`dosgi_testkit::nemesis`] generates seeded fault schedules — node
+//! crashes, minority partitions, SAN brown-outs/flakiness, message loss —
+//! as pure data; this module **applies** them to a [`DosgiCluster`] while a
+//! client workload drives write-through counters, and checks the
+//! dependability invariants the paper's protocol promises:
+//!
+//! 1. **At most one live adoption** — no instance is ever *running* on two
+//!    nodes at once (checked whenever the network has been undisturbed long
+//!    enough for the total order to reconverge; during a partition a stale
+//!    minority copy may legitimately linger until heal-time reconciliation).
+//! 2. **Write-through state is never lost** — the SAN's durable counter is
+//!    always ≥ the highest value a client saw acknowledged (increments
+//!    acknowledged through a partitioned minority are excluded: a split
+//!    brain may serve them from a copy that heal-time reconciliation
+//!    discards — the client-visible contract the protocol actually makes).
+//! 3. **Convergence after heal** — once every fault is healed and the
+//!    schedule's quiet tail has passed, all replicated registries are
+//!    byte-identical, every instance is `Placed` and serving, and no
+//!    quarantine is left standing (the SAN healed, so quarantined
+//!    instances must have re-materialized).
+//!
+//! Every run is deterministic in its seed: same seed, same schedule, same
+//! violations, same [`ChaosReport::fingerprint`]. A failing run prints its
+//! seed; replaying it reproduces the failure exactly.
+
+use crate::registry::InstanceStatus;
+use crate::workloads;
+use crate::{ClusterConfig, CoreError, DosgiCluster};
+use dosgi_net::{LinkConfig, NodeId, Partition, SimDuration, SimTime};
+use dosgi_san::{FaultPlan, Value};
+use dosgi_testkit::nemesis::{NemesisOp, NemesisPlan};
+use dosgi_testkit::mix_seed;
+use std::collections::BTreeMap;
+
+/// Workload knobs for a nemesis run (the schedule itself comes from a
+/// [`NemesisPlan`]).
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// How many write-through counter instances to deploy (round-robin).
+    pub instances: usize,
+    /// How often the client attempts one `incr` per instance.
+    pub client_period: SimDuration,
+    /// How long after a network disturbance (partition / message loss)
+    /// ends before order-sensitive invariants are enforced again.
+    pub settle: SimDuration,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            instances: 3,
+            client_period: SimDuration::from_millis(100),
+            settle: SimDuration::from_secs(6),
+        }
+    }
+}
+
+/// The outcome of one nemesis run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The schedule's seed (replay key).
+    pub seed: u64,
+    /// Fingerprint of the generated schedule.
+    pub plan_fingerprint: u64,
+    /// Nemesis operations actually applied.
+    pub steps_applied: usize,
+    /// Total client increments acknowledged (across instances).
+    pub acked: u64,
+    /// The durable floor per instance: the highest acknowledged counter
+    /// value the SAN must never fall below.
+    pub floors: BTreeMap<String, i64>,
+    /// Invariant violations, in detection order. Empty means the run held
+    /// every promise.
+    pub violations: Vec<String>,
+    /// Fingerprint of the run's observable end state (registry bytes, SAN
+    /// counters, ack counts, violations). Two runs of the same seed must
+    /// produce the same value — the "replays byte-identically" check.
+    pub fingerprint: u64,
+}
+
+impl ChaosReport {
+    /// True when no invariant was violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Applies `plan` to a fresh cluster and returns the invariant report.
+/// Deterministic in `(plan, opts)`.
+pub fn run_nemesis(plan: &NemesisPlan, opts: &ChaosOptions) -> ChaosReport {
+    let config = ClusterConfig::default();
+    let default_link = config.link;
+    let mut cluster = DosgiCluster::new(
+        plan.nodes.max(1),
+        config,
+        mix_seed(plan.seed, 0xC1A0_5EED),
+    );
+    let mut violations: Vec<String> = Vec::new();
+
+    // Boot, deploy the workload, let placement commit everywhere.
+    cluster.run_for(SimDuration::from_millis(500));
+    let names: Vec<String> = (0..opts.instances.max(1))
+        .map(|i| format!("ctr-{i}"))
+        .collect();
+    for (i, name) in names.iter().enumerate() {
+        let d = workloads::counter_instance_with(
+            "chaos",
+            name,
+            workloads::COUNTER_WRITE_THROUGH,
+        );
+        if let Err(e) = cluster.deploy(d, i % plan.nodes.max(1)) {
+            violations.push(format!("setup: deploy {name} failed: {e}"));
+        }
+    }
+    cluster.run_for(SimDuration::from_millis(500));
+
+    // The schedule runs relative to t0 (post-setup).
+    let t0 = cluster.now();
+    let horizon = t0 + SimDuration::from_micros(plan.horizon_us);
+    let mut next_op = 0usize;
+    let mut steps_applied = 0usize;
+    let mut partitioned = false;
+    let mut lossy = false;
+    let mut disturbed_until = t0; // settle clock after partition/loss heals
+    let mut floors: BTreeMap<String, i64> =
+        names.iter().map(|n| (n.clone(), 0)).collect();
+    let mut acked = 0u64;
+    let mut next_call = t0;
+
+    while cluster.now() < horizon {
+        // Apply every nemesis op that has come due.
+        while next_op < plan.steps.len()
+            && t0 + SimDuration::from_micros(plan.steps[next_op].at_us) <= cluster.now()
+        {
+            let op = &plan.steps[next_op].op;
+            apply_op(
+                &mut cluster,
+                op,
+                plan,
+                next_op,
+                horizon,
+                &mut partitioned,
+                &mut lossy,
+                &mut disturbed_until,
+                opts.settle,
+                default_link,
+            );
+            next_op += 1;
+            steps_applied += 1;
+        }
+        cluster.step();
+        let now = cluster.now();
+        let undisturbed = !partitioned && !lossy && now >= disturbed_until;
+
+        // Client workload: one increment per instance per period.
+        if now >= next_call {
+            next_call = now + opts.client_period;
+            for name in &names {
+                match cluster.call(
+                    name,
+                    workloads::COUNTER_SERVICE,
+                    "incr",
+                    &Value::Null,
+                ) {
+                    Ok(v) => {
+                        acked += 1;
+                        if undisturbed {
+                            if let Some(n) = v.as_int() {
+                                let f = floors.get_mut(name).expect("floors pre-seeded");
+                                *f = (*f).max(n);
+                            }
+                        }
+                    }
+                    // Downtime / throttling / transient store refusals are
+                    // the SLA tracker's business, not an invariant's.
+                    Err(
+                        CoreError::NotPlaced(_)
+                        | CoreError::Throttled(_)
+                        | CoreError::NodeUnavailable(_)
+                        | CoreError::Vosgi(_),
+                    ) => {}
+                    Err(e) => violations.push(format!(
+                        "[{now:?}] client incr on {name}: unexpected error {e}"
+                    )),
+                }
+            }
+        }
+
+        check_durability(&cluster, &names, &floors, now, &mut violations);
+        if undisturbed {
+            check_single_copy(&cluster, &names, now, &mut violations);
+        }
+        if violations.len() > 32 {
+            break; // a broken run floods; keep the report readable
+        }
+    }
+
+    // Convergence: by horizon the schedule guarantees a healed, quiet tail.
+    check_convergence(&cluster, &names, &floors, &mut violations);
+
+    let mut h = mix_seed(plan.fingerprint(), acked);
+    for name in &names {
+        h = mix_seed(h, floors[name] as u64);
+        h = mix_seed(h, san_count(&cluster, name).unwrap_or(-1) as u64);
+    }
+    if let Some(reg) = cluster
+        .running_nodes()
+        .first()
+        .and_then(|i| cluster.node(*i))
+        .map(|n| n.registry().export().encode())
+    {
+        for b in reg {
+            h = mix_seed(h, b as u64);
+        }
+    }
+    for v in &violations {
+        for b in v.as_bytes() {
+            h = mix_seed(h, *b as u64);
+        }
+    }
+    ChaosReport {
+        seed: plan.seed,
+        plan_fingerprint: plan.fingerprint(),
+        steps_applied,
+        acked,
+        floors,
+        violations,
+        fingerprint: h,
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // plain plumbing, local to the driver
+fn apply_op(
+    cluster: &mut DosgiCluster,
+    op: &NemesisOp,
+    plan: &NemesisPlan,
+    op_index: usize,
+    horizon: SimTime,
+    partitioned: &mut bool,
+    lossy: &mut bool,
+    disturbed_until: &mut SimTime,
+    settle: SimDuration,
+    default_link: LinkConfig,
+) {
+    let now = cluster.now();
+    match op {
+        NemesisOp::CrashNode { node } => cluster.crash_node(*node),
+        NemesisOp::RestartNode { node } => cluster.restart_node(*node),
+        NemesisOp::Partition { minority } => {
+            let minority_ids: Vec<NodeId> =
+                minority.iter().map(|n| NodeId(*n as u32)).collect();
+            let rest: Vec<NodeId> = (0..plan.nodes)
+                .filter(|n| !minority.contains(n))
+                .map(|n| NodeId(n as u32))
+                .collect();
+            cluster.partition(Partition::split([minority_ids, rest]));
+            *partitioned = true;
+        }
+        NemesisOp::HealPartition => {
+            cluster.heal();
+            *partitioned = false;
+            *disturbed_until = now + settle;
+        }
+        NemesisOp::SanBrownout => {
+            // The heal is its own schedule step; arm a window that outlasts
+            // the run and rely on `SanHeal` to lift it.
+            cluster.set_fault_plan(
+                FaultPlan::none().with_brownout(now, horizon + SimDuration::from_secs(3600)),
+            );
+        }
+        NemesisOp::SanFlaky { error_rate } => {
+            cluster.set_fault_plan(FaultPlan::flaky(
+                *error_rate,
+                mix_seed(plan.seed, op_index as u64),
+            ));
+        }
+        NemesisOp::SanHeal => cluster.clear_faults(),
+        NemesisOp::MessageLoss { rate } => {
+            set_all_links(cluster, plan.nodes, LinkConfig::lossy(*rate));
+            *lossy = true;
+        }
+        NemesisOp::MessageLossOff => {
+            set_all_links(cluster, plan.nodes, default_link);
+            *lossy = false;
+            *disturbed_until = now + settle;
+        }
+    }
+}
+
+fn set_all_links(cluster: &mut DosgiCluster, nodes: usize, cfg: LinkConfig) {
+    for a in 0..nodes {
+        for b in 0..nodes {
+            if a != b {
+                cluster
+                    .net_mut()
+                    .set_link(NodeId(a as u32), NodeId(b as u32), cfg);
+            }
+        }
+    }
+}
+
+/// The durable counter value the SAN holds for `name`, via the fault-free
+/// diagnostic read (works during brown-outs — the checker is omniscient).
+fn san_count(cluster: &DosgiCluster, name: &str) -> Option<i64> {
+    cluster
+        .store()
+        .peek(
+            &format!("instance/{name}/data/{}", workloads::COUNTER_WRITE_THROUGH),
+            "count",
+        )
+        .and_then(|v| v.as_int())
+}
+
+/// Invariant 2: the SAN never holds less than the acknowledged floor.
+fn check_durability(
+    cluster: &DosgiCluster,
+    names: &[String],
+    floors: &BTreeMap<String, i64>,
+    now: SimTime,
+    violations: &mut Vec<String>,
+) {
+    for name in names {
+        let floor = floors[name];
+        if floor == 0 {
+            continue;
+        }
+        let durable = san_count(cluster, name).unwrap_or(0);
+        if durable < floor {
+            violations.push(format!(
+                "[{now:?}] durability: {name} SAN count {durable} < acked floor {floor}"
+            ));
+        }
+    }
+}
+
+/// Invariant 1: at most one node runs a live copy of each instance.
+fn check_single_copy(
+    cluster: &DosgiCluster,
+    names: &[String],
+    now: SimTime,
+    violations: &mut Vec<String>,
+) {
+    for name in names {
+        let live: Vec<usize> = (0..cluster.len())
+            .filter(|i| {
+                cluster
+                    .node(*i)
+                    .map(|n| n.probe_local(name))
+                    .unwrap_or(false)
+            })
+            .collect();
+        if live.len() > 1 {
+            violations.push(format!(
+                "[{now:?}] duplicate adoption: {name} live on nodes {live:?}"
+            ));
+        }
+    }
+}
+
+/// Invariant 3: after the healed quiet tail, everything has reconverged.
+fn check_convergence(
+    cluster: &DosgiCluster,
+    names: &[String],
+    floors: &BTreeMap<String, i64>,
+    violations: &mut Vec<String>,
+) {
+    let now = cluster.now();
+    let running = cluster.running_nodes();
+    if running.is_empty() {
+        violations.push(format!("[{now:?}] convergence: no running nodes at horizon"));
+        return;
+    }
+    let exports: Vec<Vec<u8>> = running
+        .iter()
+        .filter_map(|i| cluster.node(*i))
+        .map(|n| n.registry().export().encode())
+        .collect();
+    if exports.windows(2).any(|w| w[0] != w[1]) {
+        violations.push(format!(
+            "[{now:?}] convergence: registries diverge across running nodes {running:?}"
+        ));
+    }
+    for name in names {
+        let rec = cluster
+            .running_nodes()
+            .first()
+            .and_then(|i| cluster.node(*i))
+            .and_then(|n| n.registry().record(name).cloned());
+        match rec {
+            Some(r) if r.status == InstanceStatus::Placed => {}
+            Some(r) => violations.push(format!(
+                "[{now:?}] convergence: {name} ended {:?}, not Placed",
+                r.status
+            )),
+            None => violations.push(format!(
+                "[{now:?}] convergence: {name} missing from the registry"
+            )),
+        }
+        if !cluster.probe(name) {
+            violations.push(format!(
+                "[{now:?}] convergence: {name} not serving at horizon"
+            ));
+        }
+    }
+    check_durability(cluster, names, floors, now, violations);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosgi_testkit::nemesis::NemesisConfig;
+
+    fn quick_config() -> NemesisConfig {
+        NemesisConfig {
+            faults: 3,
+            horizon_us: 30_000_000,
+            heal_tail_us: 12_000_000,
+            start_us: 1_000_000,
+            min_gap_us: 1_000_000,
+            duration_us: (500_000, 2_500_000),
+            ..NemesisConfig::default()
+        }
+    }
+
+    #[test]
+    fn quiet_schedule_has_no_violations_and_replays_identically() {
+        let plan = NemesisPlan::generate(11, 3, &NemesisConfig::none());
+        let opts = ChaosOptions::default();
+        let a = run_nemesis(&plan, &opts);
+        assert!(a.ok(), "violations: {:?}", a.violations);
+        assert!(a.acked > 0, "client made progress");
+        let b = run_nemesis(&plan, &opts);
+        assert_eq!(a.fingerprint, b.fingerprint, "deterministic replay");
+    }
+
+    #[test]
+    fn crash_schedule_holds_invariants() {
+        let cfg = NemesisConfig {
+            partition: false,
+            brownout: false,
+            flaky: false,
+            msg_loss: false,
+            ..quick_config()
+        };
+        let plan = NemesisPlan::generate(3, 3, &cfg);
+        assert!(
+            plan.steps
+                .iter()
+                .any(|s| matches!(s.op, NemesisOp::CrashNode { .. })),
+            "schedule exercises crashes"
+        );
+        let report = run_nemesis(&plan, &ChaosOptions::default());
+        assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+
+    /// The issue's acceptance run: a seeded nemesis schedule injecting SAN
+    /// faults at a 10% error rate over a 5-node cluster completes with
+    /// zero invariant violations and replays byte-identically.
+    #[test]
+    fn five_node_ten_percent_san_faults_clean_and_replayable() {
+        use dosgi_testkit::nemesis::NemesisStep;
+        let plan = NemesisPlan {
+            seed: 0xD0561,
+            nodes: 5,
+            horizon_us: 30_000_000,
+            steps: vec![
+                NemesisStep {
+                    at_us: 2_000_000,
+                    op: NemesisOp::SanFlaky { error_rate: 0.10 },
+                },
+                NemesisStep {
+                    at_us: 8_000_000,
+                    op: NemesisOp::SanHeal,
+                },
+                NemesisStep {
+                    at_us: 11_000_000,
+                    op: NemesisOp::SanFlaky { error_rate: 0.10 },
+                },
+                NemesisStep {
+                    at_us: 16_000_000,
+                    op: NemesisOp::SanHeal,
+                },
+            ],
+        };
+        let opts = ChaosOptions::default();
+        let a = run_nemesis(&plan, &opts);
+        assert!(a.ok(), "violations: {:?}", a.violations);
+        assert!(a.acked > 0, "clients made progress through the flakiness");
+        assert_eq!(a.steps_applied, 4);
+        let b = run_nemesis(&plan, &opts);
+        assert_eq!(a.fingerprint, b.fingerprint, "byte-identical replay");
+        assert_eq!(a.acked, b.acked);
+        assert_eq!(a.floors, b.floors);
+    }
+
+    #[test]
+    fn mixed_fault_schedule_holds_invariants() {
+        let plan = NemesisPlan::generate(17, 5, &quick_config());
+        assert!(!plan.steps.is_empty());
+        let report = run_nemesis(&plan, &ChaosOptions::default());
+        assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+
+    /// Regression: this exact schedule (crash + restart, then a partition
+    /// healed while a brown-out is live) once left the rejoining minority
+    /// with diverged registry revisions. The merge re-ran the majority
+    /// sequencer's full ordered history on the minority — on top of the
+    /// snapshot it had just imported — because the view proposer stamped
+    /// `stream_base` from its own counter while a *different* node was the
+    /// merged view's coordinator. The coordinator-elect now reports its
+    /// stream position in its `ViewAck`, so joiners skip history they
+    /// already hold via state transfer.
+    #[test]
+    fn healed_partition_does_not_replay_history_onto_imported_state() {
+        let plan = NemesisPlan::generate(7, 5, &NemesisConfig::default());
+        let report = run_nemesis(&plan, &ChaosOptions::default());
+        assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn brownout_schedule_holds_invariants() {
+        let cfg = NemesisConfig {
+            crash: false,
+            partition: false,
+            flaky: false,
+            msg_loss: false,
+            ..quick_config()
+        };
+        let plan = NemesisPlan::generate(5, 3, &cfg);
+        assert!(
+            plan.steps.iter().any(|s| s.op == NemesisOp::SanBrownout),
+            "schedule exercises brown-outs"
+        );
+        let report = run_nemesis(&plan, &ChaosOptions::default());
+        assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+}

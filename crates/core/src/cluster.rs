@@ -102,6 +102,20 @@ impl DosgiCluster {
         &self.store
     }
 
+    /// Arms a storage fault plan on the shared SAN (seeded transient I/O
+    /// errors, brown-out windows, torn writes). The plan's brown-out
+    /// windows are interpreted against this cluster's simulated clock —
+    /// [`step`](Self::step) keeps the injector's notion of *now* in sync.
+    pub fn set_fault_plan(&mut self, plan: dosgi_san::FaultPlan) {
+        self.store.set_fault_plan(plan);
+        self.store.set_now(self.net.now());
+    }
+
+    /// Disarms storage fault injection (the SAN becomes reliable again).
+    pub fn clear_faults(&mut self) {
+        self.store.clear_faults();
+    }
+
     /// The simulated network (partition injection, stats).
     pub fn net_mut(&mut self) -> &mut SimNet<Wire>{
         &mut self.net
@@ -398,6 +412,9 @@ impl DosgiCluster {
     pub fn step(&mut self) {
         self.net.advance(self.config.tick);
         let now = self.net.now();
+        // Brown-out windows in an armed fault plan are defined in simulated
+        // time; advance the injector's clock alongside the network's.
+        self.store.set_now(now);
         for slot in &mut self.slots {
             if slot.alive {
                 slot.node.tick(&mut self.net, now);

@@ -9,6 +9,9 @@ use std::fmt;
 pub enum CoreError {
     /// The node index does not exist or the node is down.
     NodeUnavailable(NodeId),
+    /// The operation needs at least one running node, but the cluster has
+    /// none (all crashed, draining or hibernated).
+    NoRunningNodes,
     /// No instance with that name is known to the cluster.
     UnknownInstance(String),
     /// An instance with that name already exists.
@@ -27,6 +30,7 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::NodeUnavailable(n) => write!(f, "node {n} unavailable"),
+            CoreError::NoRunningNodes => write!(f, "no running nodes in the cluster"),
             CoreError::UnknownInstance(name) => write!(f, "unknown instance {name:?}"),
             CoreError::DuplicateInstance(name) => write!(f, "instance {name:?} already exists"),
             CoreError::NotPlaced(name) => write!(f, "instance {name:?} is not placed"),

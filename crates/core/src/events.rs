@@ -62,6 +62,28 @@ pub enum NodeEvent {
         /// When.
         at: SimTime,
     },
+    /// An adoption attempt hit a transient storage fault and was
+    /// re-scheduled with backoff.
+    AdoptRetried {
+        /// When.
+        at: SimTime,
+        /// Which instance.
+        name: String,
+        /// Which attempt just failed (0-based).
+        attempt: u32,
+        /// Why.
+        error: String,
+    },
+    /// This node gave up re-materializing an instance after exhausting its
+    /// retry budget and quarantined it: the registry keeps the record (homed
+    /// here) but the instance stays down until the SAN heals, when the node
+    /// re-claims and re-adopts it.
+    Quarantined {
+        /// When.
+        at: SimTime,
+        /// Which instance.
+        name: String,
+    },
     /// An instance failed to adopt (error text preserved).
     AdoptFailed {
         /// When.
@@ -94,6 +116,8 @@ impl NodeEvent {
             | NodeEvent::Draining { at }
             | NodeEvent::Drained { at }
             | NodeEvent::Hibernated { at }
+            | NodeEvent::AdoptRetried { at, .. }
+            | NodeEvent::Quarantined { at, .. }
             | NodeEvent::AdoptFailed { at, .. } => *at,
         }
     }

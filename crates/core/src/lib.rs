@@ -51,6 +51,7 @@
 //! ```
 
 pub mod autonomic;
+pub mod chaos;
 mod cluster;
 mod error;
 mod events;
@@ -64,6 +65,7 @@ pub mod replication;
 mod sla;
 pub mod workloads;
 
+pub use chaos::{run_nemesis, ChaosOptions, ChaosReport};
 pub use cluster::{ClusterConfig, DosgiCluster};
 pub use error::CoreError;
 pub use events::NodeEvent;

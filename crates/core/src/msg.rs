@@ -50,6 +50,17 @@ pub enum AppPayload {
         /// The home the claimant observed as dead.
         prior_home: NodeId,
     },
+    /// (ordered) A node exhausted its retry budget re-materializing an
+    /// instance it claimed (persistent SAN faults): the instance is
+    /// **quarantined** — kept in the registry, homed on the reporting node,
+    /// but known-down. When the SAN heals, the home re-claims it with an
+    /// `Adopted { prior_home: self }` and re-adopts from the SAN.
+    Quarantined {
+        /// The instance that could not be re-materialized.
+        name: String,
+        /// The node that holds (and will heal) it.
+        node: NodeId,
+    },
     /// (ordered) An instance was destroyed on purpose (undeploy).
     Undeployed {
         /// The instance removed.
@@ -87,6 +98,7 @@ impl AppPayload {
             | AppPayload::Migrate { name, .. }
             | AppPayload::Released { name, .. }
             | AppPayload::Adopted { name, .. }
+            | AppPayload::Quarantined { name, .. }
             | AppPayload::Undeployed { name } => Some(name),
             AppPayload::Draining { .. }
             | AppPayload::Hello { .. }

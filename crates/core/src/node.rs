@@ -56,6 +56,11 @@ pub struct NodeConfig {
     /// SAN latency profile: adoption pays a read of the instance's
     /// persisted state.
     pub san: dosgi_san::SanProfile,
+    /// Retry/backoff discipline for adoption against a faulty SAN: a
+    /// transiently-failing re-materialization is retried with exponential
+    /// backoff; once the budget is exhausted the instance is quarantined
+    /// (kept in the registry, re-claimed when the SAN heals).
+    pub retry: dosgi_san::RetryPolicy,
 }
 
 impl Default for NodeConfig {
@@ -69,6 +74,7 @@ impl Default for NodeConfig {
             policy_interval: SimDuration::from_millis(500),
             start_cost_per_bundle: SimDuration::from_millis(50),
             san: dosgi_san::SanProfile::fast(),
+            retry: dosgi_san::RetryPolicy::persistence(),
         }
     }
 }
@@ -101,6 +107,8 @@ struct PendingAdoption {
     ready_at: SimTime,
     name: String,
     reason: AdoptReason,
+    /// How many materialization attempts already failed transiently.
+    attempt: u32,
 }
 
 impl std::fmt::Debug for DosgiNode {
@@ -125,7 +133,9 @@ impl DosgiNode {
         now: SimTime,
     ) -> Self {
         let mut host = Framework::new(&format!("host/{id}"));
-        host.attach_store(store.clone(), &format!("host/{id}"));
+        // A node booting during a SAN fault keeps its snapshot dirty; the
+        // tick's flush loop converges it once the SAN answers again.
+        let _ = host.attach_store(store.clone(), &format!("host/{id}"));
         let factory = workloads::standard_factory();
         for manifest in workloads::host_bundles() {
             let activator = factory.create(&manifest);
@@ -399,11 +409,23 @@ impl DosgiNode {
             self.hello_sent = true;
             self.order(net, AppPayload::Hello { node: self.id });
         }
-        self.process_pending_adoptions(now);
+        self.process_pending_adoptions(net, now);
+        self.flush_deferred_persistence();
         self.sample(now);
         self.run_autonomic(net, now);
         self.sweep_stranded(net, now);
         self.check_drained(net, now);
+    }
+
+    /// Write-behind convergence: lifecycle transitions never roll back on a
+    /// transient SAN failure — the framework marks its snapshot/data areas
+    /// dirty instead. Each tick retries the flush (cheap no-op when nothing
+    /// is dirty), gated on the SAN answering at all so a brown-out is not
+    /// hammered every 5 ms.
+    fn flush_deferred_persistence(&mut self) {
+        if self.store.is_available() {
+            self.mgr.flush_persist_all();
+        }
     }
 
     /// Level-triggered failover: periodically claim any instance whose
@@ -447,8 +469,43 @@ impl DosgiNode {
             v.dedup();
             v
         };
-        if !stranded.is_empty() {
-                self.handle_failover(&stranded, net);
+        // Also retry plain `Orphaned` records whose home is back *inside*
+        // the view: a spurious suspicion (message loss) can orphan a record
+        // and lose the claim in the view churn, after which the home's
+        // rejoin means no further view change will ever re-trigger
+        // failover. The claim rules keep this race-free — a claim against
+        // an `Orphaned` record wins exactly once in the total order.
+        if !stranded.is_empty() || !self.registry.orphans().is_empty() {
+            self.handle_failover(&stranded, net);
+        }
+        self.heal_quarantined(net);
+    }
+
+    /// The healing half of quarantine: once the SAN answers again, re-claim
+    /// every quarantined instance homed here via the total order
+    /// (`prior_home: self` makes the claim valid on every replica) — the
+    /// winning claim flips the record back to `Placed` and the normal
+    /// adoption path re-materializes the instance from the SAN.
+    fn heal_quarantined(&mut self, net: &mut SimNet<Wire>) {
+        if !self.store.is_available() {
+            return;
+        }
+        let healable: Vec<String> = self
+            .registry
+            .records()
+            .filter(|r| r.status == InstanceStatus::Quarantined && r.home == self.id)
+            .filter(|r| !self.pending_adoptions.iter().any(|p| p.name == r.name))
+            .map(|r| r.name.clone())
+            .collect();
+        for name in healable {
+            self.order(
+                net,
+                AppPayload::Adopted {
+                    name,
+                    node: self.id,
+                    prior_home: self.id,
+                },
+            );
         }
     }
 
@@ -628,6 +685,12 @@ impl DosgiNode {
                 self.registry.import(&registry);
                 self.reconcile_with_registry(now);
             }
+            AppPayload::Quarantined { .. } => {
+                // Registry bookkeeping only (done in `apply` above): the
+                // quarantining node keeps its partially-restored copy
+                // installed-but-stopped so the heal re-claim can restart it
+                // in place.
+            }
             AppPayload::Deployed { .. } | AppPayload::Undeployed { .. } => {}
         }
     }
@@ -755,10 +818,11 @@ impl DosgiNode {
             ready_at: now + cost,
             name: name.to_owned(),
             reason,
+            attempt: 0,
         });
     }
 
-    fn process_pending_adoptions(&mut self, now: SimTime) {
+    fn process_pending_adoptions(&mut self, net: &mut SimNet<Wire>, now: SimTime) {
         let due: Vec<PendingAdoption> = {
             let (ready, rest): (Vec<_>, Vec<_>) = self
                 .pending_adoptions
@@ -768,8 +832,24 @@ impl DosgiNode {
             ready
         };
         for p in due {
+            // A queued adoption can be invalidated by messages ordered
+            // *after* it was queued: a replayed snapshot may have enqueued
+            // it, then a later claim re-homed the instance elsewhere (or an
+            // undeploy removed it). Materializing a stale ticket would
+            // create a second live copy, so re-check the replicated
+            // registry at materialization time and drop tickets the total
+            // order has since overruled.
+            let still_ours = self
+                .registry
+                .record(&p.name)
+                .map(|r| r.home == self.id && r.status == InstanceStatus::Placed)
+                .unwrap_or(false);
+            if !still_ours {
+                continue;
+            }
             let outcome = match self.mgr.find_by_name(&p.name) {
-                // Hot standby: already installed, just start it.
+                // Hot standby or a previous partially-restored attempt:
+                // already installed, just (re)start it.
                 Some(iid) => self.mgr.start_instance(iid).map(|_| iid),
                 None => {
                     let Some(rec) = self.registry.record(&p.name) else {
@@ -789,18 +869,96 @@ impl DosgiNode {
                 }
             };
             match outcome {
-                Ok(_) => self.events.push(NodeEvent::Adopted {
-                    at: now,
-                    name: p.name,
-                    reason: p.reason,
-                }),
-                Err(e) => self.events.push(NodeEvent::AdoptFailed {
-                    at: now,
-                    name: p.name,
-                    error: e.to_string(),
-                }),
+                Ok(iid) => {
+                    // Verify the adoption: activator failures during restore
+                    // are swallowed into framework events (one bad bundle
+                    // must not block the rest), so a transient SAN read
+                    // during state recovery leaves autostart bundles dead
+                    // while the instance *looks* adopted. Such a partial
+                    // re-materialization is a failed adoption: stop it
+                    // (keeping it installed — the retry restarts in place,
+                    // re-running the activators against the SAN) and go
+                    // through the same retry/quarantine discipline.
+                    let degraded = self
+                        .mgr
+                        .instance(iid)
+                        .map(|i| !i.framework().degraded_bundles().is_empty())
+                        .unwrap_or(false);
+                    if degraded {
+                        let _ = self.mgr.stop_instance(iid);
+                        self.retry_or_quarantine(
+                            p,
+                            "partial restore: autostart bundles failed to start".to_owned(),
+                            true,
+                            net,
+                            now,
+                        );
+                    } else {
+                        self.events.push(NodeEvent::Adopted {
+                            at: now,
+                            name: p.name,
+                            reason: p.reason,
+                        });
+                    }
+                }
+                Err(e) => {
+                    let transient = e.is_transient_store();
+                    self.retry_or_quarantine(p, e.to_string(), transient, net, now);
+                }
             }
         }
+    }
+
+    /// A materialization attempt failed. Transient failures are retried
+    /// with exponential backoff + jitter on the simulated clock until the
+    /// [`RetryPolicy`](dosgi_san::RetryPolicy) is exhausted, at which point
+    /// the instance is **quarantined** — announced cluster-wide so every
+    /// registry marks it down-but-owned — rather than panicking the node or
+    /// flapping forever. Non-transient failures (corrupt snapshot, unknown
+    /// bundle) surface immediately as `AdoptFailed`.
+    fn retry_or_quarantine(
+        &mut self,
+        p: PendingAdoption,
+        error: String,
+        transient: bool,
+        net: &mut SimNet<Wire>,
+        now: SimTime,
+    ) {
+        if !transient {
+            self.events.push(NodeEvent::AdoptFailed {
+                at: now,
+                name: p.name,
+                error,
+            });
+            return;
+        }
+        let failures = p.attempt + 1;
+        if self.config.retry.exhausted(failures) {
+            self.events.push(NodeEvent::Quarantined {
+                at: now,
+                name: p.name.clone(),
+            });
+            self.order(
+                net,
+                AppPayload::Quarantined {
+                    name: p.name,
+                    node: self.id,
+                },
+            );
+            return;
+        }
+        self.events.push(NodeEvent::AdoptRetried {
+            at: now,
+            name: p.name.clone(),
+            attempt: p.attempt,
+            error,
+        });
+        self.pending_adoptions.push(PendingAdoption {
+            ready_at: now + self.config.retry.backoff(p.attempt),
+            name: p.name,
+            reason: p.reason,
+            attempt: failures,
+        });
     }
 
     // ------------------------------------------------------------------

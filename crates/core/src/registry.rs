@@ -29,6 +29,11 @@ pub enum InstanceStatus {
     /// Its home crashed (or a migration was stranded); awaiting a failover
     /// claim.
     Orphaned,
+    /// Its home exhausted its retry budget re-materializing it (persistent
+    /// SAN faults). The record is kept — homed on the quarantining node —
+    /// but the instance is known-down until the SAN heals, when the home
+    /// re-claims it (`Adopted { prior_home: self }`).
+    Quarantined,
 }
 
 /// One instance's replicated record.
@@ -127,6 +132,18 @@ impl ClusterRegistry {
                     }
                 }
             }
+            AppPayload::Quarantined { name, node } => {
+                if let Some(r) = self.records.get_mut(name) {
+                    // Only the current home may quarantine: a stale report
+                    // from a node that already lost the instance (crash +
+                    // re-claim raced the report) must not shadow the new
+                    // home's live copy.
+                    if r.home == *node && r.status != InstanceStatus::Quarantined {
+                        r.status = InstanceStatus::Quarantined;
+                        r.rev += 1;
+                    }
+                }
+            }
             AppPayload::Undeployed { name } => {
                 self.records.remove(name);
             }
@@ -147,7 +164,12 @@ impl ClusterRegistry {
                 InstanceStatus::Migrating { to } => {
                     left.contains(&r.home) || left.contains(&to)
                 }
-                InstanceStatus::Placed => left.contains(&r.home),
+                // A quarantined instance is stranded like a placed one when
+                // its home dies: a survivor claims it and runs its own
+                // adopt/retry/quarantine cycle against the SAN.
+                InstanceStatus::Placed | InstanceStatus::Quarantined => {
+                    left.contains(&r.home)
+                }
                 InstanceStatus::Orphaned => false,
             };
             if stranded {
@@ -219,6 +241,7 @@ impl ClusterRegistry {
                         InstanceStatus::Placed => ("placed", None),
                         InstanceStatus::Migrating { to } => ("migrating", Some(to)),
                         InstanceStatus::Orphaned => ("orphaned", None),
+                        InstanceStatus::Quarantined => ("quarantined", None),
                     };
                     let mut v = Value::map()
                         .with("name", r.name.as_str())
@@ -260,6 +283,7 @@ impl ClusterRegistry {
                 (Some("placed"), _) => InstanceStatus::Placed,
                 (Some("migrating"), Some(to)) => InstanceStatus::Migrating { to },
                 (Some("orphaned"), _) => InstanceStatus::Orphaned,
+                (Some("quarantined"), _) => InstanceStatus::Quarantined,
                 _ => continue,
             };
             let rev = entry.get("rev").and_then(Value::as_int).unwrap_or(0) as u64;
@@ -421,6 +445,65 @@ mod tests {
             to: NodeId(1),
         });
         assert_eq!(r.orphan_homes(&[NodeId(0)]), vec!["a"]);
+    }
+
+    #[test]
+    fn quarantine_heal_cycle() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        r.orphan_homes(&[NodeId(0)]);
+        r.apply(&AppPayload::Adopted {
+            name: "a".into(),
+            node: NodeId(1),
+            prior_home: NodeId(0),
+        });
+        // n1 cannot re-materialize it: quarantine. The record survives.
+        r.apply(&AppPayload::Quarantined {
+            name: "a".into(),
+            node: NodeId(1),
+        });
+        let rec = r.record("a").unwrap();
+        assert_eq!(rec.status, InstanceStatus::Quarantined);
+        assert_eq!(rec.home, NodeId(1));
+        assert_eq!(r.placed_on(NodeId(1)), Vec::<String>::new());
+        // A stale quarantine report from a non-home is ignored.
+        r.apply(&AppPayload::Quarantined {
+            name: "a".into(),
+            node: NodeId(2),
+        });
+        assert_eq!(r.record("a").unwrap().home, NodeId(1));
+        // SAN heals: the home self-claims and the record is placed again.
+        r.apply(&AppPayload::Adopted {
+            name: "a".into(),
+            node: NodeId(1),
+            prior_home: NodeId(1),
+        });
+        assert_eq!(r.record("a").unwrap().status, InstanceStatus::Placed);
+    }
+
+    #[test]
+    fn quarantined_instance_is_orphaned_when_its_home_dies() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        r.apply(&AppPayload::Quarantined {
+            name: "a".into(),
+            node: NodeId(0),
+        });
+        assert_eq!(r.orphan_homes(&[NodeId(0)]), vec!["a"]);
+        assert_eq!(r.record("a").unwrap().status, InstanceStatus::Orphaned);
+    }
+
+    #[test]
+    fn export_import_round_trips_quarantined_status() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        r.apply(&AppPayload::Quarantined {
+            name: "a".into(),
+            node: NodeId(0),
+        });
+        let mut r2 = ClusterRegistry::new();
+        r2.import(&Value::decode(&r.export().encode()).unwrap());
+        assert_eq!(r2, r);
     }
 
     #[test]

@@ -33,7 +33,8 @@ use dosgi_vosgi::InstanceDescriptor;
 /// # Errors
 ///
 /// [`CoreError::UnknownInstance`] when the registry has no such instance,
-/// [`CoreError::NodeUnavailable`] when the standby node is down, and
+/// [`CoreError::NoRunningNodes`] when no node is up to read the registry
+/// from, [`CoreError::NodeUnavailable`] when the standby node is down, and
 /// instance-manager errors (e.g. the standby already hosts it).
 pub fn prepare_standby(
     cluster: &mut DosgiCluster,
@@ -46,7 +47,7 @@ pub fn prepare_standby(
             .first()
             .copied()
             .and_then(|i| cluster.node(i))
-            .ok_or(CoreError::NodeUnavailable(dosgi_net::NodeId(0)))?;
+            .ok_or(CoreError::NoRunningNodes)?;
         let rec = node
             .registry()
             .record(name)
@@ -59,4 +60,24 @@ pub fn prepare_standby(
         .ok_or(CoreError::NodeUnavailable(dosgi_net::NodeId(standby as u32)))?;
     node.manager_mut().create_instance(descriptor)?;
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterConfig, DosgiCluster};
+
+    #[test]
+    fn standby_with_no_running_nodes_is_a_clean_error() {
+        // Regression: this used to fabricate `NodeUnavailable(n0)` — blaming
+        // a node that may not even exist — instead of naming the real
+        // condition.
+        let mut c = DosgiCluster::new(2, ClusterConfig::default(), 7);
+        c.crash_node(0);
+        c.crash_node(1);
+        assert_eq!(
+            prepare_standby(&mut c, "web", 0),
+            Err(CoreError::NoRunningNodes)
+        );
+    }
 }

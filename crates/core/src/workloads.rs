@@ -243,8 +243,11 @@ impl CounterActivator {
 impl dosgi_osgi::Activator for CounterActivator {
     fn start(&mut self, ctx: &mut dosgi_osgi::BundleContext<'_>) -> Result<(), String> {
         // Recover persisted state (SAN-backed, so this works on any node).
+        // A failed read MUST fail the start: falling back to 0 would
+        // silently lose the persisted running context.
         let initial = ctx
             .store_get("count")
+            .map_err(|e| format!("recover count: {e}"))?
             .and_then(|v| v.as_int())
             .unwrap_or(0);
         self.count.store(initial, Ordering::SeqCst);
@@ -275,9 +278,11 @@ impl dosgi_osgi::Activator for CounterActivator {
 
     fn stop(&mut self, ctx: &mut dosgi_osgi::BundleContext<'_>) -> Result<(), String> {
         // Orderly shutdown persists the running context — this is why the
-        // paper's graceful migration loses nothing while a crash does.
-        ctx.store_put("count", Value::Int(self.count.load(Ordering::SeqCst)));
-        Ok(())
+        // paper's graceful migration loses nothing while a crash does. On a
+        // SAN fault the in-memory area is still updated and marked dirty;
+        // the departure path flushes it before releasing the instance.
+        ctx.store_put("count", Value::Int(self.count.load(Ordering::SeqCst)))
+            .map_err(|e| format!("persist count: {e}"))
     }
 }
 
@@ -380,7 +385,7 @@ mod tests {
     fn counter_persists_on_stop_and_recovers() {
         let store = dosgi_san::SharedStore::new();
         let mut fw = Framework::new("a");
-        fw.attach_store(store.clone(), "inst/x");
+        fw.attach_store(store.clone(), "inst/x").unwrap();
         let repo = standard_repository();
         let factory = standard_factory();
         let m = repo.manifest(COUNTER_ON_STOP).unwrap().clone();
@@ -411,7 +416,7 @@ mod tests {
     fn write_through_counter_survives_unclean_loss() {
         let store = dosgi_san::SharedStore::new();
         let mut fw = Framework::new("a");
-        fw.attach_store(store.clone(), "inst/x");
+        fw.attach_store(store.clone(), "inst/x").unwrap();
         let repo = standard_repository();
         let factory = standard_factory();
         let m = repo.manifest(COUNTER_WRITE_THROUGH).unwrap().clone();
@@ -440,7 +445,7 @@ mod tests {
     fn on_stop_counter_loses_context_on_crash() {
         let store = dosgi_san::SharedStore::new();
         let mut fw = Framework::new("a");
-        fw.attach_store(store.clone(), "inst/x");
+        fw.attach_store(store.clone(), "inst/x").unwrap();
         let repo = standard_repository();
         let factory = standard_factory();
         let m = repo.manifest(COUNTER_ON_STOP).unwrap().clone();
@@ -467,7 +472,7 @@ mod tests {
     fn checkpoint_counter_loses_at_most_one_period() {
         let store = dosgi_san::SharedStore::new();
         let mut fw = Framework::new("a");
-        fw.attach_store(store.clone(), "inst/x");
+        fw.attach_store(store.clone(), "inst/x").unwrap();
         let repo = standard_repository();
         let factory = standard_factory();
         let m = repo.manifest(COUNTER_CHECKPOINT).unwrap().clone();

@@ -263,6 +263,7 @@ impl<A: Clone> GroupNode<A> {
                             sent: self.send_seq,
                             ordered: self.gseq_counter,
                             incarnation: self.incarnation,
+                            view: self.view.id,
                         },
                     );
                 }
@@ -306,13 +307,24 @@ impl<A: Clone> GroupNode<A> {
                     .unwrap_or(0)
                     .max(self.view.id.epoch)
                     + 1;
+                // The proposer is the lowest live node, i.e. the new
+                // view's coordinator. If it is *already* sequencing (its
+                // coordinatorship survives the change), the stream
+                // continues and joiners must skip its history; a freshly
+                // elected coordinator starts a new stream at zero.
+                let stream_base = if self.is_coordinator() {
+                    self.gseq_counter
+                } else {
+                    0
+                };
                 let view = View::new(
                     ViewId {
                         epoch,
                         proposer: self.id,
                     },
                     alive.clone(),
-                );
+                )
+                .with_stream_base(stream_base);
                 let mut acks = BTreeSet::new();
                 acks.insert(self.id);
                 self.proposal = Some(Proposal {
@@ -427,7 +439,20 @@ impl<A: Clone> GroupNode<A> {
                 sent,
                 ordered,
                 incarnation,
+                view,
             } => {
+                // View anti-entropy. A `ViewCommit` is sent exactly once;
+                // if the one carrying this member into the current view was
+                // lost, no later message repairs it — the member waits for
+                // a proposal from a coordinator that, seeing its own view
+                // already match the alive set, never proposes again. So:
+                // a current member advertising an older view id missed a
+                // commit; push it the view we hold. `install_view` ignores
+                // anything not newer than the receiver's own, so
+                // concurrent pushes are harmless.
+                if view < self.view.id && self.view.contains(from) {
+                    t.send(from, GcsWire::ViewCommit(self.view.clone()));
+                }
                 // A changed incarnation means the peer truly restarted:
                 // its streams begin again at 1. (Suspicion flaps keep the
                 // incarnation, so no duplicate re-delivery.)
@@ -485,13 +510,33 @@ impl<A: Clone> GroupNode<A> {
             }
             GcsWire::ViewPropose(view) => {
                 if view.id > self.view.id {
-                    t.send(view.id.proposer, GcsWire::ViewAck(view.id));
+                    // If we would coordinate the proposed view and already
+                    // sequence our current one, the stream continues at our
+                    // counter; report it so the commit carries the right
+                    // `stream_base` (the proposer may not be us).
+                    let stream_base = if view.coordinator() == Some(self.id)
+                        && self.is_coordinator()
+                    {
+                        self.gseq_counter
+                    } else {
+                        0
+                    };
+                    t.send(
+                        view.id.proposer,
+                        GcsWire::ViewAck {
+                            id: view.id,
+                            stream_base,
+                        },
+                    );
                 }
             }
-            GcsWire::ViewAck(vid) => {
+            GcsWire::ViewAck { id, stream_base } => {
                 if let Some(p) = self.proposal.as_mut() {
-                    if p.view.id == vid {
+                    if p.view.id == id {
                         p.acks.insert(from);
+                        if p.view.coordinator() == Some(from) {
+                            p.view.stream_base = stream_base;
+                        }
                     }
                 }
                 self.try_commit(t);
@@ -722,11 +767,23 @@ impl<A: Clone> GroupNode<A> {
         // a suspicion flap must not replay the retransmission buffer.)
         // Sequencer change: reset the ordered-stream cursor; pending orders
         // will be retried against the new sequencer by the tick timer.
+        //
+        // The cursor starts at the view's `stream_base`, not at 1: when the
+        // new coordinator's stream predates this view (a partition heal
+        // merges us into the majority, whose sequencer kept running), the
+        // history before `stream_base` was ordered while we were not a
+        // member of that stream. We must NOT fetch it via replay — our
+        // registry state for that span arrives by snapshot transfer, and
+        // re-applying already-incorporated messages on top of the snapshot
+        // is not idempotent (it was a real divergence: replayed `Deployed`
+        // bumped record revisions only on the rejoining side). For a
+        // freshly elected coordinator `stream_base` is 0 and this is the
+        // old "start at 1" behaviour.
         if view.coordinator() != old.coordinator() {
-            self.expected_gseq = 1;
+            self.expected_gseq = view.stream_base + 1;
             self.ordered_ooo.clear();
             if self.is_coordinator() {
-                self.gseq_counter = 0;
+                self.gseq_counter = view.stream_base;
                 self.assigned.clear();
                 self.ordered_buffer.clear();
             }

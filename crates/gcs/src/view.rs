@@ -30,6 +30,14 @@ pub struct View {
     /// Members, sorted ascending. The first member is the coordinator
     /// (lowest live id), which also acts as the total-order sequencer.
     pub members: Vec<NodeId>,
+    /// The coordinator's ordered-stream position (last assigned global
+    /// sequence number) when this view was proposed. A member for whom
+    /// this view *changes* the coordinator is joining an ongoing stream:
+    /// it starts its delivery cursor just past `stream_base` rather than
+    /// replaying the stream's history — messages ordered before it joined
+    /// belong to a state it obtains via application-level state transfer,
+    /// and re-applying them on top of that state is not idempotent.
+    pub stream_base: u64,
 }
 
 impl View {
@@ -37,7 +45,17 @@ impl View {
     pub fn new(id: ViewId, mut members: Vec<NodeId>) -> Self {
         members.sort();
         members.dedup();
-        View { id, members }
+        View {
+            id,
+            members,
+            stream_base: 0,
+        }
+    }
+
+    /// Sets the ordered-stream base (see the field docs).
+    pub fn with_stream_base(mut self, stream_base: u64) -> Self {
+        self.stream_base = stream_base;
+        self
     }
 
     /// The coordinator: lowest member id.

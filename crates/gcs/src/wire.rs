@@ -24,6 +24,10 @@ pub enum GcsWire<A> {
         /// suspicion flap must NOT reset the stream (that would re-deliver
         /// the retransmission buffer).
         incarnation: u64,
+        /// The sender's current view id. View commits are fire-and-forget;
+        /// a member advertising an older id than the receiver's missed one
+        /// and is re-sent the current view (view anti-entropy).
+        view: ViewId,
     },
     /// "I am leaving gracefully" — peers exclude the sender immediately
     /// instead of waiting for suspicion (the paper's normal-shutdown path).
@@ -31,7 +35,17 @@ pub enum GcsWire<A> {
     /// Coordinator proposes a new view.
     ViewPropose(View),
     /// A member acknowledges a proposal.
-    ViewAck(ViewId),
+    ViewAck {
+        /// The proposal being acknowledged.
+        id: ViewId,
+        /// If the acker is the proposed view's coordinator *and* its
+        /// current stream continues (it already sequences its own view),
+        /// its current ordered-stream position; 0 otherwise. The proposer
+        /// cannot know this — it may propose a view coordinated by someone
+        /// else — so the coordinator-elect reports it and the proposer
+        /// patches it into the committed view's `stream_base`.
+        stream_base: u64,
+    },
     /// Coordinator commits an acknowledged view.
     ViewCommit(View),
     /// Reliable FIFO application data, sequenced per sender.
@@ -91,7 +105,12 @@ mod tests {
             payload: 42,
         };
         assert_eq!(m.clone(), m);
-        let hb: GcsWire<u32> = GcsWire::Heartbeat { sent: 0, ordered: 0, incarnation: 1 };
+        let hb: GcsWire<u32> = GcsWire::Heartbeat {
+            sent: 0,
+            ordered: 0,
+            incarnation: 1,
+            view: ViewId::default(),
+        };
         assert_ne!(hb, GcsWire::Leave);
     }
 }

@@ -2,8 +2,8 @@
 
 use crate::framework::Framework;
 use crate::{
-    BundleId, BundleManifest, ClassRef, Filter, LoadError, PropValue, Service, ServiceError,
-    ServiceId, SymbolName,
+    BundleError, BundleId, BundleManifest, ClassRef, Filter, LoadError, PropValue, Service,
+    ServiceError, ServiceId, SymbolName,
 };
 use dosgi_net::SimDuration;
 use dosgi_san::Value;
@@ -211,12 +211,21 @@ impl<'a> BundleContext<'a> {
 
     /// Writes to this bundle's persistent storage area (SAN-backed when the
     /// framework has a store attached).
-    pub fn store_put(&mut self, key: &str, value: Value) {
-        self.framework.bundle_store_put(self.bundle, key, value);
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::Store`] when the SAN write-through fails; the
+    /// in-memory area is updated and re-flushed later regardless.
+    pub fn store_put(&mut self, key: &str, value: Value) -> Result<(), BundleError> {
+        self.framework.bundle_store_put(self.bundle, key, value)
     }
 
     /// Reads from this bundle's persistent storage area.
-    pub fn store_get(&self, key: &str) -> Option<Value> {
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::Store`] when the SAN fallback read fails.
+    pub fn store_get(&self, key: &str) -> Result<Option<Value>, BundleError> {
         self.framework.bundle_store_get(self.bundle, key)
     }
 

@@ -1,6 +1,7 @@
 //! Framework error types.
 
 use crate::{BundleId, BundleState, PackageName, ServiceId};
+use dosgi_san::StoreError;
 use std::fmt;
 
 /// Errors from bundle lifecycle and framework operations.
@@ -42,6 +43,27 @@ pub enum BundleError {
     InvalidManifest(String),
     /// Persistent state could not be read back.
     CorruptState(String),
+    /// The SAN rejected a persistence operation (usually transient — see
+    /// [`StoreError::is_transient`]).
+    Store(StoreError),
+}
+
+impl BundleError {
+    /// The underlying [`StoreError`] if this error came from the SAN.
+    /// Retry/quarantine logic uses this to separate transient storage
+    /// faults from semantic failures.
+    pub fn store_error(&self) -> Option<&StoreError> {
+        match self {
+            BundleError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for BundleError {
+    fn from(e: StoreError) -> Self {
+        BundleError::Store(e)
+    }
 }
 
 impl fmt::Display for BundleError {
@@ -71,6 +93,7 @@ impl fmt::Display for BundleError {
             }
             BundleError::InvalidManifest(msg) => write!(f, "invalid manifest: {msg}"),
             BundleError::CorruptState(msg) => write!(f, "corrupt persistent state: {msg}"),
+            BundleError::Store(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -95,6 +118,15 @@ pub enum ServiceError {
     Failed(String),
     /// A sandbox policy denied the operation (set by the vosgi layer).
     PermissionDenied(String),
+    /// The SAN rejected the write-through of the service's persistent data
+    /// area; the call's effects were NOT durably acknowledged.
+    Store(StoreError),
+}
+
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> Self {
+        ServiceError::Store(e)
+    }
 }
 
 impl fmt::Display for ServiceError {
@@ -107,6 +139,7 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Failed(msg) => write!(f, "service failed: {msg}"),
             ServiceError::PermissionDenied(msg) => write!(f, "permission denied: {msg}"),
+            ServiceError::Store(e) => write!(f, "persistent data area write failed: {e}"),
         }
     }
 }

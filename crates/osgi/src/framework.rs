@@ -10,8 +10,8 @@ use crate::{
 };
 use crate::loader::LoadPath;
 use crate::persist;
-use dosgi_san::{SharedStore, Value};
-use std::collections::{BTreeMap, HashMap};
+use dosgi_san::{SharedStore, StoreError, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// Framework construction parameters.
@@ -78,6 +78,10 @@ pub struct Framework {
     framework_events: Vec<FrameworkEvent>,
     data_areas: HashMap<String, BTreeMap<String, Value>>,
     store: Option<(SharedStore, String)>,
+    /// The last snapshot write failed; a flush is pending (write-behind).
+    dirty_snapshot: bool,
+    /// Data areas whose SAN write-through failed; flush pending.
+    dirty_areas: BTreeSet<String>,
 }
 
 impl fmt::Debug for Framework {
@@ -110,6 +114,8 @@ impl Framework {
             framework_events: Vec::new(),
             data_areas: HashMap::new(),
             store: None,
+            dirty_snapshot: false,
+            dirty_areas: BTreeSet::new(),
         };
         fw.framework_events.push(FrameworkEvent::Started);
         fw
@@ -122,9 +128,15 @@ impl Framework {
 
     /// Attaches a SAN store; framework state and bundle data areas become
     /// persistent under `namespace`, as the OSGi specification requires.
-    pub fn attach_store(&mut self, store: SharedStore, namespace: &str) {
+    ///
+    /// # Errors
+    ///
+    /// The initial snapshot write may fail with a transient [`StoreError`];
+    /// the store stays attached and the snapshot is flushed on the next
+    /// successful [`flush_persist`](Self::flush_persist).
+    pub fn attach_store(&mut self, store: SharedStore, namespace: &str) -> Result<(), StoreError> {
         self.store = Some((store, namespace.to_owned()));
-        self.persist();
+        self.persist()
     }
 
     /// The persistence namespace, if a store is attached.
@@ -168,7 +180,7 @@ impl Framework {
             },
         );
         self.event(id, BundleEventKind::Installed);
-        self.persist();
+        let _ = self.persist();
         Ok(id)
     }
 
@@ -191,11 +203,12 @@ impl Framework {
         let ids: Vec<BundleId> = report.resolved.keys().copied().collect();
         for (id, wiring) in report.resolved {
             self.wirings.insert(id, wiring);
-            self.bundles.get_mut(&id).expect("candidate exists").state = BundleState::Resolved;
+            self.bundles.get_mut(&id).expect("resolver only reports candidate ids").state =
+                BundleState::Resolved;
             self.event(id, BundleEventKind::Resolved);
         }
         if !ids.is_empty() {
-            self.persist();
+            let _ = self.persist();
         }
         ids
     }
@@ -220,7 +233,7 @@ impl Framework {
                     let missing = self
                         .bundles
                         .get(&id)
-                        .expect("exists")
+                        .expect("bundle_state checked id above")
                         .manifest
                         .imports
                         .iter()
@@ -246,7 +259,7 @@ impl Framework {
         let mut activator = self
             .bundles
             .get_mut(&id)
-            .expect("exists")
+            .expect("bundle_state checked id above")
             .activator
             .take();
         let result = match activator.as_mut() {
@@ -256,14 +269,14 @@ impl Framework {
             }
             None => Ok(()),
         };
-        let bundle = self.bundles.get_mut(&id).expect("exists");
+        let bundle = self.bundles.get_mut(&id).expect("bundle_state checked id above");
         bundle.activator = activator;
         match result {
             Ok(()) => {
                 bundle.state = BundleState::Active;
                 bundle.autostart = true;
                 self.event(id, BundleEventKind::Started);
-                self.persist();
+                let _ = self.persist();
                 Ok(())
             }
             Err(message) => {
@@ -314,7 +327,7 @@ impl Framework {
         let mut activator = self
             .bundles
             .get_mut(&id)
-            .expect("exists")
+            .expect("bundle_state checked id above")
             .activator
             .take();
         let result = match activator.as_mut() {
@@ -331,14 +344,14 @@ impl Framework {
             });
         }
         self.registry.unregister_bundle(id);
-        let bundle = self.bundles.get_mut(&id).expect("exists");
+        let bundle = self.bundles.get_mut(&id).expect("bundle_state checked id above");
         bundle.activator = activator;
         bundle.state = BundleState::Resolved;
         if persistent {
             bundle.autostart = false;
         }
         self.event(id, BundleEventKind::Stopped);
-        self.persist();
+        let _ = self.persist();
         Ok(())
     }
 
@@ -364,7 +377,7 @@ impl Framework {
         self.wirings.remove(&id);
         self.ledger.forget(id);
         self.event(id, BundleEventKind::Uninstalled);
-        self.persist();
+        let _ = self.persist();
         Ok(())
     }
 
@@ -401,7 +414,7 @@ impl Framework {
         if was_active {
             self.stop_transient(id)?;
         }
-        let bundle = self.bundles.get_mut(&id).expect("exists");
+        let bundle = self.bundles.get_mut(&id).expect("bundle_state checked id above");
         bundle.manifest = manifest;
         bundle.state = BundleState::Installed;
         if let Some(a) = activator {
@@ -413,7 +426,7 @@ impl Framework {
         if was_active {
             self.start(id)?;
         }
-        self.persist();
+        let _ = self.persist();
         Ok(())
     }
 
@@ -431,7 +444,7 @@ impl Framework {
         let failed: Vec<BundleId> = report.failed.keys().copied().collect();
         self.wirings = report.resolved.clone();
         for (id, _) in report.resolved {
-            let b = self.bundles.get_mut(&id).expect("exists");
+            let b = self.bundles.get_mut(&id).expect("resolver only reports installed ids");
             if b.state == BundleState::Installed {
                 b.state = BundleState::Resolved;
                 self.event(id, BundleEventKind::Resolved);
@@ -495,7 +508,7 @@ impl Framework {
         self.config.start_level = level;
         self.framework_events
             .push(FrameworkEvent::StartLevelChanged { level });
-        self.persist();
+        let _ = self.persist();
     }
 
     /// Orderly shutdown: stops all active bundles in descending start-level
@@ -513,7 +526,7 @@ impl Framework {
         for (_, id) in active {
             let _ = self.stop_transient(id);
         }
-        self.persist();
+        let _ = self.persist();
     }
 
     // ------------------------------------------------------------------
@@ -648,26 +661,46 @@ impl Framework {
         };
         let mut area = self.data_areas.remove(&sn).unwrap_or_default();
         // After a restore the in-memory area starts empty while the SAN
-        // holds the persisted state: warm it up on first access.
+        // holds the persisted state: warm it up on first access. A failed
+        // warm-up fails the call — running the service against possibly
+        // incomplete state would silently drop persisted writes.
         if area.is_empty() {
             if let Some((store, ns)) = &self.store {
-                for (k, v) in store.read_namespace(&format!("{ns}/data/{sn}")) {
-                    area.insert(k, v);
+                match store.read_namespace(&format!("{ns}/data/{sn}")) {
+                    Ok(pairs) => {
+                        for (k, v) in pairs {
+                            area.insert(k, v);
+                        }
+                    }
+                    Err(e) => {
+                        self.data_areas.insert(sn, area);
+                        return Err(ServiceError::Store(e));
+                    }
                 }
             }
         }
         let outcome =
             self.registry
                 .call_with_store(id, &mut self.ledger, &mut area, method, arg);
+        let mut flush_err = None;
         if let Ok((_, true)) = &outcome {
             if let Some((store, ns)) = &self.store {
-                for (k, v) in &area {
-                    store.put(&format!("{ns}/data/{sn}"), k, v.clone());
+                let entries: Vec<(String, Value)> =
+                    area.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                if let Err(e) = store.put_many(&format!("{ns}/data/{sn}"), &entries) {
+                    // The in-memory effect stands, but the caller must NOT
+                    // treat the call as durably acknowledged; the area is
+                    // re-flushed by the node tick.
+                    self.dirty_areas.insert(sn.clone());
+                    flush_err = Some(e);
                 }
             }
         }
         self.data_areas.insert(sn, area);
-        outcome.map(|(v, _)| v)
+        match flush_err {
+            Some(e) => Err(ServiceError::Store(e)),
+            None => outcome.map(|(v, _)| v),
+        }
     }
 
     /// Read access to the service registry.
@@ -687,40 +720,64 @@ impl Framework {
 
     /// Writes to a bundle's persistent storage area (write-through to the
     /// SAN if attached), charging the bytes to the bundle's disk account.
-    pub fn bundle_store_put(&mut self, bundle: BundleId, key: &str, value: Value) {
-        let Some(sn) = self
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::NotFound`] for unknown bundles;
+    /// [`BundleError::Store`] when the SAN write-through fails — the
+    /// in-memory area is updated regardless and marked dirty for a later
+    /// [`flush_persist`](Self::flush_persist).
+    pub fn bundle_store_put(
+        &mut self,
+        bundle: BundleId,
+        key: &str,
+        value: Value,
+    ) -> Result<(), BundleError> {
+        let sn = self
             .bundles
             .get(&bundle)
             .map(|b| b.manifest.symbolic_name.as_str().to_owned())
-        else {
-            return;
-        };
+            .ok_or(BundleError::NotFound(bundle))?;
         self.ledger
             .charge_disk(bundle, value.encoded_len() as u64);
-        if let Some((store, ns)) = &self.store {
-            store.put(&format!("{ns}/data/{sn}"), key, value.clone());
-        }
         self.data_areas
-            .entry(sn)
+            .entry(sn.clone())
             .or_default()
-            .insert(key.to_owned(), value);
+            .insert(key.to_owned(), value.clone());
+        if let Some((store, ns)) = &self.store {
+            if let Err(e) = store.put(&format!("{ns}/data/{sn}"), key, value) {
+                self.dirty_areas.insert(sn);
+                return Err(BundleError::Store(e));
+            }
+        }
+        Ok(())
     }
 
     /// Reads from a bundle's persistent storage area (falling back to the
     /// SAN, which is how state written before a migration is found again on
     /// the destination node).
-    pub fn bundle_store_get(&self, bundle: BundleId, key: &str) -> Option<Value> {
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::NotFound`] for unknown bundles; [`BundleError::Store`]
+    /// when the SAN fallback read fails.
+    pub fn bundle_store_get(
+        &self,
+        bundle: BundleId,
+        key: &str,
+    ) -> Result<Option<Value>, BundleError> {
         let sn = self
             .bundles
             .get(&bundle)
-            .map(|b| b.manifest.symbolic_name.as_str().to_owned())?;
+            .map(|b| b.manifest.symbolic_name.as_str().to_owned())
+            .ok_or(BundleError::NotFound(bundle))?;
         if let Some(v) = self.data_areas.get(&sn).and_then(|m| m.get(key)) {
-            return Some(v.clone());
+            return Ok(Some(v.clone()));
         }
-        if let Some((store, ns)) = &self.store {
-            return store.get(&format!("{ns}/data/{sn}"), key);
+        match &self.store {
+            Some((store, ns)) => Ok(store.get(&format!("{ns}/data/{sn}"), key)?),
+            None => Ok(None),
         }
-        None
     }
 
     // ------------------------------------------------------------------
@@ -747,6 +804,24 @@ impl Framework {
     /// Iterates over installed bundles in id order.
     pub fn bundles(&self) -> impl Iterator<Item = &Bundle> {
         self.bundles.values()
+    }
+
+    /// Bundles that should be running but are not: marked autostart, within
+    /// the active start level, yet not `ACTIVE` — typically because their
+    /// activator failed during a [`restore`](Framework::restore) (e.g. a
+    /// transient SAN read error while recovering state). A restored
+    /// framework with degraded bundles is only *partially* re-materialized;
+    /// the adoption layer treats that as a failed adoption and retries.
+    pub fn degraded_bundles(&self) -> Vec<BundleId> {
+        self.bundles
+            .values()
+            .filter(|b| {
+                b.autostart
+                    && b.manifest.start_level <= self.config.start_level
+                    && !b.state.is_active()
+            })
+            .map(|b| b.id)
+            .collect()
     }
 
     /// Finds a bundle by symbolic name (any version; lowest id wins).
@@ -793,23 +868,88 @@ impl Framework {
 
     /// Writes a snapshot of the framework state to the attached store, if
     /// any. Called automatically after every lifecycle mutation.
-    pub fn persist(&mut self) {
-        if let Some((store, ns)) = &self.store {
-            let snapshot = persist::snapshot(
-                self.next_bundle,
-                self.config.start_level,
-                self.bundles.values(),
-            );
-            store.put(ns, "snapshot", snapshot);
+    ///
+    /// Persistence is **write-behind** with respect to lifecycle progress: a
+    /// transient SAN failure does not roll back the in-memory transition.
+    /// Instead the framework marks the snapshot dirty, records a
+    /// [`FrameworkEvent::Error`], and relies on a later
+    /// [`flush_persist`](Self::flush_persist) (the node tick drives one with
+    /// backoff) to converge durable state.
+    ///
+    /// # Errors
+    ///
+    /// The [`StoreError`] from the failed write; the snapshot stays dirty.
+    pub fn persist(&mut self) -> Result<(), StoreError> {
+        let Some((store, ns)) = &self.store else {
+            return Ok(());
+        };
+        let snapshot = persist::snapshot(
+            self.next_bundle,
+            self.config.start_level,
+            self.bundles.values(),
+        );
+        match store.put(ns, "snapshot", snapshot) {
+            Ok(_) => {
+                self.dirty_snapshot = false;
+                Ok(())
+            }
+            Err(e) => {
+                self.dirty_snapshot = true;
+                self.framework_events.push(FrameworkEvent::Error {
+                    bundle: None,
+                    message: format!("snapshot persist deferred: {e}"),
+                });
+                Err(e)
+            }
         }
+    }
+
+    /// True when a snapshot or data-area write-through failed and durable
+    /// state lags the in-memory state.
+    pub fn persist_dirty(&self) -> bool {
+        self.dirty_snapshot || !self.dirty_areas.is_empty()
+    }
+
+    /// Retries every pending persistence: the framework snapshot (if dirty)
+    /// and each data area whose write-through failed. Stops at the first
+    /// error, leaving the remainder dirty for the next attempt.
+    ///
+    /// # Errors
+    ///
+    /// The first [`StoreError`] hit; [`persist_dirty`](Self::persist_dirty)
+    /// remains true.
+    pub fn flush_persist(&mut self) -> Result<(), StoreError> {
+        let Some((store, ns)) = self.store.clone() else {
+            self.dirty_snapshot = false;
+            self.dirty_areas.clear();
+            return Ok(());
+        };
+        if self.dirty_snapshot {
+            self.persist()?;
+        }
+        let pending: Vec<String> = self.dirty_areas.iter().cloned().collect();
+        for sn in pending {
+            let entries: Vec<(String, Value)> = self
+                .data_areas
+                .get(&sn)
+                .map(|a| a.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+                .unwrap_or_default();
+            // Rewriting the full area is the idempotent recovery for torn
+            // batch writes as well as plain failures.
+            store.put_many(&format!("{ns}/data/{sn}"), &entries)?;
+            self.dirty_areas.remove(&sn);
+        }
+        Ok(())
     }
 
     /// The encoded size of the persisted snapshot in bytes (0 when no store
     /// is attached) — the state a migration must move.
     pub fn snapshot_bytes(&self) -> u64 {
         match &self.store {
+            // A metric, not a data read: peek bypasses the fault layer so
+            // sizing stays observable during brown-outs.
             Some((store, ns)) => store
-                .get(ns, "snapshot")
+                .peek(ns, "snapshot")
                 .map(|v| v.encoded_len() as u64)
                 .unwrap_or(0),
             None => 0,
@@ -827,7 +967,8 @@ impl Framework {
     /// # Errors
     ///
     /// [`BundleError::CorruptState`] when no snapshot exists or it fails to
-    /// parse.
+    /// parse; [`BundleError::Store`] when the SAN rejects the read (usually
+    /// transient — the adoption retry loop distinguishes the two).
     pub fn restore(
         config: FrameworkConfig,
         store: SharedStore,
@@ -835,7 +976,7 @@ impl Framework {
         factory: &ActivatorFactory,
     ) -> Result<Framework, BundleError> {
         let snapshot = store
-            .get(namespace, "snapshot")
+            .get(namespace, "snapshot")?
             .ok_or_else(|| BundleError::CorruptState(format!("no snapshot in {namespace}")))?;
         let parsed = persist::parse_snapshot(&snapshot).map_err(BundleError::CorruptState)?;
         let mut fw = Framework::with_config(config);
@@ -876,7 +1017,7 @@ impl Framework {
                 });
             }
         }
-        fw.persist();
+        let _ = fw.persist();
         Ok(fw)
     }
 
@@ -1121,7 +1262,7 @@ mod tests {
         factory.register("org.test.log", |_| log_activator());
 
         let mut fw = Framework::new("node-a");
-        fw.attach_store(store.clone(), "fw/a");
+        fw.attach_store(store.clone(), "fw/a").unwrap();
         let log = fw.install(log_manifest(), Some(log_activator())).unwrap();
         let app = fw.install(app_manifest(), None).unwrap();
         fw.set_start_level(2);
@@ -1164,9 +1305,9 @@ mod tests {
     fn data_area_survives_restore_via_san() {
         let store = SharedStore::new();
         let mut fw = Framework::new("a");
-        fw.attach_store(store.clone(), "fw/a");
+        fw.attach_store(store.clone(), "fw/a").unwrap();
         let log = fw.install(log_manifest(), None).unwrap();
-        fw.bundle_store_put(log, "counter", Value::Int(41));
+        fw.bundle_store_put(log, "counter", Value::Int(41)).unwrap();
         drop(fw);
 
         let fw2 = Framework::restore(
@@ -1177,8 +1318,8 @@ mod tests {
         )
         .unwrap();
         let log2 = fw2.find_bundle("org.test.log").unwrap();
-        assert_eq!(fw2.bundle_store_get(log2, "counter"), Some(Value::Int(41)));
-        assert_eq!(fw2.bundle_store_get(log2, "missing"), None);
+        assert_eq!(fw2.bundle_store_get(log2, "counter"), Ok(Some(Value::Int(41))));
+        assert_eq!(fw2.bundle_store_get(log2, "missing"), Ok(None));
     }
 
     #[test]
@@ -1198,7 +1339,7 @@ mod tests {
         let store = SharedStore::new();
         let mut fw = Framework::new("a");
         assert_eq!(fw.snapshot_bytes(), 0);
-        fw.attach_store(store, "fw/a");
+        fw.attach_store(store, "fw/a").unwrap();
         fw.install(log_manifest(), None).unwrap();
         assert!(fw.snapshot_bytes() > 0);
     }
@@ -1253,5 +1394,138 @@ mod tests {
                 .exporter_of(&crate::PackageName::new("org.test.log.api").unwrap()),
             Some(log)
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Storage fault behavior
+    // ------------------------------------------------------------------
+
+    use dosgi_net::SimTime;
+    use dosgi_san::FaultPlan;
+
+    fn counter_activator() -> Box<dyn Activator> {
+        Box::new(FnActivator::on_start(|ctx| {
+            ctx.register_service(
+                &["org.test.Counter"],
+                BTreeMap::new(),
+                Box::new(
+                    |cc: &mut crate::CallContext<'_>, method: &str, _: &Value| match method {
+                        "incr" => {
+                            let n = match cc.store_get("n") {
+                                Some(Value::Int(n)) => n,
+                                _ => 0,
+                            };
+                            cc.store_put("n", Value::Int(n + 1));
+                            Ok(Value::Int(n + 1))
+                        }
+                        other => Err(ServiceError::Failed(format!("no {other}"))),
+                    },
+                ),
+            );
+            Ok(())
+        }))
+    }
+
+    #[test]
+    fn persist_failure_defers_then_flush_converges() {
+        let store = SharedStore::new();
+        let mut fw = Framework::new("a");
+        fw.attach_store(store.clone(), "fw/a").unwrap();
+        fw.install(log_manifest(), None).unwrap();
+
+        // Brown-out: the lifecycle mutation proceeds in memory, the
+        // snapshot write is deferred (write-behind).
+        store.set_fault_plan(
+            FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(5)),
+        );
+        let app = fw.install(app_manifest(), None).unwrap();
+        assert!(fw.persist_dirty());
+        assert!(fw.bundle_state(app).is_ok());
+        assert!(fw.flush_persist().is_err(), "still browned out");
+
+        // Heal, flush: durable state converges and restore sees both.
+        store.set_now(SimTime::from_secs(5));
+        fw.flush_persist().unwrap();
+        assert!(!fw.persist_dirty());
+        drop(fw);
+        let fw2 = Framework::restore(
+            FrameworkConfig::new("b"),
+            store,
+            "fw/a",
+            &ActivatorFactory::new(),
+        )
+        .unwrap();
+        assert!(fw2.find_bundle("org.test.app").is_some());
+    }
+
+    #[test]
+    fn unacked_service_write_is_reflushed_not_lost() {
+        let store = SharedStore::new();
+        let mut fw = Framework::new("a");
+        fw.attach_store(store.clone(), "fw/a").unwrap();
+        let c = fw.install(
+            ManifestBuilder::new("org.test.counter", Version::new(1, 0, 0))
+                .build()
+                .unwrap(),
+            Some(counter_activator()),
+        )
+        .unwrap();
+        fw.start(c).unwrap();
+        let sid = fw.best_service("org.test.Counter").unwrap();
+        assert_eq!(fw.call_service(sid, "incr", &Value::Null), Ok(Value::Int(1)));
+
+        // Brown-out: the increment applies in memory but the write-through
+        // fails, so the caller must NOT count it as acknowledged.
+        store.set_fault_plan(
+            FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(5)),
+        );
+        assert!(matches!(
+            fw.call_service(sid, "incr", &Value::Null),
+            Err(ServiceError::Store(dosgi_san::StoreError::Unavailable))
+        ));
+        assert!(fw.persist_dirty());
+        assert_eq!(
+            store.peek("fw/a/data/org.test.counter", "n"),
+            Some(Value::Int(1)),
+            "durable state keeps only the acknowledged increment"
+        );
+
+        // Heal and flush: the deferred write lands; SAN ≥ acked holds.
+        store.set_now(SimTime::from_secs(5));
+        fw.flush_persist().unwrap();
+        assert_eq!(
+            store.peek("fw/a/data/org.test.counter", "n"),
+            Some(Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn restore_surfaces_transient_store_errors() {
+        let store = SharedStore::new();
+        let mut fw = Framework::new("a");
+        fw.attach_store(store.clone(), "fw/a").unwrap();
+        fw.install(log_manifest(), None).unwrap();
+        drop(fw);
+
+        store.set_fault_plan(
+            FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(5)),
+        );
+        let err = Framework::restore(
+            FrameworkConfig::new("b"),
+            store.clone(),
+            "fw/a",
+            &ActivatorFactory::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(&err, BundleError::Store(e) if e.is_transient()));
+
+        store.set_now(SimTime::from_secs(5));
+        assert!(Framework::restore(
+            FrameworkConfig::new("b"),
+            store,
+            "fw/a",
+            &ActivatorFactory::new(),
+        )
+        .is_ok());
     }
 }

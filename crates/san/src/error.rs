@@ -20,6 +20,33 @@ pub enum StoreError {
         /// The missing key.
         key: String,
     },
+    /// The SAN is inside an injected brown-out window: every data-plane
+    /// operation fails until the window ends. Transient — retry later.
+    Unavailable,
+    /// A transient injected I/O error on a single operation. Retryable
+    /// immediately (each operation draws independently).
+    Io {
+        /// Which store operation failed (for diagnostics).
+        op: &'static str,
+    },
+    /// A multi-key batch write tore: only a strict prefix was persisted.
+    /// Recover by rewriting the whole batch (idempotent).
+    TornWrite {
+        /// How many leading entries of the batch were persisted.
+        written: usize,
+    },
+}
+
+impl StoreError {
+    /// True for fault-injected errors that a bounded retry loop should
+    /// absorb; false for semantic errors ([`CasConflict`](Self::CasConflict),
+    /// [`NotFound`](Self::NotFound)) where retrying cannot help.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Unavailable | StoreError::Io { .. } | StoreError::TornWrite { .. }
+        )
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -30,6 +57,11 @@ impl fmt::Display for StoreError {
             }
             StoreError::NotFound { namespace, key } => {
                 write!(f, "key not found: {namespace}/{key}")
+            }
+            StoreError::Unavailable => write!(f, "storage unavailable (brown-out)"),
+            StoreError::Io { op } => write!(f, "transient i/o error during {op}"),
+            StoreError::TornWrite { written } => {
+                write!(f, "torn write: only {written} leading entries persisted")
             }
         }
     }
@@ -53,5 +85,34 @@ mod tests {
             key: "b".into(),
         };
         assert_eq!(e.to_string(), "key not found: a/b");
+        assert_eq!(
+            StoreError::Unavailable.to_string(),
+            "storage unavailable (brown-out)"
+        );
+        assert_eq!(
+            StoreError::Io { op: "put" }.to_string(),
+            "transient i/o error during put"
+        );
+        assert_eq!(
+            StoreError::TornWrite { written: 2 }.to_string(),
+            "torn write: only 2 leading entries persisted"
+        );
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(StoreError::Unavailable.is_transient());
+        assert!(StoreError::Io { op: "get" }.is_transient());
+        assert!(StoreError::TornWrite { written: 0 }.is_transient());
+        assert!(!StoreError::CasConflict {
+            expected: 1,
+            found: 2
+        }
+        .is_transient());
+        assert!(!StoreError::NotFound {
+            namespace: "a".into(),
+            key: "b".into()
+        }
+        .is_transient());
     }
 }

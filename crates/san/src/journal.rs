@@ -5,7 +5,8 @@
 //! near-zero-downtime failover). A hot standby tails the journal of its
 //! primary's namespaces and replays entries into its own warm state.
 
-use crate::Value;
+use crate::fault::FaultInjector;
+use crate::{StoreError, Value};
 use dosgi_net::SimTime;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
@@ -53,9 +54,16 @@ struct Inner {
 }
 
 /// A shared append-only journal. Clones share the same log.
+///
+/// The journal lives on the same storage tier as the [`SharedStore`]
+/// (crate::SharedStore), so appends are subject to the same fault plan once
+/// [`attach_faults`](Journal::attach_faults) has wired it to a store's
+/// injector. Reads (`read_after`, `head`) stay infallible: the replication
+/// protocol treats them as local tailing of an already-fetched log.
 #[derive(Debug, Clone, Default)]
 pub struct Journal {
     inner: Arc<Mutex<Inner>>,
+    faults: FaultInjector,
 }
 
 impl Journal {
@@ -71,12 +79,25 @@ impl Journal {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Shares a store's fault injector, so journal appends honor the same
+    /// [`FaultPlan`](crate::FaultPlan) (and draw from the same seeded
+    /// stream) as the store they sit next to.
+    pub fn attach_faults(&mut self, faults: &FaultInjector) {
+        self.faults = faults.clone();
+    }
+
     /// Appends an operation, returning its sequence number.
-    pub fn append(&self, at: SimTime, op: JournalOp) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Fault-injected [`StoreError::Unavailable`] / [`StoreError::Io`] when
+    /// a fault plan is attached; never fails otherwise.
+    pub fn append(&self, at: SimTime, op: JournalOp) -> Result<u64, StoreError> {
+        self.faults.roll("journal.append")?;
         let mut inner = self.lock();
         let seq = inner.entries.len() as u64 + 1;
         inner.entries.push(JournalEntry { seq, at, op });
-        seq
+        Ok(seq)
     }
 
     /// Entries with `seq > after`, in order. `after = 0` reads everything.
@@ -120,8 +141,8 @@ mod tests {
     #[test]
     fn sequence_numbers_are_dense_and_monotonic() {
         let j = Journal::new();
-        assert_eq!(j.append(SimTime::ZERO, put("a", "k", 1)), 1);
-        assert_eq!(j.append(SimTime::from_millis(1), put("a", "k", 2)), 2);
+        assert_eq!(j.append(SimTime::ZERO, put("a", "k", 1)), Ok(1));
+        assert_eq!(j.append(SimTime::from_millis(1), put("a", "k", 2)), Ok(2));
         assert_eq!(j.head(), 2);
     }
 
@@ -129,7 +150,7 @@ mod tests {
     fn read_after_filters() {
         let j = Journal::new();
         for i in 0..5 {
-            j.append(SimTime::ZERO, put("a", "k", i));
+            j.append(SimTime::ZERO, put("a", "k", i)).unwrap();
         }
         assert_eq!(j.read_after(0).len(), 5);
         let tail = j.read_after(3);
@@ -141,7 +162,7 @@ mod tests {
     fn clones_share_the_log() {
         let j = Journal::new();
         let j2 = j.clone();
-        j.append(SimTime::ZERO, put("a", "k", 1));
+        j.append(SimTime::ZERO, put("a", "k", 1)).unwrap();
         assert_eq!(j2.head(), 1);
     }
 
@@ -149,7 +170,7 @@ mod tests {
     fn prune_preserves_remaining_seqs() {
         let j = Journal::new();
         for i in 0..5 {
-            j.append(SimTime::ZERO, put("a", "k", i));
+            j.append(SimTime::ZERO, put("a", "k", i)).unwrap();
         }
         assert_eq!(j.prune(3), 3);
         let rest = j.read_after(0);
@@ -170,10 +191,30 @@ mod tests {
             JournalOp::Checkpoint {
                 label: "snap-1".into(),
             },
-        );
+        )
+        .unwrap();
         match &j.read_after(0)[0].op {
             JournalOp::Checkpoint { label } => assert_eq!(label, "snap-1"),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn attached_faults_gate_appends() {
+        use crate::{FaultPlan, SharedStore};
+
+        let store = SharedStore::new();
+        let mut j = Journal::new();
+        j.attach_faults(store.faults());
+        assert!(j.append(SimTime::ZERO, put("a", "k", 1)).is_ok());
+        store.set_fault_plan(
+            FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(1)),
+        );
+        assert_eq!(
+            j.append(SimTime::ZERO, put("a", "k", 2)),
+            Err(StoreError::Unavailable)
+        );
+        store.clear_faults();
+        assert_eq!(j.append(SimTime::ZERO, put("a", "k", 2)), Ok(2));
     }
 }

@@ -28,23 +28,30 @@
 //! use dosgi_san::{SharedStore, Value};
 //!
 //! let store = SharedStore::new();
-//! store.put("frameworks/n0", "bundle:logsvc", Value::from("ACTIVE"));
+//! store.put("frameworks/n0", "bundle:logsvc", Value::from("ACTIVE")).unwrap();
 //! assert_eq!(
 //!     store.get("frameworks/n0", "bundle:logsvc"),
-//!     Some(Value::from("ACTIVE"))
+//!     Ok(Some(Value::from("ACTIVE")))
 //! );
 //! // A different node reads the same data: the store is cluster-global.
 //! assert_eq!(store.list_keys("frameworks/n0"), vec!["bundle:logsvc"]);
 //! ```
+//!
+//! Data-plane operations return `Result` because the store is *fallible*:
+//! the [`fault`] module injects seeded transient I/O errors, brown-out
+//! windows, and torn batch writes. With no [`FaultPlan`] attached (the
+//! default) they never fail for fault reasons.
 
 mod codec;
 mod error;
+pub mod fault;
 mod journal;
 mod profile;
 mod store;
 mod value;
 
 pub use error::StoreError;
+pub use fault::{FaultInjector, FaultPlan, RetryPolicy};
 pub use journal::{Journal, JournalEntry, JournalOp};
 pub use profile::SanProfile;
 pub use store::{SharedStore, StoreStats, Versioned};

@@ -1,6 +1,8 @@
 //! The cluster-wide shared object store.
 
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::{StoreError, Value};
+use dosgi_net::SimTime;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
@@ -24,6 +26,9 @@ pub struct StoreStats {
     pub bytes_written: u64,
     /// Total encoded bytes read.
     pub bytes_read: u64,
+    /// Operations rejected by the fault layer (brown-out, injected I/O
+    /// error, torn batch).
+    pub faults: u64,
 }
 
 #[derive(Debug, Default)]
@@ -42,13 +47,25 @@ struct Inner {
 /// Keys live inside string *namespaces* (e.g. `"framework/n3"`,
 /// `"instance/42/data"`), which map onto the per-framework and per-bundle
 /// storage areas of the OSGi specification.
+///
+/// # Fallibility
+///
+/// Every **data-plane** operation (`put`, `get`, `cas`, `delete`,
+/// `read_namespace`, `delete_namespace`, `put_many`) consults the attached
+/// [`FaultInjector`] first and returns `Err` during brown-outs or injected
+/// I/O errors — see [`crate::fault`]. With no [`FaultPlan`] attached (the
+/// default) these operations never fail for fault reasons. **Control-plane**
+/// introspection (`list_keys`, `list_namespaces`, `namespace_bytes`,
+/// `stats`, `peek`) is deliberately infallible: it models the simulation
+/// harness's omniscient view, not a real client.
 #[derive(Debug, Clone, Default)]
 pub struct SharedStore {
     inner: Arc<Mutex<Inner>>,
+    faults: FaultInjector,
 }
 
 impl SharedStore {
-    /// Creates an empty store.
+    /// Creates an empty store with an inert fault injector.
     pub fn new() -> Self {
         Self::default()
     }
@@ -60,24 +77,125 @@ impl SharedStore {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    fn fault(&self, op: &'static str) -> Result<(), StoreError> {
+        self.faults.roll(op).inspect_err(|_| {
+            self.lock().stats.faults += 1;
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Fault layer wiring
+    // ------------------------------------------------------------------
+
+    /// The store's fault injector (share it with a
+    /// [`Journal`](crate::Journal) so both draw from one plan and stream).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Installs a fault plan. See [`crate::fault`].
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.faults.set_plan(plan);
+    }
+
+    /// Removes any fault plan; the store becomes infallible again.
+    pub fn clear_faults(&self) {
+        self.faults.clear();
+    }
+
+    /// Advances the fault clock (brown-out windows gate on it). The cluster
+    /// driver calls this every simulation step.
+    pub fn set_now(&self, now: SimTime) {
+        self.faults.set_now(now);
+    }
+
+    /// False while the store is inside an injected brown-out window.
+    pub fn is_available(&self) -> bool {
+        self.faults.is_available()
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane (fallible)
+    // ------------------------------------------------------------------
+
     /// Writes `value` under `namespace/key`, returning the new version.
-    pub fn put(&self, namespace: &str, key: &str, value: Value) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Fault-injected [`StoreError::Unavailable`] / [`StoreError::Io`].
+    pub fn put(&self, namespace: &str, key: &str, value: Value) -> Result<u64, StoreError> {
+        self.fault("put")?;
         let mut inner = self.lock();
         inner.stats.writes += 1;
         inner.stats.bytes_written += value.encoded_len() as u64;
         let ns = inner.namespaces.entry(namespace.to_owned()).or_default();
         let version = ns.get(key).map(|v| v.version).unwrap_or(0) + 1;
         ns.insert(key.to_owned(), Versioned { version, value });
-        version
+        Ok(version)
     }
 
-    /// Reads the value under `namespace/key`.
-    pub fn get(&self, namespace: &str, key: &str) -> Option<Value> {
-        self.get_versioned(namespace, key).map(|v| v.value)
+    /// Atomically-intended multi-key write: all of `entries` into
+    /// `namespace`. Under a torn-write fault only a strict prefix lands and
+    /// [`StoreError::TornWrite`] reports how much; rewriting the full batch
+    /// is the idempotent recovery.
+    ///
+    /// # Errors
+    ///
+    /// Fault-injected [`StoreError::Unavailable`] / [`StoreError::Io`] /
+    /// [`StoreError::TornWrite`].
+    pub fn put_many(
+        &self,
+        namespace: &str,
+        entries: &[(String, Value)],
+    ) -> Result<usize, StoreError> {
+        self.fault("put_many")?;
+        let torn = self.faults.torn_len(entries.len());
+        let persisted = torn.unwrap_or(entries.len());
+        let mut inner = self.lock();
+        let mut bytes = 0u64;
+        let ns = inner.namespaces.entry(namespace.to_owned()).or_default();
+        for (key, value) in &entries[..persisted] {
+            bytes += value.encoded_len() as u64;
+            let version = ns.get(key).map(|v| v.version).unwrap_or(0) + 1;
+            ns.insert(
+                key.clone(),
+                Versioned {
+                    version,
+                    value: value.clone(),
+                },
+            );
+        }
+        inner.stats.writes += persisted as u64;
+        inner.stats.bytes_written += bytes;
+        match torn {
+            Some(written) => {
+                inner.stats.faults += 1;
+                Err(StoreError::TornWrite { written })
+            }
+            None => Ok(persisted),
+        }
+    }
+
+    /// Reads the value under `namespace/key` (`Ok(None)` for a miss).
+    ///
+    /// # Errors
+    ///
+    /// Fault-injected [`StoreError::Unavailable`] / [`StoreError::Io`].
+    pub fn get(&self, namespace: &str, key: &str) -> Result<Option<Value>, StoreError> {
+        Ok(self.get_versioned(namespace, key)?.map(|v| v.value))
     }
 
     /// Reads the value and its version.
-    pub fn get_versioned(&self, namespace: &str, key: &str) -> Option<Versioned> {
+    ///
+    /// # Errors
+    ///
+    /// Fault-injected [`StoreError::Unavailable`] / [`StoreError::Io`].
+    pub fn get_versioned(
+        &self,
+        namespace: &str,
+        key: &str,
+    ) -> Result<Option<Versioned>, StoreError> {
+        self.fault("get")?;
         let mut inner = self.lock();
         let v = inner
             .namespaces
@@ -88,7 +206,7 @@ impl SharedStore {
             inner.stats.reads += 1;
             inner.stats.bytes_read += v.value.encoded_len() as u64;
         }
-        v
+        Ok(v)
     }
 
     /// Compare-and-swap: writes `value` only if the current version equals
@@ -96,7 +214,8 @@ impl SharedStore {
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::CasConflict`] if the version does not match.
+    /// [`StoreError::CasConflict`] if the version does not match, plus
+    /// fault-injected errors.
     pub fn cas(
         &self,
         namespace: &str,
@@ -104,6 +223,7 @@ impl SharedStore {
         expected: u64,
         value: Value,
     ) -> Result<u64, StoreError> {
+        self.fault("cas")?;
         let mut inner = self.lock();
         let ns = inner.namespaces.entry(namespace.to_owned()).or_default();
         let found = ns.get(key).map(|v| v.version).unwrap_or(0);
@@ -122,8 +242,10 @@ impl SharedStore {
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::NotFound`] if the key is absent.
+    /// [`StoreError::NotFound`] if the key is absent, plus fault-injected
+    /// errors.
     pub fn delete(&self, namespace: &str, key: &str) -> Result<(), StoreError> {
+        self.fault("delete")?;
         let mut inner = self.lock();
         let removed = inner
             .namespaces
@@ -142,7 +264,12 @@ impl SharedStore {
     }
 
     /// Deletes an entire namespace, returning how many keys it held.
-    pub fn delete_namespace(&self, namespace: &str) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// Fault-injected [`StoreError::Unavailable`] / [`StoreError::Io`].
+    pub fn delete_namespace(&self, namespace: &str) -> Result<usize, StoreError> {
+        self.fault("delete_namespace")?;
         let mut inner = self.lock();
         let n = inner
             .namespaces
@@ -152,7 +279,47 @@ impl SharedStore {
         if n > 0 {
             inner.stats.writes += 1;
         }
-        n
+        Ok(n)
+    }
+
+    /// Reads a whole namespace as `(key, value)` pairs, sorted by key.
+    ///
+    /// # Errors
+    ///
+    /// Fault-injected [`StoreError::Unavailable`] / [`StoreError::Io`].
+    pub fn read_namespace(&self, namespace: &str) -> Result<Vec<(String, Value)>, StoreError> {
+        self.fault("read_namespace")?;
+        let mut inner = self.lock();
+        let pairs: Vec<(String, Value)> = inner
+            .namespaces
+            .get(namespace)
+            .map(|ns| {
+                ns.iter()
+                    .map(|(k, v)| (k.clone(), v.value.clone()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (_, v) in &pairs {
+            inner.stats.reads += 1;
+            inner.stats.bytes_read += v.encoded_len() as u64;
+        }
+        Ok(pairs)
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane (infallible introspection)
+    // ------------------------------------------------------------------
+
+    /// Fault-free diagnostic read: the simulation harness's omniscient view
+    /// of `namespace/key`, bypassing the fault layer and the I/O counters.
+    /// Invariant checkers use this to inspect durable state *during* a
+    /// brown-out; production paths must use [`get`](Self::get).
+    pub fn peek(&self, namespace: &str, key: &str) -> Option<Value> {
+        self.lock()
+            .namespaces
+            .get(namespace)
+            .and_then(|ns| ns.get(key))
+            .map(|v| v.value.clone())
     }
 
     /// Keys in a namespace, sorted.
@@ -175,25 +342,6 @@ impl SharedStore {
             .collect();
         v.sort();
         v
-    }
-
-    /// Reads a whole namespace as `(key, value)` pairs, sorted by key.
-    pub fn read_namespace(&self, namespace: &str) -> Vec<(String, Value)> {
-        let mut inner = self.lock();
-        let pairs: Vec<(String, Value)> = inner
-            .namespaces
-            .get(namespace)
-            .map(|ns| {
-                ns.iter()
-                    .map(|(k, v)| (k.clone(), v.value.clone()))
-                    .collect()
-            })
-            .unwrap_or_default();
-        for (_, v) in &pairs {
-            inner.stats.reads += 1;
-            inner.stats.bytes_read += v.encoded_len() as u64;
-        }
-        pairs
     }
 
     /// Total encoded size of a namespace in bytes (no stats impact) —
@@ -238,19 +386,19 @@ mod tests {
     #[test]
     fn put_get_round_trip_and_versions() {
         let s = SharedStore::new();
-        assert_eq!(s.put("ns", "k", Value::Int(1)), 1);
-        assert_eq!(s.put("ns", "k", Value::Int(2)), 2);
-        assert_eq!(s.get("ns", "k"), Some(Value::Int(2)));
-        assert_eq!(s.get_versioned("ns", "k").unwrap().version, 2);
-        assert_eq!(s.get("ns", "missing"), None);
+        assert_eq!(s.put("ns", "k", Value::Int(1)), Ok(1));
+        assert_eq!(s.put("ns", "k", Value::Int(2)), Ok(2));
+        assert_eq!(s.get("ns", "k"), Ok(Some(Value::Int(2))));
+        assert_eq!(s.get_versioned("ns", "k").unwrap().unwrap().version, 2);
+        assert_eq!(s.get("ns", "missing"), Ok(None));
     }
 
     #[test]
     fn clones_share_storage() {
         let s = SharedStore::new();
         let s2 = s.clone();
-        s.put("ns", "k", Value::Int(1));
-        assert_eq!(s2.get("ns", "k"), Some(Value::Int(1)));
+        s.put("ns", "k", Value::Int(1)).unwrap();
+        assert_eq!(s2.get("ns", "k"), Ok(Some(Value::Int(1))));
     }
 
     #[test]
@@ -266,15 +414,15 @@ mod tests {
             })
         );
         assert_eq!(s.cas("ns", "k", 1, Value::Int(2)), Ok(2));
-        assert_eq!(s.get("ns", "k"), Some(Value::Int(2)));
+        assert_eq!(s.get("ns", "k"), Ok(Some(Value::Int(2))));
     }
 
     #[test]
     fn delete_and_not_found() {
         let s = SharedStore::new();
-        s.put("ns", "k", Value::Int(1));
+        s.put("ns", "k", Value::Int(1)).unwrap();
         s.delete("ns", "k").unwrap();
-        assert_eq!(s.get("ns", "k"), None);
+        assert_eq!(s.get("ns", "k"), Ok(None));
         assert!(matches!(
             s.delete("ns", "k"),
             Err(StoreError::NotFound { .. })
@@ -284,17 +432,17 @@ mod tests {
     #[test]
     fn namespace_operations() {
         let s = SharedStore::new();
-        s.put("a", "k1", Value::Int(1));
-        s.put("a", "k2", Value::Int(2));
-        s.put("b", "k3", Value::Int(3));
+        s.put("a", "k1", Value::Int(1)).unwrap();
+        s.put("a", "k2", Value::Int(2)).unwrap();
+        s.put("b", "k3", Value::Int(3)).unwrap();
         assert_eq!(s.list_keys("a"), vec!["k1", "k2"]);
         assert_eq!(s.list_namespaces(), vec!["a", "b"]);
-        let all = s.read_namespace("a");
+        let all = s.read_namespace("a").unwrap();
         assert_eq!(all.len(), 2);
         assert_eq!(all[0], ("k1".to_owned(), Value::Int(1)));
-        assert_eq!(s.delete_namespace("a"), 2);
+        assert_eq!(s.delete_namespace("a"), Ok(2));
         assert_eq!(s.list_namespaces(), vec!["b"]);
-        assert_eq!(s.delete_namespace("a"), 0);
+        assert_eq!(s.delete_namespace("a"), Ok(0));
     }
 
     #[test]
@@ -302,13 +450,14 @@ mod tests {
         let s = SharedStore::new();
         let v = Value::Str("hello".into());
         let len = v.encoded_len() as u64;
-        s.put("ns", "k", v);
-        let _ = s.get("ns", "k");
+        s.put("ns", "k", v).unwrap();
+        let _ = s.get("ns", "k").unwrap();
         let st = s.stats();
         assert_eq!(st.writes, 1);
         assert_eq!(st.reads, 1);
         assert_eq!(st.bytes_written, len);
         assert_eq!(st.bytes_read, len);
+        assert_eq!(st.faults, 0);
         s.reset_stats();
         assert_eq!(s.stats(), StoreStats::default());
     }
@@ -319,8 +468,8 @@ mod tests {
         let v1 = Value::Str("abc".into());
         let v2 = Value::Int(7);
         let expect = (v1.encoded_len() + v2.encoded_len()) as u64;
-        s.put("ns", "k1", v1);
-        s.put("ns", "k2", v2);
+        s.put("ns", "k1", v1).unwrap();
+        s.put("ns", "k2", v2).unwrap();
         assert_eq!(s.namespace_bytes("ns"), expect);
         assert_eq!(s.namespace_bytes("other"), 0);
     }
@@ -328,9 +477,9 @@ mod tests {
     #[test]
     fn prefixed_bytes_cover_sub_namespaces_only() {
         let s = SharedStore::new();
-        s.put("inst/a", "k", Value::Int(1));
-        s.put("inst/a/data/x", "k", Value::Int(2));
-        s.put("inst/ab", "k", Value::Int(3)); // sibling, NOT under inst/a
+        s.put("inst/a", "k", Value::Int(1)).unwrap();
+        s.put("inst/a/data/x", "k", Value::Int(2)).unwrap();
+        s.put("inst/ab", "k", Value::Int(3)).unwrap(); // sibling, NOT under inst/a
         let expect = Value::Int(1).encoded_len() as u64 + Value::Int(2).encoded_len() as u64;
         assert_eq!(s.namespace_bytes_prefixed("inst/a"), expect);
         assert!(s.namespace_bytes_prefixed("inst/ab") > 0);
@@ -340,7 +489,71 @@ mod tests {
     #[test]
     fn misses_do_not_count_as_reads() {
         let s = SharedStore::new();
-        let _ = s.get("ns", "missing");
+        let _ = s.get("ns", "missing").unwrap();
         assert_eq!(s.stats().reads, 0);
+    }
+
+    #[test]
+    fn put_many_writes_all_entries_when_healthy() {
+        let s = SharedStore::new();
+        let entries = vec![
+            ("a".to_owned(), Value::Int(1)),
+            ("b".to_owned(), Value::Int(2)),
+        ];
+        assert_eq!(s.put_many("ns", &entries), Ok(2));
+        assert_eq!(s.get("ns", "a"), Ok(Some(Value::Int(1))));
+        assert_eq!(s.get("ns", "b"), Ok(Some(Value::Int(2))));
+        assert_eq!(s.stats().writes, 2);
+    }
+
+    #[test]
+    fn torn_put_many_persists_exactly_the_reported_prefix() {
+        let s = SharedStore::new();
+        s.set_fault_plan(FaultPlan::none().with_torn_writes(1.0));
+        let entries: Vec<(String, Value)> =
+            (0..6).map(|i| (format!("k{i}"), Value::Int(i))).collect();
+        let Err(StoreError::TornWrite { written }) = s.put_many("ns", &entries) else {
+            panic!("rate-1.0 torn plan must tear");
+        };
+        assert!(written < entries.len());
+        assert_eq!(s.list_keys("ns").len(), written);
+        // Recovery: rewriting the whole batch is idempotent and complete.
+        s.clear_faults();
+        assert_eq!(s.put_many("ns", &entries), Ok(6));
+        assert_eq!(s.list_keys("ns").len(), 6);
+    }
+
+    #[test]
+    fn brownout_blocks_data_plane_but_not_peek() {
+        let s = SharedStore::new();
+        s.put("ns", "k", Value::Int(7)).unwrap();
+        s.set_fault_plan(
+            FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(10)),
+        );
+        assert!(!s.is_available());
+        assert_eq!(s.get("ns", "k"), Err(StoreError::Unavailable));
+        assert_eq!(s.put("ns", "k", Value::Int(8)), Err(StoreError::Unavailable));
+        assert_eq!(s.read_namespace("ns"), Err(StoreError::Unavailable));
+        assert_eq!(s.delete_namespace("ns"), Err(StoreError::Unavailable));
+        // The omniscient observer still sees the durable value.
+        assert_eq!(s.peek("ns", "k"), Some(Value::Int(7)));
+        assert!(s.stats().faults >= 4);
+        // Time moves past the window: the store heals.
+        s.set_now(SimTime::from_secs(10));
+        assert!(s.is_available());
+        assert_eq!(s.get("ns", "k"), Ok(Some(Value::Int(7))));
+    }
+
+    #[test]
+    fn flaky_store_fails_deterministically_per_seed() {
+        let run = |seed| {
+            let s = SharedStore::new();
+            s.set_fault_plan(FaultPlan::flaky(0.5, seed));
+            (0..64)
+                .map(|i| s.put("ns", &format!("k{i}"), Value::Int(i)).is_err())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds, different fault pattern");
     }
 }

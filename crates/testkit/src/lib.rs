@@ -16,14 +16,20 @@
 //! * [`bench`] — a wall-clock micro/macro benchmark harness
 //!   ([`bench::Suite`]): warmup + N timed iterations, median/p95, JSON
 //!   reports under `results/`.
+//! * [`nemesis`] — seeded, deterministic chaos schedules
+//!   ([`NemesisPlan`]): crash × partition × SAN brown-out × message-loss
+//!   fault timelines as pure data, well-formed by construction, for the
+//!   chaos harness in `dosgi-core` to apply and check invariants against.
 //!
 //! Policy: no crate in this workspace may depend on the crates.io
 //! registry. If a capability is missing, it is added here.
 
 pub mod bench;
+pub mod nemesis;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{Plan, Report, Suite};
+pub use nemesis::{NemesisConfig, NemesisOp, NemesisPlan, NemesisStep};
 pub use prop::{Config as PropConfig, Gen, PropResult};
 pub use rng::{mix_seed, splitmix64, TestRng};

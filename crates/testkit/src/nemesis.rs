@@ -1,0 +1,429 @@
+//! Deterministic chaos (nemesis) schedules.
+//!
+//! A *nemesis* is the adversary of a chaos test: it injects faults —
+//! node crashes, network partitions, SAN brown-outs and flakiness,
+//! message loss — on a schedule. This module generates such schedules
+//! **deterministically from a seed**, as pure data: the testkit knows
+//! nothing about clusters or SANs, it only emits `(time, operation)`
+//! pairs. The driver that applies a schedule to a system under test (and
+//! checks invariants between steps) lives with that system; any failure
+//! replays exactly from the same seed.
+//!
+//! Schedules are *well-formed by construction*:
+//!
+//! * at most a strict minority of nodes is ever crashed or partitioned
+//!   away concurrently, so the surviving majority can keep converging;
+//! * every fault is healed before the schedule's horizon, leaving a
+//!   configurable quiet tail — the window in which convergence
+//!   invariants ("registry agrees everywhere", "every instance serving")
+//!   must hold;
+//! * at most one fault per category is active at a time.
+
+use crate::rng::{mix_seed, TestRng};
+
+/// One fault (or heal) operation in a nemesis schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NemesisOp {
+    /// Crash-stop a node (volatile state lost; durable state intact).
+    CrashNode {
+        /// The node index to crash.
+        node: usize,
+    },
+    /// Restart a previously crashed node with fresh volatile state.
+    RestartNode {
+        /// The node index to restart.
+        node: usize,
+    },
+    /// Partition the listed (minority) nodes away from the rest.
+    Partition {
+        /// The minority side of the split, sorted.
+        minority: Vec<usize>,
+    },
+    /// Heal any active partition.
+    HealPartition,
+    /// The SAN stops answering entirely (brown-out) until [`SanHeal`].
+    ///
+    /// [`SanHeal`]: NemesisOp::SanHeal
+    SanBrownout,
+    /// The SAN fails a fraction of operations until [`SanHeal`].
+    ///
+    /// [`SanHeal`]: NemesisOp::SanHeal
+    SanFlaky {
+        /// Per-operation transient failure probability in `[0, 1]`.
+        error_rate: f64,
+    },
+    /// The SAN becomes reliable again.
+    SanHeal,
+    /// The network drops a fraction of messages until [`MessageLossOff`].
+    ///
+    /// [`MessageLossOff`]: NemesisOp::MessageLossOff
+    MessageLoss {
+        /// Per-message drop probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// The network stops dropping messages.
+    MessageLossOff,
+}
+
+/// A scheduled operation: apply [`op`](Self::op) once simulated time
+/// reaches [`at_us`](Self::at_us).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NemesisStep {
+    /// When to apply, in simulated microseconds from schedule start.
+    pub at_us: u64,
+    /// What to apply.
+    pub op: NemesisOp,
+}
+
+/// Which fault categories a schedule may draw from, and its shape knobs.
+#[derive(Debug, Clone)]
+pub struct NemesisConfig {
+    /// How many fault injections to attempt (each pairs with its heal).
+    pub faults: usize,
+    /// Schedule horizon in simulated microseconds; every heal lands
+    /// before `horizon_us - heal_tail_us`.
+    pub horizon_us: u64,
+    /// Quiet tail with no active faults, for convergence checking.
+    pub heal_tail_us: u64,
+    /// Earliest injection time (lets the cluster boot undisturbed).
+    pub start_us: u64,
+    /// Minimum gap between consecutive injections, microseconds.
+    pub min_gap_us: u64,
+    /// Fault duration bounds, microseconds.
+    pub duration_us: (u64, u64),
+    /// Allow node crashes (with later restarts).
+    pub crash: bool,
+    /// Allow minority network partitions.
+    pub partition: bool,
+    /// Allow SAN brown-outs (total unavailability windows).
+    pub brownout: bool,
+    /// Allow SAN flakiness (random transient op failures).
+    pub flaky: bool,
+    /// Allow random message loss.
+    pub msg_loss: bool,
+}
+
+impl Default for NemesisConfig {
+    fn default() -> Self {
+        NemesisConfig {
+            faults: 6,
+            horizon_us: 60_000_000,
+            heal_tail_us: 15_000_000,
+            start_us: 2_000_000,
+            min_gap_us: 1_000_000,
+            duration_us: (500_000, 5_000_000),
+            crash: true,
+            partition: true,
+            brownout: true,
+            flaky: true,
+            msg_loss: true,
+        }
+    }
+}
+
+impl NemesisConfig {
+    /// A config with every category disabled; enable one for single-fault
+    /// property tests.
+    pub fn none() -> Self {
+        NemesisConfig {
+            crash: false,
+            partition: false,
+            brownout: false,
+            flaky: false,
+            msg_loss: false,
+            ..NemesisConfig::default()
+        }
+    }
+
+    /// A single-fault config: exactly the category selected by
+    /// `choice % 5` is enabled (stable order: crash, partition, brown-out,
+    /// flaky, message loss). This is how seeded property tests cover every
+    /// category uniformly.
+    pub fn single_fault(choice: u64) -> Self {
+        let mut c = NemesisConfig::none();
+        match choice % 5 {
+            0 => c.crash = true,
+            1 => c.partition = true,
+            2 => c.brownout = true,
+            3 => c.flaky = true,
+            _ => c.msg_loss = true,
+        }
+        c
+    }
+
+    fn kinds(&self) -> Vec<Kind> {
+        let mut v = Vec::new();
+        if self.crash {
+            v.push(Kind::Crash);
+        }
+        if self.partition {
+            v.push(Kind::Partition);
+        }
+        if self.brownout {
+            v.push(Kind::Brownout);
+        }
+        if self.flaky {
+            v.push(Kind::Flaky);
+        }
+        if self.msg_loss {
+            v.push(Kind::MsgLoss);
+        }
+        v
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    Crash,
+    Partition,
+    Brownout,
+    Flaky,
+    MsgLoss,
+}
+
+/// A complete seeded schedule over a cluster of `nodes` nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NemesisPlan {
+    /// The generating seed (replay key).
+    pub seed: u64,
+    /// Cluster size the schedule was generated for.
+    pub nodes: usize,
+    /// Horizon: run the system under test at least this long.
+    pub horizon_us: u64,
+    /// The operations, sorted by time (ties in emission order).
+    pub steps: Vec<NemesisStep>,
+}
+
+impl NemesisPlan {
+    /// Generates a schedule. Identical `(seed, nodes, config)` triples
+    /// yield identical plans — byte for byte.
+    pub fn generate(seed: u64, nodes: usize, config: &NemesisConfig) -> Self {
+        let mut rng = TestRng::new(mix_seed(0x4E45_4D45_5349_5321, seed));
+        let kinds = config.kinds();
+        let fault_end = config.horizon_us.saturating_sub(config.heal_tail_us);
+        let max_down = nodes.saturating_sub(1) / 2; // strict minority
+        let mut steps: Vec<(u64, usize, NemesisOp)> = Vec::new();
+        let emit = |steps: &mut Vec<(u64, usize, NemesisOp)>, at: u64, op: NemesisOp| {
+            let idx = steps.len();
+            steps.push((at, idx, op));
+        };
+        // Per-category "active until" clocks; a category is only re-armed
+        // after its previous fault healed.
+        let mut crashed_until: Vec<u64> = vec![0; nodes];
+        let mut partition_until = 0u64;
+        let mut san_until = 0u64;
+        let mut loss_until = 0u64;
+        let mut t = config.start_us;
+        if !kinds.is_empty() && nodes > 0 {
+            for _ in 0..config.faults {
+                if t >= fault_end {
+                    break;
+                }
+                let (lo, hi) = config.duration_us;
+                let dur = lo + rng.u64_below(hi.saturating_sub(lo).max(1));
+                let heal_at = (t + dur).min(fault_end);
+                let kind = kinds[rng.u64_below(kinds.len() as u64) as usize];
+                match kind {
+                    Kind::Crash => {
+                        let down_now =
+                            crashed_until.iter().filter(|u| **u > t).count();
+                        let up: Vec<usize> = (0..nodes)
+                            .filter(|n| crashed_until[*n] <= t)
+                            .collect();
+                        if down_now < max_down && !up.is_empty() {
+                            let node = up[rng.u64_below(up.len() as u64) as usize];
+                            crashed_until[node] = heal_at;
+                            emit(&mut steps, t, NemesisOp::CrashNode { node });
+                            emit(&mut steps, heal_at, NemesisOp::RestartNode { node });
+                        }
+                    }
+                    Kind::Partition => {
+                        if partition_until <= t && max_down >= 1 {
+                            let size =
+                                1 + rng.u64_below(max_down as u64) as usize;
+                            let mut pool: Vec<usize> = (0..nodes).collect();
+                            let mut minority = Vec::new();
+                            for _ in 0..size {
+                                let i = rng.u64_below(pool.len() as u64) as usize;
+                                minority.push(pool.swap_remove(i));
+                            }
+                            minority.sort_unstable();
+                            partition_until = heal_at;
+                            emit(&mut steps, t, NemesisOp::Partition { minority });
+                            emit(&mut steps, heal_at, NemesisOp::HealPartition);
+                        }
+                    }
+                    Kind::Brownout | Kind::Flaky => {
+                        if san_until <= t {
+                            san_until = heal_at;
+                            let op = if kind == Kind::Brownout {
+                                NemesisOp::SanBrownout
+                            } else {
+                                // 2%–30% in 1% steps: high enough to bite,
+                                // low enough that retries converge.
+                                let pct = 2 + rng.u64_below(29);
+                                NemesisOp::SanFlaky {
+                                    error_rate: pct as f64 / 100.0,
+                                }
+                            };
+                            emit(&mut steps, t, op);
+                            emit(&mut steps, heal_at, NemesisOp::SanHeal);
+                        }
+                    }
+                    Kind::MsgLoss => {
+                        if loss_until <= t {
+                            loss_until = heal_at;
+                            let pct = 5 + rng.u64_below(26); // 5%–30%
+                            emit(
+                                &mut steps,
+                                t,
+                                NemesisOp::MessageLoss {
+                                    rate: pct as f64 / 100.0,
+                                },
+                            );
+                            emit(&mut steps, heal_at, NemesisOp::MessageLossOff);
+                        }
+                    }
+                }
+                t += config.min_gap_us + rng.u64_below(config.min_gap_us.max(1));
+            }
+        }
+        steps.sort_by_key(|a| (a.0, a.1));
+        NemesisPlan {
+            seed,
+            nodes,
+            horizon_us: config.horizon_us,
+            steps: steps
+                .into_iter()
+                .map(|(at_us, _, op)| NemesisStep { at_us, op })
+                .collect(),
+        }
+    }
+
+    /// A stable 64-bit fingerprint of the full schedule. Two runs of the
+    /// same seed must produce the same fingerprint — the cheap half of the
+    /// "replays byte-identically" check.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = mix_seed(self.seed, self.nodes as u64 ^ self.horizon_us);
+        let fold = |x: u64, h: &mut u64| *h = mix_seed(*h, x);
+        for s in &self.steps {
+            fold(s.at_us, &mut h);
+            let (tag, a, b) = match &s.op {
+                NemesisOp::CrashNode { node } => (1u64, *node as u64, 0u64),
+                NemesisOp::RestartNode { node } => (2, *node as u64, 0),
+                NemesisOp::Partition { minority } => {
+                    let mut m = 0u64;
+                    for n in minority {
+                        m = mix_seed(m, *n as u64);
+                    }
+                    (3, minority.len() as u64, m)
+                }
+                NemesisOp::HealPartition => (4, 0, 0),
+                NemesisOp::SanBrownout => (5, 0, 0),
+                NemesisOp::SanFlaky { error_rate } => (6, error_rate.to_bits(), 0),
+                NemesisOp::SanHeal => (7, 0, 0),
+                NemesisOp::MessageLoss { rate } => (8, rate.to_bits(), 0),
+                NemesisOp::MessageLossOff => (9, 0, 0),
+            };
+            fold(tag, &mut h);
+            fold(a, &mut h);
+            fold(b, &mut h);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let cfg = NemesisConfig::default();
+        let a = NemesisPlan::generate(42, 5, &cfg);
+        let b = NemesisPlan::generate(42, 5, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = NemesisPlan::generate(43, 5, &cfg);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn schedules_are_well_formed() {
+        for seed in 0..200u64 {
+            let cfg = NemesisConfig::default();
+            let plan = NemesisPlan::generate(seed, 5, &cfg);
+            let fault_end = cfg.horizon_us - cfg.heal_tail_us;
+            let mut down = 0i64;
+            let mut partitioned = false;
+            let mut san = false;
+            let mut lossy = false;
+            let mut last = 0;
+            for s in &plan.steps {
+                assert!(s.at_us >= last, "sorted");
+                last = s.at_us;
+                assert!(s.at_us <= fault_end, "all activity before the tail");
+                match &s.op {
+                    NemesisOp::CrashNode { node } => {
+                        assert!(*node < 5);
+                        down += 1;
+                        assert!(down <= 2, "majority stays up");
+                    }
+                    NemesisOp::RestartNode { .. } => down -= 1,
+                    NemesisOp::Partition { minority } => {
+                        assert!(!partitioned, "one partition at a time");
+                        assert!(!minority.is_empty() && minority.len() <= 2);
+                        partitioned = true;
+                    }
+                    NemesisOp::HealPartition => partitioned = false,
+                    NemesisOp::SanBrownout | NemesisOp::SanFlaky { .. } => {
+                        assert!(!san, "one SAN fault at a time");
+                        san = true;
+                    }
+                    NemesisOp::SanHeal => san = false,
+                    NemesisOp::MessageLoss { rate } => {
+                        assert!(!lossy);
+                        assert!(*rate > 0.0 && *rate <= 0.31);
+                        lossy = true;
+                    }
+                    NemesisOp::MessageLossOff => lossy = false,
+                }
+            }
+            assert_eq!(down, 0, "every crash healed (seed {seed})");
+            assert!(!partitioned && !san && !lossy, "all healed (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn single_fault_configs_cover_each_category() {
+        for choice in 0..5u64 {
+            let cfg = NemesisConfig::single_fault(choice);
+            assert_eq!(
+                [cfg.crash, cfg.partition, cfg.brownout, cfg.flaky, cfg.msg_loss]
+                    .iter()
+                    .filter(|b| **b)
+                    .count(),
+                1
+            );
+            // And the plan only contains ops of that category.
+            let plan = NemesisPlan::generate(7, 3, &cfg);
+            for s in &plan.steps {
+                let ok = match s.op {
+                    NemesisOp::CrashNode { .. } | NemesisOp::RestartNode { .. } => cfg.crash,
+                    NemesisOp::Partition { .. } | NemesisOp::HealPartition => cfg.partition,
+                    NemesisOp::SanBrownout => cfg.brownout,
+                    NemesisOp::SanFlaky { .. } => cfg.flaky,
+                    NemesisOp::SanHeal => cfg.brownout || cfg.flaky,
+                    NemesisOp::MessageLoss { .. } | NemesisOp::MessageLossOff => cfg.msg_loss,
+                };
+                assert!(ok, "plan leaked a disabled category: {:?}", s.op);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_config_yields_empty_plan() {
+        let plan = NemesisPlan::generate(1, 5, &NemesisConfig::none());
+        assert!(plan.steps.is_empty());
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::InstanceId;
 use dosgi_osgi::{BundleError, LoadError, ServiceError};
+use dosgi_san::StoreError;
 use std::fmt;
 
 /// Errors from virtual-instance operations.
@@ -18,6 +19,11 @@ pub enum VosgiError {
         /// A description of what was attempted.
         operation: &'static str,
     },
+    /// The operation needs a SAN but none is attached to the manager.
+    NoStore {
+        /// What was attempted (`"adopt"`, …).
+        operation: &'static str,
+    },
     /// A bundle named in the descriptor is not in the repository.
     UnknownBundle(String),
     /// The sandbox denied an access.
@@ -30,6 +36,28 @@ pub enum VosgiError {
     Service(ServiceError),
     /// A class-loading failure.
     Load(LoadError),
+    /// The SAN rejected a storage operation.
+    Store(StoreError),
+}
+
+impl VosgiError {
+    /// The underlying [`StoreError`], looking through the wrapping layers
+    /// ([`Store`](Self::Store), [`Framework`](Self::Framework),
+    /// [`Service`](Self::Service)). Retry/quarantine logic uses this to
+    /// classify an adoption or destruction failure as transient.
+    pub fn store_error(&self) -> Option<&StoreError> {
+        match self {
+            VosgiError::Store(e) => Some(e),
+            VosgiError::Framework(BundleError::Store(e)) => Some(e),
+            VosgiError::Service(ServiceError::Store(e)) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// True when the failure came from the SAN and retrying can help.
+    pub fn is_transient_store(&self) -> bool {
+        self.store_error().is_some_and(StoreError::is_transient)
+    }
 }
 
 impl fmt::Display for VosgiError {
@@ -43,6 +71,9 @@ impl fmt::Display for VosgiError {
                 instance,
                 operation,
             } => write!(f, "cannot {operation} instance {instance} in its current state"),
+            VosgiError::NoStore { operation } => {
+                write!(f, "cannot {operation}: no SAN store attached")
+            }
             VosgiError::UnknownBundle(name) => {
                 write!(f, "bundle {name:?} not found in repository")
             }
@@ -51,6 +82,7 @@ impl fmt::Display for VosgiError {
             VosgiError::Framework(e) => write!(f, "framework error: {e}"),
             VosgiError::Service(e) => write!(f, "service error: {e}"),
             VosgiError::Load(e) => write!(f, "load error: {e}"),
+            VosgiError::Store(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -61,6 +93,7 @@ impl std::error::Error for VosgiError {
             VosgiError::Framework(e) => Some(e),
             VosgiError::Service(e) => Some(e),
             VosgiError::Load(e) => Some(e),
+            VosgiError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -84,6 +117,13 @@ impl From<ServiceError> for VosgiError {
 impl From<LoadError> for VosgiError {
     fn from(e: LoadError) -> Self {
         VosgiError::Load(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<StoreError> for VosgiError {
+    fn from(e: StoreError) -> Self {
+        VosgiError::Store(e)
     }
 }
 

@@ -60,6 +60,24 @@ impl InstanceManager {
         self.store = Some(store);
     }
 
+    /// Retries deferred (write-behind) persistence on the host framework
+    /// and every instance framework: snapshots and data areas left dirty by
+    /// transient SAN failures are re-flushed. Returns how many frameworks
+    /// are *still* dirty — zero means every durable copy is current. Cheap
+    /// when nothing is dirty; callers run it periodically.
+    pub fn flush_persist_all(&mut self) -> usize {
+        let mut still_dirty = 0;
+        if self.host.flush_persist().is_err() {
+            still_dirty += 1;
+        }
+        for inst in self.instances.values_mut() {
+            if inst.framework.flush_persist().is_err() {
+                still_dirty += 1;
+            }
+        }
+        still_dirty
+    }
+
     /// Read access to the host framework.
     pub fn host(&self) -> &Framework {
         &self.host
@@ -101,7 +119,9 @@ impl InstanceManager {
     ///
     /// [`VosgiError::DuplicateInstance`] if the name is taken,
     /// [`VosgiError::UnknownBundle`] if a bundle is not in the repository,
-    /// or a wrapped framework error.
+    /// [`VosgiError::Store`] when the initial snapshot cannot be written
+    /// (creation is atomic: no instance materializes), or a wrapped
+    /// framework error.
     pub fn create_instance(
         &mut self,
         descriptor: InstanceDescriptor,
@@ -112,7 +132,7 @@ impl InstanceManager {
             descriptor.name
         )));
         if let Some(store) = &self.store {
-            fw.attach_store(store.clone(), &descriptor.state_namespace());
+            fw.attach_store(store.clone(), &descriptor.state_namespace())?;
         }
         for name in &descriptor.bundles {
             let manifest = self
@@ -133,17 +153,19 @@ impl InstanceManager {
     /// # Errors
     ///
     /// [`VosgiError::DuplicateInstance`], a corrupt-state framework error if
-    /// no snapshot exists, or [`VosgiError::BadState`] when no SAN is
-    /// attached.
+    /// no snapshot exists, [`VosgiError::NoStore`] when no SAN is attached,
+    /// or a transient storage error (check
+    /// [`is_transient_store`](VosgiError::is_transient_store)) when the SAN
+    /// rejects the snapshot read — the caller's retry loop handles those.
     pub fn adopt_instance(
         &mut self,
         descriptor: InstanceDescriptor,
     ) -> Result<InstanceId, VosgiError> {
         self.check_name_free(&descriptor.name)?;
-        let store = self.store.clone().ok_or(VosgiError::BadState {
-            instance: InstanceId(0),
-            operation: "adopt without SAN",
-        })?;
+        let store = self
+            .store
+            .clone()
+            .ok_or(VosgiError::NoStore { operation: "adopt" })?;
         let fw = Framework::restore(
             FrameworkConfig::new(&format!("vosgi/{}", descriptor.name)),
             store,
@@ -235,19 +257,34 @@ impl InstanceManager {
     ///
     /// # Errors
     ///
-    /// [`VosgiError::NoSuchInstance`].
+    /// [`VosgiError::NoSuchInstance`]. Without `wipe_state` (the departure
+    /// path) a [`VosgiError::Store`] means deferred persistence could not be
+    /// flushed — the instance **stays on the node** so the caller can retry,
+    /// because the SAN copy is about to become the only copy. With
+    /// `wipe_state`, a storage error means the instance is gone from this
+    /// node but the durable wipe is outstanding.
     pub fn destroy_instance(&mut self, id: InstanceId, wipe_state: bool) -> Result<(), VosgiError> {
-        let inst = self.instances.get_mut(&id).ok_or(VosgiError::NoSuchInstance(id))?;
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .ok_or(VosgiError::NoSuchInstance(id))?;
         if inst.state == InstanceState::Running {
             inst.framework.shutdown();
+            inst.state = InstanceState::Stopped;
         }
+        if !wipe_state {
+            inst.framework.flush_persist()?;
+        }
+        let mut inst = self
+            .instances
+            .remove(&id)
+            .expect("looked up the id just above");
+        inst.state = InstanceState::Destroyed;
         if wipe_state {
             if let Some(store) = &self.store {
-                store.delete_namespace(&inst.descriptor.state_namespace());
+                store.delete_namespace(&inst.descriptor.state_namespace())?;
             }
         }
-        let mut inst = self.instances.remove(&id).expect("checked");
-        inst.state = InstanceState::Destroyed;
         Ok(())
     }
 
@@ -796,7 +833,7 @@ mod tests {
         let mut mgr = manager();
         assert!(matches!(
             mgr.adopt_instance(descriptor("a")),
-            Err(VosgiError::BadState { .. })
+            Err(VosgiError::NoStore { operation: "adopt" })
         ));
         mgr.attach_store(SharedStore::new());
         assert!(matches!(
@@ -944,5 +981,53 @@ mod tests {
         assert_eq!(mgr.usage(b).unwrap().calls, 0);
         assert_eq!(mgr.find_by_name("b"), Some(b));
         assert_eq!(mgr.len(), 2);
+    }
+
+    #[test]
+    fn adopt_during_brownout_is_classified_transient() {
+        use dosgi_net::SimTime;
+        use dosgi_san::FaultPlan;
+
+        let store = SharedStore::new();
+        let mut mgr = manager();
+        mgr.attach_store(store.clone());
+        let id = mgr.create_instance(descriptor("a")).unwrap();
+        mgr.start_instance(id).unwrap();
+        mgr.stop_instance(id).unwrap();
+        mgr.destroy_instance(id, false).unwrap();
+
+        store.set_fault_plan(
+            FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(5)),
+        );
+        let err = mgr.adopt_instance(descriptor("a")).unwrap_err();
+        assert!(err.is_transient_store(), "got {err:?}");
+        // A genuinely missing snapshot is NOT transient: retrying is futile.
+        store.set_now(SimTime::from_secs(5));
+        let err = mgr.adopt_instance(descriptor("ghost")).unwrap_err();
+        assert!(!err.is_transient_store(), "got {err:?}");
+        // After the brown-out, the same adoption succeeds (the orderly stop
+        // kept autostart, so the instance comes back running).
+        let id2 = mgr.adopt_instance(descriptor("a")).unwrap();
+        assert!(mgr.instance(id2).unwrap().is_running());
+    }
+
+    #[test]
+    fn destroy_wipe_failure_still_removes_the_instance() {
+        use dosgi_net::SimTime;
+        use dosgi_san::FaultPlan;
+
+        let store = SharedStore::new();
+        let mut mgr = manager();
+        mgr.attach_store(store.clone());
+        let id = mgr.create_instance(descriptor("a")).unwrap();
+        store.set_fault_plan(
+            FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(5)),
+        );
+        let err = mgr.destroy_instance(id, true).unwrap_err();
+        assert!(err.is_transient_store(), "got {err:?}");
+        assert!(mgr.instance(id).is_none(), "gone from the node regardless");
+        // Durable state survives until a successful wipe — adoptable.
+        store.set_now(SimTime::from_secs(5));
+        assert!(mgr.adopt_instance(descriptor("a")).is_ok());
     }
 }

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Seeded chaos sweep: nemesis schedules against the full stack, invariant
+# checks, and byte-identical replay verification. Deterministic — a failure
+# here is a real protocol bug, and the bin prints the exact
+# CHAOS_SEED0=... one-liner that reproduces it.
+#
+# Overrides: CHAOS_SEEDS (schedules, default 10), CHAOS_SEED0 (first seed),
+# CHAOS_NODES (cluster size), CHAOS_FAULTS (faults per schedule).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> chaos sweep (release)"
+cargo run --offline --release -p dosgi-bench --bin chaos

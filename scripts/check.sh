@@ -16,6 +16,9 @@ cargo test -q --offline
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
+echo "==> chaos sweep (seeded nemesis schedules + replay verification)"
+scripts/chaos.sh
+
 echo "==> verifying zero registry dependencies"
 if cargo metadata --format-version 1 --offline \
     | grep -o '"source":"[^"]*"' | grep -v '"source":""' | grep -q 'registry'; then

@@ -375,3 +375,114 @@ fn consolidation_then_wake_and_scale_back_out() {
         assert!(c.probe(&format!("idle-{i}")), "idle-{i} serving under load");
     }
 }
+
+// ---------------------------------------------------------------------
+// Storage faults (the fallible SAN) combined with node failures.
+// ---------------------------------------------------------------------
+
+/// A node crash *during* a SAN brown-out: the failover claim still wins
+/// (claims ride the GCS, not the SAN), but re-materialization cannot read
+/// the persisted state. The adopter retries with backoff, exhausts the
+/// retry budget, quarantines the instance — and heals it automatically
+/// once the SAN answers again, with the write-through state intact. At no
+/// point does a second live copy appear.
+#[test]
+fn crash_during_san_brownout_quarantines_then_heals() {
+    use dosgi_core::{InstanceStatus, NodeEvent};
+    use dosgi_san::FaultPlan;
+
+    let mut c = cluster(3, 21);
+    warm_up(&mut c);
+    c.deploy(
+        workloads::counter_instance_with("acme", "ctr", workloads::COUNTER_WRITE_THROUGH),
+        0,
+    )
+    .unwrap();
+    c.run_for(SimDuration::from_millis(500));
+    for _ in 0..5 {
+        c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+            .unwrap();
+    }
+
+    // SAN goes dark, then the home crashes while it is dark.
+    let far = c.now() + SimDuration::from_secs(3600);
+    c.set_fault_plan(FaultPlan::none().with_brownout(c.now(), far));
+    c.crash_node(0);
+    c.run_for(SimDuration::from_secs(4));
+
+    let events = c.take_events();
+    assert!(
+        events
+            .iter()
+            .any(|(_, e)| matches!(e, NodeEvent::AdoptRetried { name, .. } if name == "ctr")),
+        "adoption was retried against the dark SAN"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|(_, e)| matches!(e, NodeEvent::Quarantined { name, .. } if name == "ctr")),
+        "retry budget exhausted: instance quarantined"
+    );
+    let survivor = c.running_nodes()[0];
+    assert_eq!(
+        c.node(survivor).unwrap().registry().record("ctr").unwrap().status,
+        InstanceStatus::Quarantined
+    );
+    // No live copy anywhere — and in particular not two.
+    let live = (0..c.len())
+        .filter(|i| c.node(*i).map(|n| n.probe_local("ctr")).unwrap_or(false))
+        .count();
+    assert_eq!(live, 0, "no live copy while quarantined");
+
+    // SAN heals: the quarantined home re-claims and re-materializes.
+    c.clear_faults();
+    c.run_for(SimDuration::from_secs(4));
+    assert!(c.probe("ctr"), "re-materialized after SAN heal");
+    let live: Vec<usize> = (0..c.len())
+        .filter(|i| c.node(*i).map(|n| n.probe_local("ctr")).unwrap_or(false))
+        .collect();
+    assert_eq!(live.len(), 1, "exactly one live copy: {live:?}");
+    // Write-through state survived the whole ordeal.
+    let out = c
+        .call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+        .unwrap();
+    assert_eq!(out, Value::Int(6), "counter resumed from persisted state");
+}
+
+/// A crash while the SAN is merely *flaky* (transient failures, 30% rate):
+/// the retry/backoff discipline absorbs the errors and failover completes
+/// without quarantine — availability degrades gracefully instead of
+/// panicking or duplicating.
+#[test]
+fn crash_during_flaky_san_fails_over_via_retries() {
+    use dosgi_san::FaultPlan;
+
+    let mut c = cluster(3, 22);
+    warm_up(&mut c);
+    c.deploy(
+        workloads::counter_instance_with("acme", "ctr", workloads::COUNTER_WRITE_THROUGH),
+        0,
+    )
+    .unwrap();
+    c.run_for(SimDuration::from_millis(500));
+    for _ in 0..3 {
+        c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+            .unwrap();
+    }
+
+    c.set_fault_plan(FaultPlan::flaky(0.30, 0xF1A57));
+    c.crash_node(0);
+    c.run_for(SimDuration::from_secs(6));
+    c.clear_faults();
+    c.run_for(SimDuration::from_secs(2));
+
+    assert!(c.probe("ctr"), "failed over through the flakiness");
+    let live: Vec<usize> = (0..c.len())
+        .filter(|i| c.node(*i).map(|n| n.probe_local("ctr")).unwrap_or(false))
+        .collect();
+    assert_eq!(live.len(), 1, "exactly one live copy: {live:?}");
+    let out = c
+        .call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+        .unwrap();
+    assert_eq!(out, Value::Int(4), "no acknowledged increment lost");
+}

@@ -268,3 +268,54 @@ fn regression_crash_deploy_restart_crash_seed_0() {
     )
     .unwrap();
 }
+
+// ---------------------------------------------------------------------
+// Nemesis property: single-fault schedules preserve the core invariants.
+// ---------------------------------------------------------------------
+
+/// Any single-fault nemesis schedule — one crash, one partition, one SAN
+/// brown-out, one flaky-SAN window, or one message-loss window — preserves
+/// the chaos harness's invariants: at most one live adoption per instance,
+/// acknowledged write-through state never lost, full convergence after the
+/// heal tail. 200 seeded cases; the fault category cycles with the seed so
+/// each category gets ~40 cases.
+#[test]
+fn single_fault_schedules_preserve_invariants() {
+    use dosgi_core::chaos::{run_nemesis, ChaosOptions};
+    use dosgi_testkit::nemesis::{NemesisConfig, NemesisPlan};
+
+    let cfg = prop::Config {
+        cases: 200,
+        ..prop::Config::default()
+    };
+    prop::check_with(
+        &cfg,
+        "single_fault_schedules_preserve_invariants",
+        &prop::u64s(0, u64::MAX),
+        |seed| {
+            let nemesis_cfg = NemesisConfig {
+                faults: 1,
+                horizon_us: 12_000_000,
+                heal_tail_us: 6_000_000,
+                start_us: 1_000_000,
+                min_gap_us: 1_000_000,
+                duration_us: (500_000, 2_000_000),
+                ..NemesisConfig::single_fault(*seed)
+            };
+            let plan = NemesisPlan::generate(*seed, 3, &nemesis_cfg);
+            let opts = ChaosOptions {
+                instances: 2,
+                client_period: SimDuration::from_millis(200),
+                settle: SimDuration::from_secs(5),
+            };
+            let report = run_nemesis(&plan, &opts);
+            prop_verify!(
+                report.ok(),
+                "seed {seed:#x}: {:?}",
+                report.violations
+            );
+            prop_verify!(report.acked > 0, "seed {seed:#x}: no client progress");
+            Ok(())
+        },
+    );
+}
