@@ -17,7 +17,10 @@ fn manager() -> InstanceManager {
     )
 }
 
-const PLAN: Plan = Plan { warmup: 3, iters: 20 };
+const PLAN: Plan = Plan {
+    warmup: 3,
+    iters: 20,
+};
 
 fn bench_lifecycle(suite: &mut Suite) {
     suite.bench_batched_with(PLAN, "e2/create_instance", manager, |mut mgr| {
@@ -60,8 +63,13 @@ fn bench_service_call(suite: &mut Suite) {
     mgr.start_instance(id).unwrap();
     suite.bench("e2/service_call", || {
         black_box(
-            mgr.call_service(id, workloads::WEB_SERVICE, "handle", black_box(&Value::Null))
-                .unwrap(),
+            mgr.call_service(
+                id,
+                workloads::WEB_SERVICE,
+                "handle",
+                black_box(&Value::Null),
+            )
+            .unwrap(),
         );
     });
 }

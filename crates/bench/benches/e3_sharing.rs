@@ -9,7 +9,11 @@ use dosgi_testkit::Suite;
 use dosgi_vosgi::{InstanceDescriptor, InstanceManager};
 use std::hint::black_box;
 
-fn setup() -> (InstanceManager, dosgi_vosgi::InstanceId, dosgi_osgi::BundleId) {
+fn setup() -> (
+    InstanceManager,
+    dosgi_vosgi::InstanceId,
+    dosgi_osgi::BundleId,
+) {
     let mut fw = Framework::new("host");
     let repo = workloads::standard_repository();
     let factory = workloads::standard_factory();
@@ -47,7 +51,10 @@ fn bench_lookup_paths(suite: &mut Suite) {
     // The denial path matters too: it is on the attack surface.
     let forbidden = SymbolName::parse("org.dosgi.http.api.Server").unwrap();
     suite.bench("e3/load_class_denied", || {
-        black_box(mgr.load_class(iid, bundle, black_box(&forbidden)).unwrap_err());
+        black_box(
+            mgr.load_class(iid, bundle, black_box(&forbidden))
+                .unwrap_err(),
+        );
     });
 }
 
@@ -55,8 +62,13 @@ fn bench_service_paths(suite: &mut Suite) {
     let (mut mgr, iid, _) = setup();
     suite.bench("e3/call_instance_local_service", || {
         black_box(
-            mgr.call_service(iid, workloads::WEB_SERVICE, "handle", black_box(&Value::Null))
-                .unwrap(),
+            mgr.call_service(
+                iid,
+                workloads::WEB_SERVICE,
+                "handle",
+                black_box(&Value::Null),
+            )
+            .unwrap(),
         );
     });
     suite.bench("e3/call_shared_host_service", || {

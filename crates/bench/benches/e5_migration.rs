@@ -10,7 +10,8 @@ use dosgi_testkit::{Plan, Suite};
 fn warmed_cluster(seed: u64) -> DosgiCluster {
     let mut c = DosgiCluster::new(3, ClusterConfig::default(), seed);
     c.run_for(SimDuration::from_millis(500));
-    c.deploy(workloads::counter_instance("bank", "ctr"), 0).unwrap();
+    c.deploy(workloads::counter_instance("bank", "ctr"), 0)
+        .unwrap();
     c.run_for(SimDuration::from_millis(500));
     c
 }

@@ -15,7 +15,10 @@ fn bench_filter(suite: &mut Suite) {
     });
     let filter = Filter::parse(source).unwrap();
     let mut props: BTreeMap<String, PropValue> = BTreeMap::new();
-    props.insert("objectClass".into(), PropValue::from("org.dosgi.log.Logger"));
+    props.insert(
+        "objectClass".into(),
+        PropValue::from("org.dosgi.log.Logger"),
+    );
     props.insert("ranking".into(), PropValue::from(9i64));
     props.insert("vendor".into(), PropValue::from("globex"));
     props.insert("region".into(), PropValue::from("eu-west"));

@@ -14,9 +14,17 @@
 //! replay; the offending seed is printed so
 //! `CHAOS_SEED0=<seed> CHAOS_SEEDS=1 cargo run --bin chaos` reproduces it
 //! exactly.
+//!
+//! Each schedule runs twice: once with telemetry enabled (all seeds share
+//! one registry) and once with it disabled. The fingerprint comparison
+//! therefore verifies deterministic replay **and** that instrumentation is
+//! strictly passive. The sweep's aggregated metrics land in
+//! `results/telemetry_chaos.json`.
 
-use dosgi_core::chaos::{run_nemesis, ChaosOptions};
+use dosgi_core::chaos::{run_nemesis_with_telemetry, ChaosOptions};
+use dosgi_telemetry::Telemetry;
 use dosgi_testkit::nemesis::{NemesisConfig, NemesisPlan};
+use dosgi_testkit::workspace_root;
 
 fn env_u64(key: &str, default: u64) -> u64 {
     std::env::var(key)
@@ -36,14 +44,15 @@ fn main() {
     };
     let opts = ChaosOptions::default();
 
-    println!(
-        "chaos sweep: {seeds} schedules, {nodes} nodes, {faults} faults each"
-    );
+    println!("chaos sweep: {seeds} schedules, {nodes} nodes, {faults} faults each");
+    let sweep_telemetry = Telemetry::new();
     let mut failed = false;
     for seed in seed0..seed0 + seeds {
         let plan = NemesisPlan::generate(seed, nodes, &config);
-        let a = run_nemesis(&plan, &opts);
-        let b = run_nemesis(&plan, &opts);
+        // Instrumented run vs uninstrumented replay: equal fingerprints
+        // prove both determinism and telemetry passivity.
+        let a = run_nemesis_with_telemetry(&plan, &opts, sweep_telemetry.clone());
+        let b = run_nemesis_with_telemetry(&plan, &opts, Telemetry::disabled());
         let replayed = a.fingerprint == b.fingerprint;
         let status = if !a.ok() {
             failed = true;
@@ -69,8 +78,20 @@ fn main() {
             );
         }
     }
+
+    let dir = workspace_root().join("results");
+    let snapshot_note = match std::fs::create_dir_all(&dir)
+        .and_then(|()| sweep_telemetry.snapshot("chaos", seed0).write_to(&dir))
+    {
+        Ok(path) => format!("telemetry snapshot: {}", path.display()),
+        Err(e) => format!("could not write telemetry snapshot: {e}"),
+    };
+    println!("{snapshot_note}");
     if failed {
         std::process::exit(1);
     }
-    println!("all schedules held every invariant and replayed identically");
+    println!(
+        "all schedules held every invariant and replayed identically \
+         (with and without telemetry)"
+    );
 }

@@ -32,7 +32,8 @@ fn run_sla(policy_on: bool, seed: u64) -> (SimDuration, usize) {
     let mut c = DosgiCluster::new(3, config, seed);
     c.run_for(SimDuration::from_secs(1));
     c.deploy(hog_descriptor(), 0).unwrap();
-    c.deploy(workloads::web_instance("tame", "tame"), 0).unwrap();
+    c.deploy(workloads::web_instance("tame", "tame"), 0)
+        .unwrap();
     c.run_for(SimDuration::from_millis(500));
 
     // Drive the hog at ~400 ms CPU/s (4x quota) for 10 simulated seconds
@@ -76,7 +77,8 @@ fn run_consolidation(seed: u64) -> (usize, f64) {
     c.run_for(SimDuration::from_secs(1));
     // Four idle instances spread over four nodes.
     for i in 0..4 {
-        c.deploy(workloads::web_instance("idle", &format!("idle-{i}")), i).unwrap();
+        c.deploy(workloads::web_instance("idle", &format!("idle-{i}")), i)
+            .unwrap();
     }
     // Idle period: nobody sends requests; the consolidation rule fires.
     let total_nodes = 4.0;
@@ -92,7 +94,10 @@ fn run_consolidation(seed: u64) -> (usize, f64) {
             "idle-{i} must survive consolidation"
         );
     }
-    (c.hibernated_nodes(), awake_node_seconds / (30.0 * total_nodes))
+    (
+        c.hibernated_nodes(),
+        awake_node_seconds / (30.0 * total_nodes),
+    )
 }
 
 fn main() {
@@ -112,7 +117,10 @@ fn main() {
         "E10b: consolidation of 4 idle instances over 4 nodes (30s idle)",
         &["metric", "value"],
         &[
-            vec!["nodes hibernated at the end".to_string(), hibernated.to_string()],
+            vec![
+                "nodes hibernated at the end".to_string(),
+                hibernated.to_string(),
+            ],
             vec![
                 "power proxy (awake node fraction)".to_string(),
                 format!("{:.2}", awake_fraction),

@@ -17,10 +17,11 @@
 //! same table byte for byte. A JSON copy lands in
 //! `results/e11_fallible_san.json`.
 
-use dosgi_bench::print_table;
+use dosgi_bench::{print_table, write_telemetry_snapshot};
 use dosgi_core::{workloads, ClusterConfig, DosgiCluster, NodeEvent};
 use dosgi_net::SimDuration;
 use dosgi_san::{FaultPlan, Value};
+use dosgi_telemetry::Telemetry;
 
 struct Row {
     error_rate: f64,
@@ -30,8 +31,9 @@ struct Row {
     state_intact: bool,
 }
 
-fn crash_under_flaky_san(error_rate: f64) -> Row {
-    let mut c = DosgiCluster::new(3, ClusterConfig::default(), 1_100);
+fn crash_under_flaky_san(error_rate: f64, telemetry: &Telemetry) -> Row {
+    let mut c =
+        DosgiCluster::new_with_telemetry(3, ClusterConfig::default(), 1_100, telemetry.clone());
     c.run_for(SimDuration::from_secs(1));
     c.deploy(
         workloads::counter_instance_with("acme", "ctr", workloads::COUNTER_WRITE_THROUGH),
@@ -59,9 +61,9 @@ fn crash_under_flaky_san(error_rate: f64) -> Row {
     let quarantined = events
         .iter()
         .any(|(_, e)| matches!(e, NodeEvent::Quarantined { .. }));
-    let state_intact = c
-        .call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
-        == Ok(Value::Int(6));
+    let state_intact =
+        c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null) == Ok(Value::Int(6));
+    c.record_telemetry_gauges();
     Row {
         error_rate,
         downtime_us: c.sla().record("ctr").down.as_micros(),
@@ -72,16 +74,23 @@ fn crash_under_flaky_san(error_rate: f64) -> Row {
 }
 
 fn main() {
+    let telemetry = Telemetry::new();
     // ------------------------------------------------------------------
     // (a) Crash + flaky SAN: downtime vs transient error rate.
     // ------------------------------------------------------------------
     let rows: Vec<Row> = [0.0, 0.05, 0.10, 0.20, 0.30, 0.50]
         .into_iter()
-        .map(crash_under_flaky_san)
+        .map(|r| crash_under_flaky_san(r, &telemetry))
         .collect();
     print_table(
         "E11a: crash failover vs SAN transient error rate (3 nodes)",
-        &["error rate", "downtime", "adopt retries", "quarantined", "state intact"],
+        &[
+            "error rate",
+            "downtime",
+            "adopt retries",
+            "quarantined",
+            "state intact",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -101,7 +110,8 @@ fn main() {
     // ------------------------------------------------------------------
     let mut rows_b = Vec::new();
     for brownout_s in [2u64, 5, 10] {
-        let mut c = DosgiCluster::new(3, ClusterConfig::default(), 1_200);
+        let mut c =
+            DosgiCluster::new_with_telemetry(3, ClusterConfig::default(), 1_200, telemetry.clone());
         c.run_for(SimDuration::from_secs(1));
         c.deploy(
             workloads::counter_instance_with("acme", "ctr", workloads::COUNTER_WRITE_THROUGH),
@@ -124,9 +134,8 @@ fn main() {
             .iter()
             .any(|(_, e)| matches!(e, NodeEvent::Quarantined { .. }));
         let healed = c.probe("ctr");
-        let state_intact = c
-            .call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
-            == Ok(Value::Int(6));
+        let state_intact =
+            c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null) == Ok(Value::Int(6));
         rows_b.push(vec![
             format!("{brownout_s} s"),
             format!("{} ms", c.sla().record("ctr").down.as_micros() / 1_000),
@@ -137,7 +146,13 @@ fn main() {
     }
     print_table(
         "E11b: crash during SAN brown-out (quarantine -> heal, 3 nodes)",
-        &["brown-out", "downtime", "quarantined", "healed", "state intact"],
+        &[
+            "brown-out",
+            "downtime",
+            "quarantined",
+            "healed",
+            "state intact",
+        ],
         &rows_b,
     );
 
@@ -160,4 +175,5 @@ fn main() {
     if let Err(e) = std::fs::write("results/e11_fallible_san.json", json) {
         eprintln!("could not write results/e11_fallible_san.json: {e}");
     }
+    write_telemetry_snapshot(&telemetry, "e11_fallible_san", 1_100);
 }

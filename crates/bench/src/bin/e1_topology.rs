@@ -44,22 +44,31 @@ fn main() {
         .map(|&n| {
             let mut row = vec![n.to_string()];
             for t in DeploymentTopology::ALL {
-                row.push(mib(
-                    t.footprint(&model, n, bundles_per_customer, shareable).memory_bytes,
-                ));
+                row.push(mib(t
+                    .footprint(&model, n, bundles_per_customer, shareable)
+                    .memory_bytes));
             }
             row
         })
         .collect();
     print_table(
         "E1 series: memory footprint vs customers",
-        &["customers", "Fig.1 jvm/cust", "Fig.2 shared jvm", "Fig.3 nested", "Fig.4 shared bundles"],
+        &[
+            "customers",
+            "Fig.1 jvm/cust",
+            "Fig.2 shared jvm",
+            "Fig.3 nested",
+            "Fig.4 shared bundles",
+        ],
         &rows,
     );
 
     let at50: Vec<u64> = DeploymentTopology::ALL
         .iter()
-        .map(|t| t.footprint(&model, 50, bundles_per_customer, shareable).memory_bytes)
+        .map(|t| {
+            t.footprint(&model, 50, bundles_per_customer, shareable)
+                .memory_bytes
+        })
         .collect();
     println!(
         "\nAt 50 customers, Fig.4 uses {} of Fig.1's memory ({} -> {});",

@@ -63,7 +63,14 @@ fn main() {
     }
     print_table(
         "E2: marginal instance life-cycle cost vs resident population (wall clock)",
-        &["resident", "create", "start", "call (avg)", "stop", "destroy"],
+        &[
+            "resident",
+            "create",
+            "start",
+            "call (avg)",
+            "stop",
+            "destroy",
+        ],
         &rows,
     );
 
@@ -81,5 +88,7 @@ fn main() {
     }
     let per = t0.elapsed() / cycles;
     println!("\nfull create+start+stop+destroy cycle: {per:?} (over {cycles} cycles)");
-    println!("the management path is an in-process map lookup — no RMI/JMX hop (Fig. 2–3 vs Fig. 1).");
+    println!(
+        "the management path is an in-process map lookup — no RMI/JMX hop (Fig. 2–3 vs Fig. 1)."
+    );
 }

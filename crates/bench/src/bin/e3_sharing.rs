@@ -9,7 +9,9 @@
 use dosgi_bench::{mib, print_table, ratio};
 use dosgi_core::workloads;
 use dosgi_osgi::{Framework, LoadPath, SymbolName};
-use dosgi_vosgi::{DeploymentTopology, FootprintModel, InstanceDescriptor, InstanceManager, VosgiError};
+use dosgi_vosgi::{
+    DeploymentTopology, FootprintModel, InstanceDescriptor, InstanceManager, VosgiError,
+};
 use std::time::Instant;
 
 fn host_with_log() -> Framework {
@@ -47,7 +49,14 @@ fn main() {
         .collect();
     print_table(
         "E3: per-instance copies (Fig.3) vs shared host bundles (Fig.4)",
-        &["customers", "copies (3)", "copies (4)", "memory (3)", "memory (4)", "saving"],
+        &[
+            "customers",
+            "copies (3)",
+            "copies (4)",
+            "memory (3)",
+            "memory (4)",
+            "saving",
+        ],
         &rows,
     );
 
@@ -95,8 +104,14 @@ fn main() {
         "E3: class lookup latency by path (wall clock)",
         &["path", "latency"],
         &[
-            vec!["instance-local (own package)".to_string(), format!("{own_cost:?}")],
-            vec!["host delegation (explicit export)".to_string(), format!("{delegated_cost:?}")],
+            vec![
+                "instance-local (own package)".to_string(),
+                format!("{own_cost:?}"),
+            ],
+            vec![
+                "host delegation (explicit export)".to_string(),
+                format!("{delegated_cost:?}"),
+            ],
         ],
     );
 

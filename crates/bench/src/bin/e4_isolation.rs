@@ -36,8 +36,13 @@ fn main() {
                 .policy(
                     SecurityPolicy::deny_all()
                         .grant_file_rw("/data/acme")
-                        .grant(Permission::Bind { ip, port: Some(Port(8080)) })
-                        .grant(Permission::Connect { ip: IpAddr::new(10, 0, 0, 1) }),
+                        .grant(Permission::Bind {
+                            ip,
+                            port: Some(Port(8080)),
+                        })
+                        .grant(Permission::Connect {
+                            ip: IpAddr::new(10, 0, 0, 1),
+                        }),
                 )
                 .quota(ResourceQuota::small())
                 .build(),
@@ -53,8 +58,18 @@ fn main() {
     mgr.start_instance(a).unwrap();
     mgr.start_instance(b).unwrap();
 
-    let ab = mgr.instance(a).unwrap().framework().find_bundle(workloads::WEB_BUNDLE).unwrap();
-    let bb = mgr.instance(b).unwrap().framework().find_bundle(workloads::WEB_BUNDLE).unwrap();
+    let ab = mgr
+        .instance(a)
+        .unwrap()
+        .framework()
+        .find_bundle(workloads::WEB_BUNDLE)
+        .unwrap();
+    let bb = mgr
+        .instance(b)
+        .unwrap()
+        .framework()
+        .find_bundle(workloads::WEB_BUNDLE)
+        .unwrap();
     let shared_class = SymbolName::parse("org.dosgi.log.api.Logger").unwrap();
     let own_class = SymbolName::parse("org.app.web.impl.Handler").unwrap();
 
@@ -76,42 +91,110 @@ fn main() {
     };
 
     // Namespace isolation.
-    check("namespace", "A loads its own class", true,
-        mgr.load_class(a, ab, &own_class).map(|r| format!("{:?}", r.via)));
-    check("namespace", "A loads exported host class", true,
-        mgr.load_class(a, ab, &shared_class).map(|r| format!("{:?}", r.via)));
-    check("namespace", "B loads non-exported host class", false,
-        mgr.load_class(b, bb, &shared_class).map(|r| format!("{:?}", r.via)));
+    check(
+        "namespace",
+        "A loads its own class",
+        true,
+        mgr.load_class(a, ab, &own_class)
+            .map(|r| format!("{:?}", r.via)),
+    );
+    check(
+        "namespace",
+        "A loads exported host class",
+        true,
+        mgr.load_class(a, ab, &shared_class)
+            .map(|r| format!("{:?}", r.via)),
+    );
+    check(
+        "namespace",
+        "B loads non-exported host class",
+        false,
+        mgr.load_class(b, bb, &shared_class)
+            .map(|r| format!("{:?}", r.via)),
+    );
 
     // Service isolation.
-    check("service", "A calls exported host log service", true,
-        mgr.call_service(a, workloads::LOG_SERVICE, "log", &Value::Null).map(|_| "ok".into()));
-    check("service", "B calls non-exported host service", false,
-        mgr.call_service(b, workloads::LOG_SERVICE, "log", &Value::Null).map(|_| "ok".into()));
+    check(
+        "service",
+        "A calls exported host log service",
+        true,
+        mgr.call_service(a, workloads::LOG_SERVICE, "log", &Value::Null)
+            .map(|_| "ok".into()),
+    );
+    check(
+        "service",
+        "B calls non-exported host service",
+        false,
+        mgr.call_service(b, workloads::LOG_SERVICE, "log", &Value::Null)
+            .map(|_| "ok".into()),
+    );
 
     // Filesystem isolation.
-    check("filesystem", "A writes inside its grant", true,
-        mgr.fs_write(a, "/data/acme/app.db", 512).map(|_| "ok".into()));
-    check("filesystem", "A writes outside its grant", false,
-        mgr.fs_write(a, "/data/globex/app.db", 512).map(|_| "ok".into()));
-    check("filesystem", "B (deny-all) reads anything", false,
-        mgr.fs_read(b, "/etc/hosts").map(|_| "ok".into()));
+    check(
+        "filesystem",
+        "A writes inside its grant",
+        true,
+        mgr.fs_write(a, "/data/acme/app.db", 512)
+            .map(|_| "ok".into()),
+    );
+    check(
+        "filesystem",
+        "A writes outside its grant",
+        false,
+        mgr.fs_write(a, "/data/globex/app.db", 512)
+            .map(|_| "ok".into()),
+    );
+    check(
+        "filesystem",
+        "B (deny-all) reads anything",
+        false,
+        mgr.fs_read(b, "/etc/hosts").map(|_| "ok".into()),
+    );
 
     // Network isolation (incl. the paper's bind-to-own-IP rule).
-    check("network", "A binds its assigned IP:port", true,
-        mgr.net_bind(a, ip, Port(8080)).map(|_| "ok".into()));
-    check("network", "A binds a foreign IP", false,
-        mgr.net_bind(a, IpAddr::new(10, 0, 0, 77), Port(8080)).map(|_| "ok".into()));
-    check("network", "A connects to granted peer", true,
-        mgr.net_connect(a, IpAddr::new(10, 0, 0, 1)).map(|_| "ok".into()));
-    check("network", "B (deny-all) connects anywhere", false,
-        mgr.net_connect(b, IpAddr::new(8, 8, 8, 8)).map(|_| "ok".into()));
+    check(
+        "network",
+        "A binds its assigned IP:port",
+        true,
+        mgr.net_bind(a, ip, Port(8080)).map(|_| "ok".into()),
+    );
+    check(
+        "network",
+        "A binds a foreign IP",
+        false,
+        mgr.net_bind(a, IpAddr::new(10, 0, 0, 77), Port(8080))
+            .map(|_| "ok".into()),
+    );
+    check(
+        "network",
+        "A connects to granted peer",
+        true,
+        mgr.net_connect(a, IpAddr::new(10, 0, 0, 1))
+            .map(|_| "ok".into()),
+    );
+    check(
+        "network",
+        "B (deny-all) connects anywhere",
+        false,
+        mgr.net_connect(b, IpAddr::new(8, 8, 8, 8))
+            .map(|_| "ok".into()),
+    );
 
     // Disk quota (performance isolation at the storage dimension).
-    check("quota", "A writes within its disk quota", true,
-        mgr.fs_write(a, "/data/acme/big", 1 << 20).map(|_| "ok".into()));
-    check("quota", "A exceeds its disk quota", false,
-        mgr.fs_write(a, "/data/acme/huge", 1 << 30).map(|_| "ok".into()));
+    check(
+        "quota",
+        "A writes within its disk quota",
+        true,
+        mgr.fs_write(a, "/data/acme/big", 1 << 20)
+            .map(|_| "ok".into()),
+    );
+    check(
+        "quota",
+        "A exceeds its disk quota",
+        false,
+        mgr.fs_write(a, "/data/acme/huge", 1 << 30)
+            .map(|_| "ok".into()),
+    );
 
     print_table(
         "E4: isolation matrix (§2 claims)",
@@ -121,10 +204,22 @@ fn main() {
 
     // Noisy neighbour: per-customer CPU accounting stays separate.
     for _ in 0..1000 {
-        mgr.call_service(b, workloads::WEB_SERVICE, "handle", &Value::map().with("work_us", 5_000i64)).unwrap();
+        mgr.call_service(
+            b,
+            workloads::WEB_SERVICE,
+            "handle",
+            &Value::map().with("work_us", 5_000i64),
+        )
+        .unwrap();
     }
     for _ in 0..10 {
-        mgr.call_service(a, workloads::WEB_SERVICE, "handle", &Value::map().with("work_us", 500i64)).unwrap();
+        mgr.call_service(
+            a,
+            workloads::WEB_SERVICE,
+            "handle",
+            &Value::map().with("work_us", 500i64),
+        )
+        .unwrap();
     }
     let ua = mgr.usage(a).unwrap();
     let ub = mgr.usage(b).unwrap();
@@ -132,8 +227,16 @@ fn main() {
         "E4: per-customer accounting under a noisy neighbour",
         &["instance", "cpu", "calls"],
         &[
-            vec!["a (tame)".to_string(), format!("{}", ua.cpu), ua.calls.to_string()],
-            vec!["b (noisy)".to_string(), format!("{}", ub.cpu), ub.calls.to_string()],
+            vec![
+                "a (tame)".to_string(),
+                format!("{}", ua.cpu),
+                ua.calls.to_string(),
+            ],
+            vec![
+                "b (noisy)".to_string(),
+                format!("{}", ub.cpu),
+                ub.calls.to_string(),
+            ],
         ],
     );
     let quota_check = mgr
@@ -143,5 +246,7 @@ fn main() {
         "\nquota evaluation of the tame instance against its own usage only: {} violations",
         quota_check.len()
     );
-    println!("b's 5s of CPU never pollutes a's account — the JSR-284-style accounting §3.1 wanted.");
+    println!(
+        "b's 5s of CPU never pollutes a's account — the JSR-284-style accounting §3.1 wanted."
+    );
 }

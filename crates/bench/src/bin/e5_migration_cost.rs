@@ -7,10 +7,11 @@
 //! customer bundles) and warm deploy (platform already up). The paper's
 //! claim holds if migration ≈ warm deploy ≪ cold platform start.
 
-use dosgi_bench::print_table;
+use dosgi_bench::{print_table, write_telemetry_snapshot};
 use dosgi_core::{migration, workloads, ClusterConfig, DosgiCluster};
 use dosgi_net::SimDuration;
 use dosgi_san::Value;
+use dosgi_telemetry::Telemetry;
 
 /// Modeled cold platform start (2008 numbers): JVM boot + OSGi framework
 /// boot + host bundles + the customer's bundles.
@@ -28,11 +29,14 @@ fn main() {
     let cold = cold_start(&config, 1);
     let warm_deploy = config.node.start_cost_per_bundle; // 1 bundle, platform up
 
+    let telemetry = Telemetry::new();
     let mut rows = Vec::new();
     for state_kib in [0u64, 64, 256, 1024, 4096] {
-        let mut c = DosgiCluster::new(3, config.clone(), 500 + state_kib);
+        let mut c =
+            DosgiCluster::new_with_telemetry(3, config.clone(), 500 + state_kib, telemetry.clone());
         c.run_for(SimDuration::from_millis(500));
-        c.deploy(workloads::counter_instance("bank", "ctr"), 0).unwrap();
+        c.deploy(workloads::counter_instance("bank", "ctr"), 0)
+            .unwrap();
         c.run_for(SimDuration::from_millis(500));
 
         // Grow the instance's persisted state: write blobs into the
@@ -48,20 +52,23 @@ fn main() {
             }
         }
         for _ in 0..5 {
-            c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null).unwrap();
+            c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+                .unwrap();
         }
 
         c.migrate("ctr", 1).unwrap();
         c.run_for(SimDuration::from_secs(8));
         assert_eq!(c.home_of("ctr"), Some(1), "migrated");
         assert_eq!(
-            c.call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null).unwrap(),
+            c.call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null)
+                .unwrap(),
             Value::Int(5),
             "state intact"
         );
         let events = c.take_events();
         let latency = migration::migration_latency(&events, "ctr").expect("measured");
         let downtime = c.sla().record("ctr").down;
+        c.record_telemetry_gauges();
         rows.push(vec![
             format!("{state_kib} KiB"),
             format!("{latency}"),
@@ -72,7 +79,13 @@ fn main() {
     }
     print_table(
         "E5: graceful migration cost vs persisted state size (simulated time)",
-        &["state", "hand-off latency", "observed downtime", "cold platform start", "migration/cold"],
+        &[
+            "state",
+            "hand-off latency",
+            "observed downtime",
+            "cold platform start",
+            "migration/cold",
+        ],
         &rows,
     );
 
@@ -83,4 +96,5 @@ fn main() {
          destination already runs the platform and base services, so only the \
          instance's bundles start and its state is read from the SAN."
     );
+    write_telemetry_snapshot(&telemetry, "e5_migration", 500);
 }

@@ -7,12 +7,14 @@
 //! failover against the graceful-shutdown path, which the paper predicts
 //! is cheaper because nothing must be *detected*.
 
-use dosgi_bench::print_table;
+use dosgi_bench::{print_table, write_telemetry_snapshot};
 use dosgi_core::{workloads, ClusterConfig, DosgiCluster};
 use dosgi_gcs::GcsConfig;
 use dosgi_net::SimDuration;
+use dosgi_telemetry::Telemetry;
 
 fn main() {
+    let telemetry = Telemetry::new();
     // ------------------------------------------------------------------
     // (a) Downtime vs heartbeat interval (suspect timeout = 4x heartbeat).
     // ------------------------------------------------------------------
@@ -20,13 +22,14 @@ fn main() {
     for hb_ms in [10u64, 25, 50, 100, 200] {
         let mut config = ClusterConfig::default();
         config.node.gcs = GcsConfig::lan().with_heartbeat(SimDuration::from_millis(hb_ms));
-        let mut c = DosgiCluster::new(3, config, 600 + hb_ms);
+        let mut c = DosgiCluster::new_with_telemetry(3, config, 600 + hb_ms, telemetry.clone());
         c.run_for(SimDuration::from_secs(1));
         c.deploy(workloads::web_instance("acme", "web"), 0).unwrap();
         c.run_for(SimDuration::from_millis(500));
         c.crash_node(0);
         c.run_for(SimDuration::from_secs(6));
         assert!(c.probe("web"));
+        c.record_telemetry_gauges();
         let rec = c.sla().record("web");
         rows.push(vec![
             format!("{hb_ms} ms"),
@@ -46,10 +49,16 @@ fn main() {
     // ------------------------------------------------------------------
     let mut rows = Vec::new();
     for n_inst in [1usize, 2, 4, 8, 16] {
-        let mut c = DosgiCluster::new(4, ClusterConfig::default(), 700 + n_inst as u64);
+        let mut c = DosgiCluster::new_with_telemetry(
+            4,
+            ClusterConfig::default(),
+            700 + n_inst as u64,
+            telemetry.clone(),
+        );
         c.run_for(SimDuration::from_secs(1));
         for i in 0..n_inst {
-            c.deploy(workloads::web_instance("acme", &format!("web-{i}")), 0).unwrap();
+            c.deploy(workloads::web_instance("acme", &format!("web-{i}")), 0)
+                .unwrap();
         }
         c.run_for(SimDuration::from_millis(500));
         c.crash_node(0);
@@ -104,15 +113,17 @@ fn main() {
             n_nodes.to_string(),
             (after.sent - before.sent).to_string(),
             steady.to_string(),
-            format!(
-                "{:+}",
-                (after.sent - before.sent) as i64 - steady as i64
-            ),
+            format!("{:+}", (after.sent - before.sent) as i64 - steady as i64),
         ]);
     }
     print_table(
         "E6b2: control-plane traffic around one failover (2s window)",
-        &["nodes", "messages (failover window)", "quiet cluster (same span)", "delta"],
+        &[
+            "nodes",
+            "messages (failover window)",
+            "quiet cluster (same span)",
+            "delta",
+        ],
         &rows,
     );
     println!(
@@ -145,8 +156,14 @@ fn main() {
         "E6c: crash vs graceful departure (same workload, same cluster)",
         &["departure", "service downtime"],
         &[
-            vec!["crash (detect + agree + claim + restore)".to_string(), format!("{crash}")],
-            vec!["graceful (migrate before leaving)".to_string(), format!("{graceful}")],
+            vec![
+                "crash (detect + agree + claim + restore)".to_string(),
+                format!("{crash}"),
+            ],
+            vec![
+                "graceful (migrate before leaving)".to_string(),
+                format!("{graceful}"),
+            ],
         ],
     );
     println!(
@@ -154,4 +171,5 @@ fn main() {
          scales with the failure-detection timeout (E6a) — both as the paper's \
          design predicts."
     );
+    write_telemetry_snapshot(&telemetry, "e6_failover", 600);
 }

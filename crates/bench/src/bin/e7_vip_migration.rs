@@ -70,7 +70,9 @@ fn run(graceful: bool, seed: u64) -> (u64, u64, SimDuration) {
     }
     // The events stream confirms the move actually happened.
     let events = c.take_events();
-    assert!(events.iter().any(|(_, e)| matches!(e, NodeEvent::Adopted { .. })));
+    assert!(events
+        .iter()
+        .any(|(_, e)| matches!(e, NodeEvent::Adopted { .. })));
     let window = match (first_lost_at, last_lost_at) {
         (Some(a), Some(b)) => b.since(a) + SimDuration::from_millis(1),
         _ => SimDuration::ZERO,

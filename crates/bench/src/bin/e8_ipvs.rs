@@ -14,7 +14,9 @@
 //!    connection-synchronization daemon.
 
 use dosgi_bench::{print_table, ratio};
-use dosgi_ipvs::{replicated_service, FaultTolerantIpvs, IpvsDirector, RealServer, Scheduler, VirtualService};
+use dosgi_ipvs::{
+    replicated_service, FaultTolerantIpvs, IpvsDirector, RealServer, Scheduler, VirtualService,
+};
 use dosgi_net::{IpAddr, IpBindings, NodeId, Port, SocketAddr};
 
 const VIP: SocketAddr = SocketAddr::new(IpAddr::new(10, 0, 0, 100), Port(80));
@@ -112,7 +114,12 @@ fn main() {
         }
         let kept = before.iter().zip(&after).filter(|(a, b)| a == b).count();
         rows.push(vec![
-            if sync { "with conn sync" } else { "without sync" }.to_string(),
+            if sync {
+                "with conn sync"
+            } else {
+                "without sync"
+            }
+            .to_string(),
             bindings.owner_of(VIP.ip).unwrap().to_string(),
             format!("{kept}/300"),
             ft.director().stats().tracked.to_string(),
@@ -120,7 +127,12 @@ fn main() {
     }
     print_table(
         "E8c: director failover (VIP takeover by the standby)",
-        &["mode", "VIP now at", "clients keeping their backend", "tracked conns"],
+        &[
+            "mode",
+            "VIP now at",
+            "clients keeping their backend",
+            "tracked conns",
+        ],
         &rows,
     );
     println!(

@@ -23,7 +23,8 @@ struct Outcome {
 fn run(bundle: &str, standby: bool, seed: u64) -> Outcome {
     let mut c = DosgiCluster::new(3, ClusterConfig::default(), seed);
     c.run_for(SimDuration::from_secs(1));
-    c.deploy(workloads::counter_instance_with("bank", "ctr", bundle), 0).unwrap();
+    c.deploy(workloads::counter_instance_with("bank", "ctr", bundle), 0)
+        .unwrap();
     c.run_for(SimDuration::from_millis(500));
     if standby {
         replication::prepare_standby(&mut c, "ctr", 1).unwrap();
@@ -33,7 +34,8 @@ fn run(bundle: &str, standby: bool, seed: u64) -> Outcome {
     c.store().reset_stats();
     let updates = 203i64;
     for _ in 0..updates {
-        c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null).unwrap();
+        c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+            .unwrap();
     }
     let san_writes = c.store().stats().writes;
 
@@ -54,14 +56,22 @@ fn run(bundle: &str, standby: bool, seed: u64) -> Outcome {
 
 fn main() {
     let strategies: [(&str, &str, bool); 4] = [
-        ("restart (paper baseline)", workloads::COUNTER_ON_STOP, false),
+        (
+            "restart (paper baseline)",
+            workloads::COUNTER_ON_STOP,
+            false,
+        ),
         (
             &format!("checkpoint every {}", workloads::CHECKPOINT_EVERY),
             workloads::COUNTER_CHECKPOINT,
             false,
         ),
         ("write-through", workloads::COUNTER_WRITE_THROUGH, false),
-        ("write-through + hot standby", workloads::COUNTER_WRITE_THROUGH, true),
+        (
+            "write-through + hot standby",
+            workloads::COUNTER_WRITE_THROUGH,
+            true,
+        ),
     ];
     let mut rows = Vec::new();
     for (i, (label, bundle, standby)) in strategies.iter().enumerate() {
@@ -75,7 +85,12 @@ fn main() {
     }
     print_table(
         "E9: context-replication ablation (203 updates, then crash + failover)",
-        &["strategy", "updates lost", "SAN writes / update", "downtime"],
+        &[
+            "strategy",
+            "updates lost",
+            "SAN writes / update",
+            "downtime",
+        ],
         &rows,
     );
     println!(

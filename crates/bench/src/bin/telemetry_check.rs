@@ -1,0 +1,76 @@
+//! Schema check for telemetry snapshots: every `results/telemetry_*.json`
+//! must parse as strict JSON and carry the v1 snapshot schema — a
+//! `schema_version`, the producing run's `seed`, and a non-empty `counters`
+//! object (a snapshot with no counters means the instrumentation went
+//! dark, which is a wiring bug, not an empty workload).
+//!
+//! Run after the bins that emit snapshots (the chaos sweep at minimum);
+//! `scripts/check.sh` wires it in. Exits non-zero listing every violation.
+
+use dosgi_telemetry::snapshot::SCHEMA_VERSION;
+use dosgi_testkit::{workspace_root, Json};
+
+fn check_file(path: &std::path::Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let version = json
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("missing integer `schema_version`")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != supported {SCHEMA_VERSION}"
+        ));
+    }
+    json.get("seed")
+        .and_then(Json::as_u64)
+        .ok_or("missing integer `seed`")?;
+    let counters = json
+        .get("counters")
+        .and_then(Json::as_obj)
+        .ok_or("missing object `counters`")?;
+    if counters.is_empty() {
+        return Err("`counters` is empty — instrumentation recorded nothing".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let dir = workspace_root().join("results");
+    let mut snapshots: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("telemetry_") && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    snapshots.sort();
+    if snapshots.is_empty() {
+        eprintln!(
+            "no telemetry snapshots under {} — run the chaos sweep (or an \
+             instrumented bench bin) first",
+            dir.display()
+        );
+        std::process::exit(1);
+    }
+    let mut failed = false;
+    for path in &snapshots {
+        match check_file(path) {
+            Ok(()) => println!("  ok  {}", path.display()),
+            Err(e) => {
+                failed = true;
+                println!("  BAD {}: {e}", path.display());
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("{} telemetry snapshot(s) schema-valid", snapshots.len());
+}

@@ -23,7 +23,22 @@
 //! the Criterion benches (`cargo bench -p dosgi-bench`) measure the
 //! corresponding wall-clock costs of the implementation itself.
 
+use dosgi_telemetry::Telemetry;
 use std::fmt::Display;
+
+/// Snapshots `telemetry` as `results/telemetry_<label>.json` (under the
+/// workspace root, like the bench reports) and prints the path. Benches
+/// treat snapshot I/O as best-effort: a read-only checkout still runs the
+/// experiment.
+pub fn write_telemetry_snapshot(telemetry: &Telemetry, label: &str, seed: u64) {
+    let dir = dosgi_testkit::workspace_root().join("results");
+    match std::fs::create_dir_all(&dir)
+        .and_then(|()| telemetry.snapshot(label, seed).write_to(&dir))
+    {
+        Ok(path) => println!("\ntelemetry snapshot: {}", path.display()),
+        Err(e) => eprintln!("could not write telemetry snapshot for {label}: {e}"),
+    }
+}
 
 /// Prints a Markdown-style table: header row then aligned data rows.
 pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {

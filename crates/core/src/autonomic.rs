@@ -112,10 +112,14 @@ impl AutonomicModule {
         let subjects: Vec<String> = quotas.keys().cloned().collect();
         for name in &subjects {
             if let Some(w) = monitor.latest(name) {
-                self.blackboard.set_subject_metric(name, "cpu_share", w.cpu_share);
-                self.blackboard.set_subject_metric(name, "memory", w.memory as f64);
-                self.blackboard.set_subject_metric(name, "disk", w.disk as f64);
-                self.blackboard.set_subject_metric(name, "call_rate", w.call_rate);
+                self.blackboard
+                    .set_subject_metric(name, "cpu_share", w.cpu_share);
+                self.blackboard
+                    .set_subject_metric(name, "memory", w.memory as f64);
+                self.blackboard
+                    .set_subject_metric(name, "disk", w.disk as f64);
+                self.blackboard
+                    .set_subject_metric(name, "call_rate", w.call_rate);
             }
             if let Some(q) = quotas.get(name) {
                 self.blackboard
@@ -210,7 +214,14 @@ mod tests {
     fn default_policy_stops_memory_hogs_immediately() {
         let mut a = AutonomicModule::new(DEFAULT_POLICY, SimDuration::from_secs(1)).unwrap();
         let m = monitor_with("acme", 0, 64 << 20); // 64MiB over a 16MiB quota
-        let d = a.evaluate(SimTime::from_secs(1), &m, &quotas("acme"), &NodeCapacity::standard(), 3, 0);
+        let d = a.evaluate(
+            SimTime::from_secs(1),
+            &m,
+            &quotas("acme"),
+            &NodeCapacity::standard(),
+            3,
+            0,
+        );
         assert!(d
             .iter()
             .any(|d| matches!(&d.action, PolicyAction::Stop { subject } if subject == "acme")));
@@ -251,8 +262,7 @@ mod tests {
 
     #[test]
     fn consolidation_policy_compiles_and_fires_on_idle() {
-        let mut a =
-            AutonomicModule::new(CONSOLIDATION_POLICY, SimDuration::from_secs(1)).unwrap();
+        let mut a = AutonomicModule::new(CONSOLIDATION_POLICY, SimDuration::from_secs(1)).unwrap();
         let m = MonitoringModule::new(); // nothing running: node_cpu 0
         let mut fired = Vec::new();
         for s in 1..=5 {

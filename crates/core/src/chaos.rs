@@ -30,8 +30,9 @@ use crate::workloads;
 use crate::{ClusterConfig, CoreError, DosgiCluster};
 use dosgi_net::{LinkConfig, NodeId, Partition, SimDuration, SimTime};
 use dosgi_san::{FaultPlan, Value};
-use dosgi_testkit::nemesis::{NemesisOp, NemesisPlan};
+use dosgi_telemetry::Telemetry;
 use dosgi_testkit::mix_seed;
+use dosgi_testkit::nemesis::{NemesisOp, NemesisPlan};
 use std::collections::BTreeMap;
 
 /// Workload knobs for a nemesis run (the schedule itself comes from a
@@ -90,12 +91,26 @@ impl ChaosReport {
 /// Applies `plan` to a fresh cluster and returns the invariant report.
 /// Deterministic in `(plan, opts)`.
 pub fn run_nemesis(plan: &NemesisPlan, opts: &ChaosOptions) -> ChaosReport {
+    run_nemesis_with_telemetry(plan, opts, Telemetry::new())
+}
+
+/// Like [`run_nemesis`] but with an explicit telemetry handle. Telemetry is
+/// strictly passive: the report (and its fingerprint) is identical whether
+/// the handle is enabled, disabled, or shared with other runs — the
+/// property the chaos sweep verifies on every seed. The caller keeps a
+/// clone of the handle to snapshot the run's metrics afterwards.
+pub fn run_nemesis_with_telemetry(
+    plan: &NemesisPlan,
+    opts: &ChaosOptions,
+    telemetry: Telemetry,
+) -> ChaosReport {
     let config = ClusterConfig::default();
     let default_link = config.link;
-    let mut cluster = DosgiCluster::new(
+    let mut cluster = DosgiCluster::new_with_telemetry(
         plan.nodes.max(1),
         config,
         mix_seed(plan.seed, 0xC1A0_5EED),
+        telemetry,
     );
     let mut violations: Vec<String> = Vec::new();
 
@@ -105,11 +120,7 @@ pub fn run_nemesis(plan: &NemesisPlan, opts: &ChaosOptions) -> ChaosReport {
         .map(|i| format!("ctr-{i}"))
         .collect();
     for (i, name) in names.iter().enumerate() {
-        let d = workloads::counter_instance_with(
-            "chaos",
-            name,
-            workloads::COUNTER_WRITE_THROUGH,
-        );
+        let d = workloads::counter_instance_with("chaos", name, workloads::COUNTER_WRITE_THROUGH);
         if let Err(e) = cluster.deploy(d, i % plan.nodes.max(1)) {
             violations.push(format!("setup: deploy {name} failed: {e}"));
         }
@@ -124,8 +135,7 @@ pub fn run_nemesis(plan: &NemesisPlan, opts: &ChaosOptions) -> ChaosReport {
     let mut partitioned = false;
     let mut lossy = false;
     let mut disturbed_until = t0; // settle clock after partition/loss heals
-    let mut floors: BTreeMap<String, i64> =
-        names.iter().map(|n| (n.clone(), 0)).collect();
+    let mut floors: BTreeMap<String, i64> = names.iter().map(|n| (n.clone(), 0)).collect();
     let mut acked = 0u64;
     let mut next_call = t0;
 
@@ -158,12 +168,7 @@ pub fn run_nemesis(plan: &NemesisPlan, opts: &ChaosOptions) -> ChaosReport {
         if now >= next_call {
             next_call = now + opts.client_period;
             for name in &names {
-                match cluster.call(
-                    name,
-                    workloads::COUNTER_SERVICE,
-                    "incr",
-                    &Value::Null,
-                ) {
+                match cluster.call(name, workloads::COUNTER_SERVICE, "incr", &Value::Null) {
                     Ok(v) => {
                         acked += 1;
                         if undisturbed {
@@ -199,6 +204,9 @@ pub fn run_nemesis(plan: &NemesisPlan, opts: &ChaosOptions) -> ChaosReport {
 
     // Convergence: by horizon the schedule guarantees a healed, quiet tail.
     check_convergence(&cluster, &names, &floors, &mut violations);
+    // Publish the end-state gauges so a caller-held telemetry handle can be
+    // snapshotted right after the run.
+    cluster.record_telemetry_gauges();
 
     let mut h = mix_seed(plan.fingerprint(), acked);
     for name in &names {
@@ -249,8 +257,7 @@ fn apply_op(
         NemesisOp::CrashNode { node } => cluster.crash_node(*node),
         NemesisOp::RestartNode { node } => cluster.restart_node(*node),
         NemesisOp::Partition { minority } => {
-            let minority_ids: Vec<NodeId> =
-                minority.iter().map(|n| NodeId(*n as u32)).collect();
+            let minority_ids: Vec<NodeId> = minority.iter().map(|n| NodeId(*n as u32)).collect();
             let rest: Vec<NodeId> = (0..plan.nodes)
                 .filter(|n| !minority.contains(n))
                 .map(|n| NodeId(n as u32))
@@ -369,7 +376,9 @@ fn check_convergence(
     let now = cluster.now();
     let running = cluster.running_nodes();
     if running.is_empty() {
-        violations.push(format!("[{now:?}] convergence: no running nodes at horizon"));
+        violations.push(format!(
+            "[{now:?}] convergence: no running nodes at horizon"
+        ));
         return;
     }
     let exports: Vec<Vec<u8>> = running
@@ -517,6 +526,40 @@ mod tests {
         let plan = NemesisPlan::generate(7, 5, &NemesisConfig::default());
         let report = run_nemesis(&plan, &ChaosOptions::default());
         assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+
+    /// Telemetry must be strictly passive: the same seed-7 schedule
+    /// produces a byte-identical fingerprint whether instrumentation is on
+    /// or off, and two instrumented replays serialize to the same snapshot
+    /// byte for byte.
+    #[test]
+    fn seed_seven_fingerprint_is_unchanged_by_telemetry() {
+        let plan = NemesisPlan::generate(7, 5, &NemesisConfig::default());
+        let opts = ChaosOptions::default();
+
+        let on = Telemetry::new();
+        let a = run_nemesis_with_telemetry(&plan, &opts, on.clone());
+        let b = run_nemesis_with_telemetry(&plan, &opts, Telemetry::disabled());
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "telemetry changed the run's observable behaviour"
+        );
+        assert_eq!(a.acked, b.acked);
+        assert_eq!(a.floors, b.floors);
+        assert_eq!(a.violations, b.violations);
+        assert!(
+            on.counter("san.ops") > 0,
+            "the instrumented run actually recorded metrics"
+        );
+
+        let on2 = Telemetry::new();
+        let c = run_nemesis_with_telemetry(&plan, &opts, on2.clone());
+        assert_eq!(a.fingerprint, c.fingerprint);
+        assert_eq!(
+            on.snapshot("chaos_seed7", plan.seed).to_json(),
+            on2.snapshot("chaos_seed7", plan.seed).to_json(),
+            "two instrumented replays must snapshot identically"
+        );
     }
 
     #[test]

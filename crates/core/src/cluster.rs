@@ -3,10 +3,12 @@
 
 use crate::node::{DosgiNode, NodeConfig, NodeState, Wire};
 use crate::registry::InstanceStatus;
-use crate::{CoreError, NodeEvent, SlaTracker};
+use crate::{AdoptReason, CoreError, NodeEvent, SlaTracker};
 use dosgi_net::{LinkConfig, NodeId, Partition, SimDuration, SimNet, SimTime};
 use dosgi_san::{SharedStore, Value};
+use dosgi_telemetry::{Snapshot, SpanId, Telemetry};
 use dosgi_vosgi::InstanceDescriptor;
+use std::collections::BTreeMap;
 
 /// Cluster-wide configuration.
 #[derive(Debug, Clone)]
@@ -47,6 +49,10 @@ pub struct DosgiCluster {
     config: ClusterConfig,
     sla: SlaTracker,
     events: Vec<(NodeId, NodeEvent)>,
+    telemetry: Telemetry,
+    // Open `core.migration.handoff/<name>` spans: entered when the old home
+    // releases the instance, exited when the new home reports adoption.
+    handoff_spans: BTreeMap<String, SpanId>,
 }
 
 impl std::fmt::Debug for DosgiCluster {
@@ -65,21 +71,40 @@ impl DosgiCluster {
     ///
     /// Panics if `n` is zero.
     pub fn new(n: usize, config: ClusterConfig, seed: u64) -> Self {
+        Self::new_with_telemetry(n, config, seed, Telemetry::new())
+    }
+
+    /// Like [`new`](Self::new) but with an explicit telemetry handle —
+    /// pass [`Telemetry::disabled`] to turn instrumentation off, or share
+    /// one enabled handle across several clusters to aggregate their
+    /// metrics into a single registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new_with_telemetry(
+        n: usize,
+        config: ClusterConfig,
+        seed: u64,
+        telemetry: Telemetry,
+    ) -> Self {
         assert!(n > 0, "a cluster needs at least one node");
         let mut net = SimNet::new(config.link, seed);
         let store = SharedStore::new();
+        store.set_telemetry(telemetry.clone());
         let ids: Vec<NodeId> = (0..n).map(|_| net.register_node()).collect();
         let slots = ids
             .iter()
-            .map(|&id| Slot {
-                node: DosgiNode::new(
+            .map(|&id| {
+                let mut node = DosgiNode::new(
                     id,
                     ids.clone(),
                     config.node.clone(),
                     store.clone(),
                     net.now(),
-                ),
-                alive: true,
+                );
+                node.set_telemetry(telemetry.clone());
+                Slot { node, alive: true }
             })
             .collect();
         DosgiCluster {
@@ -89,7 +114,15 @@ impl DosgiCluster {
             config,
             sla: SlaTracker::new(),
             events: Vec::new(),
+            telemetry,
+            handoff_spans: BTreeMap::new(),
         }
+    }
+
+    /// The cluster-wide telemetry handle (cheap to clone; all clones share
+    /// one registry).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The current simulated instant.
@@ -117,7 +150,7 @@ impl DosgiCluster {
     }
 
     /// The simulated network (partition injection, stats).
-    pub fn net_mut(&mut self) -> &mut SimNet<Wire>{
+    pub fn net_mut(&mut self) -> &mut SimNet<Wire> {
         &mut self.net
     }
 
@@ -180,11 +213,7 @@ impl DosgiCluster {
     /// instance-manager errors, or [`CoreError::BadMigration`] if the
     /// commit does not land within five simulated seconds (no sequencer
     /// reachable).
-    pub fn deploy(
-        &mut self,
-        descriptor: InstanceDescriptor,
-        idx: usize,
-    ) -> Result<(), CoreError> {
+    pub fn deploy(&mut self, descriptor: InstanceDescriptor, idx: usize) -> Result<(), CoreError> {
         if self.find_record(&descriptor.name).is_some() {
             return Err(CoreError::DuplicateInstance(descriptor.name));
         }
@@ -240,7 +269,9 @@ impl DosgiCluster {
             .home_of(name)
             .ok_or_else(|| CoreError::NotPlaced(name.to_owned()))?;
         if self.node(to).is_none() {
-            return Err(CoreError::BadMigration(format!("destination n{to} is down")));
+            return Err(CoreError::BadMigration(format!(
+                "destination n{to} is down"
+            )));
         }
         let dest = NodeId(to as u32);
         let slot = self
@@ -265,13 +296,15 @@ impl DosgiCluster {
         let id = NodeId(idx as u32);
         self.net.restart(id);
         if let Some(slot) = self.slots.get_mut(idx) {
-            slot.node = DosgiNode::new(
+            let mut node = DosgiNode::new(
                 id,
                 ids,
                 self.config.node.clone(),
                 self.store.clone(),
                 self.net.now(),
             );
+            node.set_telemetry(self.telemetry.clone());
+            slot.node = node;
             slot.alive = true;
         }
     }
@@ -422,6 +455,28 @@ impl DosgiCluster {
         }
         for (i, slot) in self.slots.iter_mut().enumerate() {
             for e in slot.node.take_events() {
+                match &e {
+                    // A release opens the cross-node handoff span; the
+                    // matching Adopted (on the destination) closes it.
+                    NodeEvent::Released { at, name, .. } => {
+                        let span = self
+                            .telemetry
+                            .span_enter(&format!("core.migration.handoff/{name}"), at.as_micros());
+                        self.handoff_spans.insert(name.clone(), span);
+                    }
+                    NodeEvent::Adopted { at, name, reason } => match reason {
+                        AdoptReason::Migration => {
+                            if let Some(span) = self.handoff_spans.remove(name) {
+                                self.telemetry.span_exit(span, at.as_micros());
+                            }
+                            self.telemetry.incr("core.migration.completed");
+                        }
+                        AdoptReason::Failover => {
+                            self.telemetry.incr("core.failover.adoptions");
+                        }
+                    },
+                    _ => {}
+                }
                 self.events.push((NodeId(i as u32), e));
             }
         }
@@ -434,6 +489,42 @@ impl DosgiCluster {
             let up = self.probe(&name);
             self.sla.probe(&name, now, up);
         }
+    }
+
+    /// Publishes the cluster's derived health figures as telemetry gauges:
+    /// aggregate SLA downtime/outages across all tracked instances and the
+    /// node-state census. Call before [`telemetry_snapshot`]
+    /// (Self::telemetry_snapshot) so the snapshot reflects current state.
+    pub fn record_telemetry_gauges(&self) {
+        let mut down_us: u64 = 0;
+        let mut outages: u64 = 0;
+        let mut longest_us: u64 = 0;
+        for name in self.sla.instances() {
+            let rec = self.sla.record(name);
+            down_us += rec.down.as_micros();
+            outages += u64::from(rec.outages);
+            longest_us = longest_us.max(rec.longest_outage.as_micros());
+        }
+        self.telemetry
+            .gauge_set("core.sla.down_us_total", down_us as i64);
+        self.telemetry.gauge_set("core.sla.outages", outages as i64);
+        self.telemetry
+            .gauge_set("core.sla.longest_outage_us", longest_us as i64);
+        self.telemetry.gauge_set(
+            "core.cluster.nodes_running",
+            self.running_nodes().len() as i64,
+        );
+        self.telemetry.gauge_set(
+            "core.cluster.nodes_hibernated",
+            self.hibernated_nodes() as i64,
+        );
+    }
+
+    /// Refreshes the derived gauges and takes a snapshot of the cluster's
+    /// telemetry registry, labelled for the snapshot file name.
+    pub fn telemetry_snapshot(&self, label: &str, seed: u64) -> Snapshot {
+        self.record_telemetry_gauges();
+        self.telemetry.snapshot(label, seed)
     }
 }
 
@@ -471,10 +562,7 @@ mod tests {
     #[test]
     fn undeploy_of_unknown_instance_errors() {
         let mut c = cluster();
-        assert!(matches!(
-            c.undeploy("ghost"),
-            Err(CoreError::NotPlaced(_))
-        ));
+        assert!(matches!(c.undeploy("ghost"), Err(CoreError::NotPlaced(_))));
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub mod workloads;
 pub use chaos::{run_nemesis, ChaosOptions, ChaosReport};
 pub use cluster::{ClusterConfig, DosgiCluster};
 pub use error::CoreError;
-pub use events::NodeEvent;
+pub use events::{AdoptReason, NodeEvent};
 pub use msg::AppPayload;
 pub use node::{DosgiNode, NodeState};
 pub use placement::PlacementPolicy;

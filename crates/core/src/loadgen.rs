@@ -94,8 +94,7 @@ impl WorkSampler {
         // Inverse-CDF of the bounded Pareto.
         let u: f64 = self.rng.f64().clamp(1e-12, 1.0 - 1e-12);
         let (l, h, a) = (self.min_us, self.max_us, self.alpha);
-        let x = (u * h.powf(a) - u * l.powf(a) - h.powf(a))
-            / (h.powf(a) * l.powf(a));
+        let x = (u * h.powf(a) - u * l.powf(a) - h.powf(a)) / (h.powf(a) * l.powf(a));
         let v = (-x).powf(-1.0 / a);
         SimDuration::from_micros(v.clamp(l, h) as u64)
     }

@@ -13,6 +13,7 @@ use dosgi_net::{NodeId, SimDuration, SimNet, SimTime};
 use dosgi_osgi::Framework;
 use dosgi_policy::PolicyAction;
 use dosgi_san::{SharedStore, Value};
+use dosgi_telemetry::{SpanId, Telemetry};
 use dosgi_vosgi::{InstanceDescriptor, InstanceManager, ResourceQuota};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -100,6 +101,7 @@ pub struct DosgiNode {
     store: SharedStore,
     pending_adoptions: Vec<PendingAdoption>,
     events: Vec<NodeEvent>,
+    telemetry: Telemetry,
 }
 
 #[derive(Debug, Clone)]
@@ -109,6 +111,9 @@ struct PendingAdoption {
     reason: AdoptReason,
     /// How many materialization attempts already failed transiently.
     attempt: u32,
+    /// The `core.adopt` span opened when the adoption was queued; closed
+    /// when the ticket materializes, is overruled, or quarantines.
+    span: SpanId,
 }
 
 impl std::fmt::Debug for DosgiNode {
@@ -142,8 +147,7 @@ impl DosgiNode {
             let bid = host.install(manifest, activator).expect("fresh framework");
             host.start(bid).expect("host bundles start");
         }
-        let mut mgr =
-            InstanceManager::new(host, workloads::standard_repository(), factory);
+        let mut mgr = InstanceManager::new(host, workloads::standard_repository(), factory);
         mgr.attach_store(store.clone());
         let autonomic = config.policy.as_ref().map(|script| {
             AutonomicModule::new(script, config.policy_interval)
@@ -168,7 +172,17 @@ impl DosgiNode {
             store,
             pending_adoptions: Vec::new(),
             events: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle, propagated to the GCS endpoint and
+    /// the instance manager (host framework + instance frameworks).
+    /// Telemetry is passive; protocol behaviour is unchanged.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.gcs.set_telemetry(telemetry.clone());
+        self.mgr.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// This node's id.
@@ -360,12 +374,12 @@ impl DosgiNode {
             .collect();
         let candidates = self.placement_candidates();
         for name in locals {
-            if let Some(dest) = self.config.placement.choose(
-                &name,
-                &candidates,
-                &self.registry,
-                &BTreeMap::new(),
-            ) {
+            if let Some(dest) =
+                self.config
+                    .placement
+                    .choose(&name, &candidates, &self.registry, &BTreeMap::new())
+            {
+                self.telemetry.incr("core.placement.decisions");
                 let _ = self.migrate_away(&name, dest, net);
             }
         }
@@ -548,8 +562,7 @@ impl DosgiNode {
                     let snapshot = self.registry.export();
                     self.order(net, AppPayload::RegistrySync { registry: snapshot });
                 }
-                let effective_universe =
-                    self.gcs.universe() - self.departed_peers.len();
+                let effective_universe = self.gcs.universe() - self.departed_peers.len();
                 if !left.is_empty() && view.has_majority(effective_universe) {
                     self.handle_failover(&left, net);
                 }
@@ -585,10 +598,12 @@ impl DosgiNode {
             c.sort();
             c
         };
-        let assignment =
-            self.config
-                .placement
-                .assign_all(&orphans, &candidates, &self.registry);
+        let assignment = self
+            .config
+            .placement
+            .assign_all(&orphans, &candidates, &self.registry);
+        self.telemetry
+            .add("core.placement.decisions", assignment.len() as u64);
         for (name, dest) in assignment {
             if dest == self.id {
                 let prior_home = self
@@ -609,6 +624,7 @@ impl DosgiNode {
     }
 
     fn apply_control(&mut self, payload: AppPayload, net: &mut SimNet<Wire>, now: SimTime) {
+        self.telemetry.incr("core.registry.ops");
         // Snapshot pre-application status for claim/adoption decisions.
         let prior_status = payload
             .instance()
@@ -670,10 +686,7 @@ impl DosgiNode {
                     .iter()
                     .find(|m| **m != node)
                     .copied();
-                if node != self.id
-                    && responder == Some(self.id)
-                    && !self.registry.is_empty()
-                {
+                if node != self.id && responder == Some(self.id) && !self.registry.is_empty() {
                     let snapshot = self.registry.export();
                     self.order(net, AppPayload::RegistrySync { registry: snapshot });
                 }
@@ -749,13 +762,7 @@ impl DosgiNode {
         }
     }
 
-    fn release_instance(
-        &mut self,
-        name: &str,
-        to: NodeId,
-        net: &mut SimNet<Wire>,
-        now: SimTime,
-    ) {
+    fn release_instance(&mut self, name: &str, to: NodeId, net: &mut SimNet<Wire>, now: SimTime) {
         let Some(iid) = self.mgr.find_by_name(name) else {
             return;
         };
@@ -811,14 +818,17 @@ impl DosgiNode {
             // Bundles already installed: pay only the start sweep.
             (self.config.start_cost_per_bundle / 2) * bundles
         } else {
-            self.config.san.read_cost(state_bytes)
-                + self.config.start_cost_per_bundle * bundles
+            self.config.san.read_cost(state_bytes) + self.config.start_cost_per_bundle * bundles
         };
+        let span = self
+            .telemetry
+            .span_enter(&format!("core.adopt/{name}"), now.as_micros());
         self.pending_adoptions.push(PendingAdoption {
             ready_at: now + cost,
             name: name.to_owned(),
             reason,
             attempt: 0,
+            span,
         });
     }
 
@@ -845,6 +855,8 @@ impl DosgiNode {
                 .map(|r| r.home == self.id && r.status == InstanceStatus::Placed)
                 .unwrap_or(false);
             if !still_ours {
+                self.telemetry.span_exit(p.span, now.as_micros());
+                self.telemetry.incr("core.adopt.overruled");
                 continue;
             }
             let outcome = match self.mgr.find_by_name(&p.name) {
@@ -853,11 +865,13 @@ impl DosgiNode {
                 Some(iid) => self.mgr.start_instance(iid).map(|_| iid),
                 None => {
                     let Some(rec) = self.registry.record(&p.name) else {
+                        self.telemetry.span_exit(p.span, now.as_micros());
                         continue;
                     };
                     match InstanceDescriptor::from_value(&rec.descriptor) {
                         Ok(d) => self.mgr.adopt_instance(d),
                         Err(e) => {
+                            self.telemetry.span_exit(p.span, now.as_micros());
                             self.events.push(NodeEvent::AdoptFailed {
                                 at: now,
                                 name: p.name,
@@ -894,6 +908,7 @@ impl DosgiNode {
                             now,
                         );
                     } else {
+                        self.telemetry.span_exit(p.span, now.as_micros());
                         self.events.push(NodeEvent::Adopted {
                             at: now,
                             name: p.name,
@@ -925,6 +940,7 @@ impl DosgiNode {
         now: SimTime,
     ) {
         if !transient {
+            self.telemetry.span_exit(p.span, now.as_micros());
             self.events.push(NodeEvent::AdoptFailed {
                 at: now,
                 name: p.name,
@@ -934,6 +950,8 @@ impl DosgiNode {
         }
         let failures = p.attempt + 1;
         if self.config.retry.exhausted(failures) {
+            self.telemetry.span_exit(p.span, now.as_micros());
+            self.telemetry.incr("san.quarantines");
             self.events.push(NodeEvent::Quarantined {
                 at: now,
                 name: p.name.clone(),
@@ -947,6 +965,10 @@ impl DosgiNode {
             );
             return;
         }
+        let backoff = self.config.retry.backoff(p.attempt);
+        self.telemetry.incr("san.retries");
+        self.telemetry
+            .record("san.retry.backoff_us", backoff.as_micros());
         self.events.push(NodeEvent::AdoptRetried {
             at: now,
             name: p.name.clone(),
@@ -954,10 +976,11 @@ impl DosgiNode {
             error,
         });
         self.pending_adoptions.push(PendingAdoption {
-            ready_at: now + self.config.retry.backoff(p.attempt),
+            ready_at: now + backoff,
             name: p.name,
             reason: p.reason,
             attempt: failures,
+            span: p.span,
         });
     }
 
@@ -998,11 +1021,7 @@ impl DosgiNode {
             .collect();
         let view = self.gcs.view();
         let node_count = view.members.len();
-        let node_rank = view
-            .members
-            .iter()
-            .position(|m| *m == self.id)
-            .unwrap_or(0);
+        let node_rank = view.members.iter().position(|m| *m == self.id).unwrap_or(0);
         let decisions = autonomic.evaluate(
             now,
             &self.monitor,
@@ -1059,9 +1078,7 @@ impl DosgiNode {
             PolicyAction::Custom { name, .. } if name == "migrate_all" => {
                 self.migrate_all_local(net);
             }
-            PolicyAction::WakeNode
-            | PolicyAction::Alert { .. }
-            | PolicyAction::Custom { .. } => {
+            PolicyAction::WakeNode | PolicyAction::Alert { .. } | PolicyAction::Custom { .. } => {
                 // Alerts are visible through the PolicyFired event; wake is
                 // a cluster-level operation.
             }

@@ -53,8 +53,7 @@ impl PlacementPolicy {
                 candidates
                     .iter()
                     .min_by_key(|n| {
-                        load.get(n).copied().unwrap_or(0)
-                            + pending.get(n).copied().unwrap_or(0)
+                        load.get(n).copied().unwrap_or(0) + pending.get(n).copied().unwrap_or(0)
                     })
                     .copied()
             }
@@ -123,8 +122,7 @@ mod tests {
         let r = registry_with(&[]);
         let candidates = vec![NodeId(0), NodeId(1)];
         let orphans: Vec<String> = (0..4).map(|i| format!("i{i}")).collect();
-        let assignment =
-            PlacementPolicy::FewestInstances.assign_all(&orphans, &candidates, &r);
+        let assignment = PlacementPolicy::FewestInstances.assign_all(&orphans, &candidates, &r);
         let on0 = assignment.iter().filter(|(_, n)| *n == NodeId(0)).count();
         let on1 = assignment.iter().filter(|(_, n)| *n == NodeId(1)).count();
         assert_eq!(on0, 2);

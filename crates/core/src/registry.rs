@@ -161,15 +161,11 @@ impl ClusterRegistry {
         let mut orphans = Vec::new();
         for r in self.records.values_mut() {
             let stranded = match r.status {
-                InstanceStatus::Migrating { to } => {
-                    left.contains(&r.home) || left.contains(&to)
-                }
+                InstanceStatus::Migrating { to } => left.contains(&r.home) || left.contains(&to),
                 // A quarantined instance is stranded like a placed one when
                 // its home dies: a survivor claims it and runs its own
                 // adopt/retry/quarantine cycle against the SAN.
-                InstanceStatus::Placed | InstanceStatus::Quarantined => {
-                    left.contains(&r.home)
-                }
+                InstanceStatus::Placed | InstanceStatus::Quarantined => left.contains(&r.home),
                 InstanceStatus::Orphaned => false,
             };
             if stranded {
@@ -531,7 +527,10 @@ mod tests {
     fn import_skips_garbage_entries() {
         let mut r = ClusterRegistry::new();
         r.import(&Value::List(vec![
-            Value::map().with("name", "ok").with("home", 1u64).with("status", "placed"),
+            Value::map()
+                .with("name", "ok")
+                .with("home", 1u64)
+                .with("status", "placed"),
             Value::map().with("home", 1u64), // no name
             Value::Int(7),                   // not a map
         ]));

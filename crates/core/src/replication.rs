@@ -52,12 +52,13 @@ pub fn prepare_standby(
             .registry()
             .record(name)
             .ok_or_else(|| CoreError::UnknownInstance(name.to_owned()))?;
-        InstanceDescriptor::from_value(&rec.descriptor)
-            .map_err(CoreError::BadMigration)?
+        InstanceDescriptor::from_value(&rec.descriptor).map_err(CoreError::BadMigration)?
     };
     let node = cluster
         .node_mut(standby)
-        .ok_or(CoreError::NodeUnavailable(dosgi_net::NodeId(standby as u32)))?;
+        .ok_or(CoreError::NodeUnavailable(dosgi_net::NodeId(
+            standby as u32,
+        )))?;
     node.manager_mut().create_instance(descriptor)?;
     Ok(())
 }

@@ -88,7 +88,8 @@ impl SlaTracker {
             }
             if was_up && !available {
                 rec.outages += 1;
-                self.current_outage.insert(instance.to_owned(), SimDuration::ZERO);
+                self.current_outage
+                    .insert(instance.to_owned(), SimDuration::ZERO);
             }
             if !was_up && available {
                 self.current_outage.remove(instance);

@@ -14,11 +14,11 @@
 //!   (persist every update) and [`COUNTER_CHECKPOINT`] (persist every
 //!   [`CHECKPOINT_EVERY`] updates).
 
+use dosgi_net::SimDuration;
 use dosgi_osgi::{
     ActivatorFactory, BundleManifest, CallContext, FnActivator, ManifestBuilder, ServiceError,
     Version,
 };
-use dosgi_net::SimDuration;
 use dosgi_san::Value;
 use dosgi_vosgi::{BundleRepository, InstanceDescriptor, ResourceQuota};
 use std::collections::BTreeMap;
@@ -61,7 +61,11 @@ pub const REQUEST_COST: SimDuration = SimDuration::from_micros(500);
 
 fn log_manifest() -> BundleManifest {
     ManifestBuilder::new(LOG_BUNDLE, Version::new(1, 0, 0))
-        .export_package("org.dosgi.log.api", Version::new(1, 0, 0), ["Logger", "Level"])
+        .export_package(
+            "org.dosgi.log.api",
+            Version::new(1, 0, 0),
+            ["Logger", "Level"],
+        )
         .build()
         .expect("static manifest")
 }
@@ -79,7 +83,11 @@ fn http_manifest() -> BundleManifest {
 
 fn metrics_manifest() -> BundleManifest {
     ManifestBuilder::new(METRICS_BUNDLE, Version::new(1, 0, 0))
-        .export_package("org.dosgi.metrics.api", Version::new(1, 0, 0), ["Collector"])
+        .export_package(
+            "org.dosgi.metrics.api",
+            Version::new(1, 0, 0),
+            ["Collector"],
+        )
         .build()
         .expect("static manifest")
 }
@@ -123,15 +131,15 @@ pub fn standard_factory() -> ActivatorFactory {
             ctx.register_service(
                 &[LOG_SERVICE],
                 BTreeMap::new(),
-                Box::new(|ctx: &mut CallContext<'_>, method: &str, arg: &Value| match method {
-                    "log" => {
-                        ctx.charge_cpu(LOG_COST);
-                        Ok(Value::map()
-                            .with("ok", true)
-                            .with("echo", arg.clone()))
-                    }
-                    other => Err(ServiceError::Failed(format!("log has no {other}"))),
-                }),
+                Box::new(
+                    |ctx: &mut CallContext<'_>, method: &str, arg: &Value| match method {
+                        "log" => {
+                            ctx.charge_cpu(LOG_COST);
+                            Ok(Value::map().with("ok", true).with("echo", arg.clone()))
+                        }
+                        other => Err(ServiceError::Failed(format!("log has no {other}"))),
+                    },
+                ),
             );
             Ok(())
         }))
@@ -142,17 +150,19 @@ pub fn standard_factory() -> ActivatorFactory {
             ctx.register_service(
                 &[HTTP_SERVICE],
                 BTreeMap::new(),
-                Box::new(|ctx: &mut CallContext<'_>, method: &str, arg: &Value| match method {
-                    "request" => {
-                        let work = arg
-                            .get("work_us")
-                            .and_then(Value::as_int)
-                            .unwrap_or(REQUEST_COST.as_micros() as i64);
-                        ctx.charge_cpu(SimDuration::from_micros(work.max(0) as u64));
-                        Ok(Value::map().with("status", 200i64))
-                    }
-                    other => Err(ServiceError::Failed(format!("http has no {other}"))),
-                }),
+                Box::new(
+                    |ctx: &mut CallContext<'_>, method: &str, arg: &Value| match method {
+                        "request" => {
+                            let work = arg
+                                .get("work_us")
+                                .and_then(Value::as_int)
+                                .unwrap_or(REQUEST_COST.as_micros() as i64);
+                            ctx.charge_cpu(SimDuration::from_micros(work.max(0) as u64));
+                            Ok(Value::map().with("status", 200i64))
+                        }
+                        other => Err(ServiceError::Failed(format!("http has no {other}"))),
+                    },
+                ),
             );
             Ok(())
         }))
@@ -165,14 +175,16 @@ pub fn standard_factory() -> ActivatorFactory {
             ctx.register_service(
                 &[METRICS_SERVICE],
                 BTreeMap::new(),
-                Box::new(move |ctx: &mut CallContext<'_>, method: &str, _: &Value| match method {
-                    "collect" => {
-                        ctx.charge_cpu(SimDuration::from_micros(50));
-                        let n = s.fetch_add(1, Ordering::Relaxed) + 1;
-                        Ok(Value::map().with("samples", n))
-                    }
-                    other => Err(ServiceError::Failed(format!("metrics has no {other}"))),
-                }),
+                Box::new(
+                    move |ctx: &mut CallContext<'_>, method: &str, _: &Value| match method {
+                        "collect" => {
+                            ctx.charge_cpu(SimDuration::from_micros(50));
+                            let n = s.fetch_add(1, Ordering::Relaxed) + 1;
+                            Ok(Value::map().with("samples", n))
+                        }
+                        other => Err(ServiceError::Failed(format!("metrics has no {other}"))),
+                    },
+                ),
             );
             Ok(())
         }))
@@ -185,21 +197,23 @@ pub fn standard_factory() -> ActivatorFactory {
             ctx.register_service(
                 &[WEB_SERVICE],
                 BTreeMap::new(),
-                Box::new(move |ctx: &mut CallContext<'_>, method: &str, arg: &Value| match method {
-                    "handle" => {
-                        let work = arg
-                            .get("work_us")
-                            .and_then(Value::as_int)
-                            .unwrap_or(REQUEST_COST.as_micros() as i64);
-                        ctx.charge_cpu(SimDuration::from_micros(work.max(0) as u64));
-                        // Per-request allocation churn for the memory gauge.
-                        ctx.alloc(4096);
-                        ctx.free(4096);
-                        let n = s.fetch_add(1, Ordering::Relaxed) + 1;
-                        Ok(Value::map().with("status", 200i64).with("served", n))
-                    }
-                    other => Err(ServiceError::Failed(format!("web has no {other}"))),
-                }),
+                Box::new(
+                    move |ctx: &mut CallContext<'_>, method: &str, arg: &Value| match method {
+                        "handle" => {
+                            let work = arg
+                                .get("work_us")
+                                .and_then(Value::as_int)
+                                .unwrap_or(REQUEST_COST.as_micros() as i64);
+                            ctx.charge_cpu(SimDuration::from_micros(work.max(0) as u64));
+                            // Per-request allocation churn for the memory gauge.
+                            ctx.alloc(4096);
+                            ctx.free(4096);
+                            let n = s.fetch_add(1, Ordering::Relaxed) + 1;
+                            Ok(Value::map().with("status", 200i64).with("served", n))
+                        }
+                        other => Err(ServiceError::Failed(format!("web has no {other}"))),
+                    },
+                ),
             );
             Ok(())
         }))
@@ -256,22 +270,24 @@ impl dosgi_osgi::Activator for CounterActivator {
         ctx.register_service(
             &[COUNTER_SERVICE],
             BTreeMap::new(),
-            Box::new(move |ctx: &mut CallContext<'_>, method: &str, _: &Value| match method {
-                "incr" => {
-                    ctx.charge_cpu(SimDuration::from_micros(30));
-                    let n = count.fetch_add(1, Ordering::SeqCst) + 1;
-                    match mode {
-                        Durability::WriteThrough => ctx.store_put("count", Value::Int(n)),
-                        Durability::Checkpoint(k) if n % k == 0 => {
-                            ctx.store_put("count", Value::Int(n))
+            Box::new(
+                move |ctx: &mut CallContext<'_>, method: &str, _: &Value| match method {
+                    "incr" => {
+                        ctx.charge_cpu(SimDuration::from_micros(30));
+                        let n = count.fetch_add(1, Ordering::SeqCst) + 1;
+                        match mode {
+                            Durability::WriteThrough => ctx.store_put("count", Value::Int(n)),
+                            Durability::Checkpoint(k) if n % k == 0 => {
+                                ctx.store_put("count", Value::Int(n))
+                            }
+                            _ => {}
                         }
-                        _ => {}
+                        Ok(Value::Int(n))
                     }
-                    Ok(Value::Int(n))
-                }
-                "get" => Ok(Value::Int(count.load(Ordering::SeqCst))),
-                other => Err(ServiceError::Failed(format!("counter has no {other}"))),
-            }),
+                    "get" => Ok(Value::Int(count.load(Ordering::SeqCst))),
+                    other => Err(ServiceError::Failed(format!("counter has no {other}"))),
+                },
+            ),
         );
         Ok(())
     }
@@ -438,7 +454,10 @@ mod tests {
         )
         .unwrap();
         let sid = fw2.best_service(COUNTER_SERVICE).unwrap();
-        assert_eq!(fw2.call_service(sid, "get", &Value::Null).unwrap(), Value::Int(5));
+        assert_eq!(
+            fw2.call_service(sid, "get", &Value::Null).unwrap(),
+            Value::Int(5)
+        );
     }
 
     #[test]
@@ -465,7 +484,10 @@ mod tests {
         .unwrap();
         let sid = fw2.best_service(COUNTER_SERVICE).unwrap();
         // The paper's point: the running context is gone.
-        assert_eq!(fw2.call_service(sid, "get", &Value::Null).unwrap(), Value::Int(0));
+        assert_eq!(
+            fw2.call_service(sid, "get", &Value::Null).unwrap(),
+            Value::Int(0)
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::{GcsConfig, GcsWire, Transport, View, ViewId};
 use dosgi_net::{NodeId, SimTime};
+use dosgi_telemetry::Telemetry;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Events a [`GroupNode`] delivers to the layer above.
@@ -79,6 +80,7 @@ pub struct GroupNode<A> {
     last_order_nack: Option<SimTime>,
 
     events: Vec<GcsEvent<A>>,
+    telemetry: Telemetry,
 }
 
 #[derive(Debug)]
@@ -133,6 +135,7 @@ impl<A: Clone> GroupNode<A> {
             delivered_orders: BTreeSet::new(),
             last_order_nack: None,
             events: Vec::new(),
+            telemetry: Telemetry::disabled(),
         };
         let members = view.members.clone();
         node.events.push(GcsEvent::ViewChange {
@@ -141,6 +144,12 @@ impl<A: Clone> GroupNode<A> {
             left: Vec::new(),
         });
         node
+    }
+
+    /// Attaches a telemetry handle (`gcs.*` metrics). Telemetry is
+    /// passive: it never alters protocol behaviour.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// This node's id.
@@ -182,6 +191,7 @@ impl<A: Clone> GroupNode<A> {
     /// Reliable-FIFO broadcast to the current view (self-delivery is
     /// immediate).
     pub fn broadcast(&mut self, t: &mut impl Transport<A>, payload: A) {
+        self.telemetry.incr("gcs.fifo.sent");
         self.send_seq += 1;
         self.send_buffer.insert(self.send_seq, payload.clone());
         for m in self.view.members.clone() {
@@ -210,6 +220,7 @@ impl<A: Clone> GroupNode<A> {
     /// sequenced (ordering traffic is low-rate control-plane traffic, so
     /// the extra round trip is immaterial).
     pub fn order(&mut self, t: &mut impl Transport<A>, payload: A) {
+        self.telemetry.incr("gcs.order.sent");
         self.order_seq += 1;
         self.pending_orders.insert(self.order_seq, payload.clone());
         let is_head = self.pending_orders.len() == 1;
@@ -352,9 +363,7 @@ impl<A: Clone> GroupNode<A> {
                     .iter()
                     .next()
                     .map(|(&s, p)| (s, p.clone()));
-                if let (Some(seq), Some((origin_seq, payload))) =
-                    (self.view.coordinator(), head)
-                {
+                if let (Some(seq), Some((origin_seq, payload))) = (self.view.coordinator(), head) {
                     if seq == self.id {
                         let inc = self.incarnation;
                         self.assign_and_broadcast(t, self.id, inc, origin_seq, payload);
@@ -451,6 +460,7 @@ impl<A: Clone> GroupNode<A> {
                 // anything not newer than the receiver's own, so
                 // concurrent pushes are harmless.
                 if view < self.view.id && self.view.contains(from) {
+                    self.telemetry.incr("gcs.antientropy.view_repairs");
                     t.send(from, GcsWire::ViewCommit(self.view.clone()));
                 }
                 // A changed incarnation means the peer truly restarted:
@@ -469,7 +479,8 @@ impl<A: Clone> GroupNode<A> {
                     // With incarnation-scoped identities collisions are
                     // impossible; pruning old-incarnation entries is pure
                     // garbage collection.
-                    self.delivered_orders.retain(|(o, i, _)| *o != from || *i == incarnation);
+                    self.delivered_orders
+                        .retain(|(o, i, _)| *o != from || *i == incarnation);
                     self.assigned
                         .retain(|(o, i, _), _| *o != from || *i == incarnation);
                     // And if it is the current sequencer, its global order
@@ -491,6 +502,7 @@ impl<A: Clone> GroupNode<A> {
                         .unwrap_or(true);
                     if nack_due {
                         self.last_nack.insert(from, now);
+                        self.telemetry.incr("gcs.antientropy.nacks");
                         t.send(from, GcsWire::Nack { from_seq: next });
                     }
                 }
@@ -514,13 +526,12 @@ impl<A: Clone> GroupNode<A> {
                     // sequence our current one, the stream continues at our
                     // counter; report it so the commit carries the right
                     // `stream_base` (the proposer may not be us).
-                    let stream_base = if view.coordinator() == Some(self.id)
-                        && self.is_coordinator()
-                    {
-                        self.gseq_counter
-                    } else {
-                        0
-                    };
+                    let stream_base =
+                        if view.coordinator() == Some(self.id) && self.is_coordinator() {
+                            self.gseq_counter
+                        } else {
+                            0
+                        };
                     t.send(
                         view.id.proposer,
                         GcsWire::ViewAck {
@@ -531,6 +542,7 @@ impl<A: Clone> GroupNode<A> {
                 }
             }
             GcsWire::ViewAck { id, stream_base } => {
+                self.telemetry.incr("gcs.view.acks");
                 if let Some(p) = self.proposal.as_mut() {
                     if p.view.id == id {
                         p.acks.insert(from);
@@ -602,12 +614,14 @@ impl<A: Clone> GroupNode<A> {
             if nack_due {
                 let missing = *next;
                 self.last_nack.insert(from, now);
+                self.telemetry.incr("gcs.antientropy.nacks");
                 t.send(from, GcsWire::Nack { from_seq: missing });
             }
             return;
         }
         // In-order: deliver it and any buffered successors.
         *next += 1;
+        self.telemetry.incr("gcs.fifo.delivered");
         self.events.push(GcsEvent::Deliver { from, payload });
         if let Some(buf) = self.recv_ooo.get_mut(&from) {
             loop {
@@ -615,6 +629,7 @@ impl<A: Clone> GroupNode<A> {
                 match buf.remove(&expected) {
                     Some(p) => {
                         self.recv_next.insert(from, expected + 1);
+                        self.telemetry.incr("gcs.fifo.delivered");
                         self.events.push(GcsEvent::Deliver { from, payload: p });
                     }
                     None => break,
@@ -694,13 +709,19 @@ impl<A: Clone> GroupNode<A> {
 
     /// Rate-limited request to the sequencer to replay the ordered stream
     /// from our cursor.
-    fn request_ordered_replay(&mut self, t: &mut impl Transport<A>, sequencer: NodeId, now: SimTime) {
+    fn request_ordered_replay(
+        &mut self,
+        t: &mut impl Transport<A>,
+        sequencer: NodeId,
+        now: SimTime,
+    ) {
         let due = self
             .last_order_nack
             .map(|at| now.since(at) >= self.config.order_resend)
             .unwrap_or(true);
         if due {
             self.last_order_nack = Some(now);
+            self.telemetry.incr("gcs.antientropy.replay_requests");
             t.send(
                 sequencer,
                 GcsWire::OrderedReplayRequest {
@@ -739,7 +760,11 @@ impl<A: Clone> GroupNode<A> {
         // Monotone: a replayed/stale gseq must never pull the cursor back.
         self.expected_gseq = self.expected_gseq.max(gseq + 1);
         self.clear_pending(origin, origin_inc, origin_seq);
-        if self.delivered_orders.insert((origin, origin_inc, origin_seq)) {
+        if self
+            .delivered_orders
+            .insert((origin, origin_inc, origin_seq))
+        {
+            self.telemetry.incr("gcs.order.delivered");
             self.events.push(GcsEvent::OrderedDeliver {
                 gseq,
                 origin,
@@ -760,6 +785,7 @@ impl<A: Clone> GroupNode<A> {
     }
 
     fn install_view(&mut self, view: View) {
+        self.telemetry.incr("gcs.view.installed");
         let old = std::mem::replace(&mut self.view, view.clone());
         let (joined, left) = view.diff(&old);
         // (Stream resets for genuinely restarted peers are driven by the
@@ -792,7 +818,8 @@ impl<A: Clone> GroupNode<A> {
         if self.proposal.as_ref().is_some_and(|p| p.view.id <= view.id) {
             self.proposal = None;
         }
-        self.events.push(GcsEvent::ViewChange { view, joined, left });
+        self.events
+            .push(GcsEvent::ViewChange { view, joined, left });
     }
 
     /// Handles a replay request from a lagging member: resends the ordered
@@ -801,6 +828,7 @@ impl<A: Clone> GroupNode<A> {
         for (&gseq, (origin, origin_inc, origin_seq, payload)) in
             self.ordered_buffer.range(from_gseq..)
         {
+            self.telemetry.incr("gcs.antientropy.replayed");
             t.send(
                 to,
                 GcsWire::Ordered {
@@ -911,13 +939,10 @@ mod tests {
     }
 
     fn last_view(events: &[GcsEvent<u64>]) -> Option<View> {
-        events
-            .iter()
-            .rev()
-            .find_map(|e| match e {
-                GcsEvent::ViewChange { view, .. } => Some(view.clone()),
-                _ => None,
-            })
+        events.iter().rev().find_map(|e| match e {
+            GcsEvent::ViewChange { view, .. } => Some(view.clone()),
+            _ => None,
+        })
     }
 
     #[test]

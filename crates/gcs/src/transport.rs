@@ -53,9 +53,25 @@ mod tests {
         let mut net: SimNet<GcsWire<u32>> = SimNet::new(LinkConfig::ideal(), 1);
         let a = net.register_node();
         let b = net.register_node();
-        SimTransport::new(&mut net, a).send(b, GcsWire::Heartbeat { sent: 0, ordered: 0, incarnation: 1, view: crate::ViewId::default() });
+        SimTransport::new(&mut net, a).send(
+            b,
+            GcsWire::Heartbeat {
+                sent: 0,
+                ordered: 0,
+                incarnation: 1,
+                view: crate::ViewId::default(),
+            },
+        );
         net.advance(SimDuration::from_millis(1));
-        assert_eq!(net.recv(b).unwrap().payload, GcsWire::Heartbeat { sent: 0, ordered: 0, incarnation: 1, view: crate::ViewId::default() });
+        assert_eq!(
+            net.recv(b).unwrap().payload,
+            GcsWire::Heartbeat {
+                sent: 0,
+                ordered: 0,
+                incarnation: 1,
+                view: crate::ViewId::default()
+            }
+        );
     }
 
     #[test]

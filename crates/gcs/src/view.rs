@@ -6,9 +6,7 @@ use std::fmt;
 /// A view identifier: `(epoch, proposer)`, totally ordered. Higher epochs
 /// supersede lower; the proposer id breaks ties between concurrent
 /// proposals (which can only arise across a partition).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ViewId {
     /// Monotonically increasing epoch.
     pub epoch: u64,

@@ -2,6 +2,7 @@
 
 use crate::{RealServer, Scheduler, VirtualService};
 use dosgi_net::{NodeId, SocketAddr};
+use dosgi_telemetry::Telemetry;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -37,19 +38,37 @@ pub struct IpvsStats {
 }
 
 /// The load-balancer core: virtual services, connection tracking, stats.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct IpvsDirector {
     services: HashMap<SocketAddr, VirtualService>,
     // (client, service) → backend node, for connection affinity.
     connections: HashMap<(u64, SocketAddr), NodeId>,
     per_server: HashMap<(SocketAddr, NodeId), u64>,
     stats: IpvsStats,
+    telemetry: Telemetry,
+}
+
+// Telemetry handles carry no comparable state; two directors are equal
+// when their routing state is.
+impl PartialEq for IpvsDirector {
+    fn eq(&self, other: &Self) -> bool {
+        self.services == other.services
+            && self.connections == other.connections
+            && self.per_server == other.per_server
+            && self.stats == other.stats
+    }
 }
 
 impl IpvsDirector {
     /// Creates an empty director.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a telemetry handle; routed requests are counted per
+    /// backend as `ipvs.routed.n<node>`, rejections as `ipvs.rejected`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Registers a virtual service.
@@ -87,6 +106,7 @@ impl IpvsDirector {
     pub fn connect(&mut self, client: u64, address: SocketAddr) -> Result<NodeId, RouteError> {
         if !self.services.contains_key(&address) {
             self.stats.rejected += 1;
+            self.telemetry.incr("ipvs.rejected");
             return Err(RouteError::NoSuchService(address));
         }
         // Affinity: reuse the existing backend if still alive.
@@ -98,6 +118,7 @@ impl IpvsDirector {
             if still_alive {
                 self.stats.routed += 1;
                 *self.per_server.entry((address, node)).or_insert(0) += 1;
+                self.telemetry.incr(&format!("ipvs.routed.n{}", node.0));
                 return Ok(node);
             }
             self.release(client, address);
@@ -106,6 +127,7 @@ impl IpvsDirector {
         let scheduler = vs.scheduler;
         let Some(idx) = scheduler.pick(vs, client) else {
             self.stats.rejected += 1;
+            self.telemetry.incr("ipvs.rejected");
             return Err(RouteError::NoLiveServers(address));
         };
         vs.servers[idx].active_connections += 1;
@@ -114,6 +136,7 @@ impl IpvsDirector {
         self.stats.routed += 1;
         self.stats.tracked = self.connections.len() as u64;
         *self.per_server.entry((address, node)).or_insert(0) += 1;
+        self.telemetry.incr(&format!("ipvs.routed.n{}", node.0));
         Ok(node)
     }
 
@@ -214,7 +237,14 @@ mod tests {
         let picks: Vec<NodeId> = (0..6).map(|c| d.connect(c, addr()).unwrap()).collect();
         assert_eq!(
             picks,
-            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0), NodeId(1), NodeId(2)]
+            vec![
+                NodeId(0),
+                NodeId(1),
+                NodeId(2),
+                NodeId(0),
+                NodeId(1),
+                NodeId(2)
+            ]
         );
         assert_eq!(d.stats().routed, 6);
         assert_eq!(d.stats().tracked, 6);
@@ -251,11 +281,12 @@ mod tests {
     #[test]
     fn errors_and_rejection_counting() {
         let mut d = IpvsDirector::new();
-        assert_eq!(
-            d.connect(1, addr()),
-            Err(RouteError::NoSuchService(addr()))
-        );
-        d.add_service(replicated_service(addr(), Scheduler::RoundRobin, &[NodeId(0)]));
+        assert_eq!(d.connect(1, addr()), Err(RouteError::NoSuchService(addr())));
+        d.add_service(replicated_service(
+            addr(),
+            Scheduler::RoundRobin,
+            &[NodeId(0)],
+        ));
         d.node_down(NodeId(0));
         assert_eq!(d.connect(1, addr()), Err(RouteError::NoLiveServers(addr())));
         // Both the missing-service and the no-backend requests count.
@@ -280,9 +311,6 @@ mod tests {
         }
         d.clear_connections();
         assert_eq!(d.stats().tracked, 0);
-        assert_eq!(
-            d.service(addr()).unwrap().servers[0].active_connections,
-            0
-        );
+        assert_eq!(d.service(addr()).unwrap().servers[0].active_connections, 0);
     }
 }

@@ -135,10 +135,16 @@ mod tests {
         let mut bindings = IpBindings::new();
         let mut ft = pair(true);
         ft.bind_vips(&mut bindings);
-        assert_eq!(bindings.owner_of(IpAddr::new(10, 0, 0, 100)), Some(NodeId(0)));
+        assert_eq!(
+            bindings.owner_of(IpAddr::new(10, 0, 0, 100)),
+            Some(NodeId(0))
+        );
         ft.fail_active(&mut bindings);
         assert_eq!(ft.active(), NodeId(1));
-        assert_eq!(bindings.owner_of(IpAddr::new(10, 0, 0, 100)), Some(NodeId(1)));
+        assert_eq!(
+            bindings.owner_of(IpAddr::new(10, 0, 0, 100)),
+            Some(NodeId(1))
+        );
         assert_eq!(ft.failovers(), 1);
         // Failing again fails back to the primary.
         ft.fail_active(&mut bindings);

@@ -4,9 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// The resource dimensions a domain accounts for.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ResourceType {
     /// CPU time, microseconds.
     CpuTime,

@@ -147,10 +147,15 @@ mod tests {
     #[test]
     fn record_builds_series_per_subject() {
         let mut m = MonitoringModule::new();
-        assert!(m.record("a", SimTime::from_secs(0), snap(0, 10, 0)).is_none());
-        let w = m.record("a", SimTime::from_secs(1), snap(250, 20, 5)).unwrap();
+        assert!(m
+            .record("a", SimTime::from_secs(0), snap(0, 10, 0))
+            .is_none());
+        let w = m
+            .record("a", SimTime::from_secs(1), snap(250, 20, 5))
+            .unwrap();
         assert!((w.cpu_share - 0.25).abs() < 1e-9);
-        m.record("a", SimTime::from_secs(2), snap(750, 30, 15)).unwrap();
+        m.record("a", SimTime::from_secs(2), snap(750, 30, 15))
+            .unwrap();
         let series = m.cpu_series("a").unwrap();
         assert_eq!(series.len(), 2);
         assert!((series.mean().unwrap() - 0.375).abs() < 1e-9);

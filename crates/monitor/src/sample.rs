@@ -95,12 +95,13 @@ mod tests {
     fn window_delta_computes_rates() {
         let mut s = Sampler::new();
         s.observe(SimTime::from_secs(1), snap(100, 50, 10));
-        let w = s
-            .observe(SimTime::from_secs(3), snap(600, 80, 30))
-            .unwrap();
+        let w = s.observe(SimTime::from_secs(3), snap(600, 80, 30)).unwrap();
         assert_eq!(w.window, SimDuration::from_secs(2));
         assert_eq!(w.cpu, SimDuration::from_millis(500));
-        assert!((w.cpu_share - 0.25).abs() < 1e-9, "500ms over 2s = 0.25 cores");
+        assert!(
+            (w.cpu_share - 0.25).abs() < 1e-9,
+            "500ms over 2s = 0.25 cores"
+        );
         assert_eq!(w.memory, 80);
         assert_eq!(w.calls, 20);
         assert!((w.call_rate - 10.0).abs() < 1e-9);

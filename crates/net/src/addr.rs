@@ -15,9 +15,7 @@ use std::fmt;
 ///
 /// Only identity matters for the simulation; the dotted-quad rendering is for
 /// logs and experiment output.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct IpAddr(pub u32);
 
 impl IpAddr {
@@ -41,9 +39,7 @@ impl fmt::Display for IpAddr {
 }
 
 /// A simulated transport port.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Port(pub u16);
 
 impl fmt::Display for Port {
@@ -53,9 +49,7 @@ impl fmt::Display for Port {
 }
 
 /// An `IP:port` endpoint, the unit of service localization in the paper.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SocketAddr {
     /// The IP half of the endpoint.
     pub ip: IpAddr,
@@ -215,10 +209,7 @@ mod tests {
     #[test]
     fn display_renders_dotted_quad() {
         assert_eq!(IP.to_string(), "10.0.0.1");
-        assert_eq!(
-            SocketAddr::new(IP, Port(8080)).to_string(),
-            "10.0.0.1:8080"
-        );
+        assert_eq!(SocketAddr::new(IP, Port(8080)).to_string(), "10.0.0.1:8080");
     }
 
     #[test]

@@ -10,9 +10,7 @@ use std::fmt;
 /// like rank-based coordinator election in classic view-synchronous systems.
 ///
 /// [`SimNet::register_node`]: crate::SimNet::register_node
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

@@ -141,10 +141,7 @@ impl<M> SimNet<M> {
 
     /// True if the node is up.
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.alive
-            .get(node.index())
-            .copied()
-            .unwrap_or(false)
+        self.alive.get(node.index()).copied().unwrap_or(false)
     }
 
     /// Overrides the link quality between `a` and `b`, in both directions.
@@ -445,7 +442,11 @@ mod tests {
         let mut n = net(6);
         let a = n.register_node();
         let b = n.register_node();
-        n.set_link(a, b, LinkConfig::ideal().with_latency(SimDuration::from_millis(7)));
+        n.set_link(
+            a,
+            b,
+            LinkConfig::ideal().with_latency(SimDuration::from_millis(7)),
+        );
         n.send(a, b, 1);
         let t = n.step().unwrap();
         assert_eq!(t, SimTime::from_millis(7));

@@ -1,6 +1,5 @@
 //! Network traffic statistics.
 
-
 /// Counters maintained by [`SimNet`](crate::SimNet).
 ///
 /// The benchmark harness reads these to report message complexity — e.g. how

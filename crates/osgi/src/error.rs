@@ -86,7 +86,10 @@ impl fmt::Display for BundleError {
                 Ok(())
             }
             BundleError::DuplicateBundle { existing } => {
-                write!(f, "same symbolic name and version already installed as {existing}")
+                write!(
+                    f,
+                    "same symbolic name and version already installed as {existing}"
+                )
             }
             BundleError::ActivatorFailed { bundle, message } => {
                 write!(f, "activator of bundle {bundle} failed: {message}")
@@ -165,7 +168,10 @@ mod tests {
                 PackageName::new("c.d").unwrap(),
             ],
         };
-        assert_eq!(e.to_string(), "bundle b1 unresolved; missing imports: a.b, c.d");
+        assert_eq!(
+            e.to_string(),
+            "bundle b1 unresolved; missing imports: a.b, c.d"
+        );
     }
 
     #[test]

@@ -64,7 +64,13 @@ pub struct ServiceEvent {
 
 impl fmt::Display for ServiceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {:?} ({})", self.service, self.kind, self.interfaces.join(","))
+        write!(
+            f,
+            "{} {:?} ({})",
+            self.service,
+            self.kind,
+            self.interfaces.join(",")
+        )
     }
 }
 

@@ -253,18 +253,16 @@ fn eval(node: &Node, props: &BTreeMap<String, PropValue>) -> bool {
         Node::Or(list) => list.iter().any(|n| eval(n, props)),
         Node::Not(inner) => !eval(inner, props),
         Node::Present(attr) => props.contains_key(attr),
-        Node::Equal(attr, pattern) => props
+        Node::Equal(attr, pattern) => props.get(attr).is_some_and(|v| equal_match(v, pattern)),
+        Node::Approx(attr, pattern) => props
             .get(attr)
-            .is_some_and(|v| equal_match(v, pattern)),
-        Node::Approx(attr, pattern) => props.get(attr).is_some_and(|v| {
-            normalize(&v.literal()) == normalize(pattern)
-        }),
-        Node::GreaterEq(attr, value) => {
-            props.get(attr).is_some_and(|v| ordered_cmp(v, value).is_some_and(|o| o >= 0))
-        }
-        Node::LessEq(attr, value) => {
-            props.get(attr).is_some_and(|v| ordered_cmp(v, value).is_some_and(|o| o <= 0))
-        }
+            .is_some_and(|v| normalize(&v.literal()) == normalize(pattern)),
+        Node::GreaterEq(attr, value) => props
+            .get(attr)
+            .is_some_and(|v| ordered_cmp(v, value).is_some_and(|o| o >= 0)),
+        Node::LessEq(attr, value) => props
+            .get(attr)
+            .is_some_and(|v| ordered_cmp(v, value).is_some_and(|o| o <= 0)),
     }
 }
 
@@ -349,8 +347,13 @@ mod tests {
 
     #[test]
     fn equality_and_presence() {
-        let p = props(&[("objectClass", "log.Service".into()), ("level", 3i64.into())]);
-        assert!(Filter::parse("(objectClass=log.Service)").unwrap().matches(&p));
+        let p = props(&[
+            ("objectClass", "log.Service".into()),
+            ("level", 3i64.into()),
+        ]);
+        assert!(Filter::parse("(objectClass=log.Service)")
+            .unwrap()
+            .matches(&p));
         assert!(!Filter::parse("(objectClass=other)").unwrap().matches(&p));
         assert!(Filter::parse("(level=*)").unwrap().matches(&p));
         assert!(!Filter::parse("(missing=*)").unwrap().matches(&p));
@@ -365,12 +368,18 @@ mod tests {
         assert!(Filter::parse("(|(a=9)(b=2))").unwrap().matches(&p));
         assert!(!Filter::parse("(|(a=9)(b=9))").unwrap().matches(&p));
         assert!(Filter::parse("(!(a=9))").unwrap().matches(&p));
-        assert!(Filter::parse("(&(|(a=1)(a=2))(!(b=9)))").unwrap().matches(&p));
+        assert!(Filter::parse("(&(|(a=1)(a=2))(!(b=9)))")
+            .unwrap()
+            .matches(&p));
     }
 
     #[test]
     fn ordered_comparisons() {
-        let p = props(&[("rank", 10i64.into()), ("load", PropValue::Float(0.5)), ("name", "mmm".into())]);
+        let p = props(&[
+            ("rank", 10i64.into()),
+            ("load", PropValue::Float(0.5)),
+            ("name", "mmm".into()),
+        ]);
         assert!(Filter::parse("(rank>=10)").unwrap().matches(&p));
         assert!(Filter::parse("(rank>=9)").unwrap().matches(&p));
         assert!(!Filter::parse("(rank>=11)").unwrap().matches(&p));
@@ -408,9 +417,15 @@ mod tests {
             "objectClass",
             PropValue::List(vec!["log.Service".into(), "managed.Service".into()]),
         )]);
-        assert!(Filter::parse("(objectClass=log.Service)").unwrap().matches(&p));
-        assert!(Filter::parse("(objectClass=managed.*)").unwrap().matches(&p));
-        assert!(!Filter::parse("(objectClass=http.Service)").unwrap().matches(&p));
+        assert!(Filter::parse("(objectClass=log.Service)")
+            .unwrap()
+            .matches(&p));
+        assert!(Filter::parse("(objectClass=managed.*)")
+            .unwrap()
+            .matches(&p));
+        assert!(!Filter::parse("(objectClass=http.Service)")
+            .unwrap()
+            .matches(&p));
     }
 
     #[test]

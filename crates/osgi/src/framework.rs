@@ -2,15 +2,15 @@
 //! start levels and persistent state.
 
 use crate::loader::BootDelegation;
-use crate::{
-    Activator, ActivatorFactory, BundleContext, BundleError, BundleEvent, BundleEventKind,
-    BundleId, BundleManifest, BundleState, ClassRef, FrameworkEvent, LoadError, PropValue,
-    Service, ServiceError, ServiceEvent, ServiceId, ServiceRegistry, SymbolName, UsageLedger,
-    Wiring,
-};
 use crate::loader::LoadPath;
 use crate::persist;
+use crate::{
+    Activator, ActivatorFactory, BundleContext, BundleError, BundleEvent, BundleEventKind,
+    BundleId, BundleManifest, BundleState, ClassRef, FrameworkEvent, LoadError, PropValue, Service,
+    ServiceError, ServiceEvent, ServiceId, ServiceRegistry, SymbolName, UsageLedger, Wiring,
+};
 use dosgi_san::{SharedStore, StoreError, Value};
+use dosgi_telemetry::Telemetry;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
@@ -82,6 +82,7 @@ pub struct Framework {
     dirty_snapshot: bool,
     /// Data areas whose SAN write-through failed; flush pending.
     dirty_areas: BTreeSet<String>,
+    telemetry: Telemetry,
 }
 
 impl fmt::Debug for Framework {
@@ -116,9 +117,16 @@ impl Framework {
             store: None,
             dirty_snapshot: false,
             dirty_areas: BTreeSet::new(),
+            telemetry: Telemetry::disabled(),
         };
         fw.framework_events.push(FrameworkEvent::Started);
         fw
+    }
+
+    /// Attaches a telemetry handle; bundle lifecycle transitions are
+    /// counted as `osgi.lifecycle.<kind>`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The framework's name.
@@ -203,8 +211,10 @@ impl Framework {
         let ids: Vec<BundleId> = report.resolved.keys().copied().collect();
         for (id, wiring) in report.resolved {
             self.wirings.insert(id, wiring);
-            self.bundles.get_mut(&id).expect("resolver only reports candidate ids").state =
-                BundleState::Resolved;
+            self.bundles
+                .get_mut(&id)
+                .expect("resolver only reports candidate ids")
+                .state = BundleState::Resolved;
             self.event(id, BundleEventKind::Resolved);
         }
         if !ids.is_empty() {
@@ -269,7 +279,10 @@ impl Framework {
             }
             None => Ok(()),
         };
-        let bundle = self.bundles.get_mut(&id).expect("bundle_state checked id above");
+        let bundle = self
+            .bundles
+            .get_mut(&id)
+            .expect("bundle_state checked id above");
         bundle.activator = activator;
         match result {
             Ok(()) => {
@@ -344,7 +357,10 @@ impl Framework {
             });
         }
         self.registry.unregister_bundle(id);
-        let bundle = self.bundles.get_mut(&id).expect("bundle_state checked id above");
+        let bundle = self
+            .bundles
+            .get_mut(&id)
+            .expect("bundle_state checked id above");
         bundle.activator = activator;
         bundle.state = BundleState::Resolved;
         if persistent {
@@ -414,7 +430,10 @@ impl Framework {
         if was_active {
             self.stop_transient(id)?;
         }
-        let bundle = self.bundles.get_mut(&id).expect("bundle_state checked id above");
+        let bundle = self
+            .bundles
+            .get_mut(&id)
+            .expect("bundle_state checked id above");
         bundle.manifest = manifest;
         bundle.state = BundleState::Installed;
         if let Some(a) = activator {
@@ -444,7 +463,10 @@ impl Framework {
         let failed: Vec<BundleId> = report.failed.keys().copied().collect();
         self.wirings = report.resolved.clone();
         for (id, _) in report.resolved {
-            let b = self.bundles.get_mut(&id).expect("resolver only reports installed ids");
+            let b = self
+                .bundles
+                .get_mut(&id)
+                .expect("resolver only reports installed ids");
             if b.state == BundleState::Installed {
                 b.state = BundleState::Resolved;
                 self.event(id, BundleEventKind::Resolved);
@@ -571,9 +593,10 @@ impl Framework {
         // 2. Imported packages (imports shadow own content, as in OSGi).
         if let Some(wiring) = self.wirings.get(&bundle) {
             if let Some(&(exporter, _)) = wiring.imports.get(symbol.package()) {
-                let exp = self.bundles.get(&exporter).ok_or_else(|| {
-                    LoadError::NotFound(symbol.clone())
-                })?;
+                let exp = self
+                    .bundles
+                    .get(&exporter)
+                    .ok_or_else(|| LoadError::NotFound(symbol.clone()))?;
                 let pkg = exp
                     .manifest
                     .exports
@@ -679,9 +702,9 @@ impl Framework {
                 }
             }
         }
-        let outcome =
-            self.registry
-                .call_with_store(id, &mut self.ledger, &mut area, method, arg);
+        let outcome = self
+            .registry
+            .call_with_store(id, &mut self.ledger, &mut area, method, arg);
         let mut flush_err = None;
         if let Ok((_, true)) = &outcome {
             if let Some((store, ns)) = &self.store {
@@ -738,8 +761,7 @@ impl Framework {
             .get(&bundle)
             .map(|b| b.manifest.symbolic_name.as_str().to_owned())
             .ok_or(BundleError::NotFound(bundle))?;
-        self.ledger
-            .charge_disk(bundle, value.encoded_len() as u64);
+        self.ledger.charge_disk(bundle, value.encoded_len() as u64);
         self.data_areas
             .entry(sn.clone())
             .or_default()
@@ -1022,6 +1044,15 @@ impl Framework {
     }
 
     fn event(&mut self, bundle: BundleId, kind: BundleEventKind) {
+        let label = match kind {
+            BundleEventKind::Installed => "osgi.lifecycle.installed",
+            BundleEventKind::Resolved => "osgi.lifecycle.resolved",
+            BundleEventKind::Started => "osgi.lifecycle.started",
+            BundleEventKind::Stopped => "osgi.lifecycle.stopped",
+            BundleEventKind::Updated => "osgi.lifecycle.updated",
+            BundleEventKind::Uninstalled => "osgi.lifecycle.uninstalled",
+        };
+        self.telemetry.incr(label);
         self.bundle_events.push(BundleEvent { bundle, kind });
     }
 
@@ -1061,12 +1092,12 @@ mod tests {
             ctx.register_service(
                 &["org.test.log.Logger"],
                 props,
-                Box::new(|_: &mut crate::CallContext<'_>, method: &str, arg: &Value| {
-                    match method {
+                Box::new(
+                    |_: &mut crate::CallContext<'_>, method: &str, arg: &Value| match method {
                         "log" => Ok(arg.clone()),
                         other => Err(ServiceError::Failed(format!("no {other}"))),
-                    }
-                }),
+                    },
+                ),
             );
             Ok(())
         }))
@@ -1183,14 +1214,20 @@ mod tests {
         let log = fw.install(log_manifest(), Some(log_activator())).unwrap();
         fw.start(log).unwrap();
         let v2 = ManifestBuilder::new("org.test.log", Version::new(1, 1, 0))
-            .export_package("org.test.log.api", Version::new(1, 1, 0), ["Logger", "Appender"])
+            .export_package(
+                "org.test.log.api",
+                Version::new(1, 1, 0),
+                ["Logger", "Appender"],
+            )
             .build()
             .unwrap();
         fw.update(log, v2).unwrap();
         assert!(fw.bundle_state(log).unwrap().is_active());
-        assert_eq!(fw.bundle(log).unwrap().manifest.version, Version::new(1, 1, 0));
-        let kinds: Vec<BundleEventKind> =
-            fw.take_bundle_events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            fw.bundle(log).unwrap().manifest.version,
+            Version::new(1, 1, 0)
+        );
+        let kinds: Vec<BundleEventKind> = fw.take_bundle_events().iter().map(|e| e.kind).collect();
         assert!(kinds.contains(&BundleEventKind::Updated));
         // Service re-registered by the restarted activator.
         assert!(fw.best_service("org.test.log.Logger").is_some());
@@ -1230,11 +1267,17 @@ mod tests {
 
         // Unknown package.
         let sym = SymbolName::parse("com.nowhere.X").unwrap();
-        assert!(matches!(fw.load_class(app, &sym), Err(LoadError::NotFound(_))));
+        assert!(matches!(
+            fw.load_class(app, &sym),
+            Err(LoadError::NotFound(_))
+        ));
 
         // Private content of another bundle is NOT visible.
         let sym = SymbolName::parse("org.test.app.impl.Main").unwrap();
-        assert!(matches!(fw.load_class(log, &sym), Err(LoadError::NotFound(_))));
+        assert!(matches!(
+            fw.load_class(log, &sym),
+            Err(LoadError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -1247,7 +1290,10 @@ mod tests {
         // Sweep down to level 1: app stops (transiently), log stays.
         fw.set_start_level(1);
         assert_eq!(fw.bundle_state(app).unwrap(), BundleState::Resolved);
-        assert!(fw.bundle(app).unwrap().autostart, "transient stop keeps autostart");
+        assert!(
+            fw.bundle(app).unwrap().autostart,
+            "transient stop keeps autostart"
+        );
         assert!(fw.bundle_state(log).unwrap().is_active());
         // Sweep back up: app restarts.
         fw.set_start_level(2);
@@ -1273,13 +1319,8 @@ mod tests {
         drop(fw);
 
         // "Another node" restores from the SAN.
-        let fw2 = Framework::restore(
-            FrameworkConfig::new("node-b"),
-            store,
-            "fw/a",
-            &factory,
-        )
-        .unwrap();
+        let fw2 =
+            Framework::restore(FrameworkConfig::new("node-b"), store, "fw/a", &factory).unwrap();
         assert_eq!(fw2.start_level(), 2);
         assert!(fw2.bundle_state(log).unwrap().is_active());
         assert!(fw2.bundle_state(app).unwrap().is_active());
@@ -1318,7 +1359,10 @@ mod tests {
         )
         .unwrap();
         let log2 = fw2.find_bundle("org.test.log").unwrap();
-        assert_eq!(fw2.bundle_store_get(log2, "counter"), Ok(Some(Value::Int(41))));
+        assert_eq!(
+            fw2.bundle_store_get(log2, "counter"),
+            Ok(Some(Value::Int(41)))
+        );
         assert_eq!(fw2.bundle_store_get(log2, "missing"), Ok(None));
     }
 
@@ -1351,8 +1395,7 @@ mod tests {
         fw.start(log).unwrap();
         fw.stop(log).unwrap();
         fw.uninstall(log).unwrap();
-        let kinds: Vec<BundleEventKind> =
-            fw.take_bundle_events().iter().map(|e| e.kind).collect();
+        let kinds: Vec<BundleEventKind> = fw.take_bundle_events().iter().map(|e| e.kind).collect();
         assert_eq!(
             kinds,
             vec![
@@ -1435,9 +1478,7 @@ mod tests {
 
         // Brown-out: the lifecycle mutation proceeds in memory, the
         // snapshot write is deferred (write-behind).
-        store.set_fault_plan(
-            FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(5)),
-        );
+        store.set_fault_plan(FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(5)));
         let app = fw.install(app_manifest(), None).unwrap();
         assert!(fw.persist_dirty());
         assert!(fw.bundle_state(app).is_ok());
@@ -1463,22 +1504,24 @@ mod tests {
         let store = SharedStore::new();
         let mut fw = Framework::new("a");
         fw.attach_store(store.clone(), "fw/a").unwrap();
-        let c = fw.install(
-            ManifestBuilder::new("org.test.counter", Version::new(1, 0, 0))
-                .build()
-                .unwrap(),
-            Some(counter_activator()),
-        )
-        .unwrap();
+        let c = fw
+            .install(
+                ManifestBuilder::new("org.test.counter", Version::new(1, 0, 0))
+                    .build()
+                    .unwrap(),
+                Some(counter_activator()),
+            )
+            .unwrap();
         fw.start(c).unwrap();
         let sid = fw.best_service("org.test.Counter").unwrap();
-        assert_eq!(fw.call_service(sid, "incr", &Value::Null), Ok(Value::Int(1)));
+        assert_eq!(
+            fw.call_service(sid, "incr", &Value::Null),
+            Ok(Value::Int(1))
+        );
 
         // Brown-out: the increment applies in memory but the write-through
         // fails, so the caller must NOT count it as acknowledged.
-        store.set_fault_plan(
-            FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(5)),
-        );
+        store.set_fault_plan(FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(5)));
         assert!(matches!(
             fw.call_service(sid, "incr", &Value::Null),
             Err(ServiceError::Store(dosgi_san::StoreError::Unavailable))
@@ -1507,9 +1550,7 @@ mod tests {
         fw.install(log_manifest(), None).unwrap();
         drop(fw);
 
-        store.set_fault_plan(
-            FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(5)),
-        );
+        store.set_fault_plan(FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(5)));
         let err = Framework::restore(
             FrameworkConfig::new("b"),
             store.clone(),

@@ -6,9 +6,7 @@ use std::str::FromStr;
 
 /// A bundle's framework-local numeric identity, assigned at install time and
 /// never reused within a framework instance.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BundleId(pub u64);
 
 impl fmt::Display for BundleId {
@@ -18,9 +16,7 @@ impl fmt::Display for BundleId {
 }
 
 /// A registered service's framework-local numeric identity.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ServiceId(pub u64);
 
 impl fmt::Display for ServiceId {
@@ -173,9 +169,7 @@ impl fmt::Display for SymbolName {
 }
 
 /// An OSGi version: `major.minor.micro` (qualifiers are not modeled).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Version {
     /// Major component.
     pub major: u32,
@@ -461,26 +455,42 @@ mod tests {
     #[test]
     fn prop_version_display_parse_round_trip() {
         let triples = Gen::new(|rng| {
-            (rng.u64_in(0, 99) as u32, rng.u64_in(0, 99) as u32, rng.u64_in(0, 99) as u32)
+            (
+                rng.u64_in(0, 99) as u32,
+                rng.u64_in(0, 99) as u32,
+                rng.u64_in(0, 99) as u32,
+            )
         });
-        prop::check("prop_version_display_parse_round_trip", &triples, |&(a, b, c)| {
-            let v = Version::new(a, b, c);
-            prop_verify_eq!(v.to_string().parse::<Version>().unwrap(), v);
-            Ok(())
-        });
+        prop::check(
+            "prop_version_display_parse_round_trip",
+            &triples,
+            |&(a, b, c)| {
+                let v = Version::new(a, b, c);
+                prop_verify_eq!(v.to_string().parse::<Version>().unwrap(), v);
+                Ok(())
+            },
+        );
     }
 
     #[test]
     fn prop_half_open_contains_iff_ordered() {
         let triples = Gen::new(|rng| {
-            (rng.u64_in(0, 19) as u32, rng.u64_in(0, 19) as u32, rng.u64_in(0, 19) as u32)
+            (
+                rng.u64_in(0, 19) as u32,
+                rng.u64_in(0, 19) as u32,
+                rng.u64_in(0, 19) as u32,
+            )
         });
-        prop::check("prop_half_open_contains_iff_ordered", &triples, |&(a, b, x)| {
-            let (lo, hi) = (a.min(b), a.max(b));
-            let r = VersionRange::half_open(Version::new(lo, 0, 0), Version::new(hi, 0, 0));
-            let v = Version::new(x, 0, 0);
-            prop_verify_eq!(r.contains(v), x >= lo && x < hi);
-            Ok(())
-        });
+        prop::check(
+            "prop_half_open_contains_iff_ordered",
+            &triples,
+            |&(a, b, x)| {
+                let (lo, hi) = (a.min(b), a.max(b));
+                let r = VersionRange::half_open(Version::new(lo, 0, 0), Version::new(hi, 0, 0));
+                let v = Version::new(x, 0, 0);
+                prop_verify_eq!(r.contains(v), x >= lo && x < hi);
+                Ok(())
+            },
+        );
     }
 }

@@ -49,8 +49,6 @@
 
 mod activator;
 mod error;
-/// Framework-state snapshot serialization (public for the migration layer).
-pub mod persist;
 mod events;
 mod filter;
 mod framework;
@@ -59,6 +57,8 @@ mod ledger;
 mod lifecycle;
 mod loader;
 mod manifest;
+/// Framework-state snapshot serialization (public for the migration layer).
+pub mod persist;
 mod props;
 mod registry;
 mod resolver;

@@ -17,9 +17,7 @@ use std::fmt;
 /// synchronously while the activator runs, but they are real states — an
 /// activator that fails leaves the bundle `Resolved`, and monitoring can
 /// observe them on slow activators.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum BundleState {
     /// Installed but its imports are not yet wired.
     #[default]
@@ -47,7 +45,10 @@ impl BundleState {
     pub fn is_resolved(self) -> bool {
         matches!(
             self,
-            BundleState::Resolved | BundleState::Starting | BundleState::Active | BundleState::Stopping
+            BundleState::Resolved
+                | BundleState::Starting
+                | BundleState::Active
+                | BundleState::Stopping
         )
     }
 

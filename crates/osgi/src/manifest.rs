@@ -366,7 +366,9 @@ mod tests {
 
     #[test]
     fn builder_rejects_invalid_names() {
-        assert!(ManifestBuilder::new("bad name", Version::ZERO).build().is_err());
+        assert!(ManifestBuilder::new("bad name", Version::ZERO)
+            .build()
+            .is_err());
         assert!(ManifestBuilder::new("ok", Version::ZERO)
             .export_package("bad pkg", Version::ZERO, Vec::<String>::new())
             .build()
@@ -410,7 +412,9 @@ mod tests {
 
     #[test]
     fn defaults() {
-        let m = ManifestBuilder::new("a.b", Version::new(1, 0, 0)).build().unwrap();
+        let m = ManifestBuilder::new("a.b", Version::new(1, 0, 0))
+            .build()
+            .unwrap();
         assert_eq!(m.start_level, 1);
         assert!(!m.stateful);
         assert!(m.exports.is_empty());

@@ -193,9 +193,7 @@ impl ServiceRegistry {
     /// The best (highest-ranked, then lowest-id) service offering
     /// `interface`.
     pub fn best(&self, interface: &str) -> Option<ServiceId> {
-        self.references(Some(interface), None)
-            .first()
-            .map(|r| r.id)
+        self.references(Some(interface), None).first().map(|r| r.id)
     }
 
     /// Looks up a record by id.
@@ -297,7 +295,12 @@ mod tests {
     #[test]
     fn register_sets_standard_properties() {
         let mut r = ServiceRegistry::new();
-        let id = r.register(BundleId(1), &["log.Service"], BTreeMap::new(), echo_service());
+        let id = r.register(
+            BundleId(1),
+            &["log.Service"],
+            BTreeMap::new(),
+            echo_service(),
+        );
         let rec = r.record(id).unwrap();
         assert_eq!(
             rec.properties.get("objectClass"),

@@ -91,9 +91,7 @@ pub fn resolve(
                 for imp in &m.imports {
                     let pick = pool
                         .get(&imp.name)
-                        .and_then(|offers| {
-                            offers.iter().find(|(_, v)| imp.range.contains(*v))
-                        })
+                        .and_then(|offers| offers.iter().find(|(_, v)| imp.range.contains(*v)))
                         .copied();
                     match pick {
                         Some((exporter, version)) => {
@@ -181,7 +179,10 @@ mod tests {
         let log = exporter("log", "api.log", Version::new(2, 0, 0));
         let app = importer("app", "api.log", "[1.0,2.0)");
         let report = run(&[(1, &log), (2, &app)], &[]);
-        assert_eq!(report.failed[&BundleId(2)], vec![PackageName::new("api.log").unwrap()]);
+        assert_eq!(
+            report.failed[&BundleId(2)],
+            vec![PackageName::new("api.log").unwrap()]
+        );
         assert!(report.resolved.contains_key(&BundleId(1)));
     }
 
@@ -230,7 +231,10 @@ mod tests {
         let report = run(&[(1, &c), (2, &b), (3, &a)], &[]);
         assert_eq!(report.failed.len(), 3);
         assert!(report.resolved.is_empty());
-        assert_eq!(report.failed[&BundleId(1)], vec![PackageName::new("missing.pkg").unwrap()]);
+        assert_eq!(
+            report.failed[&BundleId(1)],
+            vec![PackageName::new("missing.pkg").unwrap()]
+        );
     }
 
     #[test]
@@ -254,10 +258,19 @@ mod tests {
         let v2 = exporter("p2", "pkg", Version::new(2, 0, 0));
         let old_client = importer("old", "pkg", "[1.0,2.0)");
         let new_client = importer("new", "pkg", "[2.0,3.0)");
-        let report = run(&[(1, &v1), (2, &v2), (3, &old_client), (4, &new_client)], &[]);
+        let report = run(
+            &[(1, &v1), (2, &v2), (3, &old_client), (4, &new_client)],
+            &[],
+        );
         assert!(report.failed.is_empty());
         let p = PackageName::new("pkg").unwrap();
-        assert_eq!(report.resolved[&BundleId(3)].exporter_of(&p), Some(BundleId(1)));
-        assert_eq!(report.resolved[&BundleId(4)].exporter_of(&p), Some(BundleId(2)));
+        assert_eq!(
+            report.resolved[&BundleId(3)].exporter_of(&p),
+            Some(BundleId(1))
+        );
+        assert_eq!(
+            report.resolved[&BundleId(4)].exporter_of(&p),
+            Some(BundleId(2))
+        );
     }
 }

@@ -181,8 +181,7 @@ mod tests {
     #[test]
     fn filter_gates_membership_and_reacts_to_modification() {
         let mut reg = ServiceRegistry::new();
-        let mut t = ServiceTracker::new("log")
-            .with_filter("(vendor=acme)".parse().unwrap());
+        let mut t = ServiceTracker::new("log").with_filter("(vendor=acme)".parse().unwrap());
         t.open(&reg);
         let a = reg.register(
             BundleId(1),

@@ -66,7 +66,11 @@ impl fmt::Display for PolicyAction {
             },
             PolicyAction::HibernateNode => write!(f, "hibernate()"),
             PolicyAction::WakeNode => write!(f, "wake()"),
-            PolicyAction::Custom { name, subject, args } => {
+            PolicyAction::Custom {
+                name,
+                subject,
+                args,
+            } => {
                 write!(f, "{name}(")?;
                 if let Some(s) = subject {
                     write!(f, "{s}")?;

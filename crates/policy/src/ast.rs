@@ -181,8 +181,7 @@ impl Script {
             }
         }
         self.rules.iter().any(|r| {
-            expr_uses(&r.condition)
-                || r.actions.iter().any(|a| a.args.iter().any(expr_uses))
+            expr_uses(&r.condition) || r.actions.iter().any(|a| a.args.iter().any(expr_uses))
         })
     }
 }

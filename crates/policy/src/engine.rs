@@ -73,10 +73,7 @@ impl PolicyEngine {
                 vec![None]
             };
             for subject in bindings {
-                let key = (
-                    rule.name.clone(),
-                    subject.unwrap_or("").to_owned(),
-                );
+                let key = (rule.name.clone(), subject.unwrap_or("").to_owned());
                 let holds = match eval(&rule.condition, source, subject) {
                     Ok(Value::Bool(b)) => b,
                     Ok(other) => {
@@ -154,7 +151,10 @@ fn resolve_action(
                 .ok_or_else(|| format!("{} needs a subject", call.name)),
             Some(e) => match eval(e, source, subject).map_err(|e| e.to_string())? {
                 Value::Str(s) => Ok(s),
-                other => Err(format!("{} subject must be a string, got {other}", call.name)),
+                other => Err(format!(
+                    "{} subject must be a string, got {other}",
+                    call.name
+                )),
             },
         }
     };
@@ -189,7 +189,11 @@ fn resolve_action(
         other => {
             let mut args = Vec::new();
             for e in &call.args {
-                args.push(eval(e, source, subject).map_err(|e| e.to_string())?.to_string());
+                args.push(
+                    eval(e, source, subject)
+                        .map_err(|e| e.to_string())?
+                        .to_string(),
+                );
             }
             Ok(PolicyAction::Custom {
                 name: other.to_owned(),
@@ -211,10 +215,8 @@ mod tests {
 
     #[test]
     fn per_subject_rule_fires_for_each_matching_subject() {
-        let mut e = PolicyEngine::compile(
-            "rule hot { when cpu($i) > 0.5 then migrate($i) }",
-        )
-        .unwrap();
+        let mut e =
+            PolicyEngine::compile("rule hot { when cpu($i) > 0.5 then migrate($i) }").unwrap();
         let mut bb = Blackboard::new();
         bb.set_subject_metric("a", "cpu", 0.9);
         bb.set_subject_metric("b", "cpu", 0.1);
@@ -223,21 +225,23 @@ mod tests {
         assert_eq!(d.len(), 2);
         assert_eq!(
             d[0].action,
-            PolicyAction::Migrate { subject: "a".into() }
+            PolicyAction::Migrate {
+                subject: "a".into()
+            }
         );
         assert_eq!(
             d[1].action,
-            PolicyAction::Migrate { subject: "c".into() }
+            PolicyAction::Migrate {
+                subject: "c".into()
+            }
         );
         assert!(e.last_errors().is_empty());
     }
 
     #[test]
     fn sustain_debounces_and_rearms() {
-        let mut e = PolicyEngine::compile(
-            "rule hot { when cpu($i) > 0.5 for 3 then stop($i) }",
-        )
-        .unwrap();
+        let mut e =
+            PolicyEngine::compile("rule hot { when cpu($i) > 0.5 for 3 then stop($i) }").unwrap();
         let mut bb = Blackboard::new();
         bb.set_subject_metric("a", "cpu", 0.9);
         let s = subjects(&["a"]);
@@ -259,10 +263,8 @@ mod tests {
 
     #[test]
     fn global_rules_evaluate_once() {
-        let mut e = PolicyEngine::compile(
-            "rule idle { when node_cpu() < 0.2 then hibernate() }",
-        )
-        .unwrap();
+        let mut e =
+            PolicyEngine::compile("rule idle { when node_cpu() < 0.2 then hibernate() }").unwrap();
         let mut bb = Blackboard::new();
         bb.set_global_metric("node_cpu", 0.1);
         let d = e.evaluate(&bb, &subjects(&["a", "b", "c"]));
@@ -273,10 +275,7 @@ mod tests {
 
     #[test]
     fn missing_metrics_are_false_not_fatal() {
-        let mut e = PolicyEngine::compile(
-            "rule hot { when cpu($i) > 0.5 then stop($i) }",
-        )
-        .unwrap();
+        let mut e = PolicyEngine::compile("rule hot { when cpu($i) > 0.5 then stop($i) }").unwrap();
         let bb = Blackboard::new();
         let d = e.evaluate(&bb, &subjects(&["ghost"]));
         assert!(d.is_empty());
@@ -303,10 +302,7 @@ mod tests {
 
     #[test]
     fn custom_actions_are_forwarded() {
-        let mut e = PolicyEngine::compile(
-            "rule x { when true then boost($i, 2) }",
-        )
-        .unwrap();
+        let mut e = PolicyEngine::compile("rule x { when true then boost($i, 2) }").unwrap();
         let bb = Blackboard::new();
         let d = e.evaluate(&bb, &subjects(&["a"]));
         assert_eq!(
@@ -329,10 +325,8 @@ mod tests {
 
     #[test]
     fn reset_clears_streaks() {
-        let mut e = PolicyEngine::compile(
-            "rule hot { when cpu($i) > 0.5 for 2 then stop($i) }",
-        )
-        .unwrap();
+        let mut e =
+            PolicyEngine::compile("rule hot { when cpu($i) > 0.5 for 2 then stop($i) }").unwrap();
         let mut bb = Blackboard::new();
         bb.set_subject_metric("a", "cpu", 0.9);
         let s = subjects(&["a"]);

@@ -360,6 +360,9 @@ mod tests {
             .to_string(),
             "unknown metric cpu(a)"
         );
-        assert_eq!(EvalError::NoSubject.to_string(), "$i used outside a per-subject rule");
+        assert_eq!(
+            EvalError::NoSubject.to_string(),
+            "$i used outside a per-subject rule"
+        );
     }
 }

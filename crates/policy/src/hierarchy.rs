@@ -105,10 +105,8 @@ mod tests {
 
     #[test]
     fn levels_scope_their_subjects() {
-        let node = PolicyEngine::compile(
-            "rule hot { when cpu($i) > 0.5 then alert(\"hot\") }",
-        )
-        .unwrap();
+        let node =
+            PolicyEngine::compile("rule hot { when cpu($i) > 0.5 then alert(\"hot\") }").unwrap();
         let cluster = PolicyEngine::compile(
             "rule storm { when alerts_node() >= 2 then alert(\"alert storm\") }",
         )
@@ -125,8 +123,7 @@ mod tests {
         // Two node-level alerts (n0/a, n0/b) escalate into one cluster
         // alert; n1/c was invisible to the node level.
         let node_alerts: Vec<_> = decisions.iter().filter(|d| d.level == "node").collect();
-        let cluster_alerts: Vec<_> =
-            decisions.iter().filter(|d| d.level == "cluster").collect();
+        let cluster_alerts: Vec<_> = decisions.iter().filter(|d| d.level == "cluster").collect();
         assert_eq!(node_alerts.len(), 2);
         assert_eq!(cluster_alerts.len(), 1);
         assert!(matches!(

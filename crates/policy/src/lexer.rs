@@ -218,9 +218,7 @@ pub fn lex(input: &str) -> Result<Vec<(usize, Token)>, LexError> {
             }
             b'0'..=b'9' | b'.' => {
                 let start = pos;
-                while pos < bytes.len()
-                    && (bytes[pos].is_ascii_digit() || bytes[pos] == b'.')
-                {
+                while pos < bytes.len() && (bytes[pos].is_ascii_digit() || bytes[pos] == b'.') {
                     pos += 1;
                 }
                 let text = std::str::from_utf8(&bytes[start..pos]).expect("ascii");

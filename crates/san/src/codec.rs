@@ -214,10 +214,13 @@ mod tests {
     #[test]
     fn nested_round_trip() {
         let v = Value::map()
-            .with("bundles", Value::List(vec![
-                Value::map().with("name", "logsvc").with("state", "ACTIVE"),
-                Value::map().with("name", "http").with("state", "RESOLVED"),
-            ]))
+            .with(
+                "bundles",
+                Value::List(vec![
+                    Value::map().with("name", "logsvc").with("state", "ACTIVE"),
+                    Value::map().with("name", "http").with("state", "RESOLVED"),
+                ]),
+            )
             .with("start_level", 5i64);
         assert_eq!(decode(&encode(&v)).unwrap(), v);
     }
@@ -271,7 +274,11 @@ mod tests {
                 rng.fill_bytes(&mut b);
                 Value::Bytes(b)
             }
-            6 => Value::List((0..rng.usize_in(0, 7)).map(|_| arb_value(rng, depth - 1)).collect()),
+            6 => Value::List(
+                (0..rng.usize_in(0, 7))
+                    .map(|_| arb_value(rng, depth - 1))
+                    .collect(),
+            ),
             _ => Value::Map(
                 (0..rng.usize_in(0, 7))
                     .map(|_| (lowercase_key(rng, 1, 8), arb_value(rng, depth - 1)))

@@ -47,13 +47,28 @@ impl StoreError {
             StoreError::Unavailable | StoreError::Io { .. } | StoreError::TornWrite { .. }
         )
     }
+
+    /// A short snake_case label for the error variant, stable for use in
+    /// metric names (`san.faults.<kind>`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StoreError::CasConflict { .. } => "cas_conflict",
+            StoreError::NotFound { .. } => "not_found",
+            StoreError::Unavailable => "unavailable",
+            StoreError::Io { .. } => "io",
+            StoreError::TornWrite { .. } => "torn_write",
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::CasConflict { expected, found } => {
-                write!(f, "cas conflict: expected version {expected}, found {found}")
+                write!(
+                    f,
+                    "cas conflict: expected version {expected}, found {found}"
+                )
             }
             StoreError::NotFound { namespace, key } => {
                 write!(f, "key not found: {namespace}/{key}")

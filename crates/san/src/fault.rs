@@ -297,9 +297,7 @@ mod tests {
     #[test]
     fn brownout_windows_gate_on_the_injector_clock() {
         let f = FaultInjector::new();
-        f.set_plan(
-            FaultPlan::none().with_brownout(SimTime::from_secs(1), SimTime::from_secs(2)),
-        );
+        f.set_plan(FaultPlan::none().with_brownout(SimTime::from_secs(1), SimTime::from_secs(2)));
         assert!(f.is_available());
         assert_eq!(f.roll("op"), Ok(()));
         f.set_now(SimTime::from_millis(1500));

@@ -207,9 +207,7 @@ mod tests {
         let mut j = Journal::new();
         j.attach_faults(store.faults());
         assert!(j.append(SimTime::ZERO, put("a", "k", 1)).is_ok());
-        store.set_fault_plan(
-            FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(1)),
-        );
+        store.set_fault_plan(FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(1)));
         assert_eq!(
             j.append(SimTime::ZERO, put("a", "k", 2)),
             Err(StoreError::Unavailable)

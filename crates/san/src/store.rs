@@ -3,6 +3,7 @@
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::{StoreError, Value};
 use dosgi_net::SimTime;
+use dosgi_telemetry::Telemetry;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
@@ -35,6 +36,7 @@ pub struct StoreStats {
 struct Inner {
     namespaces: HashMap<String, BTreeMap<String, Versioned>>,
     stats: StoreStats,
+    telemetry: Telemetry,
 }
 
 /// The simulated SAN: a shared, durable, versioned key-value store.
@@ -78,9 +80,21 @@ impl SharedStore {
     }
 
     fn fault(&self, op: &'static str) -> Result<(), StoreError> {
-        self.faults.roll(op).inspect_err(|_| {
+        let telemetry = self.lock().telemetry.clone();
+        telemetry.incr("san.ops");
+        self.faults.roll(op).inspect_err(|e| {
             self.lock().stats.faults += 1;
+            telemetry.incr("san.faults");
+            telemetry.incr(&format!("san.faults.{}", e.kind()));
         })
+    }
+
+    /// Attaches a telemetry handle (`san.*` metrics), shared by every
+    /// clone of this store. Telemetry never affects fault injection: the
+    /// injector's RNG stream is consumed identically with telemetry on
+    /// or off.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        self.lock().telemetry = telemetry;
     }
 
     // ------------------------------------------------------------------
@@ -170,6 +184,10 @@ impl SharedStore {
         match torn {
             Some(written) => {
                 inner.stats.faults += 1;
+                let telemetry = inner.telemetry.clone();
+                drop(inner);
+                telemetry.incr("san.faults");
+                telemetry.incr("san.faults.torn_write");
                 Err(StoreError::TornWrite { written })
             }
             None => Ok(persisted),
@@ -364,7 +382,11 @@ impl SharedStore {
             .namespaces
             .iter()
             .filter(|(name, _)| *name == prefix || name.starts_with(&sub))
-            .map(|(_, ns)| ns.values().map(|v| v.value.encoded_len() as u64).sum::<u64>())
+            .map(|(_, ns)| {
+                ns.values()
+                    .map(|v| v.value.encoded_len() as u64)
+                    .sum::<u64>()
+            })
             .sum()
     }
 
@@ -527,12 +549,13 @@ mod tests {
     fn brownout_blocks_data_plane_but_not_peek() {
         let s = SharedStore::new();
         s.put("ns", "k", Value::Int(7)).unwrap();
-        s.set_fault_plan(
-            FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(10)),
-        );
+        s.set_fault_plan(FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(10)));
         assert!(!s.is_available());
         assert_eq!(s.get("ns", "k"), Err(StoreError::Unavailable));
-        assert_eq!(s.put("ns", "k", Value::Int(8)), Err(StoreError::Unavailable));
+        assert_eq!(
+            s.put("ns", "k", Value::Int(8)),
+            Err(StoreError::Unavailable)
+        );
         assert_eq!(s.read_namespace("ns"), Err(StoreError::Unavailable));
         assert_eq!(s.delete_namespace("ns"), Err(StoreError::Unavailable));
         // The omniscient observer still sees the durable value.

@@ -286,7 +286,9 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        let v = Value::map().with("a", 1i64).with("b", Value::List(vec![Value::Bool(true)]));
+        let v = Value::map()
+            .with("a", 1i64)
+            .with("b", Value::List(vec![Value::Bool(true)]));
         assert_eq!(v.to_string(), "{a: 1, b: [true]}");
         assert_eq!(Value::Null.to_string(), "null");
         assert_eq!(Value::Bytes(vec![0; 3]).to_string(), "<3 bytes>");

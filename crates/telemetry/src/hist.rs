@@ -1,0 +1,178 @@
+//! Log-bucketed histogram.
+//!
+//! Values are `u64`s (typically simulated microseconds or byte counts)
+//! bucketed by bit length: bucket `0` holds the value `0`, bucket `i`
+//! (`i >= 1`) holds values `v` with `2^(i-1) <= v < 2^i`. That gives 65
+//! fixed buckets covering the full `u64` range with ~2x relative error,
+//! which is plenty for order-of-magnitude latency accounting and keeps
+//! recording allocation-free.
+
+/// Number of buckets: one for zero plus one per possible bit length.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: `0` for `0`, otherwise its bit length.
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive-exclusive `[lo, hi)` value range covered by bucket `i`
+/// (bucket 0 is the degenerate `[0, 1)`). The top bucket's `hi` is
+/// `u64::MAX` (saturated).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 1)
+    } else {
+        let lo = 1u64 << (i - 1);
+        let hi = if i >= 64 { u64::MAX } else { 1u64 << i };
+        (lo, hi)
+    }
+}
+
+/// A mergeable log-bucketed histogram of `u64` samples.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Fold another histogram into this one. The result is identical to
+    /// the histogram of the concatenated sample streams (modulo `sum`
+    /// saturation, which no simulated workload approaches).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *o;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// `(bucket_index, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (i, *c))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field("nonzero_buckets", &self.nonzero_buckets())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bounds_cover_each_bucket() {
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            if i < 64 {
+                assert_eq!(bucket_index(hi - 1), i, "hi-1 of bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extrema() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn record_and_merge_basics() {
+        let mut a = Histogram::new();
+        a.record(0);
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 105);
+        assert_eq!(a.min(), Some(0));
+        assert_eq!(a.max(), Some(100));
+        assert_eq!(a.bucket(bucket_index(0)), 1);
+        assert_eq!(a.bucket(bucket_index(5)), 1);
+        assert_eq!(a.bucket(bucket_index(100)), 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! Schema-versioned, byte-deterministic JSON snapshots.
+//!
+//! The format mirrors `dosgi-testkit`'s bench reports: hand-rolled
+//! compact JSON built from `format!` with `{:?}` string escaping, a
+//! trailing newline, and files written under `results/` at the
+//! workspace root. Every value is an integer or a string and every map
+//! is a `BTreeMap`, so the same recorded state always serializes to the
+//! same bytes.
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "label": "chaos",
+//!   "seed": 7,
+//!   "counters": {"gcs.view.installed": 12, ...},
+//!   "gauges": {"core.cluster.nodes_running": 5, ...},
+//!   "histograms": {
+//!     "san.retry.backoff_us": {
+//!       "count": 3, "sum": 9500, "min": 500, "max": 8000,
+//!       "buckets": [[10, 2], [13, 1]]
+//!     }
+//!   },
+//!   "spans": [
+//!     {"id": 1, "name": "core.migration.handoff/acme-web",
+//!      "start_us": 100, "end_us": 4200, "parent": null}
+//!   ],
+//!   "open_spans": [ ...same shape, no "end_us"... ],
+//!   "dropped_spans": 0
+//! }
+//! ```
+
+use crate::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Current snapshot schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A completed span: `[start_us, end_us]` in simulated microseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosedSpan {
+    /// Registry-unique span id (ids start at 1).
+    pub id: u64,
+    /// Span name, `crate.subsystem.phase` style.
+    pub name: String,
+    /// Simulated time the span was entered, in microseconds.
+    pub start_us: u64,
+    /// Simulated time the span was exited, in microseconds.
+    pub end_us: u64,
+    /// Id of the enclosing span open at enter time, if any.
+    pub parent: Option<u64>,
+}
+
+impl ClosedSpan {
+    /// Span duration in simulated microseconds (0 if clocks ran
+    /// backwards, which the sim never does).
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// A span still open at snapshot time (unbalanced enter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenSpan {
+    /// Registry-unique span id.
+    pub id: u64,
+    /// Span name.
+    pub name: String,
+    /// Simulated enter time in microseconds.
+    pub start_us: u64,
+    /// Id of the enclosing span open at enter time, if any.
+    pub parent: Option<u64>,
+}
+
+/// A point-in-time copy of a telemetry registry, serializable to
+/// deterministic JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Snapshot label; also names the output file `telemetry_<label>.json`.
+    pub label: String,
+    /// Seed of the run that produced this snapshot.
+    pub seed: u64,
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, i64>,
+    /// Log-bucketed histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Closed spans, oldest first (bounded by the ring capacity).
+    pub spans: Vec<ClosedSpan>,
+    /// Spans still open when the snapshot was taken.
+    pub open_spans: Vec<OpenSpan>,
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "null".to_owned(),
+    }
+}
+
+impl Snapshot {
+    /// Spans dropped from the ring buffer before this snapshot (the
+    /// `telemetry.dropped_spans` counter).
+    pub fn dropped_spans(&self) -> u64 {
+        self.counters
+            .get(crate::DROPPED_SPANS)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Serialize to compact, byte-deterministic JSON (trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let _ = write!(
+            out,
+            "{{\"schema_version\":{},\"label\":{:?},\"seed\":{}",
+            self.schema_version, self.label, self.seed
+        );
+        out.push_str(",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let _ = write!(out, "{}{:?}:{}", if i > 0 { "," } else { "" }, k, v);
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            let _ = write!(out, "{}{:?}:{}", if i > 0 { "," } else { "" }, k, v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            let buckets: Vec<String> = h
+                .nonzero_buckets()
+                .iter()
+                .map(|(b, c)| format!("[{b},{c}]"))
+                .collect();
+            let _ = write!(
+                out,
+                "{}{:?}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+                if i > 0 { "," } else { "" },
+                k,
+                h.count(),
+                h.sum(),
+                opt_u64(h.min()),
+                opt_u64(h.max()),
+                buckets.join(",")
+            );
+        }
+        out.push_str("},\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"id\":{},\"name\":{:?},\"start_us\":{},\"end_us\":{},\"parent\":{}}}",
+                if i > 0 { "," } else { "" },
+                s.id,
+                s.name,
+                s.start_us,
+                s.end_us,
+                opt_u64(s.parent)
+            );
+        }
+        out.push_str("],\"open_spans\":[");
+        for (i, s) in self.open_spans.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"id\":{},\"name\":{:?},\"start_us\":{},\"parent\":{}}}",
+                if i > 0 { "," } else { "" },
+                s.id,
+                s.name,
+                s.start_us,
+                opt_u64(s.parent)
+            );
+        }
+        let _ = writeln!(out, "],\"dropped_spans\":{}}}", self.dropped_spans());
+        out
+    }
+
+    /// Write `telemetry_<label>.json` into `dir` (created if needed).
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("telemetry_{}.json", self.label));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    fn sample() -> Snapshot {
+        let t = Telemetry::new();
+        t.incr("a.b.count");
+        t.add("a.b.count", 2);
+        t.gauge_set("a.b.level", -4);
+        t.record("a.b.lat_us", 0);
+        t.record("a.b.lat_us", 700);
+        let s = t.span_enter("a.phase", 10);
+        t.span_exit(s, 25);
+        t.span_enter("a.open", 30);
+        t.snapshot("unit", 42)
+    }
+
+    #[test]
+    fn json_is_stable_across_identical_recordings() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn json_contains_required_fields() {
+        let j = sample().to_json();
+        assert!(j.starts_with("{\"schema_version\":1,"));
+        assert!(j.contains("\"label\":\"unit\""));
+        assert!(j.contains("\"seed\":42"));
+        assert!(j.contains("\"a.b.count\":3"));
+        assert!(j.contains("\"a.b.level\":-4"));
+        assert!(j.contains("\"count\":2,\"sum\":700,\"min\":0,\"max\":700"));
+        assert!(j.contains("\"name\":\"a.phase\",\"start_us\":10,\"end_us\":25"));
+        assert!(j.contains("\"open_spans\":[{\"id\":"));
+        assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn write_to_names_file_after_label() {
+        let dir = std::env::temp_dir().join(format!("dosgi-telemetry-test-{}", std::process::id()));
+        let path = sample().write_to(&dir).expect("write snapshot");
+        assert!(path.ends_with("telemetry_unit.json"));
+        let bytes = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(bytes, sample().to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

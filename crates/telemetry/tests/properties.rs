@@ -1,0 +1,122 @@
+//! Property tests: the log-bucketed [`Histogram`] against a naive
+//! `Vec<u64>` reference model, including merge = concatenation.
+
+use dosgi_telemetry::{bucket_index, Histogram, BUCKETS};
+use dosgi_testkit::prop::{self, Config, Gen};
+use dosgi_testkit::rng::TestRng;
+use dosgi_testkit::{prop_verify, prop_verify_eq};
+
+/// Naive reference: keep every sample and recompute aggregates on demand.
+#[derive(Debug, Default, Clone)]
+struct Model {
+    samples: Vec<u64>,
+}
+
+impl Model {
+    fn record(&mut self, v: u64) {
+        self.samples.push(v);
+    }
+
+    fn buckets(&self) -> Vec<u64> {
+        let mut out = vec![0u64; BUCKETS];
+        for &v in &self.samples {
+            out[bucket_index(v)] += 1;
+        }
+        out
+    }
+
+    fn sum(&self) -> u64 {
+        self.samples.iter().fold(0u64, |a, &v| a.saturating_add(v))
+    }
+
+    fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+}
+
+fn verify_against_model(h: &Histogram, m: &Model) -> Result<(), String> {
+    prop_verify_eq!(h.count(), m.samples.len() as u64);
+    prop_verify_eq!(h.sum(), m.sum());
+    prop_verify_eq!(h.min(), m.min());
+    prop_verify_eq!(h.max(), m.max());
+    let expected = m.buckets();
+    for (i, want) in expected.iter().enumerate() {
+        prop_verify!(
+            h.bucket(i) == *want,
+            "bucket {i}: histogram {} != model {want}",
+            h.bucket(i)
+        );
+    }
+    Ok(())
+}
+
+/// Value streams spanning the interesting ranges: zeros, small values,
+/// bucket-boundary powers of two, and full-range u64s.
+fn streams(max_len: usize) -> Gen<Vec<u64>> {
+    Gen::new(move |rng: &mut TestRng| {
+        let len = rng.usize_in(0, max_len);
+        (0..len)
+            .map(|_| match rng.u64_below(4) {
+                0 => rng.u64_in(0, 16),
+                1 => 1u64 << rng.u64_below(64),
+                2 => (1u64 << rng.u64_below(64)).wrapping_sub(1),
+                _ => rng.next_u64(),
+            })
+            .collect()
+    })
+}
+
+#[test]
+fn histogram_matches_naive_reference_200_cases() {
+    prop::check_with(
+        &Config::with_cases(200),
+        "histogram_matches_naive_reference",
+        &streams(400),
+        |stream| {
+            let mut h = Histogram::new();
+            let mut m = Model::default();
+            for &v in stream {
+                h.record(v);
+                m.record(v);
+            }
+            verify_against_model(&h, &m)
+        },
+    );
+}
+
+#[test]
+fn merged_histogram_equals_histogram_of_concatenation_200_cases() {
+    let pairs = Gen::new(|rng: &mut TestRng| {
+        let gen = streams(200);
+        (gen.sample(rng), gen.sample(rng))
+    });
+    prop::check_with(
+        &Config::with_cases(200),
+        "merged_histogram_equals_concatenation",
+        &pairs,
+        |(a, b)| {
+            let mut ha = Histogram::new();
+            for &v in a {
+                ha.record(v);
+            }
+            let mut hb = Histogram::new();
+            for &v in b {
+                hb.record(v);
+            }
+            ha.merge(&hb);
+
+            let mut concat = Histogram::new();
+            let mut m = Model::default();
+            for &v in a.iter().chain(b.iter()) {
+                concat.record(v);
+                m.record(v);
+            }
+            prop_verify!(ha == concat, "merge != concatenated recording");
+            verify_against_model(&ha, &m)
+        },
+    );
+}

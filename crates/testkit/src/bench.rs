@@ -31,14 +31,20 @@ pub struct Plan {
 
 impl Default for Plan {
     fn default() -> Self {
-        Plan { warmup: 10, iters: 60 }
+        Plan {
+            warmup: 10,
+            iters: 60,
+        }
     }
 }
 
 impl Plan {
     /// A plan for expensive benchmarks (whole-cluster simulations).
     pub fn heavy() -> Self {
-        Plan { warmup: 1, iters: 8 }
+        Plan {
+            warmup: 1,
+            iters: 8,
+        }
     }
 
     fn effective_iters(&self) -> u32 {
@@ -90,8 +96,13 @@ impl Report {
         format!(
             "{{\"name\":{:?},\"iters\":{},\"min_ns\":{},\"mean_ns\":{},\
              \"median_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
-            self.name, self.iters, self.min_ns, self.mean_ns, self.median_ns,
-            self.p95_ns, self.max_ns
+            self.name,
+            self.iters,
+            self.min_ns,
+            self.mean_ns,
+            self.median_ns,
+            self.p95_ns,
+            self.max_ns
         )
     }
 }
@@ -116,7 +127,10 @@ impl Suite {
     /// report.
     pub fn new(name: &str) -> Suite {
         println!("suite {name}");
-        Suite { name: name.to_string(), reports: Vec::new() }
+        Suite {
+            name: name.to_string(),
+            reports: Vec::new(),
+        }
     }
 
     /// True when the binary was invoked by `cargo test` (which passes
@@ -137,12 +151,7 @@ impl Suite {
 
     /// Benchmarks `work` with a fresh untimed `setup` product per
     /// iteration — the analogue of criterion's `iter_batched`.
-    pub fn bench_batched<S>(
-        &mut self,
-        name: &str,
-        setup: impl FnMut() -> S,
-        work: impl FnMut(S),
-    ) {
+    pub fn bench_batched<S>(&mut self, name: &str, setup: impl FnMut() -> S, work: impl FnMut(S)) {
         self.bench_batched_with(Plan::default(), name, setup, work)
     }
 
@@ -206,8 +215,9 @@ impl Suite {
 
 /// Walks up from the current directory to the outermost `Cargo.toml`
 /// declaring `[workspace]`; benches run with a crate-local cwd, reports
-/// belong at the repo root.
-fn workspace_root() -> std::path::PathBuf {
+/// belong at the repo root. Public so bins and tests can locate
+/// `results/` regardless of their own cwd.
+pub fn workspace_root() -> std::path::PathBuf {
     let start = std::env::current_dir().unwrap_or_else(|_| ".".into());
     let mut found = start.clone();
     for dir in start.ancestors() {
@@ -258,7 +268,10 @@ mod tests {
         let mut suite = Suite::new("selftest");
         let mut setups = 0u32;
         let mut works = 0u32;
-        let plan = Plan { warmup: 2, iters: 5 };
+        let plan = Plan {
+            warmup: 2,
+            iters: 5,
+        };
         suite.bench_batched_with(
             plan,
             "counting",

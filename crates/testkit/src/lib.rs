@@ -20,16 +20,21 @@
 //!   ([`NemesisPlan`]): crash × partition × SAN brown-out × message-loss
 //!   fault timelines as pure data, well-formed by construction, for the
 //!   chaos harness in `dosgi-core` to apply and check invariants against.
+//! * [`json`] — a strict JSON reader ([`Json`]) so tests and check
+//!   tooling can parse the bench / telemetry reports this workspace
+//!   writes.
 //!
 //! Policy: no crate in this workspace may depend on the crates.io
 //! registry. If a capability is missing, it is added here.
 
 pub mod bench;
+pub mod json;
 pub mod nemesis;
 pub mod prop;
 pub mod rng;
 
-pub use bench::{Plan, Report, Suite};
+pub use bench::{workspace_root, Plan, Report, Suite};
+pub use json::{Json, JsonError};
 pub use nemesis::{NemesisConfig, NemesisOp, NemesisPlan, NemesisStep};
 pub use prop::{Config as PropConfig, Gen, PropResult};
 pub use rng::{mix_seed, splitmix64, TestRng};

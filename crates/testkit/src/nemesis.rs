@@ -225,11 +225,9 @@ impl NemesisPlan {
                 let kind = kinds[rng.u64_below(kinds.len() as u64) as usize];
                 match kind {
                     Kind::Crash => {
-                        let down_now =
-                            crashed_until.iter().filter(|u| **u > t).count();
-                        let up: Vec<usize> = (0..nodes)
-                            .filter(|n| crashed_until[*n] <= t)
-                            .collect();
+                        let down_now = crashed_until.iter().filter(|u| **u > t).count();
+                        let up: Vec<usize> =
+                            (0..nodes).filter(|n| crashed_until[*n] <= t).collect();
                         if down_now < max_down && !up.is_empty() {
                             let node = up[rng.u64_below(up.len() as u64) as usize];
                             crashed_until[node] = heal_at;
@@ -239,8 +237,7 @@ impl NemesisPlan {
                     }
                     Kind::Partition => {
                         if partition_until <= t && max_down >= 1 {
-                            let size =
-                                1 + rng.u64_below(max_down as u64) as usize;
+                            let size = 1 + rng.u64_below(max_down as u64) as usize;
                             let mut pool: Vec<usize> = (0..nodes).collect();
                             let mut minority = Vec::new();
                             for _ in 0..size {
@@ -399,10 +396,16 @@ mod tests {
         for choice in 0..5u64 {
             let cfg = NemesisConfig::single_fault(choice);
             assert_eq!(
-                [cfg.crash, cfg.partition, cfg.brownout, cfg.flaky, cfg.msg_loss]
-                    .iter()
-                    .filter(|b| **b)
-                    .count(),
+                [
+                    cfg.crash,
+                    cfg.partition,
+                    cfg.brownout,
+                    cfg.flaky,
+                    cfg.msg_loss
+                ]
+                .iter()
+                .filter(|b| **b)
+                .count(),
                 1
             );
             // And the plan only contains ops of that category.

@@ -23,7 +23,9 @@ pub struct Gen<T> {
 
 impl<T> Clone for Gen<T> {
     fn clone(&self) -> Self {
-        Gen { f: Rc::clone(&self.f) }
+        Gen {
+            f: Rc::clone(&self.f),
+        }
     }
 }
 
@@ -112,7 +114,9 @@ pub fn vecs<T: 'static>(elem: Gen<T>, min_len: usize, max_len: usize) -> Gen<Vec
 pub fn lowercase(min_len: usize, max_len: usize) -> Gen<String> {
     Gen::new(move |rng| {
         let n = rng.usize_in(min_len, max_len);
-        (0..n).map(|_| (b'a' + rng.u64_below(26) as u8) as char).collect()
+        (0..n)
+            .map(|_| (b'a' + rng.u64_below(26) as u8) as char)
+            .collect()
     })
 }
 
@@ -202,7 +206,10 @@ impl Default for Config {
 impl Config {
     /// A config running `cases` cases with everything else default.
     pub fn with_cases(cases: u32) -> Self {
-        Config { cases, ..Config::default() }
+        Config {
+            cases,
+            ..Config::default()
+        }
     }
 }
 
@@ -259,7 +266,9 @@ fn run<T: Debug + 'static, S: Fn(&T) -> Vec<T>>(
 ) {
     let case_seeds: Vec<u64> = match cfg.only_seed {
         Some(seed) => vec![seed],
-        None => (0..cfg.cases).map(|i| mix_seed(cfg.seed, i as u64)).collect(),
+        None => (0..cfg.cases)
+            .map(|i| mix_seed(cfg.seed, i as u64))
+            .collect(),
     };
     for (i, &case_seed) in case_seeds.iter().enumerate() {
         let mut rng = TestRng::new(case_seed);
@@ -351,13 +360,19 @@ mod tests {
 
     fn no_env() -> Config {
         // Unit tests must not inherit a replay seed from the environment.
-        Config { only_seed: None, ..Config::default() }
+        Config {
+            only_seed: None,
+            ..Config::default()
+        }
     }
 
     #[test]
     fn passing_property_runs_all_cases() {
         let count = RefCell::new(0u32);
-        let cfg = Config { cases: 40, ..no_env() };
+        let cfg = Config {
+            cases: 40,
+            ..no_env()
+        };
         check_with(&cfg, "counts", &u64s(0, 10), |v| {
             *count.borrow_mut() += 1;
             prop_verify!(*v <= 10);
@@ -388,7 +403,10 @@ mod tests {
             .take_while(|c| c.is_ascii_hexdigit())
             .collect::<String>();
         let seed = u64::from_str_radix(&seed_hex, 16).unwrap();
-        let replay = Config { only_seed: Some(seed), ..no_env() };
+        let replay = Config {
+            only_seed: Some(seed),
+            ..no_env()
+        };
         let failing_value = RefCell::new(None);
         let replay_err = catch_unwind(AssertUnwindSafe(|| {
             check_with(&replay, "fails_over_500", &gen, |v| {
@@ -406,7 +424,10 @@ mod tests {
     #[test]
     fn cases_are_deterministic_across_runs() {
         let draw_all = || {
-            let cfg = Config { cases: 16, ..no_env() };
+            let cfg = Config {
+                cases: 16,
+                ..no_env()
+            };
             let values = RefCell::new(Vec::new());
             check_with(&cfg, "collect", &u64s(0, u64::MAX), |v| {
                 values.borrow_mut().push(*v);
@@ -424,10 +445,16 @@ mod tests {
         let cfg = no_env();
         let gen = vecs(u64s(0, 150), 0, 20);
         let err = catch_unwind(AssertUnwindSafe(|| {
-            check_shrink(&cfg, "small_elems", &gen, |v| shrink_vec(v), |v| {
-                prop_verify!(v.iter().all(|&x| x < 100), "{v:?} has a big element");
-                Ok(())
-            });
+            check_shrink(
+                &cfg,
+                "small_elems",
+                &gen,
+                |v| shrink_vec(v),
+                |v| {
+                    prop_verify!(v.iter().all(|&x| x < 100), "{v:?} has a big element");
+                    Ok(())
+                },
+            );
         }))
         .unwrap_err();
         let msg = err.downcast_ref::<String>().unwrap();

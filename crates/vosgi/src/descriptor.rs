@@ -8,9 +8,7 @@ use std::fmt;
 /// Identifies a virtual instance within an [`InstanceManager`].
 ///
 /// [`InstanceManager`]: crate::InstanceManager
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct InstanceId(pub u64);
 
 impl fmt::Display for InstanceId {
@@ -89,7 +87,12 @@ impl InstanceDescriptor {
             .with("name", self.name.as_str())
             .with(
                 "bundles",
-                Value::List(self.bundles.iter().map(|b| Value::from(b.as_str())).collect()),
+                Value::List(
+                    self.bundles
+                        .iter()
+                        .map(|b| Value::from(b.as_str()))
+                        .collect(),
+                ),
             )
             .with(
                 "shared_packages",
@@ -130,14 +133,21 @@ impl InstanceDescriptor {
                 .and_then(Value::as_list)
                 .ok_or_else(|| format!("missing {key}"))?
                 .iter()
-                .map(|x| x.as_str().map(str::to_owned).ok_or_else(|| format!("bad {key} entry")))
+                .map(|x| {
+                    x.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| format!("bad {key} entry"))
+                })
                 .collect()
         };
         let customer = v
             .get("customer")
             .and_then(Value::as_str)
             .ok_or("missing customer")?;
-        let name = v.get("name").and_then(Value::as_str).ok_or("missing name")?;
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("missing name")?;
         let shared_packages = str_list("shared_packages")?
             .into_iter()
             .map(|p| PackageName::new(&p))

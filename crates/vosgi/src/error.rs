@@ -70,7 +70,10 @@ impl fmt::Display for VosgiError {
             VosgiError::BadState {
                 instance,
                 operation,
-            } => write!(f, "cannot {operation} instance {instance} in its current state"),
+            } => write!(
+                f,
+                "cannot {operation} instance {instance} in its current state"
+            ),
             VosgiError::NoStore { operation } => {
                 write!(f, "cannot {operation}: no SAN store attached")
             }

@@ -11,6 +11,7 @@ use dosgi_osgi::{
     ServiceError, SymbolName, UsageSnapshot,
 };
 use dosgi_san::{SharedStore, Value};
+use dosgi_telemetry::Telemetry;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -28,6 +29,7 @@ pub struct InstanceManager {
     repo: BundleRepository,
     factory: ActivatorFactory,
     store: Option<SharedStore>,
+    telemetry: Telemetry,
 }
 
 impl fmt::Debug for InstanceManager {
@@ -50,7 +52,20 @@ impl InstanceManager {
             repo,
             factory,
             store: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle. Instance lifecycle transitions are
+    /// counted as `vosgi.lifecycle.*`; the handle is also propagated to
+    /// the host framework and every instance framework created or
+    /// adopted afterwards (`osgi.lifecycle.*`).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.host.set_telemetry(telemetry.clone());
+        for inst in self.instances.values_mut() {
+            inst.framework.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
     }
 
     /// Attaches the SAN; every instance framework created afterwards
@@ -127,10 +142,9 @@ impl InstanceManager {
         descriptor: InstanceDescriptor,
     ) -> Result<InstanceId, VosgiError> {
         self.check_name_free(&descriptor.name)?;
-        let mut fw = Framework::with_config(FrameworkConfig::new(&format!(
-            "vosgi/{}",
-            descriptor.name
-        )));
+        let mut fw =
+            Framework::with_config(FrameworkConfig::new(&format!("vosgi/{}", descriptor.name)));
+        fw.set_telemetry(self.telemetry.clone());
         if let Some(store) = &self.store {
             fw.attach_store(store.clone(), &descriptor.state_namespace())?;
         }
@@ -143,6 +157,7 @@ impl InstanceManager {
             let activator = self.factory.create(&manifest);
             fw.install(manifest, activator)?;
         }
+        self.telemetry.incr("vosgi.lifecycle.created");
         Ok(self.insert(descriptor, fw, InstanceState::Created))
     }
 
@@ -166,18 +181,20 @@ impl InstanceManager {
             .store
             .clone()
             .ok_or(VosgiError::NoStore { operation: "adopt" })?;
-        let fw = Framework::restore(
+        let mut fw = Framework::restore(
             FrameworkConfig::new(&format!("vosgi/{}", descriptor.name)),
             store,
             &descriptor.state_namespace(),
             &self.factory,
         )?;
+        fw.set_telemetry(self.telemetry.clone());
         let running = fw.bundles().any(|b| b.state.is_active());
         let state = if running {
             InstanceState::Running
         } else {
             InstanceState::Stopped
         };
+        self.telemetry.incr("vosgi.lifecycle.adopted");
         Ok(self.insert(descriptor, fw, state))
     }
 
@@ -235,6 +252,7 @@ impl InstanceManager {
             }
         }
         inst.state = InstanceState::Running;
+        self.telemetry.incr("vosgi.lifecycle.started");
         Ok(())
     }
 
@@ -248,6 +266,7 @@ impl InstanceManager {
         let inst = self.instance_mut_impl(id)?;
         inst.framework.shutdown();
         inst.state = InstanceState::Stopped;
+        self.telemetry.incr("vosgi.lifecycle.stopped");
         Ok(())
     }
 
@@ -285,6 +304,7 @@ impl InstanceManager {
                 store.delete_namespace(&inst.descriptor.state_namespace())?;
             }
         }
+        self.telemetry.incr("vosgi.lifecycle.destroyed");
         Ok(())
     }
 
@@ -640,15 +660,15 @@ mod tests {
                     ctx.register_service(
                         &[LOGGER_IFACE],
                         Props::new(),
-                        Box::new(|ctx: &mut CallContext<'_>, method: &str, arg: &Value| {
-                            match method {
+                        Box::new(
+                            |ctx: &mut CallContext<'_>, method: &str, arg: &Value| match method {
                                 "log" => {
                                     ctx.charge_cpu(SimDuration::from_micros(5));
                                     Ok(arg.clone())
                                 }
                                 m => Err(ServiceError::Failed(format!("no {m}"))),
-                            }
-                        }),
+                            },
+                        ),
                     );
                     Ok(())
                 }))),
@@ -672,12 +692,12 @@ mod tests {
                 ctx.register_service(
                     &["org.cust.app.Api"],
                     Props::new(),
-                    Box::new(|_: &mut CallContext<'_>, method: &str, _: &Value| {
-                        match method {
+                    Box::new(
+                        |_: &mut CallContext<'_>, method: &str, _: &Value| match method {
                             "ping" => Ok(Value::from("pong")),
                             m => Err(ServiceError::Failed(format!("no {m}"))),
-                        }
-                    }),
+                        },
+                    ),
                 );
                 Ok(())
             }))
@@ -706,7 +726,9 @@ mod tests {
         mgr.start_instance(id).unwrap();
         assert!(mgr.instance(id).unwrap().is_running());
         // The customer bundle's own service works.
-        let out = mgr.call_service(id, "org.cust.app.Api", "ping", &Value::Null).unwrap();
+        let out = mgr
+            .call_service(id, "org.cust.app.Api", "ping", &Value::Null)
+            .unwrap();
         assert_eq!(out, Value::from("pong"));
         mgr.stop_instance(id).unwrap();
         assert_eq!(mgr.instance(id).unwrap().state, InstanceState::Stopped);
@@ -723,7 +745,9 @@ mod tests {
             mgr.create_instance(descriptor("a")),
             Err(VosgiError::DuplicateInstance(_))
         ));
-        let bad = InstanceDescriptor::builder("x", "b").bundle("no.such.bundle").build();
+        let bad = InstanceDescriptor::builder("x", "b")
+            .bundle("no.such.bundle")
+            .build();
         assert!(matches!(
             mgr.create_instance(bad),
             Err(VosgiError::UnknownBundle(_))
@@ -758,8 +782,13 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, VosgiError::Denied(_)), "got {err:?}");
         // A service nobody offers is NoSuchService, not Denied.
-        let err = mgr.call_service(id, "ghost.Service", "x", &Value::Null).unwrap_err();
-        assert!(matches!(err, VosgiError::Service(ServiceError::NoSuchService(_))));
+        let err = mgr
+            .call_service(id, "ghost.Service", "x", &Value::Null)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            VosgiError::Service(ServiceError::NoSuchService(_))
+        ));
     }
 
     #[test]
@@ -792,7 +821,9 @@ mod tests {
         ));
 
         // A host package NOT on the export list must not leak.
-        let d2 = InstanceDescriptor::builder("evil", "b").bundle("org.cust.app").build();
+        let d2 = InstanceDescriptor::builder("evil", "b")
+            .bundle("org.cust.app")
+            .build();
         let id2 = mgr.create_instance(d2).unwrap();
         mgr.start_instance(id2).unwrap();
         let bundle2 = mgr
@@ -824,7 +855,9 @@ mod tests {
         mgr2.attach_store(store);
         let id2 = mgr2.adopt_instance(descriptor("a")).unwrap();
         assert!(mgr2.instance(id2).unwrap().is_running());
-        let out = mgr2.call_service(id2, "org.cust.app.Api", "ping", &Value::Null).unwrap();
+        let out = mgr2
+            .call_service(id2, "org.cust.app.Api", "ping", &Value::Null)
+            .unwrap();
         assert_eq!(out, Value::from("pong"));
     }
 
@@ -870,7 +903,8 @@ mod tests {
             mgr.fs_read(id, "/data/other"),
             Err(VosgiError::Denied(_))
         ));
-        mgr.net_bind(id, IpAddr::new(10, 0, 0, 9), Port(8080)).unwrap();
+        mgr.net_bind(id, IpAddr::new(10, 0, 0, 9), Port(8080))
+            .unwrap();
         assert!(matches!(
             mgr.net_bind(id, IpAddr::new(10, 0, 0, 9), Port(80)),
             Err(VosgiError::Denied(_))
@@ -931,11 +965,13 @@ mod tests {
         // keeps serving.
         mgr.install_bundle(id, "org.cust.extra").unwrap();
         assert_eq!(
-            mgr.call_service(id, "org.cust.extra.Api", "x", &Value::Null).unwrap(),
+            mgr.call_service(id, "org.cust.extra.Api", "x", &Value::Null)
+                .unwrap(),
             Value::Int(42)
         );
         assert_eq!(
-            mgr.call_service(id, "org.cust.app.Api", "ping", &Value::Null).unwrap(),
+            mgr.call_service(id, "org.cust.app.Api", "ping", &Value::Null)
+                .unwrap(),
             Value::from("pong")
         );
         assert!(matches!(
@@ -951,10 +987,14 @@ mod tests {
         mgr.update_bundle(id, "org.cust.app", v2).unwrap();
         let fw = mgr.instance(id).unwrap().framework();
         let bid = fw.find_bundle("org.cust.app").unwrap();
-        assert_eq!(fw.bundle(bid).unwrap().manifest.version, Version::new(2, 0, 0));
+        assert_eq!(
+            fw.bundle(bid).unwrap().manifest.version,
+            Version::new(2, 0, 0)
+        );
         // The activator re-registered the service on restart.
         assert_eq!(
-            mgr.call_service(id, "org.cust.app.Api", "ping", &Value::Null).unwrap(),
+            mgr.call_service(id, "org.cust.app.Api", "ping", &Value::Null)
+                .unwrap(),
             Value::from("pong")
         );
         assert!(matches!(
@@ -975,7 +1015,8 @@ mod tests {
         mgr.start_instance(a).unwrap();
         mgr.start_instance(b).unwrap();
         for _ in 0..3 {
-            mgr.call_service(a, "org.cust.app.Api", "ping", &Value::Null).unwrap();
+            mgr.call_service(a, "org.cust.app.Api", "ping", &Value::Null)
+                .unwrap();
         }
         assert_eq!(mgr.usage(a).unwrap().calls, 3);
         assert_eq!(mgr.usage(b).unwrap().calls, 0);
@@ -996,9 +1037,7 @@ mod tests {
         mgr.stop_instance(id).unwrap();
         mgr.destroy_instance(id, false).unwrap();
 
-        store.set_fault_plan(
-            FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(5)),
-        );
+        store.set_fault_plan(FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(5)));
         let err = mgr.adopt_instance(descriptor("a")).unwrap_err();
         assert!(err.is_transient_store(), "got {err:?}");
         // A genuinely missing snapshot is NOT transient: retrying is futile.
@@ -1020,9 +1059,7 @@ mod tests {
         let mut mgr = manager();
         mgr.attach_store(store.clone());
         let id = mgr.create_instance(descriptor("a")).unwrap();
-        store.set_fault_plan(
-            FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(5)),
-        );
+        store.set_fault_plan(FaultPlan::none().with_brownout(SimTime::ZERO, SimTime::from_secs(5)));
         let err = mgr.destroy_instance(id, true).unwrap_err();
         assert!(err.is_transient_store(), "got {err:?}");
         assert!(mgr.instance(id).is_none(), "gone from the node regardless");

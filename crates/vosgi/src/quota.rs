@@ -54,12 +54,20 @@ impl ResourceQuota {
     /// `cpu_used` must be the CPU consumed over the last `window` of
     /// wall-clock (simulated) time; memory/disk are instantaneous gauges
     /// from the snapshot. Returns all violations found (possibly empty).
-    pub fn check(&self, usage: &UsageSnapshot, cpu_used: SimDuration, window: SimDuration) -> Vec<QuotaViolation> {
+    pub fn check(
+        &self,
+        usage: &UsageSnapshot,
+        cpu_used: SimDuration,
+        window: SimDuration,
+    ) -> Vec<QuotaViolation> {
         let mut v = Vec::new();
         if !window.is_zero() {
             // Allowed CPU for this window, scaled from the per-second rate.
-            let allowed_micros =
-                self.cpu_per_sec.as_micros().saturating_mul(window.as_micros()) / 1_000_000;
+            let allowed_micros = self
+                .cpu_per_sec
+                .as_micros()
+                .saturating_mul(window.as_micros())
+                / 1_000_000;
             if cpu_used.as_micros() > allowed_micros {
                 v.push(QuotaViolation::Cpu {
                     used: cpu_used,

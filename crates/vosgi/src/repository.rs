@@ -88,7 +88,9 @@ mod tests {
     use dosgi_osgi::{ManifestBuilder, Version};
 
     fn m(name: &str) -> BundleManifest {
-        ManifestBuilder::new(name, Version::new(1, 0, 0)).build().unwrap()
+        ManifestBuilder::new(name, Version::new(1, 0, 0))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -108,7 +110,9 @@ mod tests {
     fn replace_keeps_latest() {
         let mut repo = BundleRepository::new();
         repo.add(m("a.b"));
-        let newer = ManifestBuilder::new("a.b", Version::new(2, 0, 0)).build().unwrap();
+        let newer = ManifestBuilder::new("a.b", Version::new(2, 0, 0))
+            .build()
+            .unwrap();
         repo.add(newer);
         assert_eq!(repo.manifest("a.b").unwrap().version, Version::new(2, 0, 0));
         assert_eq!(repo.len(), 1);

@@ -105,9 +105,7 @@ impl DeploymentTopology {
             DeploymentTopology::JvmPerCustomer => {
                 (customers, customers, 0, customers * bundles_per_customer)
             }
-            DeploymentTopology::SharedJvm => {
-                (1, customers, 0, customers * bundles_per_customer)
-            }
+            DeploymentTopology::SharedJvm => (1, customers, 0, customers * bundles_per_customer),
             DeploymentTopology::NestedInstances => {
                 // Host framework + manager; each customer a vosgi instance
                 // with its own copies of every bundle.

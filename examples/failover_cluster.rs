@@ -37,8 +37,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cluster.run_for(SimDuration::from_millis(500));
 
     for _ in 0..10 {
-        cluster.call("ledger-baseline", workloads::COUNTER_SERVICE, "incr", &Value::Null)?;
-        cluster.call("ledger-wt", workloads::COUNTER_SERVICE, "incr", &Value::Null)?;
+        cluster.call(
+            "ledger-baseline",
+            workloads::COUNTER_SERVICE,
+            "incr",
+            &Value::Null,
+        )?;
+        cluster.call(
+            "ledger-wt",
+            workloads::COUNTER_SERVICE,
+            "incr",
+            &Value::Null,
+        )?;
     }
     println!(
         "before any failure: baseline={} write-through={}",
@@ -59,8 +69,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    crash ledger-wt's host: write-through survives; then crash the
     //    baseline's host: its post-migration increments are lost.
     for _ in 0..5 {
-        cluster.call("ledger-baseline", workloads::COUNTER_SERVICE, "incr", &Value::Null)?;
-        cluster.call("ledger-wt", workloads::COUNTER_SERVICE, "incr", &Value::Null)?;
+        cluster.call(
+            "ledger-baseline",
+            workloads::COUNTER_SERVICE,
+            "incr",
+            &Value::Null,
+        )?;
+        cluster.call(
+            "ledger-wt",
+            workloads::COUNTER_SERVICE,
+            "incr",
+            &Value::Null,
+        )?;
     }
     let wt_home = cluster.home_of("ledger-wt").unwrap();
     println!("\ncrashing node {wt_home} (hosts ledger-wt) …");

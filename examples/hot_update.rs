@@ -38,10 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ctx.register_service(
                 &["org.acme.search.Search"],
                 BTreeMap::new(),
-                Box::new(move |_: &mut CallContext<'_>, method: &str, _: &Value| match method {
-                    "version" => Ok(Value::from(version.to_string())),
-                    m => Err(ServiceError::Failed(format!("no {m}"))),
-                }),
+                Box::new(
+                    move |_: &mut CallContext<'_>, method: &str, _: &Value| match method {
+                        "version" => Ok(Value::from(version.to_string())),
+                        m => Err(ServiceError::Failed(format!("no {m}"))),
+                    },
+                ),
             );
             Ok(())
         }))
@@ -66,7 +68,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(Value::as_int)
         .unwrap_or(0);
     mgr.install_bundle(id, "org.acme.search")?;
-    for e in mgr.instance_mut(id).unwrap().framework_mut().take_service_events() {
+    for e in mgr
+        .instance_mut(id)
+        .unwrap()
+        .framework_mut()
+        .take_service_events()
+    {
         tracker.on_event(mgr.instance(id).unwrap().framework().registry(), &e);
     }
     println!(
@@ -84,7 +91,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .private_package("org.acme.search.impl", ["Index", "Ranker"])
             .build()?,
     )?;
-    for e in mgr.instance_mut(id).unwrap().framework_mut().take_service_events() {
+    for e in mgr
+        .instance_mut(id)
+        .unwrap()
+        .framework_mut()
+        .take_service_events()
+    {
         tracker.on_event(mgr.instance(id).unwrap().framework().registry(), &e);
     }
     let (added, removed) = tracker.churn();

@@ -69,7 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cluster.home_of("tame-web"),
         cluster.home_of("hog-web")
     );
-    assert_eq!(cluster.home_of("tame-web"), Some(0), "tame tenant untouched");
+    assert_eq!(
+        cluster.home_of("tame-web"),
+        Some(0),
+        "tame tenant untouched"
+    );
     assert_ne!(cluster.home_of("hog-web"), Some(0), "hog migrated away");
     println!("SLA enforcement migrated the noisy tenant; the tame one never moved.");
     Ok(())

@@ -49,8 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let new_home = cluster.home_of("acme-web").expect("failed over");
     let events = cluster.take_events();
-    let latency = migration::failover_latency(&events, "acme-web", crash_at)
-        .expect("failover observed");
+    let latency =
+        migration::failover_latency(&events, "acme-web", crash_at).expect("failover observed");
     println!("acme-web redeployed on node {new_home} after {latency}");
 
     // And it serves again.

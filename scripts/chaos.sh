@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Seeded chaos sweep: nemesis schedules against the full stack, invariant
-# checks, and byte-identical replay verification. Deterministic — a failure
-# here is a real protocol bug, and the bin prints the exact
-# CHAOS_SEED0=... one-liner that reproduces it.
+# checks, and byte-identical replay verification (each seed runs with
+# telemetry on and off; the fingerprints must match). Deterministic — a
+# failure here is a real protocol bug, and the bin prints the exact
+# CHAOS_SEED0=... one-liner that reproduces it plus the path of the
+# results/telemetry_chaos.json snapshot holding the failing sweep's
+# metrics and spans.
 #
 # Overrides: CHAOS_SEEDS (schedules, default 10), CHAOS_SEED0 (first seed),
 # CHAOS_NODES (cluster size), CHAOS_FAULTS (faults per schedule).
@@ -10,4 +13,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> chaos sweep (release)"
-cargo run --offline --release -p dosgi-bench --bin chaos
+if ! cargo run --offline --release -p dosgi-bench --bin chaos; then
+  echo "chaos sweep FAILED — reproducer above; telemetry snapshot:" >&2
+  echo "  $(pwd)/results/telemetry_chaos.json" >&2
+  exit 1
+fi

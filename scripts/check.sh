@@ -7,6 +7,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
@@ -18,6 +21,9 @@ cargo clippy --offline --all-targets -- -D warnings
 
 echo "==> chaos sweep (seeded nemesis schedules + replay verification)"
 scripts/chaos.sh
+
+echo "==> telemetry snapshot schema check"
+cargo run --offline --release -p dosgi-bench --bin telemetry_check
 
 echo "==> verifying zero registry dependencies"
 if cargo metadata --format-version 1 --offline \

@@ -21,8 +21,10 @@ fn warm_up(c: &mut DosgiCluster) {
 fn deploy_and_serve_multiple_tenants() {
     let mut c = cluster(3, 1);
     warm_up(&mut c);
-    c.deploy(workloads::web_instance("acme", "acme-web"), 0).unwrap();
-    c.deploy(workloads::web_instance("globex", "globex-web"), 1).unwrap();
+    c.deploy(workloads::web_instance("acme", "acme-web"), 0)
+        .unwrap();
+    c.deploy(workloads::web_instance("globex", "globex-web"), 1)
+        .unwrap();
     c.run_for(SimDuration::from_millis(500));
 
     assert!(c.probe("acme-web"));
@@ -55,7 +57,9 @@ fn duplicate_names_rejected_cluster_wide() {
     warm_up(&mut c);
     c.deploy(workloads::web_instance("acme", "web"), 0).unwrap();
     c.run_for(SimDuration::from_millis(300));
-    let err = c.deploy(workloads::web_instance("other", "web"), 1).unwrap_err();
+    let err = c
+        .deploy(workloads::web_instance("other", "web"), 1)
+        .unwrap_err();
     assert!(matches!(err, CoreError::DuplicateInstance(_)));
 }
 
@@ -63,8 +67,10 @@ fn duplicate_names_rejected_cluster_wide() {
 fn registry_replicates_to_every_node() {
     let mut c = cluster(3, 3);
     warm_up(&mut c);
-    c.deploy(workloads::web_instance("acme", "acme-web"), 0).unwrap();
-    c.deploy(workloads::counter_instance("acme", "acme-counter"), 2).unwrap();
+    c.deploy(workloads::web_instance("acme", "acme-web"), 0)
+        .unwrap();
+    c.deploy(workloads::counter_instance("acme", "acme-counter"), 2)
+        .unwrap();
     c.run_for(SimDuration::from_millis(500));
 
     for i in 0..3 {
@@ -84,10 +90,12 @@ fn registry_replicates_to_every_node() {
 fn graceful_migration_moves_instance_and_state() {
     let mut c = cluster(3, 4);
     warm_up(&mut c);
-    c.deploy(workloads::counter_instance("acme", "ctr"), 0).unwrap();
+    c.deploy(workloads::counter_instance("acme", "ctr"), 0)
+        .unwrap();
     c.run_for(SimDuration::from_millis(300));
     for _ in 0..7 {
-        c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null).unwrap();
+        c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+            .unwrap();
     }
 
     c.migrate("ctr", 2).unwrap();
@@ -97,7 +105,9 @@ fn graceful_migration_moves_instance_and_state() {
     assert!(c.probe("ctr"));
     // Graceful migration = orderly stop = running context persisted: the
     // count survives the move (paper §3.2's stateful-bundle story).
-    let got = c.call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null).unwrap();
+    let got = c
+        .call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null)
+        .unwrap();
     assert_eq!(got, Value::Int(7));
 
     // The hand-off latency is observable and small (sub-second here).
@@ -133,7 +143,8 @@ fn graceful_shutdown_drains_all_instances() {
     let mut c = cluster(3, 6);
     warm_up(&mut c);
     c.deploy(workloads::web_instance("a", "web-a"), 0).unwrap();
-    c.deploy(workloads::counter_instance("b", "ctr-b"), 0).unwrap();
+    c.deploy(workloads::counter_instance("b", "ctr-b"), 0)
+        .unwrap();
     c.run_for(SimDuration::from_millis(500));
 
     c.graceful_shutdown(0);

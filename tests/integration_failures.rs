@@ -1,9 +1,7 @@
 //! Failure-injection integration tests: crashes, failover, partitions,
 //! restarts, compound failures, and the replication extension.
 
-use dosgi_core::{
-    migration, replication, workloads, ClusterConfig, DosgiCluster,
-};
+use dosgi_core::{migration, replication, workloads, ClusterConfig, DosgiCluster};
 use dosgi_gcs::GcsConfig;
 use dosgi_net::{NodeId, Partition, SimDuration};
 use dosgi_san::Value;
@@ -53,17 +51,21 @@ fn crash_fails_over_stateless_instance() {
 fn crash_loses_uncheckpointed_running_context() {
     let mut c = cluster(3, 12);
     warm_up(&mut c);
-    c.deploy(workloads::counter_instance("acme", "ctr"), 0).unwrap();
+    c.deploy(workloads::counter_instance("acme", "ctr"), 0)
+        .unwrap();
     c.run_for(SimDuration::from_millis(500));
     for _ in 0..9 {
-        c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null).unwrap();
+        c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+            .unwrap();
     }
     c.crash_node(0);
     c.run_for(SimDuration::from_secs(3));
     assert!(c.probe("ctr"));
     // The paper's §3.2 semantics: a crashed stateful bundle's running
     // context is lost; only persisted state survives (none was persisted).
-    let got = c.call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null).unwrap();
+    let got = c
+        .call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null)
+        .unwrap();
     assert_eq!(got, Value::Int(0));
 }
 
@@ -78,11 +80,14 @@ fn write_through_context_survives_crash() {
     .unwrap();
     c.run_for(SimDuration::from_millis(500));
     for _ in 0..9 {
-        c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null).unwrap();
+        c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+            .unwrap();
     }
     c.crash_node(0);
     c.run_for(SimDuration::from_secs(3));
-    let got = c.call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null).unwrap();
+    let got = c
+        .call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null)
+        .unwrap();
     assert_eq!(got, Value::Int(9), "write-through loses nothing");
 }
 
@@ -97,11 +102,14 @@ fn checkpointed_context_loses_at_most_one_period() {
     .unwrap();
     c.run_for(SimDuration::from_millis(500));
     for _ in 0..19 {
-        c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null).unwrap();
+        c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+            .unwrap();
     }
     c.crash_node(0);
     c.run_for(SimDuration::from_secs(3));
-    let got = c.call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null).unwrap();
+    let got = c
+        .call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null)
+        .unwrap();
     // Checkpoints every 8: 19 increments → last checkpoint at 16.
     assert_eq!(got, Value::Int(16));
 }
@@ -111,7 +119,8 @@ fn multiple_orphans_spread_across_survivors() {
     let mut c = cluster(4, 15);
     warm_up(&mut c);
     for i in 0..4 {
-        c.deploy(workloads::web_instance("acme", &format!("web-{i}")), 0).unwrap();
+        c.deploy(workloads::web_instance("acme", &format!("web-{i}")), 0)
+            .unwrap();
     }
     c.run_for(SimDuration::from_millis(500));
     c.crash_node(0);
@@ -207,7 +216,11 @@ fn minority_partition_does_not_fail_over() {
     c.run_for(SimDuration::from_secs(3));
     assert!(c.probe("web"));
     for i in 0..5 {
-        assert_eq!(c.node(i).unwrap().view().members.len(), 5, "node {i} healed");
+        assert_eq!(
+            c.node(i).unwrap().view().members.len(),
+            5,
+            "node {i} healed"
+        );
     }
 }
 
@@ -330,7 +343,8 @@ fn consolidation_then_wake_and_scale_back_out() {
     let mut c = DosgiCluster::new(3, config, 31);
     c.run_for(SimDuration::from_secs(1));
     for i in 0..3 {
-        c.deploy(workloads::web_instance("idle", &format!("idle-{i}")), i).unwrap();
+        c.deploy(workloads::web_instance("idle", &format!("idle-{i}")), i)
+            .unwrap();
     }
     // Idle long enough for the rolling consolidation to finish.
     c.run_for(SimDuration::from_secs(25));
@@ -425,7 +439,12 @@ fn crash_during_san_brownout_quarantines_then_heals() {
     );
     let survivor = c.running_nodes()[0];
     assert_eq!(
-        c.node(survivor).unwrap().registry().record("ctr").unwrap().status,
+        c.node(survivor)
+            .unwrap()
+            .registry()
+            .record("ctr")
+            .unwrap()
+            .status,
         InstanceStatus::Quarantined
     );
     // No live copy anywhere — and in particular not two.

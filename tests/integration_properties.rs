@@ -135,7 +135,10 @@ fn check_cluster_invariants(ops: &[Op], seed: u64) -> PropResult {
 fn eventually_every_instance_is_served() {
     // Each case simulates seconds of cluster time; 12 cases, like the
     // retired proptest config.
-    let cfg = prop::Config { cases: 12, ..prop::Config::default() };
+    let cfg = prop::Config {
+        cases: 12,
+        ..prop::Config::default()
+    };
     let op = op_gen();
     let case = Gen::new(move |rng| {
         let n = rng.usize_in(1, 13);
@@ -172,7 +175,9 @@ fn check_counter_durability(crashes: &[u8], seed: u64) -> PropResult {
     let mut acked = 0i64;
     for &crash in crashes {
         for _ in 0..3 {
-            if c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null).is_ok() {
+            if c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+                .is_ok()
+            {
                 acked += 1;
             }
         }
@@ -187,7 +192,9 @@ fn check_counter_durability(crashes: &[u8], seed: u64) -> PropResult {
     }
     c.run_for(SimDuration::from_secs(4));
     if c.probe("ctr") {
-        let got = c.call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null).unwrap();
+        let got = c
+            .call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null)
+            .unwrap();
         prop_verify!(
             got.as_int().unwrap() >= acked,
             "lost increments: got {got}, acked {acked}"
@@ -198,10 +205,14 @@ fn check_counter_durability(crashes: &[u8], seed: u64) -> PropResult {
 
 #[test]
 fn write_through_counter_never_loses_acked_increments() {
-    let cfg = prop::Config { cases: 12, ..prop::Config::default() };
+    let cfg = prop::Config {
+        cases: 12,
+        ..prop::Config::default()
+    };
     let case = Gen::new(|rng| {
-        let crashes: Vec<u8> =
-            (0..rng.usize_in(0, 2)).map(|_| rng.u64_in(0, 2) as u8).collect();
+        let crashes: Vec<u8> = (0..rng.usize_in(0, 2))
+            .map(|_| rng.u64_in(0, 2) as u8)
+            .collect();
         (crashes, rng.u64_below(1000))
     });
     prop::check_shrink(
@@ -209,7 +220,10 @@ fn write_through_counter_never_loses_acked_increments() {
         "write_through_counter_never_loses_acked_increments",
         &case,
         |(crashes, seed)| {
-            prop::shrink_vec(crashes).into_iter().map(|v| (v, *seed)).collect()
+            prop::shrink_vec(crashes)
+                .into_iter()
+                .map(|v| (v, *seed))
+                .collect()
         },
         |(crashes, seed)| check_counter_durability(crashes, *seed),
     );
@@ -239,7 +253,13 @@ fn regression_crash_deploy_restart_seed_0() {
 #[test]
 fn regression_crash_run_restart_deploy_crash_seed_0() {
     check_cluster_invariants(
-        &[Op::Crash(3), Op::Run(171), Op::Restart(3), Op::Deploy(1), Op::Crash(0)],
+        &[
+            Op::Crash(3),
+            Op::Run(171),
+            Op::Restart(3),
+            Op::Deploy(1),
+            Op::Crash(0),
+        ],
         0,
     )
     .unwrap();
@@ -309,11 +329,7 @@ fn single_fault_schedules_preserve_invariants() {
                 settle: SimDuration::from_secs(5),
             };
             let report = run_nemesis(&plan, &opts);
-            prop_verify!(
-                report.ok(),
-                "seed {seed:#x}: {:?}",
-                report.violations
-            );
+            prop_verify!(report.ok(), "seed {seed:#x}: {:?}", report.violations);
             prop_verify!(report.acked > 0, "seed {seed:#x}: no client progress");
             Ok(())
         },
