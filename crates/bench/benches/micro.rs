@@ -87,6 +87,35 @@ fn bench_resolver(suite: &mut Suite) {
     );
 }
 
+fn bench_registry_lookup(suite: &mut Suite) {
+    // 200 services spread over 40 interfaces, 5 per interface: the
+    // interface index should make a lookup scan candidates only.
+    let mut registry = dosgi_osgi::ServiceRegistry::new();
+    for i in 0..200u64 {
+        let iface = format!("svc.Iface{}", i % 40);
+        let mut props: BTreeMap<String, PropValue> = BTreeMap::new();
+        props.insert("service.ranking".into(), PropValue::Int((i % 7) as i64));
+        registry.register(
+            dosgi_osgi::BundleId(i % 10),
+            &[iface.as_str()],
+            props,
+            Box::new(
+                |_ctx: &mut dosgi_osgi::CallContext<'_>, _m: &str, arg: &Value| Ok(arg.clone()),
+            ),
+        );
+    }
+    suite.bench("registry/lookup", || {
+        black_box(registry.references(black_box(Some("svc.Iface7")), None));
+    });
+    suite.bench("registry/best", || {
+        black_box(registry.best(black_box("svc.Iface23")));
+    });
+    let filter = Filter::parse("(service.ranking>=3)").unwrap();
+    suite.bench("registry/lookup_filtered", || {
+        black_box(registry.references(black_box(Some("svc.Iface7")), Some(black_box(&filter))));
+    });
+}
+
 fn bench_policy(suite: &mut Suite) {
     let script = dosgi_core::autonomic::DEFAULT_POLICY;
     suite.bench("policy/compile_default", || {
@@ -114,6 +143,7 @@ fn main() {
     bench_filter(&mut suite);
     bench_codec(&mut suite);
     bench_resolver(&mut suite);
+    bench_registry_lookup(&mut suite);
     bench_policy(&mut suite);
     suite.finish();
 }

@@ -56,8 +56,14 @@ fn main() {
                 .unwrap();
         }
 
+        // Measure the SAN traffic of the migration round itself: source
+        // stop + final persist, destination restore. Change-detecting
+        // writes and per-bundle snapshot rows mean only state that actually
+        // changed since the last flush moves.
+        c.store().reset_stats();
         c.migrate("ctr", 1).unwrap();
         c.run_for(SimDuration::from_secs(8));
+        let san = c.store().stats();
         assert_eq!(c.home_of("ctr"), Some(1), "migrated");
         assert_eq!(
             c.call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null)
@@ -75,6 +81,14 @@ fn main() {
             format!("{downtime}"),
             format!("{}", cold),
             format!("{:.1}%", 100.0 * latency.as_secs_f64() / cold.as_secs_f64()),
+            format!("{}", san.bytes_written),
+            format!("{}", san.bytes_read),
+            format!(
+                "{} ({:.0}%)",
+                san.bytes_skipped,
+                100.0 * san.bytes_skipped as f64
+                    / (san.bytes_written + san.bytes_skipped).max(1) as f64
+            ),
         ]);
     }
     print_table(
@@ -85,6 +99,9 @@ fn main() {
             "observed downtime",
             "cold platform start",
             "migration/cold",
+            "SAN B written",
+            "SAN B read",
+            "SAN B skipped (saved)",
         ],
         &rows,
     );

@@ -17,6 +17,9 @@ use dosgi_san::Value;
 struct Outcome {
     lost: i64,
     san_writes: u64,
+    update_bytes: u64,
+    failover_bytes_read: u64,
+    failover_bytes_written: u64,
     downtime: SimDuration,
 }
 
@@ -37,10 +40,15 @@ fn run(bundle: &str, standby: bool, seed: u64) -> Outcome {
         c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
             .unwrap();
     }
-    let san_writes = c.store().stats().writes;
+    let update_stats = c.store().stats();
 
+    // Separate accounting for the failover round itself: the survivor's
+    // restore reads + its re-persisted rows (change detection keeps the
+    // rewrites to what actually differs).
+    c.store().reset_stats();
     c.crash_node(0);
     c.run_for(SimDuration::from_secs(4));
+    let failover_stats = c.store().stats();
     assert!(c.probe("ctr"), "failed over");
     let got = c
         .call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null)
@@ -49,7 +57,10 @@ fn run(bundle: &str, standby: bool, seed: u64) -> Outcome {
         .unwrap();
     Outcome {
         lost: updates - got,
-        san_writes,
+        san_writes: update_stats.writes,
+        update_bytes: update_stats.bytes_written,
+        failover_bytes_read: failover_stats.bytes_read,
+        failover_bytes_written: failover_stats.bytes_written,
         downtime: c.sla().record("ctr").down,
     }
 }
@@ -80,6 +91,9 @@ fn main() {
             (*label).to_string(),
             o.lost.to_string(),
             format!("{:.3}", o.san_writes as f64 / 203.0),
+            format!("{:.1}", o.update_bytes as f64 / 203.0),
+            format!("{}", o.failover_bytes_read),
+            format!("{}", o.failover_bytes_written),
             format!("{}", o.downtime),
         ]);
     }
@@ -89,6 +103,9 @@ fn main() {
             "strategy",
             "updates lost",
             "SAN writes / update",
+            "SAN B / update",
+            "failover B read",
+            "failover B written",
             "downtime",
         ],
         &rows,

@@ -1,0 +1,118 @@
+//! **CI perf guard** for the delta persistence fast path.
+//!
+//! Replays the deterministic E5 migration scenario (fixed seed, simulated
+//! clock — byte counts are exactly reproducible) and compares the SAN
+//! bytes written/read during the migration round against the committed
+//! baseline in `results/perf_baseline_e5.json`. A regression of more than
+//! 10% on either axis fails the build: blowing the change-detection or
+//! per-row persistence win is a bug, not noise.
+//!
+//! To accept an intentional change, regenerate the baseline with
+//! `PERF_GUARD_WRITE_BASELINE=1 cargo run --release -p dosgi-bench --bin
+//! perf_guard` and commit the new JSON.
+
+use dosgi_core::{workloads, ClusterConfig, DosgiCluster};
+use dosgi_net::SimDuration;
+use dosgi_san::Value;
+use dosgi_testkit::Json;
+
+const BASELINE: &str = "perf_baseline_e5.json";
+const TOLERANCE: f64 = 0.10;
+
+/// The deterministic migration round: deploy a counter with a 256 KiB data
+/// area on node 0, settle, then migrate it to node 1. Returns the SAN
+/// bytes written/read during the round itself.
+fn measure() -> (u64, u64) {
+    let mut c = DosgiCluster::new(3, ClusterConfig::default(), 500);
+    c.run_for(SimDuration::from_millis(500));
+    c.deploy(workloads::counter_instance("bank", "ctr"), 0)
+        .unwrap();
+    c.run_for(SimDuration::from_millis(500));
+    let ns = "instance/ctr/data/org.app.counter";
+    let blob = vec![0u8; 1024];
+    for i in 0..256 {
+        c.store()
+            .put(ns, &format!("blob-{i}"), Value::Bytes(blob.clone()))
+            .expect("no faults armed");
+    }
+    for _ in 0..5 {
+        c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+            .unwrap();
+    }
+    c.store().reset_stats();
+    c.migrate("ctr", 1).unwrap();
+    c.run_for(SimDuration::from_secs(8));
+    // Stats snapshot covers exactly the migration round (the verifying
+    // `get` below would add the lazy data-area hydration read).
+    let s = c.store().stats();
+    assert_eq!(c.home_of("ctr"), Some(1), "migrated");
+    assert_eq!(
+        c.call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null)
+            .unwrap(),
+        Value::Int(5),
+        "state intact"
+    );
+    (s.bytes_written, s.bytes_read)
+}
+
+fn main() {
+    let (written, read) = measure();
+    println!("perf_guard: e5 migration round: {written} B written, {read} B read");
+    let path = dosgi_testkit::workspace_root()
+        .join("results")
+        .join(BASELINE);
+
+    if std::env::var("PERF_GUARD_WRITE_BASELINE").is_ok() {
+        let body = format!(
+            "{{\n  \"scenario\": \"e5_migration_round\",\n  \"bytes_written\": {written},\n  \"bytes_read\": {read}\n}}\n"
+        );
+        std::fs::create_dir_all(path.parent().expect("results dir has a parent"))
+            .expect("create results dir");
+        std::fs::write(&path, body).expect("write baseline");
+        println!("perf_guard: baseline rewritten at {}", path.display());
+        return;
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_guard: no baseline at {} ({e})", path.display());
+            eprintln!("perf_guard: generate one with PERF_GUARD_WRITE_BASELINE=1");
+            std::process::exit(1);
+        }
+    };
+    let json = Json::parse(&text).expect("baseline JSON parses");
+    let base_written = json
+        .get("bytes_written")
+        .and_then(Json::as_u64)
+        .expect("baseline has bytes_written");
+    let base_read = json
+        .get("bytes_read")
+        .and_then(Json::as_u64)
+        .expect("baseline has bytes_read");
+
+    let mut failed = false;
+    for (label, now, base) in [
+        ("bytes_written", written, base_written),
+        ("bytes_read", read, base_read),
+    ] {
+        let limit = (base as f64 * (1.0 + TOLERANCE)).ceil() as u64;
+        let status = if now > limit {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!("perf_guard: {label}: {now} vs baseline {base} (limit {limit}) {status}");
+    }
+    if failed {
+        eprintln!(
+            "perf_guard: SAN byte cost regressed >{:.0}% vs {}",
+            TOLERANCE * 100.0,
+            path.display()
+        );
+        eprintln!("perf_guard: if intentional, regenerate with PERF_GUARD_WRITE_BASELINE=1");
+        std::process::exit(1);
+    }
+    println!("perf_guard: within tolerance");
+}

@@ -73,20 +73,43 @@ pub enum AppPayload {
         node: NodeId,
     },
     /// (ordered) A node announces it (re)started. Peers answer with a
-    /// `RegistrySync`, which lets a node that crashed and restarted *below
-    /// the suspicion timeout* — invisible to the failure detector — learn
-    /// the registry and re-adopt the instances it silently lost.
+    /// `RegistryDelta` computed against the carried digest, which lets a
+    /// node that crashed and restarted *below the suspicion timeout* —
+    /// invisible to the failure detector — learn the registry and re-adopt
+    /// the instances it silently lost, without shipping records it already
+    /// holds at the current revision.
     Hello {
         /// The (re)started node.
         node: NodeId,
+        /// The sender's registry digest (`name → rev`, see
+        /// [`ClusterRegistry::digest`](crate::ClusterRegistry::digest)).
+        /// Empty after a fresh restart, in which case the answering delta
+        /// degenerates to a full snapshot.
+        digest: Value,
     },
     /// (ordered) Full registry state, sent by the coordinator when a node
-    /// (re)joins — application-level state transfer so a restarted node
-    /// catches up with the replicated instance registry.
+    /// (re)joins — the anti-entropy fallback for healed minorities and
+    /// joiners, whose divergence is unbounded. Per-record deltas
+    /// (`RegistryDelta`) cover the common, bounded-divergence case.
     RegistrySync {
         /// The serialized registry (see
         /// [`ClusterRegistry::export`](crate::ClusterRegistry::export)).
         registry: Value,
+    },
+    /// (ordered) Per-record registry delta, answering a `Hello`: only the
+    /// records the digest is missing or holds at an older revision travel,
+    /// plus revision-guarded removals for records the digest names but the
+    /// sender's registry no longer contains.
+    RegistryDelta {
+        /// Export-format records (see
+        /// [`ClusterRegistry::export`](crate::ClusterRegistry::export))
+        /// newer than — or absent from — the digest this delta answers.
+        upserts: Value,
+        /// A list of `{name, rev}` maps: records the digest named that the
+        /// sender lacks. Applied only when the receiver's revision still
+        /// equals `rev` (a CAS guard — revisions restart at 1 after an
+        /// undeploy + redeploy, so a plain `<=` check would be unsound).
+        removes: Value,
     },
 }
 
@@ -102,7 +125,8 @@ impl AppPayload {
             | AppPayload::Undeployed { name } => Some(name),
             AppPayload::Draining { .. }
             | AppPayload::Hello { .. }
-            | AppPayload::RegistrySync { .. } => None,
+            | AppPayload::RegistrySync { .. }
+            | AppPayload::RegistryDelta { .. } => None,
         }
     }
 }
@@ -120,6 +144,22 @@ mod tests {
         };
         assert_eq!(m.instance(), Some("a"));
         assert_eq!(AppPayload::Draining { node: NodeId(0) }.instance(), None);
+        assert_eq!(
+            AppPayload::Hello {
+                node: NodeId(0),
+                digest: Value::map(),
+            }
+            .instance(),
+            None
+        );
+        assert_eq!(
+            AppPayload::RegistryDelta {
+                upserts: Value::List(Vec::new()),
+                removes: Value::List(Vec::new()),
+            }
+            .instance(),
+            None
+        );
         assert_eq!(m.clone(), m);
     }
 }

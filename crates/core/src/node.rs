@@ -421,7 +421,19 @@ impl DosgiNode {
         }
         if !self.hello_sent {
             self.hello_sent = true;
-            self.order(net, AppPayload::Hello { node: self.id });
+            // The digest lets the answering peer ship a per-record delta
+            // instead of the full registry. A freshly restarted node has an
+            // empty registry, so its digest is empty and the delta
+            // degenerates to a full snapshot — same convergence, fewer
+            // bytes whenever the sender already holds current records.
+            let digest = self.registry.digest();
+            self.order(
+                net,
+                AppPayload::Hello {
+                    node: self.id,
+                    digest,
+                },
+            );
         }
         self.process_pending_adoptions(net, now);
         self.flush_deferred_persistence();
@@ -560,6 +572,8 @@ impl DosgiNode {
                     .copied();
                 if !joined.is_empty() && sync_sender == Some(self.id) {
                     let snapshot = self.registry.export();
+                    self.telemetry
+                        .add("registry.sync_bytes", snapshot.encoded_len() as u64);
                     self.order(net, AppPayload::RegistrySync { registry: snapshot });
                 }
                 let effective_universe = self.gcs.universe() - self.departed_peers.len();
@@ -674,11 +688,13 @@ impl DosgiNode {
                     self.draining_peers.insert(node);
                 }
             }
-            AppPayload::Hello { node } => {
-                // Answer a (re)started peer with the registry, so a silent
-                // restart (crash + rejoin under the suspicion timeout)
-                // still converges. The lowest-id *other* view member
-                // answers; merge-import makes duplicates harmless.
+            AppPayload::Hello { node, digest } => {
+                // Answer a (re)started peer with a per-record delta against
+                // its digest, so a silent restart (crash + rejoin under the
+                // suspicion timeout) still converges without re-shipping
+                // records the peer already holds at the current revision.
+                // The lowest-id *other* view member answers; rev-gated
+                // merge-import makes duplicates harmless.
                 let responder = self
                     .gcs
                     .view()
@@ -687,15 +703,32 @@ impl DosgiNode {
                     .find(|m| **m != node)
                     .copied();
                 if node != self.id && responder == Some(self.id) && !self.registry.is_empty() {
-                    let snapshot = self.registry.export();
-                    self.order(net, AppPayload::RegistrySync { registry: snapshot });
+                    let (upserts, removes) = self.registry.export_delta(&digest);
+                    let payload_rows = upserts.as_list().map(<[Value]>::len).unwrap_or(0)
+                        + removes.as_list().map(<[Value]>::len).unwrap_or(0);
+                    if payload_rows > 0 {
+                        self.telemetry.add(
+                            "registry.delta_bytes",
+                            (upserts.encoded_len() + removes.encoded_len()) as u64,
+                        );
+                        self.order(net, AppPayload::RegistryDelta { upserts, removes });
+                    }
                 }
             }
             AppPayload::RegistrySync { registry } => {
-                // Authoritative snapshot in the total order: everyone
-                // replaces their copy at the same logical instant, then
-                // reconciles local instances against it (partition heal).
+                // Authoritative snapshot in the total order — the
+                // anti-entropy fallback (joiners, healed minorities):
+                // everyone merges the same snapshot at the same logical
+                // instant, then reconciles local instances against it
+                // (partition heal).
                 self.registry.import(&registry);
+                self.reconcile_with_registry(now);
+            }
+            AppPayload::RegistryDelta { upserts, removes } => {
+                // Ordered per-record delta: same merge semantics as a full
+                // sync (rev-gated upserts, rev-equality-guarded removals),
+                // applied by every member at the same logical instant.
+                self.registry.import_delta(&upserts, &removes);
                 self.reconcile_with_registry(now);
             }
             AppPayload::Quarantined { .. } => {

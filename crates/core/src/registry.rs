@@ -149,7 +149,8 @@ impl ClusterRegistry {
             }
             AppPayload::Draining { .. }
             | AppPayload::Hello { .. }
-            | AppPayload::RegistrySync { .. } => {}
+            | AppPayload::RegistrySync { .. }
+            | AppPayload::RegistryDelta { .. } => {}
         }
     }
 
@@ -227,31 +228,109 @@ impl ClusterRegistry {
         self.records.is_empty()
     }
 
+    /// Serializes one record in the export wire format.
+    fn record_value(r: &InstanceRecord) -> Value {
+        let (status, to) = match r.status {
+            InstanceStatus::Placed => ("placed", None),
+            InstanceStatus::Migrating { to } => ("migrating", Some(to)),
+            InstanceStatus::Orphaned => ("orphaned", None),
+            InstanceStatus::Quarantined => ("quarantined", None),
+        };
+        let mut v = Value::map()
+            .with("name", r.name.as_str())
+            .with("descriptor", r.descriptor.clone())
+            .with("home", u64::from(r.home.0))
+            .with("status", status)
+            .with("rev", r.rev);
+        if let Some(to) = to {
+            v = v.with("to", u64::from(to.0));
+        }
+        v
+    }
+
     /// Serializes the full registry for state transfer to a joining node.
     pub fn export(&self) -> Value {
-        Value::List(
-            self.records
-                .values()
-                .map(|r| {
-                    let (status, to) = match r.status {
-                        InstanceStatus::Placed => ("placed", None),
-                        InstanceStatus::Migrating { to } => ("migrating", Some(to)),
-                        InstanceStatus::Orphaned => ("orphaned", None),
-                        InstanceStatus::Quarantined => ("quarantined", None),
-                    };
-                    let mut v = Value::map()
-                        .with("name", r.name.as_str())
-                        .with("descriptor", r.descriptor.clone())
-                        .with("home", u64::from(r.home.0))
-                        .with("status", status)
-                        .with("rev", r.rev);
-                    if let Some(to) = to {
-                        v = v.with("to", u64::from(to.0));
-                    }
-                    v
-                })
-                .collect(),
-        )
+        Value::List(self.records.values().map(Self::record_value).collect())
+    }
+
+    /// A compact digest: `name → rev` for every record. Carried by `Hello`
+    /// so a peer can answer with a per-record delta
+    /// ([`export_delta`](Self::export_delta)) instead of the full registry.
+    pub fn digest(&self) -> Value {
+        self.records
+            .values()
+            .map(|r| (r.name.clone(), Value::Int(r.rev as i64)))
+            .collect()
+    }
+
+    /// Computes the per-record delta that brings a registry described by
+    /// `digest` (see [`digest`](Self::digest)) up to date with this one:
+    ///
+    /// * **upserts** — export-format records the digest is missing or holds
+    ///   at an older revision (name-ascending, like [`export`](Self::export));
+    /// * **removes** — `{name, rev}` for every digest entry this registry
+    ///   has no record for. `rev` echoes the digest's revision and acts as
+    ///   a compare-and-swap guard at the receiver: revisions restart at 1
+    ///   after an undeploy + redeploy, so revision *equality* — not `<=` —
+    ///   is the only sound removal condition.
+    ///
+    /// Records the digest already holds at this registry's revision (or
+    /// newer) are omitted entirely — the fast path that makes a
+    /// steady-state hello answer near-empty.
+    pub fn export_delta(&self, digest: &Value) -> (Value, Value) {
+        let empty = BTreeMap::new();
+        let known = digest.as_map().unwrap_or(&empty);
+        let upserts: Value = self
+            .records
+            .values()
+            .filter(|r| {
+                known
+                    .get(&r.name)
+                    .and_then(Value::as_int)
+                    .map(|rev| (rev as u64) < r.rev)
+                    .unwrap_or(true)
+            })
+            .map(Self::record_value)
+            .collect();
+        let removes: Value = known
+            .iter()
+            .filter(|(name, _)| !self.records.contains_key(*name))
+            .map(|(name, rev)| {
+                Value::map()
+                    .with("name", name.as_str())
+                    .with("rev", rev.as_int().unwrap_or(0))
+            })
+            .collect();
+        (upserts, removes)
+    }
+
+    /// Applies a per-record delta (see [`export_delta`](Self::export_delta)).
+    /// Upserts merge exactly like [`import`](Self::import) — revision
+    /// regressions are refused — and removals only fire while the local
+    /// revision still *equals* the guard: any ordered mutation interleaved
+    /// between the digest and the delta (a redeploy, a claim) changes the
+    /// revision and voids the removal.
+    pub fn import_delta(&mut self, upserts: &Value, removes: &Value) {
+        self.import(upserts);
+        let Some(list) = removes.as_list() else {
+            return;
+        };
+        for entry in list {
+            let Some(name) = entry.get("name").and_then(Value::as_str) else {
+                continue;
+            };
+            let Some(rev) = entry.get("rev").and_then(Value::as_int) else {
+                continue;
+            };
+            if self
+                .records
+                .get(name)
+                .map(|r| r.rev == rev as u64)
+                .unwrap_or(false)
+            {
+                self.records.remove(name);
+            }
+        }
     }
 
     /// Merges an exported snapshot into this registry: present records are
@@ -539,6 +618,127 @@ mod tests {
         // Non-list import is a no-op.
         r.import(&Value::Null);
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn delta_against_empty_digest_is_the_full_export() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        r.apply(&deployed("b", 1));
+        let (upserts, removes) = r.export_delta(&Value::map());
+        assert_eq!(upserts, r.export());
+        assert_eq!(removes.as_list().unwrap().len(), 0);
+        // A fresh replica importing the delta converges exactly.
+        let mut r2 = ClusterRegistry::new();
+        r2.import_delta(&upserts, &removes);
+        assert_eq!(r2, r);
+    }
+
+    #[test]
+    fn delta_against_current_digest_is_empty() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        r.apply(&AppPayload::Migrate {
+            name: "a".into(),
+            from: NodeId(0),
+            to: NodeId(1),
+        });
+        let (upserts, removes) = r.export_delta(&r.digest());
+        assert_eq!(upserts.as_list().unwrap().len(), 0);
+        assert_eq!(removes.as_list().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn delta_ships_only_stale_and_missing_records() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        r.apply(&deployed("b", 1));
+        let behind = r.clone();
+        // `a` advances past the digest; `c` is new; `b` is unchanged.
+        r.apply(&AppPayload::Migrate {
+            name: "a".into(),
+            from: NodeId(0),
+            to: NodeId(2),
+        });
+        r.apply(&deployed("c", 2));
+        let (upserts, removes) = r.export_delta(&behind.digest());
+        let names: Vec<&str> = upserts
+            .as_list()
+            .unwrap()
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Value::as_str))
+            .collect();
+        assert_eq!(names, vec!["a", "c"]);
+        assert_eq!(removes.as_list().unwrap().len(), 0);
+        let mut caught_up = behind.clone();
+        caught_up.import_delta(&upserts, &removes);
+        assert_eq!(caught_up, r);
+    }
+
+    #[test]
+    fn delta_removes_are_revision_guarded() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        let stale_digest = r.digest(); // knows a@1
+        r.apply(&AppPayload::Undeployed { name: "a".into() });
+        let (upserts, removes) = r.export_delta(&stale_digest);
+        assert_eq!(upserts.as_list().unwrap().len(), 0);
+        assert_eq!(removes.as_list().unwrap().len(), 1);
+
+        // A replica still holding a@1 drops it…
+        let mut behind = ClusterRegistry::new();
+        behind.apply(&deployed("a", 0));
+        behind.import_delta(&upserts, &removes);
+        assert!(behind.is_empty());
+
+        // …but a replica that re-deployed `a` after the undeploy holds it
+        // at rev 1 *again* — the equality guard must still protect it,
+        // because that record is a different incarnation. Advance it one
+        // rev so the guard visibly mismatches.
+        let mut redeployed = ClusterRegistry::new();
+        redeployed.apply(&deployed("a", 3));
+        redeployed.apply(&AppPayload::Migrate {
+            name: "a".into(),
+            from: NodeId(3),
+            to: NodeId(4),
+        });
+        redeployed.import_delta(&upserts, &removes);
+        assert!(
+            redeployed.record("a").is_some(),
+            "revision-mismatched remove must be voided"
+        );
+    }
+
+    #[test]
+    fn delta_survives_the_wire_codec() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        r.apply(&AppPayload::Quarantined {
+            name: "a".into(),
+            node: NodeId(0),
+        });
+        let (upserts, removes) = r.export_delta(&Value::map());
+        let mut r2 = ClusterRegistry::new();
+        r2.import_delta(
+            &Value::decode(&upserts.encode()).unwrap(),
+            &Value::decode(&removes.encode()).unwrap(),
+        );
+        assert_eq!(r2, r);
+    }
+
+    #[test]
+    fn import_delta_skips_garbage_removes() {
+        let mut r = ClusterRegistry::new();
+        r.apply(&deployed("a", 0));
+        r.import_delta(
+            &Value::List(Vec::new()),
+            &Value::List(vec![
+                Value::map().with("rev", 1u64), // no name
+                Value::map().with("name", "a"), // no rev guard
+                Value::Int(9),                  // not a map
+            ]),
+        );
+        assert!(r.record("a").is_some());
     }
 
     #[test]

@@ -78,8 +78,12 @@ pub struct Framework {
     framework_events: Vec<FrameworkEvent>,
     data_areas: HashMap<String, BTreeMap<String, Value>>,
     store: Option<(SharedStore, String)>,
-    /// The last snapshot write failed; a flush is pending (write-behind).
-    dirty_snapshot: bool,
+    /// Snapshot rows (header / `bundle/<id>`) whose in-memory state is
+    /// ahead of the SAN; the next persist writes exactly these rows.
+    dirty_rows: BTreeSet<String>,
+    /// Snapshot rows pending deletion on the SAN (uninstalled bundles,
+    /// the legacy monolithic key after a migration restore).
+    deleted_rows: BTreeSet<String>,
     /// Data areas whose SAN write-through failed; flush pending.
     dirty_areas: BTreeSet<String>,
     telemetry: Telemetry,
@@ -115,7 +119,8 @@ impl Framework {
             framework_events: Vec::new(),
             data_areas: HashMap::new(),
             store: None,
-            dirty_snapshot: false,
+            dirty_rows: BTreeSet::new(),
+            deleted_rows: BTreeSet::new(),
             dirty_areas: BTreeSet::new(),
             telemetry: Telemetry::disabled(),
         };
@@ -144,6 +149,7 @@ impl Framework {
     /// successful [`flush_persist`](Self::flush_persist).
     pub fn attach_store(&mut self, store: SharedStore, namespace: &str) -> Result<(), StoreError> {
         self.store = Some((store, namespace.to_owned()));
+        self.mark_all_rows_dirty();
         self.persist()
     }
 
@@ -188,6 +194,8 @@ impl Framework {
             },
         );
         self.event(id, BundleEventKind::Installed);
+        self.mark_header_dirty(); // next_bundle advanced
+        self.mark_bundle_dirty(id);
         let _ = self.persist();
         Ok(id)
     }
@@ -216,6 +224,7 @@ impl Framework {
                 .expect("resolver only reports candidate ids")
                 .state = BundleState::Resolved;
             self.event(id, BundleEventKind::Resolved);
+            self.mark_bundle_dirty(id);
         }
         if !ids.is_empty() {
             let _ = self.persist();
@@ -289,6 +298,7 @@ impl Framework {
                 bundle.state = BundleState::Active;
                 bundle.autostart = true;
                 self.event(id, BundleEventKind::Started);
+                self.mark_bundle_dirty(id);
                 let _ = self.persist();
                 Ok(())
             }
@@ -333,6 +343,8 @@ impl Framework {
                 if let Some(b) = self.bundles.get_mut(&id) {
                     b.autostart = false;
                 }
+                // Captured by the next persist, like any deferred change.
+                self.mark_bundle_dirty(id);
             }
             return Ok(());
         }
@@ -367,6 +379,7 @@ impl Framework {
             bundle.autostart = false;
         }
         self.event(id, BundleEventKind::Stopped);
+        self.mark_bundle_dirty(id);
         let _ = self.persist();
         Ok(())
     }
@@ -393,6 +406,11 @@ impl Framework {
         self.wirings.remove(&id);
         self.ledger.forget(id);
         self.event(id, BundleEventKind::Uninstalled);
+        if self.store.is_some() {
+            let key = persist::bundle_key(id);
+            self.dirty_rows.remove(&key);
+            self.deleted_rows.insert(key);
+        }
         let _ = self.persist();
         Ok(())
     }
@@ -441,6 +459,7 @@ impl Framework {
         }
         self.wirings.remove(&id);
         self.event(id, BundleEventKind::Updated);
+        self.mark_bundle_dirty(id);
         self.refresh();
         if was_active {
             self.start(id)?;
@@ -470,6 +489,7 @@ impl Framework {
             if b.state == BundleState::Installed {
                 b.state = BundleState::Resolved;
                 self.event(id, BundleEventKind::Resolved);
+                self.mark_bundle_dirty(id);
             }
         }
         for id in failed {
@@ -477,10 +497,16 @@ impl Framework {
             if state == Some(BundleState::Active) {
                 let _ = self.stop_transient(id);
             }
-            if let Some(b) = self.bundles.get_mut(&id) {
+            let demoted = self.bundles.get_mut(&id).is_some_and(|b| {
                 if b.state != BundleState::Installed {
                     b.state = BundleState::Installed;
+                    true
+                } else {
+                    false
                 }
+            });
+            if demoted {
+                self.mark_bundle_dirty(id);
             }
             self.wirings.remove(&id);
         }
@@ -530,6 +556,7 @@ impl Framework {
         self.config.start_level = level;
         self.framework_events
             .push(FrameworkEvent::StartLevelChanged { level });
+        self.mark_header_dirty();
         let _ = self.persist();
     }
 
@@ -888,35 +915,61 @@ impl Framework {
     // Persistence
     // ------------------------------------------------------------------
 
-    /// Writes a snapshot of the framework state to the attached store, if
-    /// any. Called automatically after every lifecycle mutation.
+    /// Marks a bundle's snapshot row as ahead of the SAN. Every in-memory
+    /// lifecycle mutation must mark the rows it touched; the persist call
+    /// sites then flush exactly the marked rows (write-behind on failure).
+    fn mark_bundle_dirty(&mut self, id: BundleId) {
+        if self.store.is_some() {
+            self.dirty_rows.insert(persist::bundle_key(id));
+        }
+    }
+
+    /// Marks the header row (`next_bundle` / `start_level`) dirty.
+    fn mark_header_dirty(&mut self) {
+        if self.store.is_some() {
+            self.dirty_rows.insert(persist::HEADER_KEY.to_owned());
+        }
+    }
+
+    /// Marks every snapshot row dirty — used when the SAN copy cannot be
+    /// assumed to match anything (store attach, restore). Change detection
+    /// in the store makes rewriting an identical row free.
+    fn mark_all_rows_dirty(&mut self) {
+        if self.store.is_none() {
+            return;
+        }
+        self.dirty_rows.insert(persist::HEADER_KEY.to_owned());
+        let keys: Vec<String> = self
+            .bundles
+            .keys()
+            .map(|id| persist::bundle_key(*id))
+            .collect();
+        self.dirty_rows.extend(keys);
+    }
+
+    /// Writes the changed snapshot rows of the framework state to the
+    /// attached store, if any. Called automatically after every lifecycle
+    /// mutation; rows that did not change since the last persist are not
+    /// rewritten (dirty-tracking at bundle granularity), and the store
+    /// additionally skips rows whose bytes are identical.
     ///
     /// Persistence is **write-behind** with respect to lifecycle progress: a
     /// transient SAN failure does not roll back the in-memory transition.
-    /// Instead the framework marks the snapshot dirty, records a
+    /// Instead the framework leaves the rows marked dirty, records a
     /// [`FrameworkEvent::Error`], and relies on a later
     /// [`flush_persist`](Self::flush_persist) (the node tick drives one with
     /// backoff) to converge durable state.
     ///
     /// # Errors
     ///
-    /// The [`StoreError`] from the failed write; the snapshot stays dirty.
+    /// The [`StoreError`] from the failed write; the rows stay dirty.
     pub fn persist(&mut self) -> Result<(), StoreError> {
-        let Some((store, ns)) = &self.store else {
+        let Some((store, ns)) = self.store.clone() else {
             return Ok(());
         };
-        let snapshot = persist::snapshot(
-            self.next_bundle,
-            self.config.start_level,
-            self.bundles.values(),
-        );
-        match store.put(ns, "snapshot", snapshot) {
-            Ok(_) => {
-                self.dirty_snapshot = false;
-                Ok(())
-            }
+        match self.persist_rows(&store, &ns) {
+            Ok(()) => Ok(()),
             Err(e) => {
-                self.dirty_snapshot = true;
                 self.framework_events.push(FrameworkEvent::Error {
                     bundle: None,
                     message: format!("snapshot persist deferred: {e}"),
@@ -926,15 +979,56 @@ impl Framework {
         }
     }
 
-    /// True when a snapshot or data-area write-through failed and durable
-    /// state lags the in-memory state.
-    pub fn persist_dirty(&self) -> bool {
-        self.dirty_snapshot || !self.dirty_areas.is_empty()
+    fn persist_rows(&mut self, store: &SharedStore, ns: &str) -> Result<(), StoreError> {
+        // Deletes first: an uninstalled bundle's row must be gone before a
+        // concurrent restore could reassemble it into a stale bundle.
+        let deletes: Vec<String> = self.deleted_rows.iter().cloned().collect();
+        for key in deletes {
+            match store.delete(ns, &key) {
+                Ok(()) | Err(StoreError::NotFound { .. }) => {
+                    self.deleted_rows.remove(&key);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if self.dirty_rows.is_empty() {
+            return Ok(());
+        }
+        let mut entries: Vec<(String, Value)> = Vec::with_capacity(self.dirty_rows.len());
+        for key in &self.dirty_rows {
+            if key == persist::HEADER_KEY {
+                entries.push((
+                    key.clone(),
+                    persist::header_row(self.next_bundle, self.config.start_level),
+                ));
+            } else if let Some(id) = persist::parse_bundle_key(key) {
+                // A dirty row for a since-uninstalled bundle was replaced
+                // by a delete marker; nothing to write.
+                if let Some(b) = self.bundles.get(&id) {
+                    entries.push((key.clone(), persist::bundle_row(b)));
+                }
+            }
+        }
+        store.put_many(ns, &entries)?;
+        self.telemetry
+            .add("persist.rows_written", entries.len() as u64);
+        self.telemetry.add(
+            "persist.rows_skipped",
+            (self.bundles.len() as u64 + 1).saturating_sub(entries.len() as u64),
+        );
+        self.dirty_rows.clear();
+        Ok(())
     }
 
-    /// Retries every pending persistence: the framework snapshot (if dirty)
-    /// and each data area whose write-through failed. Stops at the first
-    /// error, leaving the remainder dirty for the next attempt.
+    /// True when a snapshot-row or data-area write-through failed and
+    /// durable state lags the in-memory state.
+    pub fn persist_dirty(&self) -> bool {
+        !self.dirty_rows.is_empty() || !self.deleted_rows.is_empty() || !self.dirty_areas.is_empty()
+    }
+
+    /// Retries every pending persistence: dirty snapshot rows, pending row
+    /// deletes, and each data area whose write-through failed. Stops at the
+    /// first error, leaving the remainder dirty for the next attempt.
     ///
     /// # Errors
     ///
@@ -942,11 +1036,12 @@ impl Framework {
     /// remains true.
     pub fn flush_persist(&mut self) -> Result<(), StoreError> {
         let Some((store, ns)) = self.store.clone() else {
-            self.dirty_snapshot = false;
+            self.dirty_rows.clear();
+            self.deleted_rows.clear();
             self.dirty_areas.clear();
             return Ok(());
         };
-        if self.dirty_snapshot {
+        if !self.dirty_rows.is_empty() || !self.deleted_rows.is_empty() {
             self.persist()?;
         }
         let pending: Vec<String> = self.dirty_areas.iter().cloned().collect();
@@ -964,23 +1059,22 @@ impl Framework {
         Ok(())
     }
 
-    /// The encoded size of the persisted snapshot in bytes (0 when no store
-    /// is attached) — the state a migration must move.
+    /// The encoded size of the persisted snapshot rows in bytes (0 when no
+    /// store is attached) — the state a migration must move.
     pub fn snapshot_bytes(&self) -> u64 {
         match &self.store {
-            // A metric, not a data read: peek bypasses the fault layer so
-            // sizing stays observable during brown-outs.
-            Some((store, ns)) => store
-                .peek(ns, "snapshot")
-                .map(|v| v.encoded_len() as u64)
-                .unwrap_or(0),
+            // A metric, not a data read: namespace_bytes bypasses the fault
+            // layer so sizing stays observable during brown-outs.
+            Some((store, ns)) => store.namespace_bytes(ns),
             None => 0,
         }
     }
 
-    /// Reconstructs a framework from the snapshot stored under
-    /// `namespace`, reinstalling every bundle (activators re-created via
-    /// `factory`) and restarting the ones that were persistently started.
+    /// Reconstructs a framework from the per-bundle snapshot rows stored
+    /// under `namespace` (reassembled via `read_namespace`; a legacy
+    /// monolithic snapshot restores too and is converted to rows),
+    /// reinstalling every bundle (activators re-created via `factory`) and
+    /// restarting the ones that were persistently started.
     ///
     /// This is the paper's migration/redeployment path: the OSGi spec makes
     /// framework state persistent, the SAN makes it visible cluster-wide, so
@@ -997,10 +1091,12 @@ impl Framework {
         namespace: &str,
         factory: &ActivatorFactory,
     ) -> Result<Framework, BundleError> {
-        let snapshot = store
-            .get(namespace, "snapshot")?
+        let rows = store.read_namespace(namespace)?;
+        let legacy = rows.iter().any(|(k, _)| k == persist::LEGACY_SNAPSHOT_KEY)
+            && !rows.iter().any(|(k, _)| k == persist::HEADER_KEY);
+        let parsed = persist::assemble(&rows)
+            .map_err(BundleError::CorruptState)?
             .ok_or_else(|| BundleError::CorruptState(format!("no snapshot in {namespace}")))?;
-        let parsed = persist::parse_snapshot(&snapshot).map_err(BundleError::CorruptState)?;
         let mut fw = Framework::with_config(config);
         fw.config.start_level = parsed.start_level;
         for record in &parsed.bundles {
@@ -1021,6 +1117,12 @@ impl Framework {
         // Attach the store before restarting anything: activators read
         // their persisted data areas during start.
         fw.store = Some((store, namespace.to_owned()));
+        if legacy {
+            // The trailing persist rewrites the state as rows; drop the
+            // monolithic key so the namespace holds exactly one copy.
+            fw.deleted_rows
+                .insert(persist::LEGACY_SNAPSHOT_KEY.to_owned());
+        }
         fw.resolve_all();
         // Restart persistently-started bundles within the start level, in
         // (start level, id) order.
@@ -1039,6 +1141,11 @@ impl Framework {
                 });
             }
         }
+        // Re-mark everything: restored in-memory states can lag the rows
+        // just read (e.g. a bundle persisted RESOLVED that no longer
+        // resolves stays INSTALLED). Unchanged rows cost nothing to
+        // rewrite thanks to store-level change detection.
+        fw.mark_all_rows_dirty();
         let _ = fw.persist();
         Ok(fw)
     }
@@ -1568,5 +1675,187 @@ mod tests {
             &ActivatorFactory::new(),
         )
         .is_ok());
+    }
+
+    /// Random lifecycle sequences with SAN faults injected mid-stream: the
+    /// store-attached framework must (a) never let a fault change a
+    /// lifecycle outcome (its in-memory state stays byte-identical to a
+    /// storeless oracle applying the same ops), and (b) once the SAN heals
+    /// and the write-behind rows flush, its per-bundle rows must reassemble
+    /// byte-identically to the monolithic snapshot the oracle would write.
+    /// Restoring from the rows and from the legacy monolithic snapshot must
+    /// then agree byte-for-byte too.
+    #[test]
+    fn prop_row_persistence_matches_monolithic_oracle_under_faults() {
+        use dosgi_testkit::{prop, prop_verify, Gen, PropResult};
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Install(u8),
+            Start(u8),
+            Stop(u8),
+            Uninstall(u8),
+            SetStartLevel(u8),
+            DataPut(u8),
+            Fault(u8),
+            Heal,
+        }
+
+        fn pool() -> Vec<BundleManifest> {
+            (0..8u32)
+                .map(|i| {
+                    let mut b =
+                        ManifestBuilder::new(&format!("org.prop.b{i}"), Version::new(1, 0, 0))
+                            .private_package(&format!("org.prop.b{i}.impl"), ["Main"]);
+                    if i % 3 == 0 {
+                        b = b.start_level(2);
+                    }
+                    b.build().unwrap()
+                })
+                .collect()
+        }
+
+        fn apply(
+            fw: &mut Framework,
+            manifests: &[BundleManifest],
+            op: &Op,
+            store: Option<&SharedStore>,
+        ) {
+            match *op {
+                Op::Install(n) => {
+                    let _ = fw.install(manifests[n as usize % manifests.len()].clone(), None);
+                }
+                Op::Start(n) => {
+                    let _ = fw.start(BundleId(u64::from(n) % 12 + 1));
+                }
+                Op::Stop(n) => {
+                    let _ = fw.stop(BundleId(u64::from(n) % 12 + 1));
+                }
+                Op::Uninstall(n) => {
+                    let _ = fw.uninstall(BundleId(u64::from(n) % 12 + 1));
+                }
+                Op::SetStartLevel(n) => fw.set_start_level(u32::from(n)),
+                Op::DataPut(n) => {
+                    let _ = fw.bundle_store_put(
+                        BundleId(u64::from(n) % 12 + 1),
+                        &format!("k{}", n % 3),
+                        Value::Int(i64::from(n)),
+                    );
+                }
+                Op::Fault(n) => {
+                    // Only the store-attached framework sees the SAN; the
+                    // oracle has none to fault.
+                    if let Some(store) = store {
+                        store.set_fault_plan(
+                            FaultPlan::flaky(f64::from(n % 40) / 100.0, u64::from(n) * 977 + 13)
+                                .with_torn_writes(f64::from(n % 3) / 4.0),
+                        );
+                    }
+                }
+                Op::Heal => {
+                    if let Some(store) = store {
+                        store.faults().clear();
+                    }
+                }
+            }
+        }
+
+        let ops = prop::vecs(
+            prop::one_of(vec![
+                prop::u8s(0, 7).map(Op::Install),
+                prop::u8s(0, 11).map(Op::Start),
+                prop::u8s(0, 11).map(Op::Stop),
+                prop::u8s(0, 11).map(Op::Uninstall),
+                prop::u8s(1, 3).map(Op::SetStartLevel),
+                prop::u8s(0, 11).map(Op::DataPut),
+                prop::u8s(0, 99).map(Op::Fault),
+                Gen::new(|_| Op::Heal),
+            ]),
+            1,
+            40,
+        );
+
+        prop::check_with(
+            &prop::Config::with_cases(200),
+            "prop_row_persistence_matches_monolithic_oracle_under_faults",
+            &ops,
+            |ops: &Vec<Op>| -> PropResult {
+                let manifests = pool();
+                let store = SharedStore::new();
+                let ns = "prop/fw";
+                let mut fw = Framework::new(ns);
+                fw.attach_store(store.clone(), ns).expect("clean attach");
+                let mut oracle = Framework::new(ns);
+                for op in ops {
+                    apply(&mut fw, &manifests, op, Some(&store));
+                    apply(&mut oracle, &manifests, op, None);
+                }
+                store.faults().clear();
+                fw.flush_persist().expect("flush after heal");
+
+                let mono =
+                    persist::snapshot(oracle.next_bundle, oracle.start_level(), oracle.bundles());
+                let live = persist::snapshot(fw.next_bundle, fw.start_level(), fw.bundles());
+                prop_verify!(
+                    live.encode() == mono.encode(),
+                    "faulted framework diverged from the storeless oracle in memory"
+                );
+
+                let rows = store.read_namespace(ns).expect("healed SAN");
+                let assembled = persist::assemble(&rows)
+                    .expect("well-formed rows")
+                    .expect("header row present");
+                let rebuilt: Vec<Bundle> = assembled
+                    .bundles
+                    .into_iter()
+                    .map(|r| Bundle {
+                        id: r.id,
+                        manifest: r.manifest,
+                        state: r.state,
+                        autostart: r.autostart,
+                        activator: None,
+                    })
+                    .collect();
+                let from_rows =
+                    persist::snapshot(assembled.next_bundle, assembled.start_level, rebuilt.iter());
+                prop_verify!(
+                    from_rows.encode() == mono.encode(),
+                    "persisted rows diverge from the monolithic oracle snapshot"
+                );
+
+                // Restore equivalence: rows vs the legacy monolithic key.
+                let legacy_store = SharedStore::new();
+                legacy_store
+                    .put(ns, persist::LEGACY_SNAPSHOT_KEY, mono)
+                    .expect("clean legacy write");
+                let factory = ActivatorFactory::new();
+                drop(fw);
+                let from_row_store =
+                    Framework::restore(FrameworkConfig::new(ns), store.clone(), ns, &factory)
+                        .expect("restore from rows");
+                let from_legacy = Framework::restore(
+                    FrameworkConfig::new(ns),
+                    legacy_store.clone(),
+                    ns,
+                    &factory,
+                )
+                .expect("restore from legacy snapshot");
+                let a = persist::snapshot(
+                    from_row_store.next_bundle,
+                    from_row_store.start_level(),
+                    from_row_store.bundles(),
+                );
+                let b = persist::snapshot(
+                    from_legacy.next_bundle,
+                    from_legacy.start_level(),
+                    from_legacy.bundles(),
+                );
+                prop_verify!(
+                    a.encode() == b.encode(),
+                    "row restore and legacy-snapshot restore disagree"
+                );
+                Ok(())
+            },
+        );
     }
 }

@@ -5,10 +5,48 @@
 //! Here state means the information associated with the life-cycle of the
 //! bundles in the framework, namely which ones are installed and its
 //! running state."* That is exactly what a snapshot captures.
+//!
+//! # On-SAN layout
+//!
+//! The persisted framework state is stored as **per-bundle rows** inside
+//! the framework's namespace, so a dirty flush rewrites only the rows that
+//! changed instead of re-encoding the whole framework:
+//!
+//! ```text
+//! <namespace>/header        { next_bundle, start_level }
+//! <namespace>/bundle/<id>   { id, manifest, state, autostart }
+//! ```
+//!
+//! [`assemble`] reconstructs a [`Snapshot`] from a `read_namespace` listing
+//! and falls back to the pre-row monolithic `snapshot` key so state written
+//! by the old layout restores unchanged. [`snapshot`]/[`parse_snapshot`]
+//! keep the monolithic encoding alive as the equivalence oracle: assembling
+//! the rows must produce a byte-identical snapshot value.
 
 use crate::framework::Bundle;
 use crate::{BundleId, BundleManifest, BundleState};
 use dosgi_san::Value;
+
+/// Key of the header row (`next_bundle` + `start_level`).
+pub const HEADER_KEY: &str = "header";
+
+/// Key prefix of per-bundle rows.
+pub const BUNDLE_KEY_PREFIX: &str = "bundle/";
+
+/// Key of the legacy monolithic snapshot (pre-row layout).
+pub const LEGACY_SNAPSHOT_KEY: &str = "snapshot";
+
+/// The row key of a bundle.
+pub fn bundle_key(id: BundleId) -> String {
+    format!("{BUNDLE_KEY_PREFIX}{}", id.0)
+}
+
+/// Parses a `bundle/<id>` row key back into the bundle id.
+pub fn parse_bundle_key(key: &str) -> Option<BundleId> {
+    key.strip_prefix(BUNDLE_KEY_PREFIX)
+        .and_then(|id| id.parse().ok())
+        .map(BundleId)
+}
 
 /// One bundle's persisted record.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,7 +72,24 @@ pub struct Snapshot {
     pub bundles: Vec<BundleRecord>,
 }
 
-/// Serializes framework state into a [`Value`].
+/// Serializes the header row: the non-bundle framework state.
+pub fn header_row(next_bundle: u64, start_level: u32) -> Value {
+    Value::map()
+        .with("next_bundle", next_bundle)
+        .with("start_level", i64::from(start_level))
+}
+
+/// Serializes one bundle's row — the same map shape a bundle has inside
+/// the monolithic [`snapshot`], so row and oracle encodings agree.
+pub fn bundle_row(b: &Bundle) -> Value {
+    Value::map()
+        .with("id", b.id.0)
+        .with("manifest", b.manifest.to_value())
+        .with("state", b.state.as_str())
+        .with("autostart", b.autostart)
+}
+
+/// Serializes framework state into a single monolithic [`Value`].
 pub fn snapshot<'a>(
     next_bundle: u64,
     start_level: u32,
@@ -43,20 +98,75 @@ pub fn snapshot<'a>(
     Value::map()
         .with("next_bundle", next_bundle)
         .with("start_level", i64::from(start_level))
-        .with(
-            "bundles",
-            Value::List(
-                bundles
-                    .map(|b| {
-                        Value::map()
-                            .with("id", b.id.0)
-                            .with("manifest", b.manifest.to_value())
-                            .with("state", b.state.as_str())
-                            .with("autostart", b.autostart)
-                    })
-                    .collect(),
-            ),
-        )
+        .with("bundles", Value::List(bundles.map(bundle_row).collect()))
+}
+
+fn parse_bundle_record(b: &Value) -> Result<BundleRecord, String> {
+    let id = b
+        .get("id")
+        .and_then(Value::as_int)
+        .ok_or("bundle record missing id")? as u64;
+    let manifest =
+        BundleManifest::from_value(b.get("manifest").ok_or("bundle record missing manifest")?)?;
+    let state = BundleState::parse(
+        b.get("state")
+            .and_then(Value::as_str)
+            .ok_or("bundle record missing state")?,
+    )?;
+    Ok(BundleRecord {
+        id: BundleId(id),
+        manifest,
+        state,
+        autostart: b.get("autostart").and_then(Value::as_bool).unwrap_or(false),
+    })
+}
+
+/// Reassembles a [`Snapshot`] from a `read_namespace` listing of the
+/// framework's namespace: the [`HEADER_KEY`] row plus one
+/// [`bundle_key`] row per bundle. Falls back to parsing a legacy
+/// monolithic [`LEGACY_SNAPSHOT_KEY`] value when no header row exists.
+/// Returns `Ok(None)` when the namespace holds no framework state at all.
+///
+/// # Errors
+///
+/// Returns a description of the first missing or malformed field.
+pub fn assemble(pairs: &[(String, Value)]) -> Result<Option<Snapshot>, String> {
+    let header = pairs.iter().find(|(k, _)| k == HEADER_KEY);
+    let Some((_, header)) = header else {
+        if let Some((_, legacy)) = pairs.iter().find(|(k, _)| k == LEGACY_SNAPSHOT_KEY) {
+            return parse_snapshot(legacy).map(Some);
+        }
+        return Ok(None);
+    };
+    let next_bundle = header
+        .get("next_bundle")
+        .and_then(Value::as_int)
+        .ok_or("header missing next_bundle")? as u64;
+    let start_level = header
+        .get("start_level")
+        .and_then(Value::as_int)
+        .ok_or("header missing start_level")?
+        .try_into()
+        .map_err(|_| "negative start_level")?;
+    let mut bundles = pairs
+        .iter()
+        .filter(|(k, _)| parse_bundle_key(k).is_some())
+        .map(|(k, v)| {
+            let record = parse_bundle_record(v)?;
+            if Some(record.id) != parse_bundle_key(k) {
+                return Err(format!("row {k} holds bundle id {}", record.id.0));
+            }
+            Ok(record)
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    // Row keys sort lexicographically ("bundle/10" < "bundle/2"); the
+    // snapshot contract is numeric id order.
+    bundles.sort_by_key(|r| r.id);
+    Ok(Some(Snapshot {
+        next_bundle,
+        start_level,
+        bundles,
+    }))
 }
 
 /// Parses a snapshot produced by [`snapshot`].
@@ -80,26 +190,7 @@ pub fn parse_snapshot(v: &Value) -> Result<Snapshot, String> {
         .and_then(Value::as_list)
         .ok_or("snapshot missing bundles")?
         .iter()
-        .map(|b| {
-            let id = b
-                .get("id")
-                .and_then(Value::as_int)
-                .ok_or("bundle record missing id")? as u64;
-            let manifest = BundleManifest::from_value(
-                b.get("manifest").ok_or("bundle record missing manifest")?,
-            )?;
-            let state = BundleState::parse(
-                b.get("state")
-                    .and_then(Value::as_str)
-                    .ok_or("bundle record missing state")?,
-            )?;
-            Ok::<BundleRecord, String>(BundleRecord {
-                id: BundleId(id),
-                manifest,
-                state,
-                autostart: b.get("autostart").and_then(Value::as_bool).unwrap_or(false),
-            })
-        })
+        .map(parse_bundle_record)
         .collect::<Result<Vec<_>, _>>()?;
     Ok(Snapshot {
         next_bundle,
@@ -149,5 +240,98 @@ mod tests {
         let v = snapshot(7, 3, std::iter::empty());
         let decoded = Value::decode(&v.encode()).unwrap();
         assert_eq!(parse_snapshot(&decoded).unwrap().next_bundle, 7);
+    }
+
+    #[test]
+    fn bundle_keys_round_trip() {
+        assert_eq!(bundle_key(BundleId(17)), "bundle/17");
+        assert_eq!(parse_bundle_key("bundle/17"), Some(BundleId(17)));
+        assert_eq!(parse_bundle_key("header"), None);
+        assert_eq!(parse_bundle_key("bundle/x"), None);
+        assert_eq!(parse_bundle_key("snapshot"), None);
+    }
+
+    #[test]
+    fn assemble_matches_monolithic_snapshot() {
+        let mut fw = Framework::new("t");
+        let m = ManifestBuilder::new("a.b", Version::new(1, 0, 0))
+            .build()
+            .unwrap();
+        let id = fw.install(m, None).unwrap();
+        fw.start(id).unwrap();
+        let rows: Vec<(String, Value)> = std::iter::once((HEADER_KEY.to_owned(), header_row(2, 1)))
+            .chain(fw.bundles().map(|b| (bundle_key(b.id), bundle_row(b))))
+            .collect();
+        let assembled = assemble(&rows).unwrap().unwrap();
+        let oracle = parse_snapshot(&snapshot(2, 1, fw.bundles())).unwrap();
+        assert_eq!(assembled, oracle);
+    }
+
+    #[test]
+    fn assemble_orders_bundles_numerically() {
+        // Lexicographic row order would put bundle/10 before bundle/2.
+        let record = |id: u64| {
+            Value::map()
+                .with("id", id)
+                .with(
+                    "manifest",
+                    ManifestBuilder::new(&format!("b{id}"), Version::new(1, 0, 0))
+                        .build()
+                        .unwrap()
+                        .to_value(),
+                )
+                .with("state", "INSTALLED")
+                .with("autostart", false)
+        };
+        let rows = vec![
+            ("bundle/10".to_owned(), record(10)),
+            ("bundle/2".to_owned(), record(2)),
+            (HEADER_KEY.to_owned(), header_row(11, 1)),
+        ];
+        let s = assemble(&rows).unwrap().unwrap();
+        let ids: Vec<u64> = s.bundles.iter().map(|b| b.id.0).collect();
+        assert_eq!(ids, vec![2, 10]);
+    }
+
+    #[test]
+    fn assemble_falls_back_to_legacy_snapshot() {
+        let legacy = snapshot(5, 2, std::iter::empty());
+        let rows = vec![(LEGACY_SNAPSHOT_KEY.to_owned(), legacy)];
+        let s = assemble(&rows).unwrap().unwrap();
+        assert_eq!(s.next_bundle, 5);
+        assert_eq!(s.start_level, 2);
+        assert!(s.bundles.is_empty());
+    }
+
+    #[test]
+    fn assemble_empty_namespace_is_none() {
+        assert_eq!(assemble(&[]).unwrap(), None);
+        // Unrelated keys without a header are not framework state either.
+        let rows = vec![("other".to_owned(), Value::Int(1))];
+        assert_eq!(assemble(&rows).unwrap(), None);
+    }
+
+    #[test]
+    fn assemble_rejects_malformed_rows() {
+        let rows = vec![(HEADER_KEY.to_owned(), Value::Null)];
+        assert!(assemble(&rows).is_err());
+        let rows = vec![
+            (HEADER_KEY.to_owned(), header_row(2, 1)),
+            ("bundle/1".to_owned(), Value::map().with("id", 1u64)),
+        ];
+        assert!(assemble(&rows).is_err());
+        // A row whose key disagrees with the embedded id is corrupt.
+        let mut fw = Framework::new("t");
+        let m = ManifestBuilder::new("a.b", Version::new(1, 0, 0))
+            .build()
+            .unwrap();
+        let id = fw.install(m, None).unwrap();
+        let row = bundle_row(fw.bundles().next().unwrap());
+        assert_eq!(id, BundleId(1));
+        let rows = vec![
+            (HEADER_KEY.to_owned(), header_row(2, 1)),
+            ("bundle/9".to_owned(), row),
+        ];
+        assert!(assemble(&rows).is_err());
     }
 }

@@ -5,7 +5,7 @@ use crate::{
     ServiceEventKind, ServiceId, UsageLedger,
 };
 use dosgi_san::Value;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A registered service: metadata plus the (type-erased) implementation.
@@ -44,6 +44,11 @@ impl fmt::Debug for ServiceRecord {
 #[derive(Debug, Default)]
 pub struct ServiceRegistry {
     services: BTreeMap<ServiceId, ServiceRecord>,
+    /// Interface name → ids registered under it. Interfaces are fixed at
+    /// registration (property updates cannot change them), so the index
+    /// only moves on register/unregister; lookups by interface scan just
+    /// the candidate set instead of every registration.
+    by_interface: BTreeMap<String, BTreeSet<ServiceId>>,
     next_id: u64,
     events: Vec<ServiceEvent>,
 }
@@ -88,6 +93,12 @@ impl ServiceRegistry {
         );
         properties.insert("service.id".to_owned(), PropValue::Int(id.0 as i64));
         properties.insert("service.ranking".to_owned(), PropValue::Int(ranking));
+        for iface in &interfaces {
+            self.by_interface
+                .entry(iface.clone())
+                .or_default()
+                .insert(id);
+        }
         self.services.insert(
             id,
             ServiceRecord {
@@ -115,6 +126,14 @@ impl ServiceRegistry {
     pub fn unregister(&mut self, id: ServiceId) -> Result<(), ServiceError> {
         match self.services.remove(&id) {
             Some(rec) => {
+                for iface in &rec.interfaces {
+                    if let Some(ids) = self.by_interface.get_mut(iface) {
+                        ids.remove(&id);
+                        if ids.is_empty() {
+                            self.by_interface.remove(iface);
+                        }
+                    }
+                }
                 self.events.push(ServiceEvent {
                     service: id,
                     interfaces: rec.interfaces,
@@ -174,18 +193,29 @@ impl ServiceRegistry {
     }
 
     /// References matching `interface` (if given) and `filter` (if given),
-    /// ordered by ranking descending then id ascending.
+    /// ordered by ranking descending then id ascending. An interface query
+    /// scans only the ids indexed under that interface, not every
+    /// registration.
     pub fn references(
         &self,
         interface: Option<&str>,
         filter: Option<&Filter>,
     ) -> Vec<&ServiceRecord> {
-        let mut out: Vec<&ServiceRecord> = self
-            .services
-            .values()
-            .filter(|r| interface.is_none_or(|i| r.interfaces.iter().any(|x| x == i)))
-            .filter(|r| filter.is_none_or(|f| f.matches(&r.properties)))
-            .collect();
+        let mut out: Vec<&ServiceRecord> = match interface {
+            Some(i) => self
+                .by_interface
+                .get(i)
+                .into_iter()
+                .flatten()
+                .filter_map(|id| self.services.get(id))
+                .filter(|r| filter.is_none_or(|f| f.matches(&r.properties)))
+                .collect(),
+            None => self
+                .services
+                .values()
+                .filter(|r| filter.is_none_or(|f| f.matches(&r.properties)))
+                .collect(),
+        };
         out.sort_by(|a, b| b.ranking.cmp(&a.ranking).then(a.id.cmp(&b.id)));
         out
     }
@@ -387,6 +417,61 @@ mod tests {
         let removed = r.unregister_bundle(BundleId(1));
         assert_eq!(removed, vec![a, c]);
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn interface_index_tracks_churn() {
+        let mut r = ServiceRegistry::new();
+        // Multi-interface registration appears under every name.
+        let ab = r.register(BundleId(1), &["a", "b"], BTreeMap::new(), echo_service());
+        let b = r.register(BundleId(2), &["b"], BTreeMap::new(), echo_service());
+        assert_eq!(r.references(Some("a"), None).len(), 1);
+        assert_eq!(r.references(Some("b"), None).len(), 2);
+        assert!(r.references(Some("zzz"), None).is_empty());
+        // Unregistering removes it from every interface's candidate set.
+        r.unregister(ab).unwrap();
+        assert!(r.references(Some("a"), None).is_empty());
+        assert_eq!(
+            r.references(Some("b"), None)
+                .iter()
+                .map(|x| x.id)
+                .collect::<Vec<_>>(),
+            vec![b]
+        );
+        // Bundle sweep keeps the index in step too.
+        r.unregister_bundle(BundleId(2));
+        assert!(r.references(Some("b"), None).is_empty());
+        assert!(r.by_interface.is_empty());
+    }
+
+    #[test]
+    fn indexed_lookup_matches_full_scan() {
+        let mut r = ServiceRegistry::new();
+        for i in 0..20 {
+            let iface = ["x", "y", "z"][i % 3];
+            let _ = r.register(
+                BundleId(1 + (i % 4) as u64),
+                &[iface, "common"],
+                props((i as i64 * 7) % 5),
+                echo_service(),
+            );
+        }
+        for iface in ["x", "y", "z", "common"] {
+            let indexed: Vec<ServiceId> = r
+                .references(Some(iface), None)
+                .iter()
+                .map(|x| x.id)
+                .collect();
+            // Oracle: the old full scan over every record.
+            let mut scan: Vec<&ServiceRecord> = r
+                .services
+                .values()
+                .filter(|rec| rec.interfaces.iter().any(|x| x == iface))
+                .collect();
+            scan.sort_by(|a, b| b.ranking.cmp(&a.ranking).then(a.id.cmp(&b.id)));
+            let scan: Vec<ServiceId> = scan.iter().map(|x| x.id).collect();
+            assert_eq!(indexed, scan);
+        }
     }
 
     #[test]

@@ -76,6 +76,59 @@ pub fn encode(value: &Value) -> Vec<u8> {
     out
 }
 
+fn varint_len(v: u64) -> usize {
+    let bits = (64 - v.leading_zeros()).max(1) as usize;
+    bits.div_ceil(7)
+}
+
+/// Computes `encode(value).len()` without materializing the encoding.
+///
+/// Mirrors [`write_value`] case by case: one tag byte, varint-sized
+/// lengths/counts, then payload bytes. Stats paths (`StoreStats`,
+/// `namespace_bytes`) call this on every operation, so it must stay
+/// allocation-free.
+pub fn encoded_len(value: &Value) -> usize {
+    match value {
+        Value::Null | Value::Bool(_) => 1,
+        Value::Int(i) => 1 + varint_len(zigzag(*i)),
+        Value::Float(_) => 1 + 8,
+        Value::Str(s) => 1 + varint_len(s.len() as u64) + s.len(),
+        Value::Bytes(b) => 1 + varint_len(b.len() as u64) + b.len(),
+        Value::List(l) => 1 + varint_len(l.len() as u64) + l.iter().map(encoded_len).sum::<usize>(),
+        Value::Map(m) => {
+            1 + varint_len(m.len() as u64)
+                + m.iter()
+                    .map(|(k, v)| varint_len(k.len() as u64) + k.len() + encoded_len(v))
+                    .sum::<usize>()
+        }
+    }
+}
+
+/// Equality under the codec: true iff `encode(a) == encode(b)`, computed
+/// without encoding either side. Differs from `PartialEq` only for floats,
+/// which compare by bit pattern here (`-0.0 != 0.0`, `NaN == NaN` for the
+/// same payload) because that is what the encoded bytes do.
+pub fn codec_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Bytes(x), Value::Bytes(y)) => x == y,
+        (Value::List(x), Value::List(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| codec_eq(a, b))
+        }
+        (Value::Map(x), Value::Map(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|((ka, va), (kb, vb))| ka == kb && codec_eq(va, vb))
+        }
+        _ => false,
+    }
+}
+
 fn write_value(out: &mut Vec<u8>, value: &Value) {
     match value {
         Value::Null => out.push(T_NULL),
@@ -386,9 +439,9 @@ mod tests {
         }
     }
 
-    /// Shrinking demo on real data: corrupt-length lists shrink to minimal
-    /// failing cases when an invariant breaks (here: encoded size is
-    /// monotone in element count, which holds — the property passes).
+    /// The streaming size computation must agree with the real encoder on
+    /// arbitrary value trees — `encoded_len` never allocates, so this is
+    /// the only thing pinning it to `encode`.
     #[test]
     fn prop_encoded_len_matches_encode_len() {
         prop::check("prop_encoded_len_matches_encode_len", &value_gen(), |v| {
@@ -400,5 +453,43 @@ mod tests {
             );
             Ok(())
         });
+    }
+
+    #[test]
+    fn varint_len_matches_put_varint() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, (1 << 63) - 1, u64::MAX] {
+            let mut out = Vec::new();
+            put_varint(&mut out, v);
+            assert_eq!(varint_len(v), out.len(), "varint_len({v})");
+        }
+    }
+
+    /// `codec_eq` must coincide exactly with encoded-byte equality,
+    /// including the float cases where `PartialEq` disagrees.
+    #[test]
+    fn prop_codec_eq_matches_encoded_bytes() {
+        let pair = Gen::new(|rng: &mut TestRng| {
+            let a = arb_value(rng, 2);
+            // Half the time compare against a copy, half against a fresh
+            // tree, so both branches of the equivalence get real coverage.
+            let b = if rng.chance(0.5) {
+                a.clone()
+            } else {
+                arb_value(rng, 2)
+            };
+            (a, b)
+        });
+        prop::check("prop_codec_eq_matches_encoded_bytes", &pair, |(a, b)| {
+            prop_verify_eq!(codec_eq(a, b), encode(a) == encode(b));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn codec_eq_floats_by_bit_pattern() {
+        assert!(!codec_eq(&Value::Float(0.0), &Value::Float(-0.0)));
+        assert!(codec_eq(&Value::Float(f64::NAN), &Value::Float(f64::NAN)));
+        assert!(codec_eq(&Value::Float(1.5), &Value::Float(1.5)));
+        assert!(!codec_eq(&Value::Int(1), &Value::Float(1.0)));
     }
 }

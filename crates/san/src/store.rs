@@ -30,6 +30,12 @@ pub struct StoreStats {
     /// Operations rejected by the fault layer (brown-out, injected I/O
     /// error, torn batch).
     pub faults: u64,
+    /// Writes skipped because the new value was byte-identical to the
+    /// stored one (no version bump, no bytes moved).
+    pub writes_skipped: u64,
+    /// Encoded bytes those skipped writes would have moved — the traffic
+    /// change detection saved.
+    pub bytes_skipped: u64,
 }
 
 #[derive(Debug, Default)]
@@ -137,9 +143,28 @@ impl SharedStore {
     /// # Errors
     ///
     /// Fault-injected [`StoreError::Unavailable`] / [`StoreError::Io`].
+    /// Change detection: if the new value encodes byte-identically to the
+    /// stored one the write is skipped entirely — no version bump, no byte
+    /// accounting, only `writes_skipped`/`san.writes.skipped_identical`.
+    /// The fault roll still happens first, so the injector's RNG stream is
+    /// identical whether or not the value changed.
     pub fn put(&self, namespace: &str, key: &str, value: Value) -> Result<u64, StoreError> {
         self.fault("put")?;
         let mut inner = self.lock();
+        let identical = inner
+            .namespaces
+            .get(namespace)
+            .and_then(|ns| ns.get(key))
+            .filter(|stored| crate::codec::codec_eq(&stored.value, &value))
+            .map(|stored| stored.version);
+        if let Some(version) = identical {
+            inner.stats.writes_skipped += 1;
+            inner.stats.bytes_skipped += value.encoded_len() as u64;
+            let telemetry = inner.telemetry.clone();
+            drop(inner);
+            telemetry.incr("san.writes.skipped_identical");
+            return Ok(version);
+        }
         inner.stats.writes += 1;
         inner.stats.bytes_written += value.encoded_len() as u64;
         let ns = inner.namespaces.entry(namespace.to_owned()).or_default();
@@ -167,8 +192,19 @@ impl SharedStore {
         let persisted = torn.unwrap_or(entries.len());
         let mut inner = self.lock();
         let mut bytes = 0u64;
+        let mut skipped = 0u64;
+        let mut bytes_skipped = 0u64;
         let ns = inner.namespaces.entry(namespace.to_owned()).or_default();
         for (key, value) in &entries[..persisted] {
+            // Per-entry change detection, same contract as `put`: an
+            // identical entry costs nothing and keeps its version.
+            if let Some(stored) = ns.get(key) {
+                if crate::codec::codec_eq(&stored.value, value) {
+                    skipped += 1;
+                    bytes_skipped += value.encoded_len() as u64;
+                    continue;
+                }
+            }
             bytes += value.encoded_len() as u64;
             let version = ns.get(key).map(|v| v.version).unwrap_or(0) + 1;
             ns.insert(
@@ -179,18 +215,29 @@ impl SharedStore {
                 },
             );
         }
-        inner.stats.writes += persisted as u64;
+        inner.stats.writes += persisted as u64 - skipped;
+        inner.stats.writes_skipped += skipped;
+        inner.stats.bytes_skipped += bytes_skipped;
         inner.stats.bytes_written += bytes;
+        let telemetry = inner.telemetry.clone();
         match torn {
             Some(written) => {
                 inner.stats.faults += 1;
-                let telemetry = inner.telemetry.clone();
                 drop(inner);
+                if skipped > 0 {
+                    telemetry.add("san.writes.skipped_identical", skipped);
+                }
                 telemetry.incr("san.faults");
                 telemetry.incr("san.faults.torn_write");
                 Err(StoreError::TornWrite { written })
             }
-            None => Ok(persisted),
+            None => {
+                drop(inner);
+                if skipped > 0 {
+                    telemetry.add("san.writes.skipped_identical", skipped);
+                }
+                Ok(persisted)
+            }
         }
     }
 
@@ -513,6 +560,59 @@ mod tests {
         let s = SharedStore::new();
         let _ = s.get("ns", "missing").unwrap();
         assert_eq!(s.stats().reads, 0);
+    }
+
+    #[test]
+    fn identical_put_skips_version_bump_and_bytes() {
+        let s = SharedStore::new();
+        let v = Value::Str("same".into());
+        assert_eq!(s.put("ns", "k", v.clone()), Ok(1));
+        let before = s.stats();
+        // Identical rewrite: same version back, nothing counted as a write.
+        assert_eq!(s.put("ns", "k", v.clone()), Ok(1));
+        let after = s.stats();
+        assert_eq!(after.writes, before.writes);
+        assert_eq!(after.bytes_written, before.bytes_written);
+        assert_eq!(after.writes_skipped, before.writes_skipped + 1);
+        assert_eq!(s.get_versioned("ns", "k").unwrap().unwrap().version, 1);
+        // A different value still bumps.
+        assert_eq!(s.put("ns", "k", Value::Str("new".into())), Ok(2));
+        assert_eq!(s.stats().writes, before.writes + 1);
+    }
+
+    #[test]
+    fn identical_put_uses_codec_equality_for_floats() {
+        let s = SharedStore::new();
+        s.put("ns", "f", Value::Float(0.0)).unwrap();
+        // -0.0 == 0.0 under PartialEq but encodes differently: must write.
+        assert_eq!(s.put("ns", "f", Value::Float(-0.0)), Ok(2));
+        // Bit-identical NaN is a skip even though NaN != NaN.
+        s.put("ns", "n", Value::Float(f64::NAN)).unwrap();
+        assert_eq!(s.put("ns", "n", Value::Float(f64::NAN)), Ok(1));
+        assert_eq!(s.stats().writes_skipped, 1);
+    }
+
+    #[test]
+    fn put_many_skips_identical_entries_only() {
+        let s = SharedStore::new();
+        s.put("ns", "a", Value::Int(1)).unwrap();
+        s.put("ns", "b", Value::Int(2)).unwrap();
+        s.reset_stats();
+        let entries = vec![
+            ("a".to_owned(), Value::Int(1)),  // identical → skipped
+            ("b".to_owned(), Value::Int(22)), // changed → written
+            ("c".to_owned(), Value::Int(3)),  // new → written
+        ];
+        assert_eq!(s.put_many("ns", &entries), Ok(3));
+        let st = s.stats();
+        assert_eq!(st.writes, 2);
+        assert_eq!(st.writes_skipped, 1);
+        assert_eq!(
+            st.bytes_written,
+            (Value::Int(22).encoded_len() + Value::Int(3).encoded_len()) as u64
+        );
+        assert_eq!(s.get_versioned("ns", "a").unwrap().unwrap().version, 1);
+        assert_eq!(s.get_versioned("ns", "b").unwrap().unwrap().version, 2);
     }
 
     #[test]

@@ -137,8 +137,10 @@ impl Value {
     }
 
     /// The encoded size in bytes, used for state-transfer accounting.
+    /// Streaming — computes the size without materializing the encoding,
+    /// so stats paths can call it on every store operation.
     pub fn encoded_len(&self) -> usize {
-        self.encode().len()
+        crate::codec::encoded_len(self)
     }
 }
 

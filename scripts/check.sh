@@ -25,6 +25,9 @@ scripts/chaos.sh
 echo "==> telemetry snapshot schema check"
 cargo run --offline --release -p dosgi-bench --bin telemetry_check
 
+echo "==> perf guard (deterministic e5 migration SAN bytes vs committed baseline)"
+cargo run --offline --release -p dosgi-bench --bin perf_guard
+
 echo "==> verifying zero registry dependencies"
 if cargo metadata --format-version 1 --offline \
     | grep -o '"source":"[^"]*"' | grep -v '"source":""' | grep -q 'registry'; then
