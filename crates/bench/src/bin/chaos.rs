@@ -17,9 +17,13 @@
 //!
 //! Each schedule runs twice: once with telemetry enabled (all seeds share
 //! one registry) and once with it disabled. The fingerprint comparison
-//! therefore verifies deterministic replay **and** that instrumentation is
-//! strictly passive. The sweep's aggregated metrics land in
-//! `results/telemetry_chaos.json`.
+//! therefore verifies deterministic replay **and** that instrumentation —
+//! metrics *and* causal tracing — is strictly passive. The sweep's
+//! aggregated metrics land in `results/telemetry_chaos.json`; each seed's
+//! merged causal trace lands in `results/trace_chaos_s<seed>.json`
+//! (Chrome trace-event format — analyze with the `trace_check` bin, or
+//! load into Perfetto). The first seed's trace is additionally replayed
+//! and byte-compared, pinning the whole export path as deterministic.
 
 use dosgi_core::chaos::{run_nemesis_with_telemetry, ChaosOptions};
 use dosgi_telemetry::Telemetry;
@@ -46,40 +50,65 @@ fn main() {
 
     println!("chaos sweep: {seeds} schedules, {nodes} nodes, {faults} faults each");
     let sweep_telemetry = Telemetry::new();
+    let results_dir = workspace_root().join("results");
     let mut failed = false;
     for seed in seed0..seed0 + seeds {
         let plan = NemesisPlan::generate(seed, nodes, &config);
         // Instrumented run vs uninstrumented replay: equal fingerprints
-        // prove both determinism and telemetry passivity.
+        // prove both determinism and instrumentation passivity (the
+        // uninstrumented run records no metrics *and* no trace).
         let a = run_nemesis_with_telemetry(&plan, &opts, sweep_telemetry.clone());
         let b = run_nemesis_with_telemetry(&plan, &opts, Telemetry::disabled());
         let replayed = a.fingerprint == b.fingerprint;
+        let trace_label = format!("chaos_s{seed}");
+        let trace_path = match a.trace.write_to(&results_dir, &trace_label, seed) {
+            Ok(p) => p.display().to_string(),
+            Err(e) => {
+                failed = true;
+                format!("<unwritable: {e}>")
+            }
+        };
+        // The first seed pins the trace export itself: a third run must
+        // serialize its causal record byte-for-byte identically.
+        let trace_replayed = if seed == seed0 {
+            let c = run_nemesis_with_telemetry(&plan, &opts, Telemetry::new());
+            a.trace.to_chrome_json(&trace_label, seed) == c.trace.to_chrome_json(&trace_label, seed)
+        } else {
+            true
+        };
         let status = if !a.ok() {
             failed = true;
             "VIOLATION"
         } else if !replayed {
             failed = true;
             "NON-DETERMINISTIC"
+        } else if !trace_replayed {
+            failed = true;
+            "TRACE-NON-DETERMINISTIC"
         } else {
             "ok"
         };
         println!(
-            "  seed {seed:>4}  steps {:>2}  acked {:>5}  fingerprint {:016x}  {status}",
-            a.steps_applied, a.acked, a.fingerprint
+            "  seed {seed:>4}  steps {:>2}  acked {:>5}  spans {:>4}  fingerprint {:016x}  {status}",
+            a.steps_applied,
+            a.acked,
+            a.trace.events.len(),
+            a.fingerprint
         );
         for v in &a.violations {
             println!("      {v}");
         }
-        if !a.ok() || !replayed {
+        if !a.ok() || !replayed || !trace_replayed {
             println!(
                 "      replay with: CHAOS_SEED0={seed} CHAOS_SEEDS=1 \
                  CHAOS_NODES={nodes} CHAOS_FAULTS={faults} \
                  cargo run --release -p dosgi-bench --bin chaos"
             );
+            println!("      causal trace: {trace_path}");
         }
     }
 
-    let dir = workspace_root().join("results");
+    let dir = results_dir;
     let snapshot_note = match std::fs::create_dir_all(&dir)
         .and_then(|()| sweep_telemetry.snapshot("chaos", seed0).write_to(&dir))
     {
@@ -92,6 +121,7 @@ fn main() {
     }
     println!(
         "all schedules held every invariant and replayed identically \
-         (with and without telemetry)"
+         (with and without telemetry); causal traces under {}",
+        dir.join("trace_chaos_s<seed>.json").display()
     );
 }

@@ -31,6 +31,7 @@ fn main() {
 
     let telemetry = Telemetry::new();
     let mut rows = Vec::new();
+    let mut last_trace = None;
     for state_kib in [0u64, 64, 256, 1024, 4096] {
         let mut c =
             DosgiCluster::new_with_telemetry(3, config.clone(), 500 + state_kib, telemetry.clone());
@@ -75,6 +76,10 @@ fn main() {
         let latency = migration::migration_latency(&events, "ctr").expect("measured");
         let downtime = c.sla().record("ctr").down;
         c.record_telemetry_gauges();
+        // Keep only the last cluster's causal trace: each iteration builds a
+        // fresh cluster whose per-node span sequences restart, so merging
+        // across iterations would collide span ids.
+        last_trace = Some(c.trace_log());
         rows.push(vec![
             format!("{state_kib} KiB"),
             format!("{latency}"),
@@ -114,4 +119,14 @@ fn main() {
          instance's bundles start and its state is read from the SAN."
     );
     write_telemetry_snapshot(&telemetry, "e5_migration", 500);
+    // Export the 4 MiB run's causal trace: the canonical migration timeline
+    // (quiesce → persist → registry hand-off → adopt) for `trace_check`.
+    if let Some(trace) = last_trace {
+        let dir = dosgi_testkit::workspace_root().join("results");
+        match std::fs::create_dir_all(&dir).and_then(|()| trace.write_to(&dir, "e5_migration", 500))
+        {
+            Ok(path) => println!("causal trace: {}", path.display()),
+            Err(e) => eprintln!("could not write causal trace: {e}"),
+        }
+    }
 }

@@ -1,8 +1,11 @@
 //! Schema check for telemetry snapshots: every `results/telemetry_*.json`
-//! must parse as strict JSON and carry the v1 snapshot schema — a
-//! `schema_version`, the producing run's `seed`, and a non-empty `counters`
+//! must parse as strict JSON and carry the v2 snapshot schema — a
+//! `schema_version`, the producing run's `seed`, a non-empty `counters`
 //! object (a snapshot with no counters means the instrumentation went
-//! dark, which is a wiring bug, not an empty workload).
+//! dark, which is a wiring bug, not an empty workload), and coherent
+//! percentile summaries on every histogram entry: `p50`/`p95`/`p99` are
+//! integers when `count > 0` (null otherwise), ordered
+//! `p50 <= p95 <= p99`, and clamped inside `[min, max]`.
 //!
 //! Run after the bins that emit snapshots (the chaos sweep at minimum);
 //! `scripts/check.sh` wires it in. Exits non-zero listing every violation.
@@ -31,6 +34,75 @@ fn check_file(path: &std::path::Path) -> Result<(), String> {
         .ok_or("missing object `counters`")?;
     if counters.is_empty() {
         return Err("`counters` is empty — instrumentation recorded nothing".into());
+    }
+    let histograms = json
+        .get("histograms")
+        .and_then(Json::as_obj)
+        .ok_or("missing object `histograms`")?;
+    for (name, h) in histograms {
+        check_histogram(name, h)?;
+    }
+    Ok(())
+}
+
+/// A percentile field is either a u64 (count > 0) or null (empty).
+fn percentile_field(h: &Json, name: &str, key: &str) -> Result<Option<u64>, String> {
+    let field = h
+        .get(key)
+        .ok_or_else(|| format!("histogram {name:?}: missing `{key}`"))?;
+    if field.is_null() {
+        return Ok(None);
+    }
+    field
+        .as_u64()
+        .map(Some)
+        .ok_or_else(|| format!("histogram {name:?}: `{key}` is neither integer nor null"))
+}
+
+/// v2 percentile coherence: present iff non-empty, ordered, within range.
+fn check_histogram(name: &str, h: &Json) -> Result<(), String> {
+    let count = h
+        .get("count")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("histogram {name:?}: missing integer `count`"))?;
+    let min = percentile_field(h, name, "min")?;
+    let max = percentile_field(h, name, "max")?;
+    let p50 = percentile_field(h, name, "p50")?;
+    let p95 = percentile_field(h, name, "p95")?;
+    let p99 = percentile_field(h, name, "p99")?;
+    if count == 0 {
+        if p50.is_some() || p95.is_some() || p99.is_some() {
+            return Err(format!(
+                "histogram {name:?}: empty but carries percentile values"
+            ));
+        }
+        return Ok(());
+    }
+    let (p50, p95, p99) = match (p50, p95, p99) {
+        (Some(a), Some(b), Some(c)) => (a, b, c),
+        _ => {
+            return Err(format!(
+                "histogram {name:?}: count {count} but a percentile is null"
+            ))
+        }
+    };
+    if !(p50 <= p95 && p95 <= p99) {
+        return Err(format!(
+            "histogram {name:?}: percentiles unordered (p50 {p50}, p95 {p95}, p99 {p99})"
+        ));
+    }
+    let (min, max) = match (min, max) {
+        (Some(lo), Some(hi)) => (lo, hi),
+        _ => {
+            return Err(format!(
+                "histogram {name:?}: count {count} but min/max null"
+            ))
+        }
+    };
+    if p50 < min || p99 > max {
+        return Err(format!(
+            "histogram {name:?}: percentiles escape [{min}, {max}] (p50 {p50}, p99 {p99})"
+        ));
     }
     Ok(())
 }

@@ -1,0 +1,516 @@
+//! Causal analyzer for exported flight-recorder traces.
+//!
+//! Reads `results/trace_*.json` (Chrome trace-event files written by the
+//! chaos sweep and the migration bench; explicit paths may be given as
+//! arguments instead), reassembles each distributed trace from the causal
+//! metadata in `args`, and fails on any happens-before violation:
+//!
+//! * **missing root** — a trace with no span whose id equals the trace id;
+//! * **orphaned child** — a span naming a parent that appears nowhere in
+//!   its trace;
+//! * **blind remote child** — a span recorded on a different node than its
+//!   parent without an imported context stamp (`ctx_lamport == 0`), i.e. a
+//!   span closed on a node that never saw its parent;
+//! * **Lamport inversion** — a child (or imported context) not strictly
+//!   after its parent's open stamp;
+//! * **adopt before release** — within one trace, an `adopt/<name>` span
+//!   whose Lamport open does not follow the `release/<name>` close (the
+//!   single-activation invariant, causally stated);
+//! * **redirect before adopt** — a `redirect/*` span attached to an
+//!   `adopt/*` parent but not causally after it.
+//!
+//! Ring overflow (`dropped > 0` in the file metadata) makes missing
+//! spans indistinguishable from causal bugs, so the structural checks are
+//! skipped for such files (still reported).
+//!
+//! For every complete `migrate/<name>`-rooted trace the analyzer also
+//! emits the end-to-end latency breakdown the paper's §3.2 claim is about:
+//! quiesce, final persist, registry hand-off (release close → adopt open),
+//! adopt, and total (root open → adopt close), aggregated min/mean/max.
+
+use dosgi_bench::print_table;
+use dosgi_telemetry::{TraceEvent, TRACE_SCHEMA_VERSION};
+use dosgi_testkit::{workspace_root, Json};
+use std::collections::BTreeMap;
+
+/// One parsed trace file: the event list plus the metadata that decides
+/// how strictly it can be checked.
+struct ParsedTrace {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+fn arg_u64(args: &Json, key: &str) -> Result<u64, String> {
+    args.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("event args missing integer `{key}`"))
+}
+
+fn parse_trace(text: &str) -> Result<ParsedTrace, String> {
+    let json = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let meta = json.get("metadata").ok_or("missing `metadata` object")?;
+    let schema = meta
+        .get("schema")
+        .and_then(Json::as_u64)
+        .ok_or("metadata missing integer `schema`")?;
+    if schema != TRACE_SCHEMA_VERSION {
+        return Err(format!(
+            "trace schema {schema} != supported {TRACE_SCHEMA_VERSION}"
+        ));
+    }
+    let dropped = meta
+        .get("dropped")
+        .and_then(Json::as_u64)
+        .ok_or("metadata missing integer `dropped`")?;
+    let raw = json
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing array `traceEvents`")?;
+    let mut events = Vec::with_capacity(raw.len());
+    for e in raw {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("event missing string `name`")?
+            .to_owned();
+        let start_us = e
+            .get("ts")
+            .and_then(Json::as_u64)
+            .ok_or("event missing integer `ts`")?;
+        let dur = e
+            .get("dur")
+            .and_then(Json::as_u64)
+            .ok_or("event missing integer `dur`")?;
+        let node = e
+            .get("pid")
+            .and_then(Json::as_u64)
+            .ok_or("event missing integer `pid`")?;
+        let args = e.get("args").ok_or("event missing `args`")?;
+        events.push(TraceEvent {
+            trace_id: arg_u64(args, "trace_id")?,
+            span_id: arg_u64(args, "span_id")?,
+            parent_span: arg_u64(args, "parent_span")?,
+            node,
+            name,
+            start_us,
+            end_us: start_us + dur,
+            lamport_start: arg_u64(args, "lamport_start")?,
+            lamport_end: arg_u64(args, "lamport_end")?,
+            ctx_lamport: arg_u64(args, "ctx_lamport")?,
+            open: arg_u64(args, "open")? != 0,
+        });
+    }
+    Ok(ParsedTrace { events, dropped })
+}
+
+/// All causal violations in one event log. `complete` is false when ring
+/// overflow was reported, disabling the structural (missing-span) checks.
+fn causal_violations(events: &[TraceEvent], complete: bool) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut traces: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+    for e in events {
+        traces.entry(e.trace_id).or_default().push(e);
+    }
+    for (trace_id, evs) in &traces {
+        let by_span: BTreeMap<u64, &TraceEvent> = evs.iter().map(|e| (e.span_id, *e)).collect();
+        if complete && !by_span.contains_key(trace_id) {
+            violations.push(format!("trace {trace_id}: missing root span"));
+        }
+        for e in evs {
+            if e.parent_span == 0 {
+                continue;
+            }
+            let Some(parent) = by_span.get(&e.parent_span) else {
+                if complete {
+                    violations.push(format!(
+                        "trace {trace_id}: orphaned child `{}` (parent {} absent)",
+                        e.name, e.parent_span
+                    ));
+                }
+                continue;
+            };
+            if TraceEvent::node_of(e.parent_span) != e.node {
+                // Cross-node edge: the child's node must have imported a
+                // context minted after the parent opened.
+                if e.ctx_lamport == 0 {
+                    violations.push(format!(
+                        "trace {trace_id}: `{}` closed on node {} which never \
+                         saw its parent `{}` (no context stamp)",
+                        e.name, e.node, parent.name
+                    ));
+                } else {
+                    if e.ctx_lamport <= parent.lamport_start {
+                        violations.push(format!(
+                            "trace {trace_id}: context for `{}` stamped {} <= \
+                             parent `{}` open {}",
+                            e.name, e.ctx_lamport, parent.name, parent.lamport_start
+                        ));
+                    }
+                    if e.lamport_start <= e.ctx_lamport {
+                        violations.push(format!(
+                            "trace {trace_id}: `{}` opened at {} despite \
+                             importing context {}",
+                            e.name, e.lamport_start, e.ctx_lamport
+                        ));
+                    }
+                }
+            } else if e.lamport_start <= parent.lamport_start {
+                violations.push(format!(
+                    "trace {trace_id}: child `{}` open {} <= parent `{}` open {}",
+                    e.name, e.lamport_start, parent.name, parent.lamport_start
+                ));
+            }
+            if e.name.starts_with("redirect/")
+                && parent.name.starts_with("adopt/")
+                && e.lamport_start <= parent.lamport_start
+            {
+                violations.push(format!(
+                    "trace {trace_id}: `{}` before `{}` (lamport {} <= {})",
+                    e.name, parent.name, e.lamport_start, parent.lamport_start
+                ));
+            }
+        }
+        // Single activation, causally stated: the destination's adoption
+        // must follow the source's release of the same instance.
+        for rel in evs.iter().filter(|e| !e.open) {
+            let Some(instance) = rel.name.strip_prefix("release/") else {
+                continue;
+            };
+            for adopt in evs
+                .iter()
+                .filter(|e| e.name.strip_prefix("adopt/") == Some(instance))
+            {
+                if adopt.lamport_start <= rel.lamport_end {
+                    violations.push(format!(
+                        "trace {trace_id}: `{}` before `{}` released \
+                         (lamport {} <= {})",
+                        adopt.name, rel.name, adopt.lamport_start, rel.lamport_end
+                    ));
+                }
+                if !adopt.open && adopt.start_us < rel.end_us {
+                    violations.push(format!(
+                        "trace {trace_id}: `{}` adopted at {}us before release \
+                         finished at {}us",
+                        adopt.name, adopt.start_us, rel.end_us
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Phase latencies (simulated µs) of one complete graceful migration.
+struct Breakdown {
+    quiesce: u64,
+    persist: u64,
+    handoff: u64,
+    adopt: u64,
+    total: u64,
+}
+
+/// Extracts the latency breakdown of every `migrate/<name>`-rooted trace
+/// whose five phase spans are all present and closed.
+fn migration_breakdowns(events: &[TraceEvent]) -> Vec<Breakdown> {
+    let mut traces: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+    for e in events {
+        traces.entry(e.trace_id).or_default().push(e);
+    }
+    let mut out = Vec::new();
+    for (trace_id, evs) in &traces {
+        let Some(root) = evs.iter().find(|e| e.span_id == *trace_id) else {
+            continue;
+        };
+        let Some(instance) = root.name.strip_prefix("migrate/") else {
+            continue;
+        };
+        let find = |prefix: &str| {
+            evs.iter()
+                .find(|e| !e.open && e.name.strip_prefix(prefix) == Some(instance))
+        };
+        let (Some(release), Some(quiesce), Some(persist), Some(adopt)) = (
+            find("release/"),
+            find("quiesce/"),
+            find("persist/"),
+            find("adopt/"),
+        ) else {
+            continue;
+        };
+        out.push(Breakdown {
+            quiesce: quiesce.duration_us(),
+            persist: persist.duration_us(),
+            handoff: adopt.start_us.saturating_sub(release.end_us),
+            adopt: adopt.duration_us(),
+            total: adopt.end_us.saturating_sub(root.start_us),
+        });
+    }
+    out
+}
+
+fn stats_row(name: &str, samples: impl Iterator<Item = u64> + Clone) -> Vec<String> {
+    let (mut min, mut max, mut sum, mut n) = (u64::MAX, 0u64, 0u64, 0u64);
+    for v in samples {
+        min = min.min(v);
+        max = max.max(v);
+        sum += v;
+        n += 1;
+    }
+    vec![
+        name.to_owned(),
+        format!("{min}"),
+        format!("{}", sum / n.max(1)),
+        format!("{max}"),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<std::path::PathBuf> = if args.is_empty() {
+        let dir = workspace_root().join("results");
+        let mut found: Vec<_> = std::fs::read_dir(&dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .filter(|p| {
+                        p.file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| n.starts_with("trace_") && n.ends_with(".json"))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        found.sort();
+        if found.is_empty() {
+            eprintln!(
+                "no traces under {} — run the chaos sweep (or e5_migration_cost) \
+                 first",
+                dir.display()
+            );
+            std::process::exit(1);
+        }
+        found
+    } else {
+        args.iter().map(std::path::PathBuf::from).collect()
+    };
+
+    let mut failed = false;
+    let mut total_violations = 0usize;
+    let mut breakdowns = Vec::new();
+    for path in &files {
+        let parsed = std::fs::read_to_string(path)
+            .map_err(|e| format!("unreadable: {e}"))
+            .and_then(|text| parse_trace(&text));
+        let trace = match parsed {
+            Ok(t) => t,
+            Err(e) => {
+                failed = true;
+                println!("  BAD {}: {e}", path.display());
+                continue;
+            }
+        };
+        let complete = trace.dropped == 0;
+        let violations = causal_violations(&trace.events, complete);
+        let migrations = migration_breakdowns(&trace.events);
+        let traces: std::collections::BTreeSet<u64> =
+            trace.events.iter().map(|e| e.trace_id).collect();
+        let note = if complete {
+            ""
+        } else {
+            "  [ring overflow: structural checks skipped]"
+        };
+        if violations.is_empty() {
+            println!(
+                "  ok  {}  (events {}, traces {}, migrations {}){note}",
+                path.display(),
+                trace.events.len(),
+                traces.len(),
+                migrations.len()
+            );
+        } else {
+            failed = true;
+            println!(
+                "  BAD {}: {} causal violation(s)",
+                path.display(),
+                violations.len()
+            );
+            for v in &violations {
+                println!("      {v}");
+            }
+        }
+        total_violations += violations.len();
+        breakdowns.extend(migrations);
+    }
+
+    if breakdowns.is_empty() {
+        println!("\nno complete migrate/-rooted traces — no latency breakdown");
+    } else {
+        print_table(
+            &format!(
+                "Migration latency breakdown (simulated µs, {} migration(s))",
+                breakdowns.len()
+            ),
+            &["phase", "min", "mean", "max"],
+            &[
+                stats_row("quiesce", breakdowns.iter().map(|b| b.quiesce)),
+                stats_row("persist", breakdowns.iter().map(|b| b.persist)),
+                stats_row("registry hand-off", breakdowns.iter().map(|b| b.handoff)),
+                stats_row("adopt", breakdowns.iter().map(|b| b.adopt)),
+                stats_row("total", breakdowns.iter().map(|b| b.total)),
+            ],
+        );
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "\n{} trace file(s), {total_violations} causal violations",
+        files.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosgi_telemetry::{FlightRecorder, TraceLog};
+
+    /// Drives two recorders through a full graceful migration and returns
+    /// the merged log: the reference "good" trace.
+    fn migration_log() -> TraceLog {
+        let src = FlightRecorder::new(0);
+        let dst = FlightRecorder::new(1);
+        let root = src.root("migrate/web", 1_000);
+        let root_ctx = src.context(root).unwrap();
+        let rel = src.child(root_ctx, "release/web", 2_000);
+        let rel_ctx = src.context(rel).unwrap();
+        let q = src.child(rel_ctx, "quiesce/web", 2_000);
+        src.end(q, 2_500);
+        let p = src.child(rel_ctx, "persist/web", 2_500);
+        src.end(p, 4_000);
+        src.end(rel, 4_000);
+        let released = src.context(rel).unwrap();
+        src.end(root, 4_100);
+        let adopt = dst.child(released, "adopt/web", 5_000);
+        dst.end(adopt, 7_000);
+        TraceLog::merge([&src, &dst])
+    }
+
+    fn events() -> Vec<TraceEvent> {
+        migration_log().events
+    }
+
+    #[test]
+    fn clean_migration_has_no_violations() {
+        assert_eq!(causal_violations(&events(), true), Vec::<String>::new());
+    }
+
+    #[test]
+    fn export_parse_roundtrip_preserves_the_verdict() {
+        let json = migration_log().to_chrome_json("t", 7);
+        let parsed = parse_trace(&json).expect("parses");
+        assert_eq!(parsed.events, events(), "roundtrip is lossless");
+        assert!(causal_violations(&parsed.events, parsed.dropped == 0).is_empty());
+    }
+
+    #[test]
+    fn breakdown_measures_every_phase() {
+        let b = migration_breakdowns(&events());
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].quiesce, 500);
+        assert_eq!(b[0].persist, 1_500);
+        assert_eq!(b[0].handoff, 1_000, "release end 4000 -> adopt start 5000");
+        assert_eq!(b[0].adopt, 2_000);
+        assert_eq!(b[0].total, 6_000, "root open 1000 -> adopt end 7000");
+    }
+
+    #[test]
+    fn missing_root_is_flagged() {
+        let evs: Vec<_> = events()
+            .into_iter()
+            .map(|mut e| {
+                // Re-home the whole trace onto a span id that no event has
+                // (span sequence numbers here stay far below 1000).
+                e.trace_id += 1_000;
+                e
+            })
+            .collect();
+        let v = causal_violations(&evs, true);
+        assert!(v.iter().any(|v| v.contains("missing root")), "{v:?}");
+        // Incomplete logs (ring overflow) skip the structural check.
+        assert!(causal_violations(&evs, false).is_empty());
+    }
+
+    #[test]
+    fn orphaned_child_is_flagged() {
+        let evs: Vec<_> = events()
+            .into_iter()
+            .filter(|e| e.name != "release/web")
+            .collect();
+        let v = causal_violations(&evs, true);
+        assert!(v.iter().any(|v| v.contains("orphaned child")), "{v:?}");
+    }
+
+    #[test]
+    fn blind_remote_adopt_is_flagged() {
+        let mut evs = events();
+        let adopt = evs.iter_mut().find(|e| e.name == "adopt/web").unwrap();
+        adopt.ctx_lamport = 0;
+        let v = causal_violations(&evs, true);
+        assert!(
+            v.iter().any(|v| v.contains("never saw its parent")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn adopt_before_release_is_flagged() {
+        let mut evs = events();
+        let rel_end = evs
+            .iter()
+            .find(|e| e.name == "release/web")
+            .unwrap()
+            .lamport_end;
+        let adopt = evs.iter_mut().find(|e| e.name == "adopt/web").unwrap();
+        adopt.lamport_start = rel_end; // not strictly after the release
+        adopt.start_us = 3_000; // and wall-clock inside the release window
+        let v = causal_violations(&evs, true);
+        assert!(
+            v.iter()
+                .any(|v| v.contains("before `release/web` released")),
+            "{v:?}"
+        );
+        assert!(
+            v.iter().any(|v| v.contains("before release finished")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn local_lamport_inversion_is_flagged() {
+        let mut evs = events();
+        let q = evs.iter_mut().find(|e| e.name == "quiesce/web").unwrap();
+        q.lamport_start = 1; // claims to precede its parent's open
+        let v = causal_violations(&evs, true);
+        assert!(v.iter().any(|v| v.contains("child `quiesce/web`")), "{v:?}");
+    }
+
+    #[test]
+    fn redirect_must_follow_its_adopt() {
+        let mut evs = events();
+        let adopt = evs.iter().find(|e| e.name == "adopt/web").unwrap().clone();
+        let mut redirect = adopt.clone();
+        redirect.name = "redirect/n0".into();
+        redirect.span_id = adopt.span_id + 1;
+        redirect.parent_span = adopt.span_id;
+        redirect.ctx_lamport = adopt.lamport_end;
+        redirect.lamport_start = adopt.lamport_start; // tie: not after
+        evs.push(redirect);
+        let v = causal_violations(&evs, true);
+        assert!(
+            v.iter()
+                .any(|v| v.contains("`redirect/n0` before `adopt/web`")),
+            "{v:?}"
+        );
+    }
+}

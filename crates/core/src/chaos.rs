@@ -30,7 +30,7 @@ use crate::workloads;
 use crate::{ClusterConfig, CoreError, DosgiCluster};
 use dosgi_net::{LinkConfig, NodeId, Partition, SimDuration, SimTime};
 use dosgi_san::{FaultPlan, Value};
-use dosgi_telemetry::Telemetry;
+use dosgi_telemetry::{Telemetry, TraceLog};
 use dosgi_testkit::mix_seed;
 use dosgi_testkit::nemesis::{NemesisOp, NemesisPlan};
 use std::collections::BTreeMap;
@@ -78,7 +78,13 @@ pub struct ChaosReport {
     /// Fingerprint of the run's observable end state (registry bytes, SAN
     /// counters, ack counts, violations). Two runs of the same seed must
     /// produce the same value — the "replays byte-identically" check.
+    /// Deliberately excludes the trace: equal fingerprints across traced
+    /// and untraced replays are the passivity proof.
     pub fingerprint: u64,
+    /// The merged cluster-wide causal trace (empty when the run was
+    /// uninstrumented). Export with [`TraceLog::to_chrome_json`]; analyze
+    /// with the `trace_check` bin.
+    pub trace: TraceLog,
 }
 
 impl ChaosReport {
@@ -236,6 +242,7 @@ pub fn run_nemesis_with_telemetry(
         floors,
         violations,
         fingerprint: h,
+        trace: cluster.trace_log(),
     }
 }
 
@@ -560,6 +567,47 @@ mod tests {
             on2.snapshot("chaos_seed7", plan.seed).to_json(),
             "two instrumented replays must snapshot identically"
         );
+    }
+
+    /// The causal trace is part of the deterministic surface: two
+    /// instrumented replays of the same schedule export byte-identical
+    /// Chrome trace JSON, and an uninstrumented run records nothing while
+    /// fingerprinting the same.
+    #[test]
+    fn trace_export_is_deterministic_and_passive() {
+        use dosgi_testkit::nemesis::NemesisStep;
+        // Crash the node hosting ctr-0, then restart it: guarantees a
+        // failover claim (and so a non-empty trace) regardless of seed.
+        let plan = NemesisPlan {
+            seed: 0x7ACE,
+            nodes: 5,
+            horizon_us: 30_000_000,
+            steps: vec![
+                NemesisStep {
+                    at_us: 2_000_000,
+                    op: NemesisOp::CrashNode { node: 0 },
+                },
+                NemesisStep {
+                    at_us: 12_000_000,
+                    op: NemesisOp::RestartNode { node: 0 },
+                },
+            ],
+        };
+        let opts = ChaosOptions::default();
+        let a = run_nemesis_with_telemetry(&plan, &opts, Telemetry::new());
+        let b = run_nemesis_with_telemetry(&plan, &opts, Telemetry::new());
+        assert!(
+            !a.trace.events.is_empty(),
+            "a crashing schedule records failover/adoption spans"
+        );
+        assert_eq!(
+            a.trace.to_chrome_json("t", plan.seed),
+            b.trace.to_chrome_json("t", plan.seed),
+            "byte-identical trace replay"
+        );
+        let c = run_nemesis_with_telemetry(&plan, &opts, Telemetry::disabled());
+        assert!(c.trace.events.is_empty(), "no tracing without telemetry");
+        assert_eq!(a.fingerprint, c.fingerprint, "tracing is passive");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::registry::InstanceStatus;
 use crate::{AdoptReason, CoreError, NodeEvent, SlaTracker};
 use dosgi_net::{LinkConfig, NodeId, Partition, SimDuration, SimNet, SimTime};
 use dosgi_san::{SharedStore, Value};
-use dosgi_telemetry::{Snapshot, SpanId, Telemetry};
+use dosgi_telemetry::{FlightRecorder, Snapshot, SpanId, Telemetry, TraceLog};
 use dosgi_vosgi::InstanceDescriptor;
 use std::collections::BTreeMap;
 
@@ -34,6 +34,11 @@ impl Default for ClusterConfig {
 struct Slot {
     node: DosgiNode,
     alive: bool,
+    // The node's flight recorder. Owned by the slot, not the node, so the
+    // causal record survives crashes and restarts: a restarted node keeps
+    // appending to the same ring, and the cluster-wide merge sees the
+    // node's whole history.
+    recorder: FlightRecorder,
 }
 
 /// A simulated cluster of [`DosgiNode`]s sharing a SAN and a network.
@@ -104,7 +109,21 @@ impl DosgiCluster {
                     net.now(),
                 );
                 node.set_telemetry(telemetry.clone());
-                Slot { node, alive: true }
+                // Tracing rides the same switch as the rest of telemetry:
+                // a disabled cluster records nothing (and provably changes
+                // nothing — the chaos harness compares fingerprints with
+                // instrumentation on and off).
+                let recorder = if telemetry.is_enabled() {
+                    FlightRecorder::new(u64::from(id.0))
+                } else {
+                    FlightRecorder::disabled()
+                };
+                node.set_recorder(recorder.clone());
+                Slot {
+                    node,
+                    alive: true,
+                    recorder,
+                }
             })
             .collect();
         DosgiCluster {
@@ -304,6 +323,7 @@ impl DosgiCluster {
                 self.net.now(),
             );
             node.set_telemetry(self.telemetry.clone());
+            node.set_recorder(slot.recorder.clone());
             slot.node = node;
             slot.alive = true;
         }
@@ -526,6 +546,13 @@ impl DosgiCluster {
         self.record_telemetry_gauges();
         self.telemetry.snapshot(label, seed)
     }
+
+    /// Merges every node's flight recorder — including those of crashed
+    /// nodes, whose rings outlive them — into one causally-ordered
+    /// cluster trace. Empty when the cluster runs without telemetry.
+    pub fn trace_log(&self) -> TraceLog {
+        TraceLog::merge(self.slots.iter().map(|s| &s.recorder))
+    }
 }
 
 #[cfg(test)]
@@ -602,6 +629,116 @@ mod tests {
             c.deploy(workloads::web_instance("b", "w"), 1),
             Err(CoreError::DuplicateInstance(_))
         ));
+    }
+
+    #[test]
+    fn monitor_series_bridge_into_telemetry_gauges() {
+        let telemetry = Telemetry::new();
+        let mut c =
+            DosgiCluster::new_with_telemetry(3, ClusterConfig::default(), 77, telemetry.clone());
+        c.run_for(SimDuration::from_millis(500));
+        c.deploy(workloads::web_instance("a", "web"), 0).unwrap();
+        c.run_for(SimDuration::from_millis(300));
+        // Dense enough that every 250ms sampling window contains calls, so
+        // the final gauge values are non-zero regardless of window phase.
+        for _ in 0..20 {
+            c.call("web", workloads::WEB_SERVICE, "handle", &Value::Null)
+                .unwrap();
+            c.run_for(SimDuration::from_millis(100));
+        }
+        let gauges = telemetry.snapshot("t", 0).gauges;
+        for key in [
+            "monitor.web.cpu_share_pm",
+            "monitor.web.memory_bytes",
+            "monitor.web.call_rate_mcps",
+        ] {
+            assert!(gauges.contains_key(key), "missing {key} in {gauges:?}");
+        }
+        assert!(
+            gauges["monitor.web.call_rate_mcps"] > 0,
+            "sustained calls show up in the windowed rate: {gauges:?}"
+        );
+    }
+
+    #[test]
+    fn migration_produces_causal_trace() {
+        let mut c = cluster();
+        c.deploy(workloads::web_instance("a", "web"), 0).unwrap();
+        c.run_for(SimDuration::from_millis(300));
+        c.migrate("web", 1).unwrap();
+        c.run_for(SimDuration::from_millis(1_000));
+        assert_eq!(c.home_of("web"), Some(1));
+        let log = c.trace_log();
+        let root = log
+            .events
+            .iter()
+            .find(|e| e.name == "migrate/web")
+            .expect("migrate root recorded");
+        assert_eq!(root.parent_span, 0, "operator migrate starts the trace");
+        assert_eq!(root.node, 0, "minted on the source");
+        let in_trace = |name: &str| {
+            log.events
+                .iter()
+                .find(|e| e.trace_id == root.trace_id && e.name == name)
+        };
+        let release = in_trace("release/web").expect("release span");
+        let adopt = in_trace("adopt/web").expect("adopt span");
+        assert!(in_trace("quiesce/web").is_some(), "quiesce phase");
+        assert!(in_trace("persist/web").is_some(), "persist phase");
+        assert_eq!(release.node, 0);
+        assert_eq!(adopt.node, 1, "adopt span lives on the destination");
+        assert!(!adopt.open, "adoption completed");
+        assert!(
+            adopt.lamport_start > release.lamport_end,
+            "adoption is causally after the release ({} vs {})",
+            adopt.lamport_start,
+            release.lamport_end
+        );
+        assert!(
+            adopt.end_us >= release.end_us,
+            "adoption finishes after the release in simulated time"
+        );
+    }
+
+    #[test]
+    fn failover_claim_produces_trace() {
+        let mut c = cluster();
+        c.deploy(workloads::web_instance("a", "web"), 0).unwrap();
+        c.run_for(SimDuration::from_millis(300));
+        c.crash_node(0);
+        c.run_for(SimDuration::from_secs(8));
+        let new_home = c.home_of("web").expect("web failed over");
+        assert_ne!(new_home, 0);
+        let log = c.trace_log();
+        let root = log
+            .events
+            .iter()
+            .find(|e| e.name == "failover/web")
+            .expect("failover claim root recorded");
+        let adopt = log
+            .events
+            .iter()
+            .find(|e| e.trace_id == root.trace_id && e.name == "adopt/web")
+            .expect("failover adoption joins the claim's trace");
+        assert_eq!(adopt.node, new_home as u64);
+        assert!(adopt.lamport_start > root.lamport_start);
+    }
+
+    #[test]
+    fn disabled_telemetry_records_no_trace() {
+        let mut c = DosgiCluster::new_with_telemetry(
+            3,
+            ClusterConfig::default(),
+            77,
+            Telemetry::disabled(),
+        );
+        c.run_for(SimDuration::from_millis(500));
+        c.deploy(workloads::web_instance("a", "web"), 0).unwrap();
+        c.run_for(SimDuration::from_millis(300));
+        c.migrate("web", 1).unwrap();
+        c.run_for(SimDuration::from_millis(1_000));
+        assert_eq!(c.home_of("web"), Some(1), "protocol unaffected");
+        assert!(c.trace_log().events.is_empty());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use dosgi_net::{NodeId, SimDuration, SimNet, SimTime};
 use dosgi_osgi::Framework;
 use dosgi_policy::PolicyAction;
 use dosgi_san::{SharedStore, Value};
-use dosgi_telemetry::{SpanId, Telemetry};
+use dosgi_telemetry::{FlightRecorder, SpanId, Telemetry, TraceContext, TraceRef};
 use dosgi_vosgi::{InstanceDescriptor, InstanceManager, ResourceQuota};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -102,6 +102,14 @@ pub struct DosgiNode {
     pending_adoptions: Vec<PendingAdoption>,
     events: Vec<NodeEvent>,
     telemetry: Telemetry,
+    recorder: FlightRecorder,
+    // Open failover/heal claim roots, keyed by instance: minted when this
+    // node orders an `Adopted` claim, closed when the claim's delivery
+    // resolves the race (either way) in the total order.
+    claim_traces: BTreeMap<String, TraceRef>,
+    // The open `shutdown`/`hibernate` root while draining; closed when the
+    // drain completes.
+    lifecycle_trace: TraceRef,
 }
 
 #[derive(Debug, Clone)]
@@ -114,6 +122,9 @@ struct PendingAdoption {
     /// The `core.adopt` span opened when the adoption was queued; closed
     /// when the ticket materializes, is overruled, or quarantines.
     span: SpanId,
+    /// The causal `adopt/<name>` trace span, if the triggering control
+    /// message carried a context; closed alongside `span`.
+    trace: TraceRef,
 }
 
 impl std::fmt::Debug for DosgiNode {
@@ -173,6 +184,9 @@ impl DosgiNode {
             pending_adoptions: Vec::new(),
             events: Vec::new(),
             telemetry: Telemetry::disabled(),
+            recorder: FlightRecorder::disabled(),
+            claim_traces: BTreeMap::new(),
+            lifecycle_trace: TraceRef::NONE,
         }
     }
 
@@ -183,6 +197,20 @@ impl DosgiNode {
         self.gcs.set_telemetry(telemetry.clone());
         self.mgr.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
+    }
+
+    /// Attaches a flight recorder for causal protocol tracing. Like
+    /// telemetry, the recorder is strictly passive: spans are stamped from
+    /// the simulated clock and a logical (Lamport) clock, never from wall
+    /// time or the RNG, so protocol behaviour is bit-identical with the
+    /// recorder on or off.
+    pub fn set_recorder(&mut self, recorder: FlightRecorder) {
+        self.recorder = recorder;
+    }
+
+    /// The node's flight recorder (disabled unless attached).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// This node's id.
@@ -309,20 +337,45 @@ impl DosgiNode {
         to: NodeId,
         net: &mut SimNet<Wire>,
     ) -> Result<(), CoreError> {
+        self.migrate_away_traced(name, to, net, TraceRef::NONE)
+    }
+
+    /// Like [`migrate_away`](Self::migrate_away) but attaching the minted
+    /// `migrate/<name>` span under `parent` (a drain root, say) instead of
+    /// starting a fresh trace. The span closes as soon as the `Migrate` is
+    /// handed to the total order — the release and adoption phases attach
+    /// to it causally via the propagated context.
+    fn migrate_away_traced(
+        &mut self,
+        name: &str,
+        to: NodeId,
+        net: &mut SimNet<Wire>,
+        parent: TraceRef,
+    ) -> Result<(), CoreError> {
         if to == self.id {
             return Err(CoreError::BadMigration("destination is the source".into()));
         }
         if self.mgr.find_by_name(name).is_none() {
             return Err(CoreError::NotPlaced(name.to_owned()));
         }
-        self.order(
+        let now_us = net.now().as_micros();
+        let span = if parent.is_some() {
+            self.recorder
+                .child_of(parent, &format!("migrate/{name}"), now_us)
+        } else {
+            self.recorder.root(&format!("migrate/{name}"), now_us)
+        };
+        let ctx = self.recorder.context(span);
+        self.order_traced(
             net,
             AppPayload::Migrate {
                 name: name.to_owned(),
                 from: self.id,
                 to,
             },
+            ctx,
         );
+        self.recorder.end(span, now_us);
         Ok(())
     }
 
@@ -362,11 +415,14 @@ impl DosgiNode {
         }
         self.state = NodeState::Draining;
         self.events.push(NodeEvent::Draining { at: now });
-        self.order(net, AppPayload::Draining { node: self.id });
-        self.migrate_all_local(net);
+        let root = self.recorder.root("shutdown", now.as_micros());
+        self.lifecycle_trace = root;
+        let ctx = self.recorder.context(root);
+        self.order_traced(net, AppPayload::Draining { node: self.id }, ctx);
+        self.migrate_all_local(net, root);
     }
 
-    fn migrate_all_local(&mut self, net: &mut SimNet<Wire>) {
+    fn migrate_all_local(&mut self, net: &mut SimNet<Wire>, parent: TraceRef) {
         let locals: Vec<String> = self
             .mgr
             .instances()
@@ -380,7 +436,7 @@ impl DosgiNode {
                     .choose(&name, &candidates, &self.registry, &BTreeMap::new())
             {
                 self.telemetry.incr("core.placement.decisions");
-                let _ = self.migrate_away(&name, dest, net);
+                let _ = self.migrate_away_traced(&name, dest, net, parent);
             }
         }
     }
@@ -524,20 +580,47 @@ impl DosgiNode {
             .map(|r| r.name.clone())
             .collect();
         for name in healable {
-            self.order(
+            let ctx = self.claim_context(&name, "heal", net.now().as_micros());
+            self.order_traced(
                 net,
                 AppPayload::Adopted {
                     name,
                     node: self.id,
                     prior_home: self.id,
                 },
+                ctx,
             );
         }
+    }
+
+    /// The trace context for a failover/heal claim on `name`: reuses the
+    /// open claim root if an earlier claim is still unresolved (the sweep
+    /// retries lost claims), otherwise mints a fresh `<kind>/<name>` root.
+    fn claim_context(&mut self, name: &str, kind: &str, now_us: u64) -> Option<TraceContext> {
+        let span = match self.claim_traces.get(name) {
+            Some(&s) => s,
+            None => {
+                let s = self.recorder.root(&format!("{kind}/{name}"), now_us);
+                self.claim_traces.insert(name.to_owned(), s);
+                s
+            }
+        };
+        self.recorder.context(span)
     }
 
     fn order(&mut self, net: &mut SimNet<Wire>, payload: AppPayload) {
         let mut t = SimTransport::new(net, self.id);
         self.gcs.order(&mut t, payload);
+    }
+
+    fn order_traced(
+        &mut self,
+        net: &mut SimNet<Wire>,
+        payload: AppPayload,
+        ctx: Option<TraceContext>,
+    ) {
+        let mut t = SimTransport::new(net, self.id);
+        self.gcs.order_traced(&mut t, payload, ctx);
     }
 
     fn on_gcs_event(&mut self, event: GcsEvent<AppPayload>, net: &mut SimNet<Wire>, now: SimTime) {
@@ -581,8 +664,15 @@ impl DosgiNode {
                     self.handle_failover(&left, net);
                 }
             }
-            GcsEvent::OrderedDeliver { payload, .. } => {
-                self.apply_control(payload, net, now);
+            GcsEvent::OrderedDeliver { payload, trace, .. } => {
+                // Fold the carried Lamport stamp into the local logical
+                // clock even when this node opens no span of its own: a
+                // later local root must still order after everything the
+                // delivery happened-after.
+                if let Some(ctx) = trace {
+                    self.recorder.observe(ctx);
+                }
+                self.apply_control(payload, trace, net, now);
             }
             GcsEvent::Deliver { .. } => {
                 // All control traffic is ordered; FIFO deliveries are
@@ -625,19 +715,27 @@ impl DosgiNode {
                     .record(&name)
                     .map(|r| r.home)
                     .unwrap_or(self.id);
-                self.order(
+                let ctx = self.claim_context(&name, "failover", net.now().as_micros());
+                self.order_traced(
                     net,
                     AppPayload::Adopted {
                         name,
                         node: self.id,
                         prior_home,
                     },
+                    ctx,
                 );
             }
         }
     }
 
-    fn apply_control(&mut self, payload: AppPayload, net: &mut SimNet<Wire>, now: SimTime) {
+    fn apply_control(
+        &mut self,
+        payload: AppPayload,
+        trace: Option<TraceContext>,
+        net: &mut SimNet<Wire>,
+        now: SimTime,
+    ) {
         self.telemetry.incr("core.registry.ops");
         // Snapshot pre-application status for claim/adoption decisions.
         let prior_status = payload
@@ -648,15 +746,20 @@ impl DosgiNode {
         match payload {
             AppPayload::Migrate { name, from, to } => {
                 if from == self.id && prior_status != Some(InstanceStatus::Orphaned) {
-                    self.release_instance(&name, to, net, now);
+                    self.release_instance(&name, to, net, now, trace);
                 }
             }
             AppPayload::Released { name, to } => {
                 if to == self.id && prior_status != Some(InstanceStatus::Orphaned) {
-                    self.adopt(&name, AdoptReason::Migration, now);
+                    self.adopt(&name, AdoptReason::Migration, now, trace);
                 }
             }
             AppPayload::Adopted { name, node, .. } => {
+                // Any delivered claim for `name` resolves the race this
+                // node's own claim (if any) was part of: close its root.
+                if let Some(span) = self.claim_traces.remove(&name) {
+                    self.recorder.end(span, now.as_micros());
+                }
                 // Decide by post-application state: did this claim win?
                 let won = self
                     .registry
@@ -674,7 +777,7 @@ impl DosgiNode {
                         if !already_running
                             && !self.pending_adoptions.iter().any(|p| p.name == name)
                         {
-                            self.adopt(&name, AdoptReason::Failover, now);
+                            self.adopt(&name, AdoptReason::Failover, now, trace);
                         }
                     } else if self.mgr.find_by_name(&name).is_some() {
                         // A stale local copy (healed partition / lost
@@ -791,16 +894,40 @@ impl DosgiNode {
             .map(|r| r.name.clone())
             .collect();
         for name in missing {
-            self.adopt(&name, AdoptReason::Failover, now);
+            self.adopt(&name, AdoptReason::Failover, now, None);
         }
     }
 
-    fn release_instance(&mut self, name: &str, to: NodeId, net: &mut SimNet<Wire>, now: SimTime) {
+    fn release_instance(
+        &mut self,
+        name: &str,
+        to: NodeId,
+        net: &mut SimNet<Wire>,
+        now: SimTime,
+        ctx: Option<TraceContext>,
+    ) {
         let Some(iid) = self.mgr.find_by_name(name) else {
             return;
         };
+        let now_us = now.as_micros();
+        let rel = match ctx {
+            Some(c) => self.recorder.child(c, &format!("release/{name}"), now_us),
+            None => TraceRef::NONE,
+        };
+        // Quiesce: stop the instance (in-flight work completes — the sim's
+        // stop is synchronous, so this phase costs no simulated time).
+        let quiesce = self
+            .recorder
+            .child_of(rel, &format!("quiesce/{name}"), now_us);
         let _ = self.mgr.stop_instance(iid);
+        self.recorder.end(quiesce, now_us);
+        // Persist: tear down the local copy, flushing its state to the SAN
+        // (kept — the instance lives on at the destination).
+        let persist = self
+            .recorder
+            .child_of(rel, &format!("persist/{name}"), now_us);
         let _ = self.mgr.destroy_instance(iid, false);
+        self.recorder.end(persist, now_us);
         self.monitor.forget(name);
         self.throttled.remove(name);
         if let Some(a) = &mut self.autonomic {
@@ -811,12 +938,19 @@ impl DosgiNode {
             name: name.to_owned(),
             to,
         });
-        self.order(
+        // Close the release span *before* exporting the context the
+        // `Released` order carries: the destination's adopt span then
+        // starts strictly Lamport-after the release ended — the invariant
+        // trace_check's adopt-before-release detector leans on.
+        self.recorder.end(rel, now_us);
+        let released_ctx = self.recorder.context(rel);
+        self.order_traced(
             net,
             AppPayload::Released {
                 name: name.to_owned(),
                 to,
             },
+            released_ctx,
         );
     }
 
@@ -827,7 +961,7 @@ impl DosgiNode {
     /// have the basic services deployed on the underlying framework."*
     /// A pre-created hot standby (see [`crate::replication`]) skips the
     /// install half and pays only the start cost.
-    fn adopt(&mut self, name: &str, reason: AdoptReason, now: SimTime) {
+    fn adopt(&mut self, name: &str, reason: AdoptReason, now: SimTime, ctx: Option<TraceContext>) {
         let Some(rec) = self.registry.record(name) else {
             return;
         };
@@ -856,12 +990,19 @@ impl DosgiNode {
         let span = self
             .telemetry
             .span_enter(&format!("core.adopt/{name}"), now.as_micros());
+        let trace = match ctx {
+            Some(c) => self
+                .recorder
+                .child(c, &format!("adopt/{name}"), now.as_micros()),
+            None => TraceRef::NONE,
+        };
         self.pending_adoptions.push(PendingAdoption {
             ready_at: now + cost,
             name: name.to_owned(),
             reason,
             attempt: 0,
             span,
+            trace,
         });
     }
 
@@ -889,6 +1030,7 @@ impl DosgiNode {
                 .unwrap_or(false);
             if !still_ours {
                 self.telemetry.span_exit(p.span, now.as_micros());
+                self.recorder.end(p.trace, now.as_micros());
                 self.telemetry.incr("core.adopt.overruled");
                 continue;
             }
@@ -899,12 +1041,14 @@ impl DosgiNode {
                 None => {
                     let Some(rec) = self.registry.record(&p.name) else {
                         self.telemetry.span_exit(p.span, now.as_micros());
+                        self.recorder.end(p.trace, now.as_micros());
                         continue;
                     };
                     match InstanceDescriptor::from_value(&rec.descriptor) {
                         Ok(d) => self.mgr.adopt_instance(d),
                         Err(e) => {
                             self.telemetry.span_exit(p.span, now.as_micros());
+                            self.recorder.end(p.trace, now.as_micros());
                             self.events.push(NodeEvent::AdoptFailed {
                                 at: now,
                                 name: p.name,
@@ -942,6 +1086,7 @@ impl DosgiNode {
                         );
                     } else {
                         self.telemetry.span_exit(p.span, now.as_micros());
+                        self.recorder.end(p.trace, now.as_micros());
                         self.events.push(NodeEvent::Adopted {
                             at: now,
                             name: p.name,
@@ -974,6 +1119,7 @@ impl DosgiNode {
     ) {
         if !transient {
             self.telemetry.span_exit(p.span, now.as_micros());
+            self.recorder.end(p.trace, now.as_micros());
             self.events.push(NodeEvent::AdoptFailed {
                 at: now,
                 name: p.name,
@@ -989,12 +1135,18 @@ impl DosgiNode {
                 at: now,
                 name: p.name.clone(),
             });
-            self.order(
+            // The quarantine announcement continues the adoption's trace:
+            // the eventual heal re-claim starts a new root, but this stamps
+            // where the causal chain ended.
+            let ctx = self.recorder.context(p.trace);
+            self.recorder.end(p.trace, now.as_micros());
+            self.order_traced(
                 net,
                 AppPayload::Quarantined {
                     name: p.name,
                     node: self.id,
                 },
+                ctx,
             );
             return;
         }
@@ -1014,6 +1166,7 @@ impl DosgiNode {
             reason: p.reason,
             attempt: failures,
             span: p.span,
+            trace: p.trace,
         });
     }
 
@@ -1036,7 +1189,22 @@ impl DosgiNode {
             .map(|i| (i.descriptor.name.clone(), i.usage()))
             .collect();
         for (name, usage) in usages {
-            self.monitor.record(&name, now, usage);
+            // Bridge the monitor's windowed series into the telemetry
+            // registry as per-instance gauges. Integer-scaled from the raw
+            // window counters (never through the f64 series) so snapshot
+            // bytes stay deterministic: CPU share in per-mille of one core,
+            // call rate in milli-calls per second.
+            if let Some(w) = self.monitor.record(&name, now, usage) {
+                let window_us = w.window.as_micros().max(1);
+                let cpu_pm = w.cpu.as_micros().saturating_mul(1000) / window_us;
+                let call_mcps = w.calls.saturating_mul(1_000_000_000) / window_us;
+                self.telemetry
+                    .gauge_set(&format!("monitor.{name}.cpu_share_pm"), cpu_pm as i64);
+                self.telemetry
+                    .gauge_set(&format!("monitor.{name}.memory_bytes"), w.memory as i64);
+                self.telemetry
+                    .gauge_set(&format!("monitor.{name}.call_rate_mcps"), call_mcps as i64);
+            }
         }
     }
 
@@ -1072,7 +1240,7 @@ impl DosgiNode {
         }
     }
 
-    fn execute(&mut self, action: PolicyAction, net: &mut SimNet<Wire>, _now: SimTime) {
+    fn execute(&mut self, action: PolicyAction, net: &mut SimNet<Wire>, now: SimTime) {
         match action {
             PolicyAction::Migrate { subject } => {
                 let candidates = self.placement_candidates();
@@ -1105,11 +1273,14 @@ impl DosgiNode {
                 // once every pending ordered message has been sequenced
                 // (check_drained gates on both).
                 self.hibernate_when_empty = true;
-                self.order(net, AppPayload::Draining { node: self.id });
-                self.migrate_all_local(net);
+                let root = self.recorder.root("hibernate", now.as_micros());
+                self.lifecycle_trace = root;
+                let ctx = self.recorder.context(root);
+                self.order_traced(net, AppPayload::Draining { node: self.id }, ctx);
+                self.migrate_all_local(net, root);
             }
             PolicyAction::Custom { name, .. } if name == "migrate_all" => {
-                self.migrate_all_local(net);
+                self.migrate_all_local(net, TraceRef::NONE);
             }
             PolicyAction::WakeNode | PolicyAction::Alert { .. } | PolicyAction::Custom { .. } => {
                 // Alerts are visible through the PolicyFired event; wake is
@@ -1122,6 +1293,8 @@ impl DosgiNode {
         let mut t = SimTransport::new(net, self.id);
         self.gcs.leave(&mut t);
         self.state = NodeState::Hibernated;
+        self.recorder.end(self.lifecycle_trace, now.as_micros());
+        self.lifecycle_trace = TraceRef::NONE;
         self.events.push(NodeEvent::Hibernated { at: now });
     }
 
@@ -1133,6 +1306,8 @@ impl DosgiNode {
             let mut t = SimTransport::new(net, self.id);
             self.gcs.leave(&mut t);
             self.state = NodeState::Stopped;
+            self.recorder.end(self.lifecycle_trace, now.as_micros());
+            self.lifecycle_trace = TraceRef::NONE;
             self.events.push(NodeEvent::Drained { at: now });
         }
         if self.hibernate_when_empty

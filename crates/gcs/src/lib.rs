@@ -32,10 +32,10 @@ mod config;
 mod node;
 mod transport;
 mod view;
-mod wire;
+pub mod wire;
 
 pub use config::GcsConfig;
 pub use node::{GcsEvent, GroupNode};
-pub use transport::{SimTransport, Transport};
+pub use transport::{FrameTransport, SimTransport, Transport};
 pub use view::{View, ViewId};
-pub use wire::GcsWire;
+pub use wire::{decode_frame, encode_frame, encode_frame_at, GcsWire, WIRE_VERSION};

@@ -3,7 +3,7 @@
 
 use crate::{GcsConfig, GcsWire, Transport, View, ViewId};
 use dosgi_net::{NodeId, SimTime};
-use dosgi_telemetry::Telemetry;
+use dosgi_telemetry::{Telemetry, TraceContext};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Events a [`GroupNode`] delivers to the layer above.
@@ -35,6 +35,9 @@ pub enum GcsEvent<A> {
         origin: NodeId,
         /// The payload.
         payload: A,
+        /// The origin's causal trace context, if the flow was traced
+        /// (carried opaquely: GCS never inspects or alters it).
+        trace: Option<TraceContext>,
     },
 }
 
@@ -69,13 +72,13 @@ pub struct GroupNode<A> {
 
     // Total order.
     order_seq: u64,
-    pending_orders: BTreeMap<u64, A>,
+    pending_orders: BTreeMap<u64, (A, Option<TraceContext>)>,
     pending_last_sent: Option<SimTime>,
     gseq_counter: u64,
     assigned: BTreeMap<(NodeId, u64, u64), u64>,
-    ordered_buffer: BTreeMap<u64, (NodeId, u64, u64, A)>,
+    ordered_buffer: BTreeMap<u64, (NodeId, u64, u64, A, Option<TraceContext>)>,
     expected_gseq: u64,
-    ordered_ooo: BTreeMap<u64, (NodeId, u64, u64, A)>,
+    ordered_ooo: BTreeMap<u64, (NodeId, u64, u64, A, Option<TraceContext>)>,
     delivered_orders: BTreeSet<(NodeId, u64, u64)>,
     last_order_nack: Option<SimTime>,
 
@@ -220,9 +223,22 @@ impl<A: Clone> GroupNode<A> {
     /// sequenced (ordering traffic is low-rate control-plane traffic, so
     /// the extra round trip is immaterial).
     pub fn order(&mut self, t: &mut impl Transport<A>, payload: A) {
+        self.order_traced(t, payload, None);
+    }
+
+    /// [`order`](Self::order) with a causal [`TraceContext`] that rides
+    /// the wire to every deliverer. GCS carries it opaquely — tracing
+    /// never alters ordering behaviour.
+    pub fn order_traced(
+        &mut self,
+        t: &mut impl Transport<A>,
+        payload: A,
+        trace: Option<TraceContext>,
+    ) {
         self.telemetry.incr("gcs.order.sent");
         self.order_seq += 1;
-        self.pending_orders.insert(self.order_seq, payload.clone());
+        self.pending_orders
+            .insert(self.order_seq, (payload.clone(), trace));
         let is_head = self.pending_orders.len() == 1;
         let origin_seq = self.order_seq;
         if !is_head {
@@ -230,7 +246,7 @@ impl<A: Clone> GroupNode<A> {
         }
         if self.is_coordinator() {
             let inc = self.incarnation;
-            self.assign_and_broadcast(t, self.id, inc, origin_seq, payload);
+            self.assign_and_broadcast(t, self.id, inc, origin_seq, payload, trace);
         } else if let Some(seq) = self.view.coordinator() {
             t.send(
                 seq,
@@ -238,6 +254,7 @@ impl<A: Clone> GroupNode<A> {
                     incarnation: self.incarnation,
                     origin_seq,
                     payload,
+                    trace,
                 },
             );
         }
@@ -363,10 +380,12 @@ impl<A: Clone> GroupNode<A> {
                     .iter()
                     .next()
                     .map(|(&s, p)| (s, p.clone()));
-                if let (Some(seq), Some((origin_seq, payload))) = (self.view.coordinator(), head) {
+                if let (Some(seq), Some((origin_seq, (payload, trace)))) =
+                    (self.view.coordinator(), head)
+                {
                     if seq == self.id {
                         let inc = self.incarnation;
-                        self.assign_and_broadcast(t, self.id, inc, origin_seq, payload);
+                        self.assign_and_broadcast(t, self.id, inc, origin_seq, payload, trace);
                     } else {
                         t.send(
                             seq,
@@ -374,6 +393,7 @@ impl<A: Clone> GroupNode<A> {
                                 incarnation: self.incarnation,
                                 origin_seq,
                                 payload,
+                                trace,
                             },
                         );
                     }
@@ -574,9 +594,10 @@ impl<A: Clone> GroupNode<A> {
                 incarnation,
                 origin_seq,
                 payload,
+                trace,
             } => {
                 if self.is_coordinator() {
-                    self.assign_and_broadcast(t, from, incarnation, origin_seq, payload);
+                    self.assign_and_broadcast(t, from, incarnation, origin_seq, payload, trace);
                 }
                 // Otherwise: stale request to an ex-coordinator; the origin
                 // will retry against the new one.
@@ -587,7 +608,10 @@ impl<A: Clone> GroupNode<A> {
                 origin_inc,
                 origin_seq,
                 payload,
-            } => self.handle_ordered(t, from, gseq, origin, origin_inc, origin_seq, payload, now),
+                trace,
+            } => self.handle_ordered(
+                t, from, gseq, origin, origin_inc, origin_seq, payload, trace, now,
+            ),
         }
     }
 
@@ -645,6 +669,7 @@ impl<A: Clone> GroupNode<A> {
         origin_inc: u64,
         origin_seq: u64,
         payload: A,
+        trace: Option<TraceContext>,
     ) {
         let gseq = match self.assigned.get(&(origin, origin_inc, origin_seq)) {
             Some(&g) => g,
@@ -654,7 +679,7 @@ impl<A: Clone> GroupNode<A> {
                     .insert((origin, origin_inc, origin_seq), self.gseq_counter);
                 self.ordered_buffer.insert(
                     self.gseq_counter,
-                    (origin, origin_inc, origin_seq, payload.clone()),
+                    (origin, origin_inc, origin_seq, payload.clone(), trace),
                 );
                 self.gseq_counter
             }
@@ -669,12 +694,13 @@ impl<A: Clone> GroupNode<A> {
                         origin_inc,
                         origin_seq,
                         payload: payload.clone(),
+                        trace,
                     },
                 );
             }
         }
         // Sequencer self-delivery.
-        self.deliver_ordered_chain(gseq, origin, origin_inc, origin_seq, payload);
+        self.deliver_ordered_chain(gseq, origin, origin_inc, origin_seq, payload, trace);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -687,6 +713,7 @@ impl<A: Clone> GroupNode<A> {
         origin_inc: u64,
         origin_seq: u64,
         payload: A,
+        trace: Option<TraceContext>,
         now: SimTime,
     ) {
         // Only the current coordinator's stream counts.
@@ -700,11 +727,11 @@ impl<A: Clone> GroupNode<A> {
         }
         if gseq > self.expected_gseq {
             self.ordered_ooo
-                .insert(gseq, (origin, origin_inc, origin_seq, payload));
+                .insert(gseq, (origin, origin_inc, origin_seq, payload, trace));
             self.request_ordered_replay(t, from, now);
             return;
         }
-        self.deliver_ordered_chain(gseq, origin, origin_inc, origin_seq, payload);
+        self.deliver_ordered_chain(gseq, origin, origin_inc, origin_seq, payload, trace);
     }
 
     /// Rate-limited request to the sequencer to replay the ordered stream
@@ -738,12 +765,13 @@ impl<A: Clone> GroupNode<A> {
         origin_inc: u64,
         origin_seq: u64,
         payload: A,
+        trace: Option<TraceContext>,
     ) {
-        self.deliver_ordered_one(gseq, origin, origin_inc, origin_seq, payload);
+        self.deliver_ordered_one(gseq, origin, origin_inc, origin_seq, payload, trace);
         loop {
             let next = self.expected_gseq;
             match self.ordered_ooo.remove(&next) {
-                Some((o, oi, os, p)) => self.deliver_ordered_one(next, o, oi, os, p),
+                Some((o, oi, os, p, tr)) => self.deliver_ordered_one(next, o, oi, os, p, tr),
                 None => break,
             }
         }
@@ -756,6 +784,7 @@ impl<A: Clone> GroupNode<A> {
         origin_inc: u64,
         origin_seq: u64,
         payload: A,
+        trace: Option<TraceContext>,
     ) {
         // Monotone: a replayed/stale gseq must never pull the cursor back.
         self.expected_gseq = self.expected_gseq.max(gseq + 1);
@@ -769,6 +798,7 @@ impl<A: Clone> GroupNode<A> {
                 gseq,
                 origin,
                 payload,
+                trace,
             });
         }
     }
@@ -825,7 +855,7 @@ impl<A: Clone> GroupNode<A> {
     /// Handles a replay request from a lagging member: resends the ordered
     /// buffer from `from_gseq` to `to`.
     fn replay_ordered(&mut self, t: &mut impl Transport<A>, to: NodeId, from_gseq: u64) {
-        for (&gseq, (origin, origin_inc, origin_seq, payload)) in
+        for (&gseq, (origin, origin_inc, origin_seq, payload, trace)) in
             self.ordered_buffer.range(from_gseq..)
         {
             self.telemetry.incr("gcs.antientropy.replayed");
@@ -837,6 +867,7 @@ impl<A: Clone> GroupNode<A> {
                     origin_inc: *origin_inc,
                     origin_seq: *origin_seq,
                     payload: payload.clone(),
+                    trace: *trace,
                 },
             );
         }
@@ -915,6 +946,12 @@ mod tests {
             let id = NodeId(i as u32);
             let mut t = SimTransport::new(&mut self.net, id);
             self.nodes[i].order(&mut t, payload);
+        }
+
+        fn order_traced(&mut self, i: usize, payload: u64, trace: dosgi_telemetry::TraceContext) {
+            let id = NodeId(i as u32);
+            let mut t = SimTransport::new(&mut self.net, id);
+            self.nodes[i].order_traced(&mut t, payload, Some(trace));
         }
     }
 
@@ -1119,6 +1156,51 @@ mod tests {
         }
         assert_eq!(seqs[0], seqs[1]);
         assert_eq!(seqs[1], seqs[2]);
+    }
+
+    #[test]
+    fn trace_contexts_survive_loss_and_replay() {
+        use dosgi_telemetry::TraceContext;
+        let mut c = Cluster::new(3, LinkConfig::lossy(0.25), GcsConfig::lan(), 12);
+        c.run(SimDuration::from_millis(200));
+        for i in 0..3 {
+            c.events(i);
+        }
+        // Each message carries a distinct context; loss forces the
+        // nack/replay paths, which must forward the buffered trace.
+        for v in 1..=10u64 {
+            c.order_traced(
+                2,
+                v,
+                TraceContext {
+                    trace_id: 3 << 40,
+                    parent_span: (3 << 40) | v,
+                    lamport: 100 + v,
+                },
+            );
+        }
+        c.order(2, 11); // untraced tail keeps working alongside
+        c.run(SimDuration::from_secs(8));
+        for i in 0..3 {
+            let got: Vec<(u64, Option<TraceContext>)> = c
+                .events(i)
+                .into_iter()
+                .filter_map(|e| match e {
+                    GcsEvent::OrderedDeliver { payload, trace, .. } => Some((payload, trace)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(got.len(), 11, "node {i} delivered all");
+            for (payload, trace) in got {
+                if payload == 11 {
+                    assert_eq!(trace, None, "node {i}: untraced stays untraced");
+                } else {
+                    let t = trace.expect("traced delivery");
+                    assert_eq!(t.parent_span, (3 << 40) | payload, "node {i}");
+                    assert_eq!(t.lamport, 100 + payload, "node {i}");
+                }
+            }
+        }
     }
 
     #[test]

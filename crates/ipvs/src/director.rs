@@ -2,7 +2,7 @@
 
 use crate::{RealServer, Scheduler, VirtualService};
 use dosgi_net::{NodeId, SocketAddr};
-use dosgi_telemetry::Telemetry;
+use dosgi_telemetry::{FlightRecorder, Telemetry, TraceContext};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -46,10 +46,11 @@ pub struct IpvsDirector {
     per_server: HashMap<(SocketAddr, NodeId), u64>,
     stats: IpvsStats,
     telemetry: Telemetry,
+    recorder: FlightRecorder,
 }
 
-// Telemetry handles carry no comparable state; two directors are equal
-// when their routing state is.
+// Telemetry handles and flight recorders carry no comparable state; two
+// directors are equal when their routing state is.
 impl PartialEq for IpvsDirector {
     fn eq(&self, other: &Self) -> bool {
         self.services == other.services
@@ -69,6 +70,18 @@ impl IpvsDirector {
     /// backend as `ipvs.routed.n<node>`, rejections as `ipvs.rejected`.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Attaches a flight recorder: redirect reactions
+    /// ([`node_down_traced`](Self::node_down_traced)) record causal spans
+    /// into it. Passive — routing decisions never depend on it.
+    pub fn set_recorder(&mut self, recorder: FlightRecorder) {
+        self.recorder = recorder;
+    }
+
+    /// The attached flight recorder (disabled by default).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// Registers a virtual service.
@@ -163,6 +176,27 @@ impl IpvsDirector {
         self.connections.retain(|_, n| *n != node);
         self.stats.tracked = self.connections.len() as u64;
         before - self.connections.len()
+    }
+
+    /// [`node_down`](Self::node_down) with a causal trace: the redirect
+    /// span joins `ctx`'s trace when given (the failover adoption that
+    /// triggered the health-check reaction — making "redirect happens
+    /// after adopt" checkable), or starts a fresh `redirect/n<node>` trace
+    /// for an unprompted health-check trip.
+    pub fn node_down_traced(
+        &mut self,
+        node: NodeId,
+        ctx: Option<TraceContext>,
+        now_us: u64,
+    ) -> usize {
+        let name = format!("redirect/n{}", node.0);
+        let span = match ctx {
+            Some(c) => self.recorder.child(c, &name, now_us),
+            None => self.recorder.root(&name, now_us),
+        };
+        let broken = self.node_down(node);
+        self.recorder.end(span, now_us);
+        broken
     }
 
     /// Marks every replica on `node` back up.
@@ -301,6 +335,51 @@ mod tests {
         assert!(!d.remove_service(addr()));
         assert_eq!(d.stats().tracked, 0);
         assert!(d.addresses().is_empty());
+    }
+
+    #[test]
+    fn node_down_traced_records_redirect_span() {
+        let rec = FlightRecorder::new(5);
+        let mut d = director(2);
+        d.set_recorder(rec.clone());
+        d.connect(1, addr()).unwrap();
+        // An adoption context from some other node parents the redirect.
+        let adopt = rec.root("adopt/web", 100);
+        let ctx = rec.context(adopt).unwrap();
+        rec.end(adopt, 100);
+        let broken = d.node_down_traced(NodeId(0), Some(ctx), 250);
+        assert_eq!(broken, 1);
+        let events = rec.events();
+        let redirect = events
+            .iter()
+            .find(|e| e.name == "redirect/n0")
+            .expect("redirect span recorded");
+        assert_eq!(redirect.trace_id, ctx.trace_id, "joins the adopt trace");
+        assert!(
+            redirect.lamport_start > ctx.lamport,
+            "redirect is causally after the adoption"
+        );
+        // Without a context the redirect starts its own trace.
+        d.node_up(NodeId(0));
+        d.node_down_traced(NodeId(0), None, 300);
+        let roots: Vec<_> = rec
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "redirect/n0" && e.parent_span == 0)
+            .collect();
+        assert_eq!(roots.len(), 1);
+    }
+
+    #[test]
+    fn default_recorder_is_inert() {
+        let mut traced = director(2);
+        let mut plain = director(2);
+        traced.connect(1, addr()).unwrap();
+        plain.connect(1, addr()).unwrap();
+        traced.node_down_traced(NodeId(0), None, 10);
+        plain.node_down(NodeId(0));
+        assert_eq!(traced, plain, "tracing hooks change no routing state");
+        assert!(traced.recorder().events().is_empty());
     }
 
     #[test]

@@ -103,6 +103,26 @@ impl Histogram {
         self.buckets[i]
     }
 
+    /// Estimate the `p`-th percentile (`0 < p <= 100`) from the log
+    /// buckets: the ceil-rank `⌈count·p/100⌉`-th smallest sample falls
+    /// in some bucket, whose lower bound (clamped into `[min, max]`) is
+    /// returned. Integer-only and a pure function of the bucket counts,
+    /// so it keeps snapshots byte-deterministic. `None` when empty.
+    pub fn percentile(&self, p: u64) -> Option<u64> {
+        if self.count == 0 || p == 0 || p > 100 {
+            return None;
+        }
+        let rank = self.count.saturating_mul(p).div_ceil(100);
+        let mut cum = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(bucket_bounds(i).0.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// `(bucket_index, count)` for every non-empty bucket, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
         self.buckets
@@ -157,6 +177,35 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.min(), None);
         assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn percentiles_from_buckets() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(50), None);
+        h.record(7);
+        // Single sample: every percentile is that sample's bucket,
+        // clamped to the exact value by min == max.
+        assert_eq!(h.percentile(50), Some(7));
+        assert_eq!(h.percentile(99), Some(7));
+        for _ in 0..98 {
+            h.record(10);
+        }
+        h.record(5000);
+        // 100 samples: p50/p95 land in 10's bucket [8,16) -> lower
+        // bound 8; p100 in 5000's bucket, clamped to max.
+        assert_eq!(h.percentile(50), Some(8));
+        assert_eq!(h.percentile(95), Some(8));
+        assert_eq!(h.percentile(100), Some(4096));
+        assert_eq!(h.percentile(0), None);
+        assert_eq!(h.percentile(101), None);
+        // Percentiles are monotone in p.
+        let mut last = 0;
+        for p in 1..=100 {
+            let v = h.percentile(p).unwrap();
+            assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
     }
 
     #[test]

@@ -39,9 +39,14 @@
 
 mod hist;
 pub mod snapshot;
+pub mod trace;
 
 pub use hist::{bucket_bounds, bucket_index, Histogram, BUCKETS};
 pub use snapshot::{ClosedSpan, OpenSpan, Snapshot, SCHEMA_VERSION};
+pub use trace::{
+    FlightRecorder, TraceContext, TraceEvent, TraceLog, TraceRef, DEFAULT_EVENT_CAPACITY,
+    TRACE_SCHEMA_VERSION,
+};
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};

@@ -7,11 +7,13 @@
 //! is a `BTreeMap`, so the same recorded state always serializes to the
 //! same bytes.
 //!
-//! Schema (version 1):
+//! Schema (version 2 — v2 added the derived `p50`/`p95`/`p99` summary
+//! fields on histogram entries, computed from the log buckets by
+//! [`Histogram::percentile`]; everything else is unchanged from v1):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "label": "chaos",
 //!   "seed": 7,
 //!   "counters": {"gcs.view.installed": 12, ...},
@@ -19,6 +21,7 @@
 //!   "histograms": {
 //!     "san.retry.backoff_us": {
 //!       "count": 3, "sum": 9500, "min": 500, "max": 8000,
+//!       "p50": 4096, "p95": 4096, "p99": 4096,
 //!       "buckets": [[10, 2], [13, 1]]
 //!     }
 //!   },
@@ -37,7 +40,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Current snapshot schema version.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A completed span: `[start_us, end_us]` in simulated microseconds.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -139,13 +142,16 @@ impl Snapshot {
                 .collect();
             let _ = write!(
                 out,
-                "{}{:?}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+                "{}{:?}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}",
                 if i > 0 { "," } else { "" },
                 k,
                 h.count(),
                 h.sum(),
                 opt_u64(h.min()),
                 opt_u64(h.max()),
+                opt_u64(h.percentile(50)),
+                opt_u64(h.percentile(95)),
+                opt_u64(h.percentile(99)),
                 buckets.join(",")
             );
         }
@@ -213,12 +219,16 @@ mod tests {
     #[test]
     fn json_contains_required_fields() {
         let j = sample().to_json();
-        assert!(j.starts_with("{\"schema_version\":1,"));
+        assert!(j.starts_with("{\"schema_version\":2,"));
         assert!(j.contains("\"label\":\"unit\""));
         assert!(j.contains("\"seed\":42"));
         assert!(j.contains("\"a.b.count\":3"));
         assert!(j.contains("\"a.b.level\":-4"));
-        assert!(j.contains("\"count\":2,\"sum\":700,\"min\":0,\"max\":700"));
+        // Samples 0 and 700: p50 = bucket [0,1) lower bound 0; p95/p99
+        // fall in 700's bucket [512,1024), clamped to max 700.
+        assert!(j.contains(
+            "\"count\":2,\"sum\":700,\"min\":0,\"max\":700,\"p50\":0,\"p95\":512,\"p99\":512"
+        ));
         assert!(j.contains("\"name\":\"a.phase\",\"start_us\":10,\"end_us\":25"));
         assert!(j.contains("\"open_spans\":[{\"id\":"));
         assert!(j.ends_with("}\n"));

@@ -3,9 +3,10 @@
 # checks, and byte-identical replay verification (each seed runs with
 # telemetry on and off; the fingerprints must match). Deterministic — a
 # failure here is a real protocol bug, and the bin prints the exact
-# CHAOS_SEED0=... one-liner that reproduces it plus the path of the
-# results/telemetry_chaos.json snapshot holding the failing sweep's
-# metrics and spans.
+# CHAOS_SEED0=... one-liner that reproduces it plus, per failing seed, the
+# path of the results/trace_chaos_s<seed>.json causal trace; the
+# results/telemetry_chaos.json snapshot holds the sweep's metrics and
+# spans.
 #
 # Overrides: CHAOS_SEEDS (schedules, default 10), CHAOS_SEED0 (first seed),
 # CHAOS_NODES (cluster size), CHAOS_FAULTS (faults per schedule).
@@ -14,7 +15,7 @@ cd "$(dirname "$0")/.."
 
 echo "==> chaos sweep (release)"
 if ! cargo run --offline --release -p dosgi-bench --bin chaos; then
-  echo "chaos sweep FAILED — reproducer above; telemetry snapshot:" >&2
-  echo "  $(pwd)/results/telemetry_chaos.json" >&2
+  echo "chaos sweep FAILED — reproducer + causal trace path above;" >&2
+  echo "telemetry snapshot: $(pwd)/results/telemetry_chaos.json" >&2
   exit 1
 fi

@@ -25,6 +25,9 @@ scripts/chaos.sh
 echo "==> telemetry snapshot schema check"
 cargo run --offline --release -p dosgi-bench --bin telemetry_check
 
+echo "==> causal trace check (zero happens-before violations over the sweep)"
+cargo run --offline --release -p dosgi-bench --bin trace_check
+
 echo "==> perf guard (deterministic e5 migration SAN bytes vs committed baseline)"
 cargo run --offline --release -p dosgi-bench --bin perf_guard
 
