@@ -1,5 +1,6 @@
 //! Micro-benchmarks of the hot substrate paths: LDAP filter parse/eval,
-//! SAN value codec, resolver, policy engine. Runs on the in-tree
+//! SAN value codec, resolver, SAN storage backends (e5/e9 write patterns
+//! on every registered backend), policy engine. Runs on the in-tree
 //! `dosgi-testkit` bench harness; JSON report in `results/bench_micro.json`.
 
 use dosgi_osgi::{Filter, ManifestBuilder, PropValue, Version};
@@ -116,6 +117,55 @@ fn bench_registry_lookup(suite: &mut Suite) {
     });
 }
 
+fn bench_san_backends(suite: &mut Suite) {
+    use dosgi_san::{BackendKind, SharedStore};
+    use std::cell::Cell;
+    for kind in BackendKind::all() {
+        // E5 write pattern: one group-committed batch of 24 per-bundle
+        // snapshot rows per persistence generation, 3 of them dirty — the
+        // delta fast path's steady state (change detection skips the rest).
+        let store = SharedStore::with_kind(kind);
+        let rows: Vec<(String, Value)> = (0..24u64)
+            .map(|i| {
+                let v = Value::map()
+                    .with("bundle", i)
+                    .with("blob", Value::Bytes(vec![i as u8; 320]));
+                (format!("row-{i:02}"), v)
+            })
+            .collect();
+        store.put_many("bench/rows", &rows).unwrap();
+        let generation = Cell::new(0i64);
+        suite.bench(&format!("san/{kind}/e5_put_many_3_of_24_dirty"), || {
+            let g = generation.get() + 1;
+            generation.set(g);
+            let mut batch = rows.clone();
+            for slot in [3usize, 11, 19] {
+                batch[slot].1 = Value::map().with("bundle", slot as u64).with("gen", g);
+            }
+            black_box(store.put_many("bench/rows", black_box(&batch)).unwrap());
+        });
+
+        // E9 write pattern: hot-key context replication — every update
+        // overwrites the same row with a fresh value (no skips), the way
+        // eager replication journals the running context.
+        let hot = SharedStore::with_kind(kind);
+        let tick = Cell::new(0i64);
+        suite.bench(&format!("san/{kind}/e9_hot_key_overwrite"), || {
+            let t = tick.get() + 1;
+            tick.set(t);
+            let v = Value::map()
+                .with("count", t)
+                .with("ctx", Value::Bytes(vec![(t % 251) as u8; 256]));
+            black_box(hot.put("bench/ctx", "ctr", v).unwrap());
+        });
+
+        // Read side of both patterns: namespace scan over the row set.
+        suite.bench(&format!("san/{kind}/read_namespace_24_rows"), || {
+            black_box(store.read_namespace(black_box("bench/rows")).unwrap());
+        });
+    }
+}
+
 fn bench_policy(suite: &mut Suite) {
     let script = dosgi_core::autonomic::DEFAULT_POLICY;
     suite.bench("policy/compile_default", || {
@@ -144,6 +194,7 @@ fn main() {
     bench_codec(&mut suite);
     bench_resolver(&mut suite);
     bench_registry_lookup(&mut suite);
+    bench_san_backends(&mut suite);
     bench_policy(&mut suite);
     suite.finish();
 }

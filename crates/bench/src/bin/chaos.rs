@@ -5,27 +5,34 @@
 //!
 //! Environment overrides (all optional):
 //!
-//! * `CHAOS_SEEDS`  — how many schedules to run (default 10)
-//! * `CHAOS_SEED0`  — first seed (default 1; seeds are consecutive)
-//! * `CHAOS_NODES`  — cluster size (default 5)
-//! * `CHAOS_FAULTS` — fault injections per schedule (default 6)
+//! * `CHAOS_SEEDS`   — how many schedules to run (default 10)
+//! * `CHAOS_SEED0`   — first seed (default 1; seeds are consecutive)
+//! * `CHAOS_NODES`   — cluster size (default 5)
+//! * `CHAOS_FAULTS`  — fault injections per schedule (default 6)
+//! * `CHAOS_BACKEND` — primary SAN backend (`map` default, or `log`)
 //!
 //! Exit status is non-zero if any run violates an invariant or fails to
 //! replay; the offending seed is printed so
 //! `CHAOS_SEED0=<seed> CHAOS_SEEDS=1 cargo run --bin chaos` reproduces it
 //! exactly.
 //!
-//! Each schedule runs twice: once with telemetry enabled (all seeds share
-//! one registry) and once with it disabled. The fingerprint comparison
-//! therefore verifies deterministic replay **and** that instrumentation —
-//! metrics *and* causal tracing — is strictly passive. The sweep's
-//! aggregated metrics land in `results/telemetry_chaos.json`; each seed's
-//! merged causal trace lands in `results/trace_chaos_s<seed>.json`
-//! (Chrome trace-event format — analyze with the `trace_check` bin, or
-//! load into Perfetto). The first seed's trace is additionally replayed
-//! and byte-compared, pinning the whole export path as deterministic.
+//! Each schedule runs **three** times: on the primary backend with
+//! telemetry enabled (all seeds share one registry), on the primary
+//! backend with telemetry disabled, and on the *other* registered SAN
+//! backend (telemetry disabled). All three fingerprints must be equal,
+//! which verifies deterministic replay, instrumentation passivity
+//! (metrics *and* causal tracing), **and** storage-backend conformance on
+//! every seed — the log-structured store must be observably
+//! indistinguishable from the map store under the full fault gauntlet.
+//! The sweep's aggregated metrics land in `results/telemetry_chaos.json`;
+//! each seed's merged causal trace lands in
+//! `results/trace_chaos_s<seed>.json` (Chrome trace-event format —
+//! analyze with the `trace_check` bin, or load into Perfetto). The first
+//! seed's trace is additionally replayed and byte-compared, pinning the
+//! whole export path as deterministic.
 
 use dosgi_core::chaos::{run_nemesis_with_telemetry, ChaosOptions};
+use dosgi_san::BackendKind;
 use dosgi_telemetry::Telemetry;
 use dosgi_testkit::nemesis::{NemesisConfig, NemesisPlan};
 use dosgi_testkit::workspace_root;
@@ -42,13 +49,35 @@ fn main() {
     let seed0 = env_u64("CHAOS_SEED0", 1);
     let nodes = env_u64("CHAOS_NODES", 5) as usize;
     let faults = env_u64("CHAOS_FAULTS", 6) as usize;
+    let backend = match std::env::var("CHAOS_BACKEND") {
+        Ok(name) => BackendKind::from_name(&name)
+            .unwrap_or_else(|| panic!("CHAOS_BACKEND={name:?} is not a registered backend")),
+        Err(_) => BackendKind::Map,
+    };
     let config = NemesisConfig {
         faults,
         ..NemesisConfig::default()
     };
-    let opts = ChaosOptions::default();
+    let opts = ChaosOptions {
+        backend,
+        ..ChaosOptions::default()
+    };
+    // Every other registered backend cross-checks the primary on every
+    // seed: conformant backends may not change a single fingerprint bit.
+    let other_backends: Vec<BackendKind> = BackendKind::all()
+        .into_iter()
+        .filter(|k| *k != backend)
+        .collect();
 
-    println!("chaos sweep: {seeds} schedules, {nodes} nodes, {faults} faults each");
+    println!(
+        "chaos sweep: {seeds} schedules, {nodes} nodes, {faults} faults each, \
+         backend {backend} (cross-checked against {})",
+        other_backends
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
     let sweep_telemetry = Telemetry::new();
     let results_dir = workspace_root().join("results");
     let mut failed = false;
@@ -60,6 +89,22 @@ fn main() {
         let a = run_nemesis_with_telemetry(&plan, &opts, sweep_telemetry.clone());
         let b = run_nemesis_with_telemetry(&plan, &opts, Telemetry::disabled());
         let replayed = a.fingerprint == b.fingerprint;
+        // Cross-backend conformance on this seed.
+        let mut backend_mismatch: Option<BackendKind> = None;
+        for &other in &other_backends {
+            let x = run_nemesis_with_telemetry(
+                &plan,
+                &ChaosOptions {
+                    backend: other,
+                    ..ChaosOptions::default()
+                },
+                Telemetry::disabled(),
+            );
+            if x.fingerprint != a.fingerprint {
+                backend_mismatch = Some(other);
+                break;
+            }
+        }
         let trace_label = format!("chaos_s{seed}");
         let trace_path = match a.trace.write_to(&results_dir, &trace_label, seed) {
             Ok(p) => p.display().to_string(),
@@ -82,6 +127,9 @@ fn main() {
         } else if !replayed {
             failed = true;
             "NON-DETERMINISTIC"
+        } else if backend_mismatch.is_some() {
+            failed = true;
+            "BACKEND-DIVERGENCE"
         } else if !trace_replayed {
             failed = true;
             "TRACE-NON-DETERMINISTIC"
@@ -98,11 +146,17 @@ fn main() {
         for v in &a.violations {
             println!("      {v}");
         }
-        if !a.ok() || !replayed || !trace_replayed {
+        if let Some(other) = backend_mismatch {
+            println!(
+                "      backend `{other}` fingerprints differently from `{backend}` on this seed"
+            );
+        }
+        if status != "ok" {
             println!(
                 "      replay with: CHAOS_SEED0={seed} CHAOS_SEEDS=1 \
-                 CHAOS_NODES={nodes} CHAOS_FAULTS={faults} \
-                 cargo run --release -p dosgi-bench --bin chaos"
+                 CHAOS_NODES={nodes} CHAOS_FAULTS={faults} CHAOS_BACKEND={} \
+                 cargo run --release -p dosgi-bench --bin chaos",
+                backend.name()
             );
             println!("      causal trace: {trace_path}");
         }
@@ -121,7 +175,8 @@ fn main() {
     }
     println!(
         "all schedules held every invariant and replayed identically \
-         (with and without telemetry); causal traces under {}",
+         (with and without telemetry, across every storage backend); \
+         causal traces under {}",
         dir.join("trace_chaos_s<seed>.json").display()
     );
 }

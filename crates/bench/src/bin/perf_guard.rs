@@ -1,29 +1,47 @@
 //! **CI perf guard** for the delta persistence fast path.
 //!
 //! Replays the deterministic E5 migration scenario (fixed seed, simulated
-//! clock — byte counts are exactly reproducible) and compares the SAN
-//! bytes written/read during the migration round against the committed
-//! baseline in `results/perf_baseline_e5.json`. A regression of more than
-//! 10% on either axis fails the build: blowing the change-detection or
-//! per-row persistence win is a bug, not noise.
+//! clock — byte counts are exactly reproducible) on **every registered SAN
+//! backend** and compares the SAN bytes written/read during the migration
+//! round against the committed per-backend baseline
+//! (`results/perf_baseline_e5.json` for the map backend,
+//! `results/perf_baseline_e5_<backend>.json` for the rest). A regression
+//! of more than 10% on either axis fails the build: blowing the
+//! change-detection or per-row persistence win is a bug, not noise.
 //!
-//! To accept an intentional change, regenerate the baseline with
+//! Because faults, stats, and change detection live in the `SharedStore`
+//! wrapper rather than the backends, a conformant backend observes the
+//! *same* byte counts — the per-backend baselines double as a coarse
+//! conformance check and will catch a backend that silently re-routes or
+//! amplifies traffic.
+//!
+//! To accept an intentional change, regenerate the baselines with
 //! `PERF_GUARD_WRITE_BASELINE=1 cargo run --release -p dosgi-bench --bin
 //! perf_guard` and commit the new JSON.
 
 use dosgi_core::{workloads, ClusterConfig, DosgiCluster};
 use dosgi_net::SimDuration;
-use dosgi_san::Value;
+use dosgi_san::{BackendKind, Value};
 use dosgi_testkit::Json;
 
-const BASELINE: &str = "perf_baseline_e5.json";
 const TOLERANCE: f64 = 0.10;
+
+fn baseline_file(kind: BackendKind) -> String {
+    match kind {
+        BackendKind::Map => "perf_baseline_e5.json".to_owned(),
+        other => format!("perf_baseline_e5_{}.json", other.name()),
+    }
+}
 
 /// The deterministic migration round: deploy a counter with a 256 KiB data
 /// area on node 0, settle, then migrate it to node 1. Returns the SAN
 /// bytes written/read during the round itself.
-fn measure() -> (u64, u64) {
-    let mut c = DosgiCluster::new(3, ClusterConfig::default(), 500);
+fn measure(kind: BackendKind) -> (u64, u64) {
+    let config = ClusterConfig {
+        backend: kind,
+        ..ClusterConfig::default()
+    };
+    let mut c = DosgiCluster::new(3, config, 500);
     c.run_for(SimDuration::from_millis(500));
     c.deploy(workloads::counter_instance("bank", "ctr"), 0)
         .unwrap();
@@ -55,30 +73,38 @@ fn measure() -> (u64, u64) {
     (s.bytes_written, s.bytes_read)
 }
 
-fn main() {
-    let (written, read) = measure();
-    println!("perf_guard: e5 migration round: {written} B written, {read} B read");
+/// Guard one backend against its committed baseline. Returns `false` on a
+/// regression (or a missing baseline).
+fn guard(kind: BackendKind, write_baseline: bool) -> bool {
+    let (written, read) = measure(kind);
+    println!("perf_guard[{kind}]: e5 migration round: {written} B written, {read} B read");
     let path = dosgi_testkit::workspace_root()
         .join("results")
-        .join(BASELINE);
+        .join(baseline_file(kind));
 
-    if std::env::var("PERF_GUARD_WRITE_BASELINE").is_ok() {
+    if write_baseline {
         let body = format!(
-            "{{\n  \"scenario\": \"e5_migration_round\",\n  \"bytes_written\": {written},\n  \"bytes_read\": {read}\n}}\n"
+            "{{\n  \"scenario\": \"e5_migration_round\",\n  \"backend\": \"{kind}\",\n  \"bytes_written\": {written},\n  \"bytes_read\": {read}\n}}\n"
         );
         std::fs::create_dir_all(path.parent().expect("results dir has a parent"))
             .expect("create results dir");
         std::fs::write(&path, body).expect("write baseline");
-        println!("perf_guard: baseline rewritten at {}", path.display());
-        return;
+        println!(
+            "perf_guard[{kind}]: baseline rewritten at {}",
+            path.display()
+        );
+        return true;
     }
 
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("perf_guard: no baseline at {} ({e})", path.display());
+            eprintln!(
+                "perf_guard[{kind}]: no baseline at {} ({e})",
+                path.display()
+            );
             eprintln!("perf_guard: generate one with PERF_GUARD_WRITE_BASELINE=1");
-            std::process::exit(1);
+            return false;
         }
     };
     let json = Json::parse(&text).expect("baseline JSON parses");
@@ -91,28 +117,43 @@ fn main() {
         .and_then(Json::as_u64)
         .expect("baseline has bytes_read");
 
-    let mut failed = false;
+    let mut ok = true;
     for (label, now, base) in [
         ("bytes_written", written, base_written),
         ("bytes_read", read, base_read),
     ] {
         let limit = (base as f64 * (1.0 + TOLERANCE)).ceil() as u64;
         let status = if now > limit {
-            failed = true;
+            ok = false;
             "REGRESSION"
         } else {
             "ok"
         };
-        println!("perf_guard: {label}: {now} vs baseline {base} (limit {limit}) {status}");
+        println!("perf_guard[{kind}]: {label}: {now} vs baseline {base} (limit {limit}) {status}");
     }
-    if failed {
+    if !ok {
         eprintln!(
-            "perf_guard: SAN byte cost regressed >{:.0}% vs {}",
+            "perf_guard[{kind}]: SAN byte cost regressed >{:.0}% vs {}",
             TOLERANCE * 100.0,
             path.display()
         );
         eprintln!("perf_guard: if intentional, regenerate with PERF_GUARD_WRITE_BASELINE=1");
+    }
+    ok
+}
+
+fn main() {
+    let write_baseline = std::env::var("PERF_GUARD_WRITE_BASELINE").is_ok();
+    let mut failed = false;
+    for kind in BackendKind::all() {
+        if !guard(kind, write_baseline) {
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
-    println!("perf_guard: within tolerance");
+    if !write_baseline {
+        println!("perf_guard: within tolerance on every backend");
+    }
 }

@@ -1,0 +1,86 @@
+//! **CI conformance gate** for SAN storage backends.
+//!
+//! Renders every builtin conformance script (`dosgi-san::conformance`) on
+//! every registered [`BackendKind`] and checks the result against the
+//! committed golden fixture under `results/san_fixtures/`. Two distinct
+//! failure modes, both fatal:
+//!
+//! * **fixture drift** — the map (reference) rendering no longer matches
+//!   the committed fixture: the store contract changed. If intentional,
+//!   regenerate with `SAN_FIXTURE_WRITE=1 cargo run --release -p
+//!   dosgi-bench --bin san_conformance` and commit the updated files.
+//! * **backend divergence** — some backend renders differently from the
+//!   fixture: that backend violates the store contract. This is never
+//!   fixed by regenerating; fix the backend.
+//!
+//! Mismatches print a unified diff (`-` fixture, `+` actual). The same
+//! fixtures are also enforced by `cargo test -p dosgi-san --test
+//! conformance`; this bin exists so the CI pipeline surfaces conformance
+//! as its own named step with per-script, per-backend output.
+
+use dosgi_san::conformance::{builtin_scripts, run_script, WRITE_ENV};
+use dosgi_san::BackendKind;
+use dosgi_testkit::golden;
+use dosgi_testkit::{unified_diff, GoldenOutcome};
+
+fn main() {
+    let backends = BackendKind::all();
+    let scripts = builtin_scripts();
+    println!(
+        "san_conformance: {} scripts x {} backends ({})",
+        scripts.len(),
+        backends.len(),
+        backends
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let mut failed = false;
+    for script in &scripts {
+        let reference = run_script(script, BackendKind::Map);
+        let rel = script.fixture_rel_path();
+        match golden::compare(&rel, &reference, WRITE_ENV) {
+            GoldenOutcome::Match => {}
+            GoldenOutcome::Updated => {
+                println!("  {:<24} fixture REWRITTEN ({WRITE_ENV} set)", script.name);
+            }
+            GoldenOutcome::Missing(path) => {
+                failed = true;
+                println!(
+                    "  {:<24} fixture MISSING at {}",
+                    script.name,
+                    path.display()
+                );
+                println!("      create it with {WRITE_ENV}=1 and commit the file");
+                continue;
+            }
+            GoldenOutcome::Mismatch(diff) => {
+                failed = true;
+                println!("  {:<24} fixture DRIFT:", script.name);
+                print!("{diff}");
+                println!("      if intentional: rerun with {WRITE_ENV}=1 and commit");
+                continue;
+            }
+        }
+        for &kind in &backends {
+            let rendered = run_script(script, kind);
+            if rendered == reference {
+                println!("  {:<24} {:<4} ok", script.name, kind.name());
+            } else {
+                failed = true;
+                println!(
+                    "  {:<24} {:<4} DIVERGES from the fixture contract:",
+                    script.name,
+                    kind.name()
+                );
+                print!("{}", unified_diff(&reference, &rendered, &rel));
+                println!("      this is a backend bug — do not regenerate fixtures over it");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("san_conformance: every backend matches every committed fixture");
+}

@@ -29,7 +29,7 @@ use crate::registry::InstanceStatus;
 use crate::workloads;
 use crate::{ClusterConfig, CoreError, DosgiCluster};
 use dosgi_net::{LinkConfig, NodeId, Partition, SimDuration, SimTime};
-use dosgi_san::{FaultPlan, Value};
+use dosgi_san::{BackendKind, FaultPlan, Value};
 use dosgi_telemetry::{Telemetry, TraceLog};
 use dosgi_testkit::mix_seed;
 use dosgi_testkit::nemesis::{NemesisOp, NemesisPlan};
@@ -46,6 +46,11 @@ pub struct ChaosOptions {
     /// How long after a network disturbance (partition / message loss)
     /// ends before order-sensitive invariants are enforced again.
     pub settle: SimDuration,
+    /// SAN storage backend for the run. Conformant backends may not change
+    /// any observable outcome, so reports (and fingerprints) must be
+    /// byte-identical across this knob — the chaos sweep enforces that on
+    /// every seed.
+    pub backend: BackendKind,
 }
 
 impl Default for ChaosOptions {
@@ -54,6 +59,7 @@ impl Default for ChaosOptions {
             instances: 3,
             client_period: SimDuration::from_millis(100),
             settle: SimDuration::from_secs(6),
+            backend: BackendKind::Map,
         }
     }
 }
@@ -110,7 +116,10 @@ pub fn run_nemesis_with_telemetry(
     opts: &ChaosOptions,
     telemetry: Telemetry,
 ) -> ChaosReport {
-    let config = ClusterConfig::default();
+    let config = ClusterConfig {
+        backend: opts.backend,
+        ..ClusterConfig::default()
+    };
     let default_link = config.link;
     let mut cluster = DosgiCluster::new_with_telemetry(
         plan.nodes.max(1),
@@ -567,6 +576,29 @@ mod tests {
             on2.snapshot("chaos_seed7", plan.seed).to_json(),
             "two instrumented replays must snapshot identically"
         );
+    }
+
+    /// The storage backend is invisible to the protocol: the same mixed
+    /// fault schedule must fingerprint identically on every registered
+    /// backend (the full 10-seed sweep lives in the chaos bin).
+    #[test]
+    fn seed_seven_fingerprint_is_unchanged_by_backend() {
+        let plan = NemesisPlan::generate(7, 5, &NemesisConfig::default());
+        let reference = run_nemesis(&plan, &ChaosOptions::default());
+        for backend in BackendKind::all() {
+            let opts = ChaosOptions {
+                backend,
+                ..ChaosOptions::default()
+            };
+            let report = run_nemesis(&plan, &opts);
+            assert_eq!(
+                report.fingerprint, reference.fingerprint,
+                "backend {backend} changed the run's observable behaviour"
+            );
+            assert_eq!(report.acked, reference.acked);
+            assert_eq!(report.floors, reference.floors);
+            assert_eq!(report.violations, reference.violations);
+        }
     }
 
     /// The causal trace is part of the deterministic surface: two

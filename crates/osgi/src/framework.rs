@@ -1684,7 +1684,9 @@ mod tests {
     /// and the write-behind rows flush, its per-bundle rows must reassemble
     /// byte-identically to the monolithic snapshot the oracle would write.
     /// Restoring from the rows and from the legacy monolithic snapshot must
-    /// then agree byte-for-byte too.
+    /// then agree byte-for-byte too. The whole property runs against
+    /// *every* registered SAN backend — the storeless oracle is the same,
+    /// so this is the backend conformance suite's view from the OSGi layer.
     #[test]
     fn prop_row_persistence_matches_monolithic_oracle_under_faults() {
         use dosgi_testkit::{prop, prop_verify, Gen, PropResult};
@@ -1780,80 +1782,88 @@ mod tests {
             "prop_row_persistence_matches_monolithic_oracle_under_faults",
             &ops,
             |ops: &Vec<Op>| -> PropResult {
-                let manifests = pool();
-                let store = SharedStore::new();
-                let ns = "prop/fw";
-                let mut fw = Framework::new(ns);
-                fw.attach_store(store.clone(), ns).expect("clean attach");
-                let mut oracle = Framework::new(ns);
-                for op in ops {
-                    apply(&mut fw, &manifests, op, Some(&store));
-                    apply(&mut oracle, &manifests, op, None);
+                for kind in dosgi_san::BackendKind::all() {
+                    let manifests = pool();
+                    let store = SharedStore::with_kind(kind);
+                    let ns = "prop/fw";
+                    let mut fw = Framework::new(ns);
+                    fw.attach_store(store.clone(), ns).expect("clean attach");
+                    let mut oracle = Framework::new(ns);
+                    for op in ops {
+                        apply(&mut fw, &manifests, op, Some(&store));
+                        apply(&mut oracle, &manifests, op, None);
+                    }
+                    store.faults().clear();
+                    fw.flush_persist().expect("flush after heal");
+
+                    let mono = persist::snapshot(
+                        oracle.next_bundle,
+                        oracle.start_level(),
+                        oracle.bundles(),
+                    );
+                    let live = persist::snapshot(fw.next_bundle, fw.start_level(), fw.bundles());
+                    prop_verify!(
+                        live.encode() == mono.encode(),
+                        "faulted framework on `{kind}` diverged from the storeless oracle in memory"
+                    );
+
+                    let rows = store.read_namespace(ns).expect("healed SAN");
+                    let assembled = persist::assemble(&rows)
+                        .expect("well-formed rows")
+                        .expect("header row present");
+                    let rebuilt: Vec<Bundle> = assembled
+                        .bundles
+                        .into_iter()
+                        .map(|r| Bundle {
+                            id: r.id,
+                            manifest: r.manifest,
+                            state: r.state,
+                            autostart: r.autostart,
+                            activator: None,
+                        })
+                        .collect();
+                    let from_rows = persist::snapshot(
+                        assembled.next_bundle,
+                        assembled.start_level,
+                        rebuilt.iter(),
+                    );
+                    prop_verify!(
+                        from_rows.encode() == mono.encode(),
+                        "persisted rows on `{kind}` diverge from the monolithic oracle snapshot"
+                    );
+
+                    // Restore equivalence: rows vs the legacy monolithic key.
+                    let legacy_store = SharedStore::with_kind(kind);
+                    legacy_store
+                        .put(ns, persist::LEGACY_SNAPSHOT_KEY, mono)
+                        .expect("clean legacy write");
+                    let factory = ActivatorFactory::new();
+                    drop(fw);
+                    let from_row_store =
+                        Framework::restore(FrameworkConfig::new(ns), store.clone(), ns, &factory)
+                            .expect("restore from rows");
+                    let from_legacy = Framework::restore(
+                        FrameworkConfig::new(ns),
+                        legacy_store.clone(),
+                        ns,
+                        &factory,
+                    )
+                    .expect("restore from legacy snapshot");
+                    let a = persist::snapshot(
+                        from_row_store.next_bundle,
+                        from_row_store.start_level(),
+                        from_row_store.bundles(),
+                    );
+                    let b = persist::snapshot(
+                        from_legacy.next_bundle,
+                        from_legacy.start_level(),
+                        from_legacy.bundles(),
+                    );
+                    prop_verify!(
+                        a.encode() == b.encode(),
+                        "row restore and legacy-snapshot restore disagree on `{kind}`"
+                    );
                 }
-                store.faults().clear();
-                fw.flush_persist().expect("flush after heal");
-
-                let mono =
-                    persist::snapshot(oracle.next_bundle, oracle.start_level(), oracle.bundles());
-                let live = persist::snapshot(fw.next_bundle, fw.start_level(), fw.bundles());
-                prop_verify!(
-                    live.encode() == mono.encode(),
-                    "faulted framework diverged from the storeless oracle in memory"
-                );
-
-                let rows = store.read_namespace(ns).expect("healed SAN");
-                let assembled = persist::assemble(&rows)
-                    .expect("well-formed rows")
-                    .expect("header row present");
-                let rebuilt: Vec<Bundle> = assembled
-                    .bundles
-                    .into_iter()
-                    .map(|r| Bundle {
-                        id: r.id,
-                        manifest: r.manifest,
-                        state: r.state,
-                        autostart: r.autostart,
-                        activator: None,
-                    })
-                    .collect();
-                let from_rows =
-                    persist::snapshot(assembled.next_bundle, assembled.start_level, rebuilt.iter());
-                prop_verify!(
-                    from_rows.encode() == mono.encode(),
-                    "persisted rows diverge from the monolithic oracle snapshot"
-                );
-
-                // Restore equivalence: rows vs the legacy monolithic key.
-                let legacy_store = SharedStore::new();
-                legacy_store
-                    .put(ns, persist::LEGACY_SNAPSHOT_KEY, mono)
-                    .expect("clean legacy write");
-                let factory = ActivatorFactory::new();
-                drop(fw);
-                let from_row_store =
-                    Framework::restore(FrameworkConfig::new(ns), store.clone(), ns, &factory)
-                        .expect("restore from rows");
-                let from_legacy = Framework::restore(
-                    FrameworkConfig::new(ns),
-                    legacy_store.clone(),
-                    ns,
-                    &factory,
-                )
-                .expect("restore from legacy snapshot");
-                let a = persist::snapshot(
-                    from_row_store.next_bundle,
-                    from_row_store.start_level(),
-                    from_row_store.bundles(),
-                );
-                let b = persist::snapshot(
-                    from_legacy.next_bundle,
-                    from_legacy.start_level(),
-                    from_legacy.bundles(),
-                );
-                prop_verify!(
-                    a.encode() == b.encode(),
-                    "row restore and legacy-snapshot restore disagree"
-                );
                 Ok(())
             },
         );

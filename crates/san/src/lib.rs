@@ -42,17 +42,22 @@
 //! windows, and torn batch writes. With no [`FaultPlan`] attached (the
 //! default) they never fail for fault reasons.
 
+pub mod backend;
 mod codec;
+pub mod conformance;
 mod error;
 pub mod fault;
 mod journal;
+mod log;
 mod profile;
 mod store;
 mod value;
 
+pub use backend::{BackendKind, BackendStats, KeyVersion, MapBackend, StoreBackend};
 pub use error::StoreError;
 pub use fault::{FaultInjector, FaultPlan, RetryPolicy};
 pub use journal::{Journal, JournalEntry, JournalOp};
+pub use log::{LogBackend, LogConfig};
 pub use profile::SanProfile;
 pub use store::{SharedStore, StoreStats, Versioned};
 pub use value::Value;

@@ -8,8 +8,13 @@
 # results/telemetry_chaos.json snapshot holds the sweep's metrics and
 # spans.
 #
+# Every seed also replays on every other registered SAN backend and must
+# fingerprint identically — storage conformance is part of the sweep.
+#
 # Overrides: CHAOS_SEEDS (schedules, default 10), CHAOS_SEED0 (first seed),
-# CHAOS_NODES (cluster size), CHAOS_FAULTS (faults per schedule).
+# CHAOS_NODES (cluster size), CHAOS_FAULTS (faults per schedule),
+# CHAOS_BACKEND (primary SAN backend: `map` default, or `log`; the others
+# cross-check it).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

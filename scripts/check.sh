@@ -19,6 +19,9 @@ cargo test -q --offline
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
+echo "==> SAN backend conformance (golden fixtures x every backend)"
+cargo run --offline --release -p dosgi-bench --bin san_conformance
+
 echo "==> chaos sweep (seeded nemesis schedules + replay verification)"
 scripts/chaos.sh
 

@@ -327,6 +327,7 @@ fn single_fault_schedules_preserve_invariants() {
                 instances: 2,
                 client_period: SimDuration::from_millis(200),
                 settle: SimDuration::from_secs(5),
+                ..ChaosOptions::default()
             };
             let report = run_nemesis(&plan, &opts);
             prop_verify!(report.ok(), "seed {seed:#x}: {:?}", report.violations);
