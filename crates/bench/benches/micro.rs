@@ -185,6 +185,55 @@ fn bench_policy(suite: &mut Suite) {
     });
 }
 
+fn bench_admission(suite: &mut Suite) {
+    use dosgi_ipvs::{replicated_service, AdmissionConfig, IpvsDirector, RequestClass, Scheduler};
+    use dosgi_net::{IpAddr, NodeId, Port, SocketAddr};
+    use std::cell::{Cell, RefCell};
+    // E15 hot path: admit (JSQ pick + bounded-queue offer) and drain on a
+    // 3-backend service held just above capacity, so queues stay busy and
+    // the shed path is exercised alongside the happy path.
+    let vip = SocketAddr::new(IpAddr::new(10, 0, 0, 90), Port(80));
+    let director = RefCell::new(IpvsDirector::new());
+    director.borrow_mut().add_service(
+        replicated_service(
+            vip,
+            Scheduler::RoundRobin,
+            &[NodeId(0), NodeId(1), NodeId(2)],
+        )
+        .with_admission(AdmissionConfig::per_second(2_000, 64)),
+    );
+    let clock = Cell::new(0u64);
+    let client = Cell::new(0u64);
+    suite.bench("ipvs/connect_under_queue", || {
+        // 4 arrivals per 500µs step = 8000/s offered vs 6000/s served.
+        let now = clock.get() + 500;
+        clock.set(now);
+        let mut d = director.borrow_mut();
+        for _ in 0..4 {
+            let c = client.get() + 1;
+            client.set(c);
+            let class = match c % 10 {
+                0 => RequestClass::Critical,
+                1..=6 => RequestClass::Standard,
+                _ => RequestClass::Background,
+            };
+            black_box(d.admit(c, vip, class, now).ok());
+        }
+        black_box(d.drain(vip, now).len());
+    });
+}
+
+fn bench_loadgen(suite: &mut Suite) {
+    use dosgi_core::loadgen::ZipfSampler;
+    use std::cell::RefCell;
+    // E15 tenant-popularity path: inverse-CDF binary search over a
+    // 10k-tenant Zipf distribution.
+    let sampler = RefCell::new(ZipfSampler::new(10_000, 1.0, 42));
+    suite.bench("loadgen/zipf_sample", || {
+        black_box(sampler.borrow_mut().sample());
+    });
+}
+
 fn main() {
     if Suite::invoked_as_test() {
         return;
@@ -196,5 +245,7 @@ fn main() {
     bench_registry_lookup(&mut suite);
     bench_san_backends(&mut suite);
     bench_policy(&mut suite);
+    bench_admission(&mut suite);
+    bench_loadgen(&mut suite);
     suite.finish();
 }

@@ -19,8 +19,18 @@
 //! `PERF_GUARD_WRITE_BASELINE=1 cargo run --release -p dosgi-bench --bin
 //! perf_guard` and commit the new JSON.
 
+//! The guard also covers the **E15 admission-control hot path**: a fixed
+//! 2× overload scenario (open-loop Poisson arrivals, class mix, bounded
+//! queues) whose completed/shed counts are exactly reproducible on the
+//! simulated clock. `completed` has a floor (a drain that stops being
+//! work-conserving tanks throughput) and `shed` a ceiling (admission that
+//! sheds more at the same load has regressed), both ±10% against
+//! `results/perf_baseline_e15_admission.json`.
+
+use dosgi_core::loadgen::{ClassMix, RateSchedule, ScheduledLoadGenerator};
 use dosgi_core::{workloads, ClusterConfig, DosgiCluster};
-use dosgi_net::SimDuration;
+use dosgi_ipvs::{replicated_service, AdmissionConfig, IpvsDirector, Scheduler};
+use dosgi_net::{IpAddr, NodeId, Port, SimDuration, SimTime, SocketAddr};
 use dosgi_san::{BackendKind, Value};
 use dosgi_testkit::Json;
 
@@ -142,6 +152,111 @@ fn guard(kind: BackendKind, write_baseline: bool) -> bool {
     ok
 }
 
+/// The deterministic E15 admission round: one backend at 2000/s with a
+/// 64-deep queue under 2× open-loop load for 10 simulated seconds.
+/// Returns (offered, completed, shed) — exact, replayable counts.
+fn measure_admission() -> (u64, u64, u64) {
+    let vip = SocketAddr::new(IpAddr::new(10, 0, 0, 200), Port(80));
+    let mut d = IpvsDirector::new();
+    d.add_service(
+        replicated_service(vip, Scheduler::RoundRobin, &[NodeId(0)])
+            .with_admission(AdmissionConfig::per_second(2_000, 64)),
+    );
+    let mut gen = ScheduledLoadGenerator::new(RateSchedule::constant(4_000.0), 15, SimTime::ZERO);
+    let mut mix = ClassMix::standard_web(15);
+    let mut client = 0u64;
+    let mut now_us = 0u64;
+    while now_us < 10_000_000 {
+        now_us += 5_000;
+        for _ in 0..gen.arrivals_until(SimTime::from_micros(now_us)) {
+            client += 1;
+            let _ = d.admit(client, vip, mix.sample(), now_us);
+        }
+        d.drain(vip, now_us);
+    }
+    let s = d.stats();
+    (client, s.completed, s.shed)
+}
+
+/// Guard the admission hot path: `completed` must not fall below, and
+/// `shed` must not rise above, the committed baseline (±10%).
+fn guard_admission(write_baseline: bool) -> bool {
+    let (offered, completed, shed) = measure_admission();
+    println!(
+        "perf_guard[admission]: e15 2x overload round: {offered} offered, \
+         {completed} completed, {shed} shed"
+    );
+    let path = dosgi_testkit::workspace_root()
+        .join("results")
+        .join("perf_baseline_e15_admission.json");
+
+    if write_baseline {
+        let body = format!(
+            "{{\n  \"scenario\": \"e15_admission_2x_overload\",\n  \"offered\": {offered},\n  \"completed\": {completed},\n  \"shed\": {shed}\n}}\n"
+        );
+        std::fs::create_dir_all(path.parent().expect("results dir has a parent"))
+            .expect("create results dir");
+        std::fs::write(&path, body).expect("write baseline");
+        println!(
+            "perf_guard[admission]: baseline rewritten at {}",
+            path.display()
+        );
+        return true;
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "perf_guard[admission]: no baseline at {} ({e})",
+                path.display()
+            );
+            eprintln!("perf_guard: generate one with PERF_GUARD_WRITE_BASELINE=1");
+            return false;
+        }
+    };
+    let json = Json::parse(&text).expect("baseline JSON parses");
+    let base_completed = json
+        .get("completed")
+        .and_then(Json::as_u64)
+        .expect("baseline has completed");
+    let base_shed = json
+        .get("shed")
+        .and_then(Json::as_u64)
+        .expect("baseline has shed");
+
+    let mut ok = true;
+    let floor = (base_completed as f64 * (1.0 - TOLERANCE)).floor() as u64;
+    let status = if completed < floor {
+        ok = false;
+        "REGRESSION"
+    } else {
+        "ok"
+    };
+    println!(
+        "perf_guard[admission]: completed: {completed} vs baseline {base_completed} (floor {floor}) {status}"
+    );
+    let limit = (base_shed as f64 * (1.0 + TOLERANCE)).ceil() as u64;
+    let status = if shed > limit {
+        ok = false;
+        "REGRESSION"
+    } else {
+        "ok"
+    };
+    println!(
+        "perf_guard[admission]: shed: {shed} vs baseline {base_shed} (limit {limit}) {status}"
+    );
+    if !ok {
+        eprintln!(
+            "perf_guard[admission]: admission hot path regressed >{:.0}% vs {}",
+            TOLERANCE * 100.0,
+            path.display()
+        );
+        eprintln!("perf_guard: if intentional, regenerate with PERF_GUARD_WRITE_BASELINE=1");
+    }
+    ok
+}
+
 fn main() {
     let write_baseline = std::env::var("PERF_GUARD_WRITE_BASELINE").is_ok();
     let mut failed = false;
@@ -150,10 +265,13 @@ fn main() {
             failed = true;
         }
     }
+    if !guard_admission(write_baseline) {
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
     if !write_baseline {
-        println!("perf_guard: within tolerance on every backend");
+        println!("perf_guard: within tolerance on every backend and the admission hot path");
     }
 }

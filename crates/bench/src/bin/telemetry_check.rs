@@ -7,6 +7,12 @@
 //! integers when `count > 0` (null otherwise), ordered
 //! `p50 <= p95 <= p99`, and clamped inside `[min, max]`.
 //!
+//! The E15 overload snapshot (`telemetry_e15.json`) additionally must
+//! carry live admission-control counters — `ipvs.queued`, `ipvs.shed` and
+//! `ipvs.deadline_missed` all present and non-zero (the overload sweep
+//! queues, sheds and busts deadlines by construction; a zero means the
+//! admission instrumentation went dark).
+//!
 //! Run after the bins that emit snapshots (the chaos sweep at minimum);
 //! `scripts/check.sh` wires it in. Exits non-zero listing every violation.
 
@@ -41,6 +47,32 @@ fn check_file(path: &std::path::Path) -> Result<(), String> {
         .ok_or("missing object `histograms`")?;
     for (name, h) in histograms {
         check_histogram(name, h)?;
+    }
+    if path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n == "telemetry_e15.json")
+    {
+        check_admission_counters(&json)?;
+    }
+    Ok(())
+}
+
+/// The E15 overload snapshot must show the admission layer actually
+/// working: queueing, shedding and deadline accounting all live.
+fn check_admission_counters(json: &Json) -> Result<(), String> {
+    for key in ["ipvs.queued", "ipvs.shed", "ipvs.deadline_missed"] {
+        let v = json
+            .get("counters")
+            .and_then(|c| c.get(key))
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("e15 snapshot: missing integer counter `{key}`"))?;
+        if v == 0 {
+            return Err(format!(
+                "e15 snapshot: counter `{key}` is zero — the overload sweep \
+                 must exercise the admission path"
+            ));
+        }
     }
     Ok(())
 }

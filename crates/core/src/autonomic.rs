@@ -63,6 +63,31 @@ rule empty_node {
 }
 "#;
 
+/// The overload-reaction policy (E15): a sustained p95 latency breach on
+/// the standard class scales the service out (adds a replica behind the
+/// VIP); sustained queue pressure sheds the background class; and once
+/// both pressure signals clear, shedding is lifted (`stop_shed` is
+/// forwarded as a [`dosgi_policy::PolicyAction::Custom`] the driver
+/// interprets). The blackboard globals are fed by whatever drives the
+/// admission layer: `p95_latency_us` (standard-class completion p95),
+/// `slo_us` (that class's budget), `queue_depth` (total queued across
+/// backends), and `queue_capacity` (the aggregate bound).
+pub const OVERLOAD_POLICY: &str = r#"
+rule p95_breach {
+    when p95_latency_us() > slo_us() for 3
+    then scale_out(); alert("sustained p95 SLO breach")
+}
+rule queue_pressure {
+    when queue_depth() > queue_capacity() * 0.8 for 2
+    then shed_class("background")
+}
+rule pressure_cleared {
+    when queue_depth() < queue_capacity() * 0.2
+         and p95_latency_us() < slo_us() for 4
+    then stop_shed("background")
+}
+"#;
+
 /// The per-node autonomic controller.
 #[derive(Debug, Clone)]
 pub struct AutonomicModule {
@@ -258,6 +283,37 @@ mod tests {
         );
         assert!(!a.due(SimTime::from_secs(3)));
         assert!(a.due(SimTime::from_secs(6)));
+    }
+
+    #[test]
+    fn overload_policy_scales_out_on_sustained_p95_breach() {
+        let mut a = AutonomicModule::new(OVERLOAD_POLICY, SimDuration::from_secs(1)).unwrap();
+        let m = MonitoringModule::new();
+        let cap = NodeCapacity::standard();
+        let q = BTreeMap::new();
+        // Feed the overload signals straight into the blackboard (the E15
+        // driver does the same from the admission-layer stats).
+        let bb = a.blackboard_mut();
+        bb.set_global_metric("p95_latency_us", 400_000.0);
+        bb.set_global_metric("slo_us", 250_000.0);
+        bb.set_global_metric("queue_depth", 120.0);
+        bb.set_global_metric("queue_capacity", 128.0);
+        let mut fired = Vec::new();
+        for s in 1..=3 {
+            fired.extend(a.evaluate(SimTime::from_secs(s), &m, &q, &cap, 3, 0));
+        }
+        assert!(
+            fired.iter().any(|d| d.action == PolicyAction::ScaleOut),
+            "{fired:?}"
+        );
+        assert!(
+            fired.iter().any(|d| matches!(
+                &d.action,
+                PolicyAction::ShedClass { class } if class == "background"
+            )),
+            "{fired:?}"
+        );
+        assert!(a.last_errors().is_empty(), "{:?}", a.last_errors());
     }
 
     #[test]

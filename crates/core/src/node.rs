@@ -1282,9 +1282,15 @@ impl DosgiNode {
             PolicyAction::Custom { name, .. } if name == "migrate_all" => {
                 self.migrate_all_local(net, TraceRef::NONE);
             }
-            PolicyAction::WakeNode | PolicyAction::Alert { .. } | PolicyAction::Custom { .. } => {
-                // Alerts are visible through the PolicyFired event; wake is
-                // a cluster-level operation.
+            PolicyAction::WakeNode
+            | PolicyAction::ScaleOut
+            | PolicyAction::ShedClass { .. }
+            | PolicyAction::Alert { .. }
+            | PolicyAction::Custom { .. } => {
+                // Alerts are visible through the PolicyFired event; wake,
+                // scale-out, and class shedding are cluster-level
+                // operations (the driver reacts — e.g. E15 wakes a standby
+                // replica or flips the admission layer's shed switch).
             }
         }
     }

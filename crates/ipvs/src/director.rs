@@ -1,18 +1,27 @@
-//! The ipvs director: request routing and connection tracking.
+//! The ipvs director: request routing, connection tracking, and
+//! admission control (bounded per-backend queues with priority shedding).
 
+use crate::admission::{Admitted, Completion, QueuedRequest, RequestClass};
 use crate::{RealServer, Scheduler, VirtualService};
 use dosgi_net::{NodeId, SocketAddr};
 use dosgi_telemetry::{FlightRecorder, Telemetry, TraceContext};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
-/// Routing failures.
+/// Routing failures. Shed-vs-dead is deliberately distinguishable: a
+/// caller (and the stats/telemetry) can tell load shedding
+/// ([`Shed`](RouteError::Shed)) apart from a service whose every backend
+/// is down ([`NoLiveServers`](RouteError::NoLiveServers)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouteError {
     /// No virtual service is configured at the address.
     NoSuchService(SocketAddr),
     /// The service exists but every replica is down.
     NoLiveServers(SocketAddr),
+    /// Admission control shed the request: backends are alive but the
+    /// chosen queue is full of equal-or-higher-priority work (or the
+    /// class is currently shed by policy).
+    Shed(SocketAddr, RequestClass),
 }
 
 impl fmt::Display for RouteError {
@@ -20,6 +29,7 @@ impl fmt::Display for RouteError {
         match self {
             RouteError::NoSuchService(a) => write!(f, "no virtual service at {a}"),
             RouteError::NoLiveServers(a) => write!(f, "no live servers for {a}"),
+            RouteError::Shed(a, c) => write!(f, "shed {c} request for {a} (overload)"),
         }
     }
 }
@@ -33,8 +43,24 @@ pub struct IpvsStats {
     pub routed: u64,
     /// Requests rejected (no service / no live backend).
     pub rejected: u64,
+    /// Rejections specifically because every backend was down (subset of
+    /// `rejected` — the "dead" half of shed-vs-dead).
+    pub no_backend: u64,
     /// Connections currently tracked.
     pub tracked: u64,
+    /// Requests accepted into a backend queue by admission control.
+    pub queued: u64,
+    /// Requests shed by admission control (full queue, policy shed, or
+    /// abandoned when their backend died).
+    pub shed: u64,
+    /// Sheds that displaced an already-queued lower-priority request
+    /// (subset of `shed`; such victims were also counted in `queued`, so
+    /// `queued + shed - displaced` equals the number of admit calls).
+    pub displaced: u64,
+    /// Queued requests fully served.
+    pub completed: u64,
+    /// Completions that blew their class latency SLO.
+    pub deadline_missed: u64,
 }
 
 /// The load-balancer core: virtual services, connection tracking, stats.
@@ -44,6 +70,8 @@ pub struct IpvsDirector {
     // (client, service) → backend node, for connection affinity.
     connections: HashMap<(u64, SocketAddr), NodeId>,
     per_server: HashMap<(SocketAddr, NodeId), u64>,
+    // Classes currently shed outright by policy (see `set_shed_class`).
+    shed_classes: BTreeSet<(SocketAddr, RequestClass)>,
     stats: IpvsStats,
     telemetry: Telemetry,
     recorder: FlightRecorder,
@@ -56,6 +84,7 @@ impl PartialEq for IpvsDirector {
         self.services == other.services
             && self.connections == other.connections
             && self.per_server == other.per_server
+            && self.shed_classes == other.shed_classes
             && self.stats == other.stats
     }
 }
@@ -120,6 +149,7 @@ impl IpvsDirector {
         if !self.services.contains_key(&address) {
             self.stats.rejected += 1;
             self.telemetry.incr("ipvs.rejected");
+            self.telemetry.incr("ipvs.rejected.no_service");
             return Err(RouteError::NoSuchService(address));
         }
         // Affinity: reuse the existing backend if still alive.
@@ -140,7 +170,9 @@ impl IpvsDirector {
         let scheduler = vs.scheduler;
         let Some(idx) = scheduler.pick(vs, client) else {
             self.stats.rejected += 1;
+            self.stats.no_backend += 1;
             self.telemetry.incr("ipvs.rejected");
+            self.telemetry.incr("ipvs.rejected.no_backend");
             return Err(RouteError::NoLiveServers(address));
         };
         vs.servers[idx].active_connections += 1;
@@ -165,12 +197,189 @@ impl IpvsDirector {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Admission control: bounded queues, priority shedding, deterministic
+    // draining. Orthogonal to `connect` (which models connection-oriented
+    // affinity routing); `admit`/`drain` model per-request open-loop
+    // service under overload.
+    // ------------------------------------------------------------------
+
+    /// Offers a request of `class` to the service at `address`, queueing
+    /// it at the live backend with the shortest queue (join-shortest-queue
+    /// — the right admission discipline, and deterministic: ties break to
+    /// the lowest server index). When the chosen queue is full, a strictly
+    /// lower-priority request is displaced (counted shed) to admit this
+    /// one; if none exists — or the class is policy-shed via
+    /// [`set_shed_class`](Self::set_shed_class) — the request itself is
+    /// shed.
+    ///
+    /// # Errors
+    ///
+    /// See [`RouteError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service was not built
+    /// [`with_admission`](VirtualService::with_admission).
+    pub fn admit(
+        &mut self,
+        client: u64,
+        address: SocketAddr,
+        class: RequestClass,
+        now_us: u64,
+    ) -> Result<NodeId, RouteError> {
+        if !self.services.contains_key(&address) {
+            self.stats.rejected += 1;
+            self.telemetry.incr("ipvs.rejected");
+            self.telemetry.incr("ipvs.rejected.no_service");
+            return Err(RouteError::NoSuchService(address));
+        }
+        if self.shed_classes.contains(&(address, class)) {
+            self.count_shed(class, "policy");
+            return Err(RouteError::Shed(address, class));
+        }
+        let vs = self.services.get_mut(&address).expect("checked above");
+        assert!(
+            vs.admission.is_some(),
+            "admit() requires a service built with_admission"
+        );
+        // Join-shortest-queue over the live backends.
+        let Some(idx) = vs
+            .servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .min_by_key(|(i, _)| (vs.queues[*i].depth(), *i))
+            .map(|(i, _)| i)
+        else {
+            self.stats.rejected += 1;
+            self.stats.no_backend += 1;
+            self.telemetry.incr("ipvs.rejected");
+            self.telemetry.incr("ipvs.rejected.no_backend");
+            return Err(RouteError::NoLiveServers(address));
+        };
+        let node = vs.servers[idx].node;
+        let outcome = vs.queues[idx].offer(QueuedRequest {
+            client,
+            class,
+            enqueued_us: now_us,
+        });
+        match outcome {
+            Admitted::Queued => {}
+            Admitted::Displaced(victim) => {
+                self.stats.displaced += 1;
+                self.count_shed(victim.class, "displaced");
+            }
+            Admitted::Shed => {
+                self.count_shed(class, "full");
+                self.record_queue_gauge(address, node);
+                return Err(RouteError::Shed(address, class));
+            }
+        }
+        self.stats.queued += 1;
+        self.telemetry.incr("ipvs.queued");
+        self.telemetry.incr(&format!("ipvs.queued.{class}"));
+        self.record_queue_gauge(address, node);
+        Ok(node)
+    }
+
+    /// Drains every backend queue of the service at `address` up to
+    /// `now_us`: each backend completes one queued request per configured
+    /// service interval, priority lanes first. Returns the completions in
+    /// deterministic order (backends in server order, each FIFO within
+    /// class, classes by priority). Deadline misses are counted against
+    /// each completion's class SLO.
+    pub fn drain(&mut self, address: SocketAddr, now_us: u64) -> Vec<Completion> {
+        let Some(vs) = self.services.get_mut(&address) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for i in 0..vs.queues.len() {
+            let node = vs.servers[i].node;
+            vs.queues[i].drain_until(node, now_us, &mut out);
+        }
+        let nodes: Vec<NodeId> = vs.servers.iter().map(|s| s.node).collect();
+        for node in nodes {
+            self.record_queue_gauge(address, node);
+        }
+        for c in &out {
+            self.stats.completed += 1;
+            self.telemetry.incr("ipvs.completed");
+            self.telemetry
+                .record(&format!("ipvs.latency_us.{}", c.class), c.latency_us());
+            if c.missed_deadline() {
+                self.stats.deadline_missed += 1;
+                self.telemetry.incr("ipvs.deadline_missed");
+                self.telemetry
+                    .incr(&format!("ipvs.deadline_missed.{}", c.class));
+            }
+        }
+        out
+    }
+
+    /// Turns outright shedding of `class` at `address` on or off (the
+    /// `shed_class` policy action). While on, every arrival of that class
+    /// is shed before touching a queue.
+    pub fn set_shed_class(&mut self, address: SocketAddr, class: RequestClass, shed: bool) {
+        if shed {
+            self.shed_classes.insert((address, class));
+        } else {
+            self.shed_classes.remove(&(address, class));
+        }
+    }
+
+    /// Whether `class` is currently policy-shed at `address`.
+    pub fn is_shedding(&self, address: SocketAddr, class: RequestClass) -> bool {
+        self.shed_classes.contains(&(address, class))
+    }
+
+    /// Per-backend queue depths for the service at `address`, in server
+    /// order.
+    pub fn queue_depths(&self, address: SocketAddr) -> Vec<(NodeId, usize)> {
+        self.services.get(&address).map_or_else(Vec::new, |vs| {
+            vs.servers
+                .iter()
+                .map(|s| (s.node, vs.queue_depth(s.node)))
+                .collect()
+        })
+    }
+
+    fn count_shed(&mut self, class: RequestClass, why: &str) {
+        self.stats.shed += 1;
+        self.telemetry.incr("ipvs.shed");
+        self.telemetry.incr(&format!("ipvs.shed.{class}"));
+        self.telemetry.incr(&format!("ipvs.shed.reason.{why}"));
+    }
+
+    fn record_queue_gauge(&mut self, address: SocketAddr, node: NodeId) {
+        let depth = self
+            .services
+            .get(&address)
+            .map_or(0, |vs| vs.queue_depth(node));
+        self.telemetry
+            .gauge_set(&format!("ipvs.queue_depth.n{}", node.0), depth as i64);
+    }
+
     /// Marks every replica on `node` down across all services and drops its
     /// tracked connections (the health-check reaction to a node crash).
+    /// Queued requests at the dead backend are abandoned and counted shed.
     /// Returns how many connections were broken.
     pub fn node_down(&mut self, node: NodeId) -> usize {
+        let mut abandoned = 0u64;
         for vs in self.services.values_mut() {
             vs.set_alive(node, false);
+            if let Some(i) = vs.servers.iter().position(|s| s.node == node) {
+                if let Some(q) = vs.queues.get_mut(i) {
+                    abandoned += q.flush().len() as u64;
+                }
+            }
+        }
+        if abandoned > 0 {
+            self.stats.shed += abandoned;
+            self.telemetry.add("ipvs.shed", abandoned);
+            self.telemetry.add("ipvs.shed.reason.node_down", abandoned);
+            self.telemetry
+                .gauge_set(&format!("ipvs.queue_depth.n{}", node.0), 0);
         }
         let before = self.connections.len();
         self.connections.retain(|_, n| *n != node);
@@ -380,6 +589,113 @@ mod tests {
         plain.node_down(NodeId(0));
         assert_eq!(traced, plain, "tracing hooks change no routing state");
         assert!(traced.recorder().events().is_empty());
+    }
+
+    fn admission_director(nodes: usize, capacity: usize, rate: u64) -> IpvsDirector {
+        let mut d = IpvsDirector::new();
+        let nodes: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
+        let vs = replicated_service(addr(), Scheduler::RoundRobin, &nodes)
+            .with_admission(crate::AdmissionConfig::per_second(rate, capacity));
+        d.add_service(vs);
+        d
+    }
+
+    #[test]
+    fn admit_joins_shortest_queue_and_drains_deterministically() {
+        // 2 backends, 1000 req/s each (1ms per request).
+        let mut d = admission_director(2, 8, 1000);
+        for c in 0..4u64 {
+            d.admit(c, addr(), RequestClass::Standard, 0).unwrap();
+        }
+        // JSQ alternates across the two empty backends.
+        assert_eq!(d.queue_depths(addr()), vec![(NodeId(0), 2), (NodeId(1), 2)]);
+        let done = d.drain(addr(), 2_000);
+        assert_eq!(done.len(), 4, "each backend served 2 in 2ms");
+        assert_eq!(d.stats().completed, 4);
+        assert_eq!(d.stats().queued, 4);
+        assert_eq!(d.queue_depths(addr()), vec![(NodeId(0), 0), (NodeId(1), 0)]);
+        // Same-latency completions: 1ms then 2ms on each backend.
+        assert!(done.iter().all(|c| !c.missed_deadline()));
+    }
+
+    #[test]
+    fn shed_on_full_prefers_critical() {
+        // One backend, queue of 2, slow service.
+        let mut d = admission_director(1, 2, 10);
+        d.admit(1, addr(), RequestClass::Background, 0).unwrap();
+        d.admit(2, addr(), RequestClass::Background, 0).unwrap();
+        // Full: a critical request displaces a background one.
+        d.admit(3, addr(), RequestClass::Critical, 0).unwrap();
+        assert_eq!(d.stats().shed, 1, "displaced background counts shed");
+        // Full of critical+background; another background is shed outright.
+        assert_eq!(
+            d.admit(4, addr(), RequestClass::Background, 0),
+            Err(RouteError::Shed(addr(), RequestClass::Background))
+        );
+        assert_eq!(d.stats().shed, 2);
+        assert_eq!(d.stats().queued, 3);
+        // Shed is NOT counted as rejected: shed-vs-dead stay separate.
+        assert_eq!(d.stats().rejected, 0);
+    }
+
+    #[test]
+    fn shed_vs_dead_are_distinguishable() {
+        let mut d = admission_director(1, 1, 10);
+        d.admit(1, addr(), RequestClass::Standard, 0).unwrap();
+        let shed = d.admit(2, addr(), RequestClass::Standard, 0);
+        assert!(matches!(shed, Err(RouteError::Shed(_, _))));
+        d.node_down(NodeId(0));
+        let dead = d.admit(3, addr(), RequestClass::Standard, 0);
+        assert_eq!(dead, Err(RouteError::NoLiveServers(addr())));
+        let s = d.stats();
+        // One abandoned queued request + one full-queue shed.
+        assert_eq!(s.shed, 2);
+        assert_eq!(s.no_backend, 1);
+        assert_eq!(s.rejected, 1);
+    }
+
+    #[test]
+    fn policy_shed_class_rejects_before_queueing() {
+        let mut d = admission_director(2, 8, 1000);
+        d.set_shed_class(addr(), RequestClass::Background, true);
+        assert!(d.is_shedding(addr(), RequestClass::Background));
+        assert_eq!(
+            d.admit(1, addr(), RequestClass::Background, 0),
+            Err(RouteError::Shed(addr(), RequestClass::Background))
+        );
+        // Other classes still flow.
+        d.admit(2, addr(), RequestClass::Critical, 0).unwrap();
+        d.set_shed_class(addr(), RequestClass::Background, false);
+        d.admit(3, addr(), RequestClass::Background, 0).unwrap();
+        assert_eq!(d.stats().queued, 2);
+        assert_eq!(d.stats().shed, 1);
+    }
+
+    #[test]
+    fn deadline_misses_are_counted() {
+        // One backend at 10 req/s: 100ms per request, Critical SLO is 50ms.
+        let mut d = admission_director(1, 8, 10);
+        d.admit(1, addr(), RequestClass::Critical, 0).unwrap();
+        d.admit(2, addr(), RequestClass::Critical, 0).unwrap();
+        let done = d.drain(addr(), 1_000_000);
+        assert_eq!(done.len(), 2);
+        // 100ms and 200ms latencies both blow the 50ms critical budget.
+        assert_eq!(d.stats().deadline_missed, 2);
+        assert!(done.iter().all(Completion::missed_deadline));
+    }
+
+    #[test]
+    fn node_down_abandons_queued_requests() {
+        let mut d = admission_director(2, 8, 1000);
+        for c in 0..4u64 {
+            d.admit(c, addr(), RequestClass::Standard, 0).unwrap();
+        }
+        d.node_down(NodeId(0));
+        assert_eq!(d.stats().shed, 2, "node 0's two queued requests lost");
+        // Draining now only completes node 1's work.
+        let done = d.drain(addr(), 10_000);
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(|c| c.node == NodeId(1)));
     }
 
     #[test]

@@ -19,13 +19,21 @@
 //!   server (the balance data experiment **E8** plots);
 //! * [`FaultTolerantIpvs`] — a primary/backup director pair; on primary
 //!   failure the backup takes over, with or without connection-table
-//!   synchronization (the ablation in **E8**).
+//!   synchronization (the ablation in **E8**);
+//! * admission control ([`AdmissionConfig`], [`RequestClass`],
+//!   [`BackendQueue`]) — bounded per-backend queues drained at a
+//!   deterministic service rate, shedding lowest-priority work first
+//!   under overload (experiment **E15**).
 
+mod admission;
 mod director;
 mod failover;
 mod scheduler;
 mod service;
 
+pub use admission::{
+    AdmissionConfig, Admitted, BackendQueue, Completion, QueuedRequest, RequestClass,
+};
 pub use director::{replicated_service, IpvsDirector, IpvsStats, RouteError};
 pub use failover::FaultTolerantIpvs;
 pub use scheduler::Scheduler;

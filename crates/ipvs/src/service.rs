@@ -1,5 +1,6 @@
 //! Virtual services and real servers.
 
+use crate::admission::{AdmissionConfig, BackendQueue};
 use crate::Scheduler;
 use dosgi_net::{NodeId, SocketAddr};
 
@@ -53,6 +54,11 @@ pub struct VirtualService {
     pub(crate) rr_cursor: usize,
     /// Weighted round-robin remaining credit per server.
     pub(crate) wrr_credit: Vec<u32>,
+    /// Admission-control parameters, when enabled.
+    pub(crate) admission: Option<AdmissionConfig>,
+    /// Per-backend bounded queues, parallel to `servers` (empty when
+    /// admission control is off).
+    pub(crate) queues: Vec<BackendQueue>,
 }
 
 impl VirtualService {
@@ -64,13 +70,36 @@ impl VirtualService {
             servers: Vec::new(),
             rr_cursor: 0,
             wrr_credit: Vec::new(),
+            admission: None,
+            queues: Vec::new(),
         }
+    }
+
+    /// Enables admission control (builder style): every backend gets a
+    /// bounded queue under `config`, drained deterministically by
+    /// [`IpvsDirector::drain`](crate::IpvsDirector::drain).
+    pub fn with_admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(config);
+        self.queues = self
+            .servers
+            .iter()
+            .map(|_| BackendQueue::new(config))
+            .collect();
+        self
+    }
+
+    /// The admission parameters, when admission control is enabled.
+    pub fn admission(&self) -> Option<AdmissionConfig> {
+        self.admission
     }
 
     /// Adds a backend replica.
     pub fn add_server(&mut self, server: RealServer) {
         self.servers.push(server);
         self.wrr_credit.push(server.weight);
+        if let Some(cfg) = self.admission {
+            self.queues.push(BackendQueue::new(cfg));
+        }
     }
 
     /// Removes the replica on `node`, returning whether one was found.
@@ -79,6 +108,9 @@ impl VirtualService {
             Some(i) => {
                 self.servers.remove(i);
                 self.wrr_credit.remove(i);
+                if self.admission.is_some() {
+                    self.queues.remove(i);
+                }
                 if self.rr_cursor >= self.servers.len() {
                     self.rr_cursor = 0;
                 }
@@ -102,6 +134,21 @@ impl VirtualService {
     /// Live replica count.
     pub fn alive_count(&self) -> usize {
         self.servers.iter().filter(|s| s.alive).count()
+    }
+
+    /// Queue depth of the replica on `node` (0 when admission is off or
+    /// the node hosts no replica).
+    pub fn queue_depth(&self, node: NodeId) -> usize {
+        self.servers
+            .iter()
+            .position(|s| s.node == node)
+            .and_then(|i| self.queues.get(i))
+            .map_or(0, BackendQueue::depth)
+    }
+
+    /// Total queued requests across every backend of this service.
+    pub fn total_queued(&self) -> usize {
+        self.queues.iter().map(BackendQueue::depth).sum()
     }
 }
 
@@ -140,5 +187,24 @@ mod tests {
     #[should_panic(expected = "weight must be positive")]
     fn zero_weight_rejected() {
         let _ = RealServer::new(NodeId(1)).with_weight(0);
+    }
+
+    #[test]
+    fn admission_queues_track_server_set() {
+        use crate::admission::AdmissionConfig;
+        let mut vs = VirtualService::new(addr(), Scheduler::RoundRobin)
+            .with_admission(AdmissionConfig::per_second(1000, 8));
+        vs.add_server(RealServer::new(NodeId(1)));
+        vs.add_server(RealServer::new(NodeId(2)));
+        assert_eq!(vs.queues.len(), 2);
+        assert_eq!(vs.queue_depth(NodeId(1)), 0);
+        assert!(vs.remove_server(NodeId(1)));
+        assert_eq!(vs.queues.len(), 1);
+        assert_eq!(vs.total_queued(), 0);
+        // Without admission, no queues are kept.
+        let mut plain = VirtualService::new(addr(), Scheduler::RoundRobin);
+        plain.add_server(RealServer::new(NodeId(3)));
+        assert!(plain.queues.is_empty());
+        assert_eq!(plain.queue_depth(NodeId(3)), 0);
     }
 }

@@ -41,6 +41,16 @@ pub enum PolicyAction {
     HibernateNode,
     /// Bring a hibernated node back.
     WakeNode,
+    /// Add serving capacity (wake a standby / add a replica behind the
+    /// VIP) — the reaction to a sustained latency-SLO breach.
+    ScaleOut,
+    /// Start shedding the named request class at the admission layer
+    /// (overload: sacrifice best-effort traffic to protect SLO-critical
+    /// classes).
+    ShedClass {
+        /// The class to shed (e.g. `"background"`).
+        class: String,
+    },
     /// An action the engine does not recognize; forwarded verbatim so
     /// embeddings can extend the vocabulary.
     Custom {
@@ -66,6 +76,8 @@ impl fmt::Display for PolicyAction {
             },
             PolicyAction::HibernateNode => write!(f, "hibernate()"),
             PolicyAction::WakeNode => write!(f, "wake()"),
+            PolicyAction::ScaleOut => write!(f, "scale_out()"),
+            PolicyAction::ShedClass { class } => write!(f, "shed_class({class})"),
             PolicyAction::Custom {
                 name,
                 subject,
@@ -119,6 +131,14 @@ mod tests {
         };
         assert_eq!(d.to_string(), "[hot/acme] migrate(acme)");
         assert_eq!(PolicyAction::HibernateNode.to_string(), "hibernate()");
+        assert_eq!(PolicyAction::ScaleOut.to_string(), "scale_out()");
+        assert_eq!(
+            PolicyAction::ShedClass {
+                class: "background".into()
+            }
+            .to_string(),
+            "shed_class(background)"
+        );
         assert_eq!(
             PolicyAction::Alert {
                 subject: None,

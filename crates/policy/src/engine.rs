@@ -186,6 +186,17 @@ fn resolve_action(
         }
         "hibernate" => Ok(PolicyAction::HibernateNode),
         "wake" => Ok(PolicyAction::WakeNode),
+        "scale_out" => Ok(PolicyAction::ScaleOut),
+        "shed_class" => {
+            let class = match call.args.first() {
+                Some(e) => match eval(e, source, subject).map_err(|e| e.to_string())? {
+                    Value::Str(s) => s,
+                    other => return Err(format!("shed_class wants a class name, got {other}")),
+                },
+                None => return Err("shed_class needs a class argument".to_owned()),
+            };
+            Ok(PolicyAction::ShedClass { class })
+        }
         other => {
             let mut args = Vec::new();
             for e in &call.args {
@@ -313,6 +324,38 @@ mod tests {
                 args: vec!["a".into(), "2".into()],
             }
         );
+    }
+
+    #[test]
+    fn overload_actions_resolve_first_class() {
+        let mut e = PolicyEngine::compile(
+            r#"rule knee {
+                when p95_latency_us() > 250000 for 2
+                then scale_out(); shed_class("background")
+            }"#,
+        )
+        .unwrap();
+        let mut bb = Blackboard::new();
+        bb.set_global_metric("p95_latency_us", 400_000.0);
+        assert!(e.evaluate(&bb, &[]).is_empty(), "for 2 debounces");
+        let d = e.evaluate(&bb, &[]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].action, PolicyAction::ScaleOut);
+        assert_eq!(
+            d[1].action,
+            PolicyAction::ShedClass {
+                class: "background".into()
+            }
+        );
+        assert!(e.last_errors().is_empty(), "{:?}", e.last_errors());
+    }
+
+    #[test]
+    fn shed_class_without_argument_is_an_error() {
+        let mut e = PolicyEngine::compile("rule x { when true then shed_class() }").unwrap();
+        let bb = Blackboard::new();
+        assert!(e.evaluate(&bb, &[]).is_empty());
+        assert!(e.last_errors()[0].contains("needs a class argument"));
     }
 
     #[test]

@@ -25,13 +25,16 @@ cargo run --offline --release -p dosgi-bench --bin san_conformance
 echo "==> chaos sweep (seeded nemesis schedules + replay verification)"
 scripts/chaos.sh
 
+echo "==> e15 overload knee (admission on/off + policy reaction + flash-crowd chaos)"
+cargo run --offline --release -p dosgi-bench --bin e15_overload
+
 echo "==> telemetry snapshot schema check"
 cargo run --offline --release -p dosgi-bench --bin telemetry_check
 
 echo "==> causal trace check (zero happens-before violations over the sweep)"
 cargo run --offline --release -p dosgi-bench --bin trace_check
 
-echo "==> perf guard (deterministic e5 migration SAN bytes vs committed baseline)"
+echo "==> perf guard (e5 migration SAN bytes + e15 admission hot path vs committed baselines)"
 cargo run --offline --release -p dosgi-bench --bin perf_guard
 
 echo "==> verifying zero registry dependencies"
