@@ -16,6 +16,14 @@
 //! `CHAOS_SEED0=<seed> CHAOS_SEEDS=1 cargo run --bin chaos` reproduces it
 //! exactly.
 //!
+//! Every schedule also arms a **rolling upgrade wave** 10 s into the run
+//! (`CHAOS_WAVE_AT_US` overrides; `CHAOS_WAVE_AT_US=0` disables): the
+//! counter bundle is hot-swapped to 1.1.0 node by node while the nemesis
+//! is firing, so crashes, partitions and SAN faults land mid-handoff. The
+//! invariants must hold anyway, and the wave's outcome is part of the
+//! fingerprint — so the passivity and backend-conformance cross-checks
+//! below cover the upgrade path too.
+//!
 //! Each schedule runs **three** times: on the primary backend with
 //! telemetry enabled (all seeds share one registry), on the primary
 //! backend with telemetry disabled, and on the *other* registered SAN
@@ -58,8 +66,10 @@ fn main() {
         faults,
         ..NemesisConfig::default()
     };
+    let wave_at_us = env_u64("CHAOS_WAVE_AT_US", 10_000_000);
     let opts = ChaosOptions {
         backend,
+        upgrade_wave_at_us: (wave_at_us > 0).then_some(wave_at_us),
         ..ChaosOptions::default()
     };
     // Every other registered backend cross-checks the primary on every
@@ -96,7 +106,7 @@ fn main() {
                 &plan,
                 &ChaosOptions {
                     backend: other,
-                    ..ChaosOptions::default()
+                    ..opts.clone()
                 },
                 Telemetry::disabled(),
             );
@@ -136,8 +146,14 @@ fn main() {
         } else {
             "ok"
         };
+        let (swapped, skipped) = a
+            .wave
+            .as_ref()
+            .map(|w| (w.upgraded.len(), w.skipped_nodes.len()))
+            .unwrap_or((0, 0));
         println!(
-            "  seed {seed:>4}  steps {:>2}  acked {:>5}  spans {:>4}  fingerprint {:016x}  {status}",
+            "  seed {seed:>4}  steps {:>2}  acked {:>5}  spans {:>4}  \
+             swapped {swapped}/{skipped} skip  fingerprint {:016x}  {status}",
             a.steps_applied,
             a.acked,
             a.trace.events.len(),

@@ -19,6 +19,13 @@
 //! `PERF_GUARD_WRITE_BASELINE=1 cargo run --release -p dosgi-bench --bin
 //! perf_guard` and commit the new JSON.
 
+//! The guard also covers the **E14 hot-swap blackout**: the deterministic
+//! counter-scale in-place upgrade (fixed seed, fault-free SAN) whose
+//! modeled service interruption is exactly reproducible. The blackout has
+//! a ceiling (+10% against `results/perf_baseline_e14.json`): a change
+//! that widens the swap window — an extra flush, a fatter persist, a
+//! slower swap — fails CI rather than silently eroding the µs-scale claim.
+
 //! The guard also covers the **E15 admission-control hot path**: a fixed
 //! 2× overload scenario (open-loop Poisson arrivals, class mix, bounded
 //! queues) whose completed/shed counts are exactly reproducible on the
@@ -152,6 +159,104 @@ fn guard(kind: BackendKind, write_baseline: bool) -> bool {
     ok
 }
 
+/// The deterministic E14 hot-swap round: a counter with 5 increments of
+/// state, upgraded in place 1.0.0 → 1.1.0 on a fault-free SAN. Returns
+/// the modeled blackout in µs — exact and replayable.
+fn measure_hot_swap() -> u64 {
+    use dosgi_core::NodeEvent;
+    use dosgi_osgi::Version;
+
+    let mut c = DosgiCluster::new(2, ClusterConfig::default(), 14);
+    c.run_for(SimDuration::from_millis(500));
+    c.deploy(
+        workloads::counter_instance_with("bank", "ctr", workloads::COUNTER_WRITE_THROUGH),
+        0,
+    )
+    .unwrap();
+    c.run_for(SimDuration::from_secs(1));
+    for _ in 0..5 {
+        c.call("ctr", workloads::COUNTER_SERVICE, "incr", &Value::Null)
+            .unwrap();
+    }
+    c.upgrade_bundle(
+        "ctr",
+        workloads::counter_manifest_at(workloads::COUNTER_WRITE_THROUGH, Version::new(1, 1, 0)),
+    )
+    .unwrap();
+    let deadline = c.now() + SimDuration::from_secs(10);
+    while c.now() < deadline {
+        c.step();
+        for (_, ev) in c.take_events() {
+            if let NodeEvent::BundleUpgraded { blackout, .. } = ev {
+                assert_eq!(
+                    c.call("ctr", workloads::COUNTER_SERVICE, "get", &Value::Null)
+                        .unwrap(),
+                    Value::Int(5),
+                    "state intact"
+                );
+                return blackout.as_micros();
+            }
+        }
+    }
+    panic!("hot swap did not land on a fault-free SAN");
+}
+
+/// Guard the hot-swap blackout: the modeled interruption must not widen
+/// beyond the committed baseline (+10%).
+fn guard_hot_swap(write_baseline: bool) -> bool {
+    let blackout_us = measure_hot_swap();
+    println!("perf_guard[hot_swap]: e14 counter-scale swap blackout: {blackout_us} µs");
+    let path = dosgi_testkit::workspace_root()
+        .join("results")
+        .join("perf_baseline_e14.json");
+
+    if write_baseline {
+        let body = format!(
+            "{{\n  \"scenario\": \"e14_hot_swap_blackout\",\n  \"blackout_us\": {blackout_us}\n}}\n"
+        );
+        std::fs::create_dir_all(path.parent().expect("results dir has a parent"))
+            .expect("create results dir");
+        std::fs::write(&path, body).expect("write baseline");
+        println!(
+            "perf_guard[hot_swap]: baseline rewritten at {}",
+            path.display()
+        );
+        return true;
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "perf_guard[hot_swap]: no baseline at {} ({e})",
+                path.display()
+            );
+            eprintln!("perf_guard: generate one with PERF_GUARD_WRITE_BASELINE=1");
+            return false;
+        }
+    };
+    let json = Json::parse(&text).expect("baseline JSON parses");
+    let base = json
+        .get("blackout_us")
+        .and_then(Json::as_u64)
+        .expect("baseline has blackout_us");
+    let limit = (base as f64 * (1.0 + TOLERANCE)).ceil() as u64;
+    let ok = blackout_us <= limit;
+    let status = if ok { "ok" } else { "REGRESSION" };
+    println!(
+        "perf_guard[hot_swap]: blackout_us: {blackout_us} vs baseline {base} (limit {limit}) {status}"
+    );
+    if !ok {
+        eprintln!(
+            "perf_guard[hot_swap]: swap blackout widened >{:.0}% vs {}",
+            TOLERANCE * 100.0,
+            path.display()
+        );
+        eprintln!("perf_guard: if intentional, regenerate with PERF_GUARD_WRITE_BASELINE=1");
+    }
+    ok
+}
+
 /// The deterministic E15 admission round: one backend at 2000/s with a
 /// 64-deep queue under 2× open-loop load for 10 simulated seconds.
 /// Returns (offered, completed, shed) — exact, replayable counts.
@@ -268,10 +373,16 @@ fn main() {
     if !guard_admission(write_baseline) {
         failed = true;
     }
+    if !guard_hot_swap(write_baseline) {
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
     if !write_baseline {
-        println!("perf_guard: within tolerance on every backend and the admission hot path");
+        println!(
+            "perf_guard: within tolerance on every backend, the admission hot \
+             path and the hot-swap blackout"
+        );
     }
 }

@@ -17,7 +17,17 @@
 //!   whose Lamport open does not follow the `release/<name>` close (the
 //!   single-activation invariant, causally stated);
 //! * **redirect before adopt** — a `redirect/*` span attached to an
-//!   `adopt/*` parent but not causally after it.
+//!   `adopt/*` parent but not causally after it;
+//! * **upgrade-adopt before handoff** — in an `upgrade/`-rooted trace, a
+//!   `u_adopt/<bundle>` span starting before the old revision's
+//!   `u_quiesce/<bundle>` or `u_persist/<bundle>` finished: the new
+//!   revision must only adopt state that is quiesced *and* durable;
+//! * **serve during quiesce** — a `serve/<bundle>` span on the upgrading
+//!   node overlapping its `u_quiesce/<bundle>` window: the whole point of
+//!   the quiesce is that the old revision has stopped serving;
+//! * **un-drain before adopt** — an `undrain/*` span not causally after
+//!   every `u_adopt/*` close in its trace: traffic must not be steered
+//!   back onto a node whose swap has not finished.
 //!
 //! Ring overflow (`dropped > 0` in the file metadata) makes missing
 //! spans indistinguishable from causal bugs, so the structural checks are
@@ -192,6 +202,70 @@ fn causal_violations(events: &[TraceEvent], complete: bool) -> Vec<String> {
                         "trace {trace_id}: `{}` adopted at {}us before release \
                          finished at {}us",
                         adopt.name, adopt.start_us, rel.end_us
+                    ));
+                }
+            }
+        }
+        // Hot-swap ordering (E14). Rule 1: the new revision adopts only
+        // after the old revision's quiesce AND final persist have closed —
+        // an earlier adopt would read state still being written.
+        for adopt in evs.iter().filter(|e| e.name.starts_with("u_adopt/")) {
+            let instance = adopt.name.strip_prefix("u_adopt/").unwrap_or_default();
+            for phase in ["u_quiesce/", "u_persist/"] {
+                for prev in evs
+                    .iter()
+                    .filter(|e| !e.open && e.name.strip_prefix(phase) == Some(instance))
+                {
+                    if adopt.lamport_start <= prev.lamport_end {
+                        violations.push(format!(
+                            "trace {trace_id}: `{}` before `{}` finished \
+                             (lamport {} <= {})",
+                            adopt.name, prev.name, adopt.lamport_start, prev.lamport_end
+                        ));
+                    }
+                    if adopt.start_us < prev.end_us {
+                        violations.push(format!(
+                            "trace {trace_id}: `{}` adopted at {}us before `{}` \
+                             finished at {}us",
+                            adopt.name, adopt.start_us, prev.name, prev.end_us
+                        ));
+                    }
+                }
+            }
+        }
+        // Rule 2: nothing is served by the old revision inside its own
+        // quiesce window — a `serve/` span overlapping `u_quiesce/` on the
+        // same node means the quiesce did not actually stop traffic.
+        for q in evs
+            .iter()
+            .filter(|e| !e.open && e.name.starts_with("u_quiesce/"))
+        {
+            let instance = q.name.strip_prefix("u_quiesce/").unwrap_or_default();
+            for s in evs
+                .iter()
+                .filter(|e| e.node == q.node && e.name.strip_prefix("serve/") == Some(instance))
+            {
+                if s.start_us < q.end_us && s.end_us > q.start_us {
+                    violations.push(format!(
+                        "trace {trace_id}: `{}` served during `{}` \
+                         ({}..{}us inside {}..{}us)",
+                        s.name, q.name, s.start_us, s.end_us, q.start_us, q.end_us
+                    ));
+                }
+            }
+        }
+        // Rule 3: traffic is steered back (un-drained) only after every
+        // swap in the trace has adopted — causally, not just by clock.
+        for u in evs.iter().filter(|e| e.name.starts_with("undrain/")) {
+            for adopt in evs
+                .iter()
+                .filter(|e| !e.open && e.name.starts_with("u_adopt/"))
+            {
+                if u.lamport_start <= adopt.lamport_end {
+                    violations.push(format!(
+                        "trace {trace_id}: `{}` before `{}` adopted \
+                         (lamport {} <= {})",
+                        u.name, adopt.name, u.lamport_start, adopt.lamport_end
                     ));
                 }
             }
@@ -493,6 +567,110 @@ mod tests {
         q.lamport_start = 1; // claims to precede its parent's open
         let v = causal_violations(&evs, true);
         assert!(v.iter().any(|v| v.contains("child `quiesce/web`")), "{v:?}");
+    }
+
+    /// Drives a node recorder and a load-balancer recorder through one
+    /// clean hot-swap (drain → quiesce → persist → adopt → un-drain): the
+    /// reference "good" upgrade trace for the E14 rules.
+    fn upgrade_log() -> TraceLog {
+        let node = FlightRecorder::new(0);
+        let lb = FlightRecorder::new(9);
+        let root = node.root("upgrade/ctr-0", 1_000);
+        let ctx = node.context(root).unwrap();
+        let q = node.child(ctx, "u_quiesce/org.app.counter-wt", 1_000);
+        node.end(q, 1_050);
+        let p = node.child(ctx, "u_persist/org.app.counter-wt", 1_050);
+        node.end(p, 1_400);
+        let a = node.child(ctx, "u_adopt/org.app.counter-wt", 1_400);
+        node.end(a, 1_550);
+        node.end(root, 1_550);
+        let done = node.context(root).unwrap();
+        let u = lb.child(done, "undrain/n0", 2_000);
+        lb.end(u, 2_010);
+        TraceLog::merge([&node, &lb])
+    }
+
+    fn upgrade_events() -> Vec<TraceEvent> {
+        upgrade_log().events
+    }
+
+    #[test]
+    fn clean_upgrade_has_no_violations() {
+        assert_eq!(
+            causal_violations(&upgrade_events(), true),
+            Vec::<String>::new()
+        );
+    }
+
+    /// Rule 1: an adopt stamped before the final persist closed — the new
+    /// revision would be reading state still in flight.
+    #[test]
+    fn upgrade_adopt_before_persist_end_is_flagged() {
+        let mut evs = upgrade_events();
+        let persist = evs
+            .iter()
+            .find(|e| e.name == "u_persist/org.app.counter-wt")
+            .unwrap()
+            .clone();
+        let adopt = evs
+            .iter_mut()
+            .find(|e| e.name == "u_adopt/org.app.counter-wt")
+            .unwrap();
+        adopt.lamport_start = persist.lamport_end; // not strictly after
+        adopt.start_us = 1_200; // and wall-clock inside the persist window
+        let v = causal_violations(&evs, true);
+        assert!(
+            v.iter()
+                .any(|v| v.contains("before `u_persist/org.app.counter-wt` finished")),
+            "{v:?}"
+        );
+        assert!(
+            v.iter().any(|v| v.contains("adopted at 1200us before")),
+            "{v:?}"
+        );
+    }
+
+    /// Rule 2: a serve span overlapping the quiesce window on the same
+    /// node — the old revision kept serving while supposedly quiesced.
+    #[test]
+    fn serve_during_quiesce_is_flagged() {
+        let mut evs = upgrade_events();
+        let q = evs
+            .iter()
+            .find(|e| e.name == "u_quiesce/org.app.counter-wt")
+            .unwrap()
+            .clone();
+        let mut serve = q.clone();
+        serve.name = "serve/org.app.counter-wt".into();
+        serve.span_id = q.span_id + 7; // unique, same node encoding irrelevant
+        serve.parent_span = q.parent_span;
+        serve.lamport_start = q.lamport_start + 1;
+        serve.lamport_end = q.lamport_end + 1;
+        serve.start_us = 1_010;
+        serve.end_us = 1_040; // inside the 1_000..1_050 quiesce window
+        evs.push(serve);
+        let v = causal_violations(&evs, true);
+        assert!(v.iter().any(|v| v.contains("served during")), "{v:?}");
+    }
+
+    /// Rule 3: traffic steered back onto the node before the swap adopted
+    /// — the un-drain must be causally after every adopt in the trace.
+    #[test]
+    fn undrain_before_adopt_is_flagged() {
+        let mut evs = upgrade_events();
+        let adopt = evs
+            .iter()
+            .find(|e| e.name == "u_adopt/org.app.counter-wt")
+            .unwrap()
+            .clone();
+        let undrain = evs.iter_mut().find(|e| e.name == "undrain/n0").unwrap();
+        undrain.lamport_start = adopt.lamport_end; // tie: not strictly after
+        let v = causal_violations(&evs, true);
+        assert!(
+            v.iter()
+                .any(|v| v.contains("`undrain/n0` before `u_adopt/org.app.counter-wt` adopted")),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! seed; replaying it reproduces the failure exactly.
 
 use crate::registry::InstanceStatus;
+use crate::upgrade::{NoTrafficHooks, UpgradeWave, WaveReport};
 use crate::workloads;
 use crate::{ClusterConfig, CoreError, DosgiCluster};
 use dosgi_net::{LinkConfig, NodeId, Partition, SimDuration, SimTime};
@@ -51,6 +52,12 @@ pub struct ChaosOptions {
     /// byte-identical across this knob — the chaos sweep enforces that on
     /// every seed.
     pub backend: BackendKind,
+    /// When set, a rolling [`UpgradeWave`] (counter bundle → 1.1.0, every
+    /// node in order, [`NoTrafficHooks`]) starts this many µs after the
+    /// schedule's t0 — hot-swap under nemesis fire. The wave must never
+    /// break an invariant, and its outcome folds into the fingerprint so
+    /// the telemetry-passivity and backend-conformance sweeps cover it too.
+    pub upgrade_wave_at_us: Option<u64>,
 }
 
 impl Default for ChaosOptions {
@@ -60,6 +67,7 @@ impl Default for ChaosOptions {
             client_period: SimDuration::from_millis(100),
             settle: SimDuration::from_secs(6),
             backend: BackendKind::Map,
+            upgrade_wave_at_us: None,
         }
     }
 }
@@ -91,6 +99,9 @@ pub struct ChaosReport {
     /// uninstrumented). Export with [`TraceLog::to_chrome_json`]; analyze
     /// with the `trace_check` bin.
     pub trace: TraceLog,
+    /// The rolling upgrade wave's outcome, when
+    /// [`ChaosOptions::upgrade_wave_at_us`] armed one.
+    pub wave: Option<WaveReport>,
 }
 
 impl ChaosReport {
@@ -153,6 +164,11 @@ pub fn run_nemesis_with_telemetry(
     let mut floors: BTreeMap<String, i64> = names.iter().map(|n| (n.clone(), 0)).collect();
     let mut acked = 0u64;
     let mut next_call = t0;
+    let wave_start = opts
+        .upgrade_wave_at_us
+        .map(|at| t0 + SimDuration::from_micros(at));
+    let mut wave: Option<UpgradeWave> = None;
+    let mut wave_hooks = NoTrafficHooks;
 
     while cluster.now() < horizon {
         // Apply every nemesis op that has come due.
@@ -178,6 +194,27 @@ pub fn run_nemesis_with_telemetry(
         cluster.step();
         let now = cluster.now();
         let undisturbed = !partitioned && !lossy && now >= disturbed_until;
+
+        // The rolling upgrade wave, stepped in lock-step with the nemesis
+        // so it can be hit mid-flight by crashes, partitions and SAN faults.
+        if let Some(start) = wave_start {
+            if wave.is_none() && now >= start {
+                wave = Some(UpgradeWave::new(
+                    workloads::counter_manifest_at(
+                        workloads::COUNTER_WRITE_THROUGH,
+                        dosgi_osgi::Version::new(1, 1, 0),
+                    ),
+                    (0..plan.nodes.max(1)).collect(),
+                    SimDuration::from_secs(8),
+                ));
+            }
+        }
+        if let Some(w) = wave.as_mut() {
+            if !w.is_done() {
+                let events = cluster.take_events();
+                w.step(&mut cluster, &events, &mut wave_hooks);
+            }
+        }
 
         // Client workload: one increment per instance per period.
         if now >= next_call {
@@ -223,7 +260,22 @@ pub fn run_nemesis_with_telemetry(
     // snapshotted right after the run.
     cluster.record_telemetry_gauges();
 
+    let wave_report = wave.map(UpgradeWave::into_report);
+
     let mut h = mix_seed(plan.fingerprint(), acked);
+    if let Some(w) = &wave_report {
+        h = mix_seed(h, w.upgraded.len() as u64);
+        h = mix_seed(h, w.failed.len() as u64);
+        for s in &w.skipped_nodes {
+            h = mix_seed(h, *s as u64);
+        }
+        for u in &w.upgraded {
+            for b in u.instance.as_bytes() {
+                h = mix_seed(h, *b as u64);
+            }
+            h = mix_seed(h, u.node as u64);
+        }
+    }
     for name in &names {
         h = mix_seed(h, floors[name] as u64);
         h = mix_seed(h, san_count(&cluster, name).unwrap_or(-1) as u64);
@@ -252,6 +304,7 @@ pub fn run_nemesis_with_telemetry(
         violations,
         fingerprint: h,
         trace: cluster.trace_log(),
+        wave: wave_report,
     }
 }
 
@@ -598,6 +651,49 @@ mod tests {
             assert_eq!(report.acked, reference.acked);
             assert_eq!(report.floors, reference.floors);
             assert_eq!(report.violations, reference.violations);
+        }
+    }
+
+    /// Satellite: a rolling upgrade wave launched mid-schedule — so the
+    /// nemesis can kill the in-flight node, flake the SAN under the
+    /// state handoff, or partition the cluster around it — still holds
+    /// at-most-one-live-copy, durability and convergence; its outcome is
+    /// byte-identical with telemetry on or off and across every SAN
+    /// backend. (The full 10-seed sweep lives in the chaos bin.)
+    #[test]
+    fn upgrade_wave_mid_nemesis_holds_invariants_and_stays_passive() {
+        let plan = NemesisPlan::generate(7, 5, &NemesisConfig::default());
+        let opts = ChaosOptions {
+            upgrade_wave_at_us: Some(5_000_000),
+            ..ChaosOptions::default()
+        };
+        let on = Telemetry::new();
+        let a = run_nemesis_with_telemetry(&plan, &opts, on.clone());
+        assert!(a.ok(), "violations: {:?}", a.violations);
+        let w = a.wave.as_ref().expect("wave armed");
+        assert!(
+            !w.upgraded.is_empty(),
+            "the wave hot-swapped at least one instance under fire: {w:?}"
+        );
+        let b = run_nemesis_with_telemetry(&plan, &opts, Telemetry::disabled());
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "telemetry changed a wave run's observable behaviour"
+        );
+        assert_eq!(a.wave, b.wave);
+        for backend in BackendKind::all() {
+            let r = run_nemesis(
+                &plan,
+                &ChaosOptions {
+                    backend,
+                    ..opts.clone()
+                },
+            );
+            assert_eq!(
+                r.fingerprint, a.fingerprint,
+                "backend {backend} changed a wave run's observable behaviour"
+            );
+            assert_eq!(r.wave, a.wave);
         }
     }
 

@@ -306,6 +306,31 @@ impl DosgiCluster {
         slot.node.migrate_away(name, dest, &mut self.net)
     }
 
+    /// Requests an in-place hot upgrade of the bundle named by
+    /// `manifest.symbolic_name` inside instance `name`, on its current
+    /// home node. Completion surfaces as
+    /// [`NodeEvent::BundleUpgraded`](crate::NodeEvent::BundleUpgraded);
+    /// drive the cluster to observe it.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotPlaced`] when the instance has no live home.
+    pub fn upgrade_bundle(
+        &mut self,
+        name: &str,
+        manifest: dosgi_osgi::BundleManifest,
+    ) -> Result<(), CoreError> {
+        let home = self
+            .home_of(name)
+            .ok_or_else(|| CoreError::NotPlaced(name.to_owned()))?;
+        let now = self.net.now();
+        let slot = self
+            .slots
+            .get_mut(home)
+            .ok_or(CoreError::NodeUnavailable(NodeId(home as u32)))?;
+        slot.node.request_upgrade(name, manifest, now)
+    }
+
     /// Crashes node `idx` (crash-stop: volatile state lost, SAN intact).
     pub fn crash_node(&mut self, idx: usize) {
         if let Some(slot) = self.slots.get_mut(idx) {

@@ -1,6 +1,7 @@
 //! Node-level events: the observable record experiments assert on.
 
-use dosgi_net::{NodeId, SimTime};
+use dosgi_net::{NodeId, SimDuration, SimTime};
+use dosgi_osgi::Version;
 use dosgi_policy::PolicyDecision;
 
 /// Something noteworthy that happened on a node.
@@ -93,6 +94,50 @@ pub enum NodeEvent {
         /// Why.
         error: String,
     },
+    /// A bundle was hot-swapped in place: the old revision quiesced, its
+    /// state persisted to the SAN, and the new revision adopted it — while
+    /// the instance kept serving its other bundles.
+    BundleUpgraded {
+        /// When.
+        at: SimTime,
+        /// The instance hosting the bundle.
+        name: String,
+        /// The bundle's symbolic name.
+        bundle: String,
+        /// Version before the swap.
+        from: Version,
+        /// Version after the swap.
+        to: Version,
+        /// Modeled unavailability window of the swapped bundle (the rest of
+        /// the instance keeps serving throughout).
+        blackout: SimDuration,
+    },
+    /// A bundle upgrade hit a transient storage fault and was re-scheduled
+    /// with backoff (the open `upgrade/` span is kept across retries).
+    UpgradeRetried {
+        /// When.
+        at: SimTime,
+        /// The instance hosting the bundle.
+        name: String,
+        /// The bundle's symbolic name.
+        bundle: String,
+        /// Which attempt just failed (0-based).
+        attempt: u32,
+        /// Why.
+        error: String,
+    },
+    /// A bundle upgrade failed permanently (incompatible target or retry
+    /// budget exhausted); the old revision keeps running.
+    UpgradeFailed {
+        /// When.
+        at: SimTime,
+        /// The instance hosting the bundle.
+        name: String,
+        /// The bundle's symbolic name.
+        bundle: String,
+        /// Why.
+        error: String,
+    },
 }
 
 /// Why an instance arrived on a node.
@@ -118,7 +163,10 @@ impl NodeEvent {
             | NodeEvent::Hibernated { at }
             | NodeEvent::AdoptRetried { at, .. }
             | NodeEvent::Quarantined { at, .. }
-            | NodeEvent::AdoptFailed { at, .. } => *at,
+            | NodeEvent::AdoptFailed { at, .. }
+            | NodeEvent::BundleUpgraded { at, .. }
+            | NodeEvent::UpgradeRetried { at, .. }
+            | NodeEvent::UpgradeFailed { at, .. } => *at,
         }
     }
 }

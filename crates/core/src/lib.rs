@@ -63,6 +63,7 @@ mod placement;
 mod registry;
 pub mod replication;
 mod sla;
+pub mod upgrade;
 pub mod workloads;
 
 pub use chaos::{run_nemesis, ChaosOptions, ChaosReport};
@@ -74,3 +75,4 @@ pub use node::{DosgiNode, NodeState};
 pub use placement::PlacementPolicy;
 pub use registry::{ClusterRegistry, InstanceRecord, InstanceStatus};
 pub use sla::{SlaSpec, SlaTracker};
+pub use upgrade::{NoTrafficHooks, UpgradeWave, WaveHooks, WaveReport, WaveUpgrade};

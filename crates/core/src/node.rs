@@ -10,7 +10,7 @@ use crate::CoreError;
 use dosgi_gcs::{GcsConfig, GcsEvent, GcsWire, GroupNode, SimTransport};
 use dosgi_monitor::{MonitoringModule, NodeCapacity};
 use dosgi_net::{NodeId, SimDuration, SimNet, SimTime};
-use dosgi_osgi::Framework;
+use dosgi_osgi::{BundleManifest, Framework};
 use dosgi_policy::PolicyAction;
 use dosgi_san::{SharedStore, Value};
 use dosgi_telemetry::{FlightRecorder, SpanId, Telemetry, TraceContext, TraceRef};
@@ -62,6 +62,12 @@ pub struct NodeConfig {
     /// backoff; once the budget is exhausted the instance is quarantined
     /// (kept in the registry, re-claimed when the SAN heals).
     pub retry: dosgi_san::RetryPolicy,
+    /// Simulated cost of the in-place revision swap during a hot bundle
+    /// upgrade (manifest replacement + re-wire + activator start against
+    /// already-warm state). The per-upgrade blackout is this plus a SAN
+    /// write of the bundle's dirty state — µs-scale, as opposed to the
+    /// ms-scale whole-instance migration path.
+    pub upgrade_swap_cost: SimDuration,
 }
 
 impl Default for NodeConfig {
@@ -76,6 +82,7 @@ impl Default for NodeConfig {
             start_cost_per_bundle: SimDuration::from_millis(50),
             san: dosgi_san::SanProfile::fast(),
             retry: dosgi_san::RetryPolicy::persistence(),
+            upgrade_swap_cost: SimDuration::from_micros(150),
         }
     }
 }
@@ -100,6 +107,7 @@ pub struct DosgiNode {
     hello_sent: bool,
     store: SharedStore,
     pending_adoptions: Vec<PendingAdoption>,
+    pending_upgrades: Vec<PendingUpgrade>,
     events: Vec<NodeEvent>,
     telemetry: Telemetry,
     recorder: FlightRecorder,
@@ -107,6 +115,17 @@ pub struct DosgiNode {
     // node orders an `Adopted` claim, closed when the claim's delivery
     // resolves the race (either way) in the total order.
     claim_traces: BTreeMap<String, TraceRef>,
+    // Open `upgrade/<instance>` roots, keyed by `<instance>/<bundle>` —
+    // the same discipline as `claim_traces`: minted when the upgrade is
+    // requested, *reused* by every transient-fault retry, and closed
+    // exactly once when the upgrade completes or fails permanently. This
+    // is what keeps a SAN-faulted upgrade from leaking an open span per
+    // retry.
+    upgrade_traces: BTreeMap<String, TraceRef>,
+    // The (ended) root of the most recent completed upgrade per instance:
+    // the wave orchestrator joins its `undrain/` span to this trace so the
+    // un-drain is causally ordered after the new revision's adoption.
+    finished_upgrade_traces: BTreeMap<String, TraceRef>,
     // The open `shutdown`/`hibernate` root while draining; closed when the
     // drain completes.
     lifecycle_trace: TraceRef,
@@ -125,6 +144,23 @@ struct PendingAdoption {
     /// The causal `adopt/<name>` trace span, if the triggering control
     /// message carried a context; closed alongside `span`.
     trace: TraceRef,
+}
+
+/// A queued in-place bundle upgrade: the swap happens once `ready_at`
+/// passes (the modeled blackout), against the replicated-registry check
+/// that the instance is still homed here.
+#[derive(Debug, Clone)]
+struct PendingUpgrade {
+    ready_at: SimTime,
+    /// The hosting instance.
+    name: String,
+    /// The replacement revision's manifest.
+    manifest: BundleManifest,
+    /// How many swap attempts already failed transiently.
+    attempt: u32,
+    /// The `core.upgrade` telemetry span; closed when the swap lands or
+    /// fails permanently (kept across retries — see `upgrade_traces`).
+    span: SpanId,
 }
 
 impl std::fmt::Debug for DosgiNode {
@@ -182,10 +218,13 @@ impl DosgiNode {
             hello_sent: false,
             store,
             pending_adoptions: Vec::new(),
+            pending_upgrades: Vec::new(),
             events: Vec::new(),
             telemetry: Telemetry::disabled(),
             recorder: FlightRecorder::disabled(),
             claim_traces: BTreeMap::new(),
+            upgrade_traces: BTreeMap::new(),
+            finished_upgrade_traces: BTreeMap::new(),
             lifecycle_trace: TraceRef::NONE,
         }
     }
@@ -492,6 +531,7 @@ impl DosgiNode {
             );
         }
         self.process_pending_adoptions(net, now);
+        self.process_pending_upgrades(now);
         self.flush_deferred_persistence();
         self.sample(now);
         self.run_autonomic(net, now);
@@ -1102,6 +1142,198 @@ impl DosgiNode {
         }
     }
 
+    // ------------------------------------------------------------------
+    // In-place bundle upgrades (hot swap)
+    // ------------------------------------------------------------------
+
+    /// Requests an in-place upgrade of the bundle named by
+    /// `manifest.symbolic_name` inside local instance `name`. The swap is
+    /// queued for the modeled blackout window — a SAN write of the bundle's
+    /// persisted state plus [`NodeConfig::upgrade_swap_cost`] — and lands on
+    /// a subsequent tick; the instance keeps serving its *other* bundles
+    /// throughout, and the old revision keeps serving until the swap
+    /// instant. Completion is observable as [`NodeEvent::BundleUpgraded`].
+    ///
+    /// Re-requesting while an earlier attempt is still retrying reuses the
+    /// open `upgrade/<name>` trace root (the `claim_traces` discipline), so
+    /// SAN-faulted upgrades never leak spans.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotPlaced`] when the instance is not running here.
+    pub fn request_upgrade(
+        &mut self,
+        name: &str,
+        manifest: BundleManifest,
+        now: SimTime,
+    ) -> Result<(), CoreError> {
+        let Some(iid) = self.mgr.find_by_name(name) else {
+            return Err(CoreError::NotPlaced(name.to_owned()));
+        };
+        let sn = manifest.symbolic_name.to_string();
+        let now_us = now.as_micros();
+        let key = format!("{name}/{sn}");
+        if !self.upgrade_traces.contains_key(&key) {
+            let root = self.recorder.root(&format!("upgrade/{name}"), now_us);
+            self.upgrade_traces.insert(key, root);
+        }
+        let span = self
+            .telemetry
+            .span_enter(&format!("core.upgrade/{name}"), now_us);
+        let state_bytes = self
+            .mgr
+            .instance(iid)
+            .map(|i| {
+                let ns = i.descriptor.state_namespace();
+                self.store
+                    .namespace_bytes_prefixed(&format!("{ns}/data/{sn}"))
+            })
+            .unwrap_or(0);
+        let blackout = self.config.san.write_cost(state_bytes) + self.config.upgrade_swap_cost;
+        self.pending_upgrades.push(PendingUpgrade {
+            ready_at: now + blackout,
+            name: name.to_owned(),
+            manifest,
+            attempt: 0,
+            span,
+        });
+        Ok(())
+    }
+
+    /// Number of upgrades still queued (pending or in backoff).
+    pub fn pending_upgrades(&self) -> usize {
+        self.pending_upgrades.len()
+    }
+
+    /// The trace context of the most recent *completed* upgrade of an
+    /// instance hosted here — the hook the rolling-upgrade wave uses to
+    /// attach its `undrain/` span causally after the new revision's
+    /// adoption.
+    pub fn upgrade_trace_context(&self, name: &str) -> Option<TraceContext> {
+        self.finished_upgrade_traces
+            .get(name)
+            .and_then(|&root| self.recorder.context(root))
+    }
+
+    fn process_pending_upgrades(&mut self, now: SimTime) {
+        if self.pending_upgrades.is_empty() {
+            return;
+        }
+        let due: Vec<PendingUpgrade> = {
+            let (ready, rest): (Vec<_>, Vec<_>) = self
+                .pending_upgrades
+                .drain(..)
+                .partition(|p| p.ready_at <= now);
+            self.pending_upgrades = rest;
+            ready
+        };
+        for p in due {
+            let sn = p.manifest.symbolic_name.to_string();
+            let key = format!("{}/{}", p.name, sn);
+            let now_us = now.as_micros();
+            // The instance may have migrated away or crashed between the
+            // request and the swap instant: abandon the ticket cleanly.
+            let Some(iid) = self.mgr.find_by_name(&p.name) else {
+                self.telemetry.span_exit(p.span, now_us);
+                if let Some(root) = self.upgrade_traces.remove(&key) {
+                    self.recorder.end(root, now_us);
+                }
+                self.events.push(NodeEvent::UpgradeFailed {
+                    at: now,
+                    name: p.name,
+                    bundle: sn,
+                    error: "instance no longer placed here".to_owned(),
+                });
+                continue;
+            };
+            let state_bytes = self
+                .mgr
+                .instance(iid)
+                .map(|i| {
+                    let ns = i.descriptor.state_namespace();
+                    self.store
+                        .namespace_bytes_prefixed(&format!("{ns}/data/{sn}"))
+                })
+                .unwrap_or(0);
+            let persist_cost = self.config.san.write_cost(state_bytes);
+            let blackout = persist_cost + self.config.upgrade_swap_cost;
+            match self.mgr.upgrade_bundle(iid, &sn, p.manifest.clone()) {
+                Ok(report) => {
+                    // Stamp the handoff phases under the upgrade root with
+                    // their modeled µs offsets: quiesce is synchronous,
+                    // persist pays the SAN write, the new revision's adopt
+                    // starts strictly after persist ends (the ordering
+                    // trace_check's upgrade rules pin).
+                    let root = self.upgrade_traces.remove(&key).unwrap_or(TraceRef::NONE);
+                    let q = self
+                        .recorder
+                        .child_of(root, &format!("u_quiesce/{sn}"), now_us);
+                    self.recorder.end(q, now_us);
+                    let persist_end = now_us + persist_cost.as_micros();
+                    let pr = self
+                        .recorder
+                        .child_of(root, &format!("u_persist/{sn}"), now_us);
+                    self.recorder.end(pr, persist_end);
+                    let adopt_end = now_us + blackout.as_micros();
+                    let a = self
+                        .recorder
+                        .child_of(root, &format!("u_adopt/{sn}"), persist_end);
+                    self.recorder.end(a, adopt_end);
+                    self.recorder.end(root, adopt_end);
+                    self.finished_upgrade_traces.insert(p.name.clone(), root);
+                    self.telemetry.span_exit(p.span, now_us);
+                    self.telemetry.incr("core.upgrade.completed");
+                    self.telemetry
+                        .record("core.upgrade.blackout_us", blackout.as_micros());
+                    self.events.push(NodeEvent::BundleUpgraded {
+                        at: now,
+                        name: p.name,
+                        bundle: sn,
+                        from: report.from,
+                        to: report.to,
+                        blackout,
+                    });
+                }
+                Err(e) => {
+                    let failures = p.attempt + 1;
+                    if e.is_transient_store() && !self.config.retry.exhausted(failures) {
+                        // The framework rolled the old revision back; it
+                        // keeps serving during the backoff. The upgrade
+                        // root stays OPEN in `upgrade_traces` — the retry
+                        // continues the same trace instead of minting (and
+                        // leaking) a new root per attempt.
+                        let backoff = self.config.retry.backoff(p.attempt);
+                        self.telemetry.incr("core.upgrade.retries");
+                        self.events.push(NodeEvent::UpgradeRetried {
+                            at: now,
+                            name: p.name.clone(),
+                            bundle: sn,
+                            attempt: p.attempt,
+                            error: e.to_string(),
+                        });
+                        self.pending_upgrades.push(PendingUpgrade {
+                            ready_at: now + backoff,
+                            attempt: failures,
+                            ..p
+                        });
+                    } else {
+                        self.telemetry.span_exit(p.span, now_us);
+                        if let Some(root) = self.upgrade_traces.remove(&key) {
+                            self.recorder.end(root, now_us);
+                        }
+                        self.telemetry.incr("core.upgrade.failed");
+                        self.events.push(NodeEvent::UpgradeFailed {
+                            at: now,
+                            name: p.name,
+                            bundle: sn,
+                            error: e.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     /// A materialization attempt failed. Transient failures are retried
     /// with exponential backoff + jitter on the simulated clock until the
     /// [`RetryPolicy`](dosgi_san::RetryPolicy) is exhausted, at which point
@@ -1285,12 +1517,14 @@ impl DosgiNode {
             PolicyAction::WakeNode
             | PolicyAction::ScaleOut
             | PolicyAction::ShedClass { .. }
+            | PolicyAction::UpgradeWave
             | PolicyAction::Alert { .. }
             | PolicyAction::Custom { .. } => {
                 // Alerts are visible through the PolicyFired event; wake,
-                // scale-out, and class shedding are cluster-level
-                // operations (the driver reacts — e.g. E15 wakes a standby
-                // replica or flips the admission layer's shed switch).
+                // scale-out, class shedding and upgrade waves are
+                // cluster-level operations (the driver reacts — e.g. E15
+                // wakes a standby replica or flips the admission layer's
+                // shed switch, E14 starts a rolling `UpgradeWave`).
             }
         }
     }

@@ -100,7 +100,14 @@ fn web_manifest() -> BundleManifest {
 }
 
 fn counter_manifest(name: &str) -> BundleManifest {
-    ManifestBuilder::new(name, Version::new(1, 0, 0))
+    counter_manifest_at(name, Version::new(1, 0, 0))
+}
+
+/// A counter bundle manifest at an explicit `version`: the replacement
+/// revision a hot upgrade swaps in (same symbolic name, so the factory
+/// hands out the same activator and the data area carries over).
+pub fn counter_manifest_at(name: &str, version: Version) -> BundleManifest {
+    ManifestBuilder::new(name, version)
         .private_package("org.app.counter.impl", ["Counter"])
         .stateful(true)
         .build()

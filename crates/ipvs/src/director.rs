@@ -152,13 +152,15 @@ impl IpvsDirector {
             self.telemetry.incr("ipvs.rejected.no_service");
             return Err(RouteError::NoSuchService(address));
         }
-        // Affinity: reuse the existing backend if still alive.
+        // Affinity: reuse the existing backend if still eligible (a
+        // draining backend loses its affinity — the next request reroutes
+        // cleanly instead of landing on the replica mid-upgrade).
         if let Some(&node) = self.connections.get(&(client, address)) {
-            let still_alive = self.services[&address]
+            let still_eligible = self.services[&address]
                 .servers
                 .iter()
-                .any(|s| s.node == node && s.alive);
-            if still_alive {
+                .any(|s| s.node == node && s.eligible());
+            if still_eligible {
                 self.stats.routed += 1;
                 *self.per_server.entry((address, node)).or_insert(0) += 1;
                 self.telemetry.incr(&format!("ipvs.routed.n{}", node.0));
@@ -243,12 +245,12 @@ impl IpvsDirector {
             vs.admission.is_some(),
             "admit() requires a service built with_admission"
         );
-        // Join-shortest-queue over the live backends.
+        // Join-shortest-queue over the eligible backends.
         let Some(idx) = vs
             .servers
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.alive)
+            .filter(|(_, s)| s.eligible())
             .min_by_key(|(i, _)| (vs.queues[*i].depth(), *i))
             .map(|(i, _)| i)
         else {
@@ -413,6 +415,62 @@ impl IpvsDirector {
         for vs in self.services.values_mut() {
             vs.set_alive(node, true);
         }
+    }
+
+    /// Administratively drains `node` across all services ahead of an
+    /// in-place upgrade: new work steers around it but — unlike
+    /// [`node_down`](Self::node_down) — nothing queued is shed; the
+    /// backend's queue keeps draining to completion. Work-conserving and
+    /// loss-free by construction.
+    pub fn drain_node(&mut self, node: NodeId) {
+        for vs in self.services.values_mut() {
+            vs.set_draining(node, true);
+        }
+        self.telemetry.incr(&format!("ipvs.drained.n{}", node.0));
+    }
+
+    /// Lifts the administrative drain on `node`: the replica resumes
+    /// taking new work.
+    pub fn undrain_node(&mut self, node: NodeId) {
+        for vs in self.services.values_mut() {
+            vs.set_draining(node, false);
+        }
+        self.telemetry.incr(&format!("ipvs.undrained.n{}", node.0));
+    }
+
+    /// Whether any service currently holds `node` in the draining state.
+    pub fn is_draining(&self, node: NodeId) -> bool {
+        self.services
+            .values()
+            .any(|vs| vs.servers.iter().any(|s| s.node == node && s.draining))
+    }
+
+    /// [`drain_node`](Self::drain_node) with a causal trace: records a
+    /// `drain/n<node>` span, joined to `ctx` when given (the wave
+    /// orchestrator's per-node step) or as a fresh root.
+    pub fn drain_node_traced(&mut self, node: NodeId, ctx: Option<TraceContext>, now_us: u64) {
+        let name = format!("drain/n{}", node.0);
+        let span = match ctx {
+            Some(c) => self.recorder.child(c, &name, now_us),
+            None => self.recorder.root(&name, now_us),
+        };
+        self.drain_node(node);
+        self.recorder.end(span, now_us);
+    }
+
+    /// [`undrain_node`](Self::undrain_node) with a causal trace: the
+    /// `undrain/n<node>` span joins `ctx` when given — the wave passes the
+    /// completed upgrade's context here, which is exactly what makes
+    /// "un-drain happens after the new revision adopted" checkable by
+    /// `trace_check`.
+    pub fn undrain_node_traced(&mut self, node: NodeId, ctx: Option<TraceContext>, now_us: u64) {
+        let name = format!("undrain/n{}", node.0);
+        let span = match ctx {
+            Some(c) => self.recorder.child(c, &name, now_us),
+            None => self.recorder.root(&name, now_us),
+        };
+        self.undrain_node(node);
+        self.recorder.end(span, now_us);
     }
 
     /// Requests routed to `node` for `address` (the balance data for E8).
@@ -696,6 +754,69 @@ mod tests {
         let done = d.drain(addr(), 10_000);
         assert_eq!(done.len(), 2);
         assert!(done.iter().all(|c| c.node == NodeId(1)));
+    }
+
+    #[test]
+    fn drain_steers_new_work_without_shedding_queued() {
+        let mut d = admission_director(2, 8, 1000);
+        for c in 0..4u64 {
+            d.admit(c, addr(), RequestClass::Standard, 0).unwrap();
+        }
+        assert_eq!(d.queue_depths(addr()), vec![(NodeId(0), 2), (NodeId(1), 2)]);
+        d.drain_node(NodeId(0));
+        assert!(d.is_draining(NodeId(0)));
+        // New arrivals all land on the eligible backend…
+        for c in 4..8u64 {
+            assert_eq!(
+                d.admit(c, addr(), RequestClass::Standard, 0).unwrap(),
+                NodeId(1)
+            );
+        }
+        // …but — unlike node_down — nothing already queued was shed, and
+        // the draining backend still completes its accepted work.
+        assert_eq!(d.stats().shed, 0);
+        let done = d.drain(addr(), 10_000);
+        assert_eq!(done.len(), 8);
+        assert_eq!(done.iter().filter(|c| c.node == NodeId(0)).count(), 2);
+        d.undrain_node(NodeId(0));
+        assert!(!d.is_draining(NodeId(0)));
+        assert_eq!(
+            d.admit(9, addr(), RequestClass::Standard, 20_000).unwrap(),
+            NodeId(0),
+            "undrained backend (shortest queue) takes work again"
+        );
+    }
+
+    #[test]
+    fn drain_breaks_connection_affinity_cleanly() {
+        let mut d = director(2);
+        let first = d.connect(7, addr()).unwrap();
+        d.drain_node(first);
+        let rerouted = d.connect(7, addr()).unwrap();
+        assert_ne!(rerouted, first, "affinity does not pin to a draining node");
+        // A drain is not a failure: nothing was counted rejected.
+        assert_eq!(d.stats().rejected, 0);
+    }
+
+    #[test]
+    fn undrain_traced_joins_upgrade_context() {
+        let rec = FlightRecorder::new(9);
+        let mut d = director(2);
+        d.set_recorder(rec.clone());
+        let up = rec.root("upgrade/web", 100);
+        let ctx = rec.context(up).unwrap();
+        rec.end(up, 400);
+        d.drain_node_traced(NodeId(0), None, 50);
+        d.undrain_node_traced(NodeId(0), Some(ctx), 500);
+        let events = rec.events();
+        let drain = events.iter().find(|e| e.name == "drain/n0").unwrap();
+        assert_eq!(drain.parent_span, 0, "unprompted drain starts a root");
+        let undrain = events.iter().find(|e| e.name == "undrain/n0").unwrap();
+        assert_eq!(undrain.trace_id, ctx.trace_id, "joins the upgrade trace");
+        assert!(
+            undrain.lamport_start > ctx.lamport,
+            "undrain is causally after the upgrade"
+        );
     }
 
     #[test]

@@ -18,20 +18,20 @@ pub enum Scheduler {
 }
 
 impl Scheduler {
-    /// Picks a live server index for a request from `source` (a client
-    /// identity used only by [`Scheduler::SourceHash`]). Returns `None`
-    /// when no live server exists. Mutates cursor/credit state on the
-    /// service.
+    /// Picks an eligible (live, not draining) server index for a request
+    /// from `source` (a client identity used only by
+    /// [`Scheduler::SourceHash`]). Returns `None` when no eligible server
+    /// exists. Mutates cursor/credit state on the service.
     pub fn pick(self, vs: &mut VirtualService, source: u64) -> Option<usize> {
         let n = vs.servers.len();
-        if n == 0 || vs.alive_count() == 0 {
+        if n == 0 || vs.eligible_count() == 0 {
             return None;
         }
         match self {
             Scheduler::RoundRobin => {
                 for step in 0..n {
                     let idx = (vs.rr_cursor + step) % n;
-                    if vs.servers[idx].alive {
+                    if vs.servers[idx].eligible() {
                         vs.rr_cursor = (idx + 1) % n;
                         return Some(idx);
                     }
@@ -43,7 +43,7 @@ impl Scheduler {
                 for _ in 0..2 {
                     for step in 0..n {
                         let idx = (vs.rr_cursor + step) % n;
-                        if vs.servers[idx].alive && vs.wrr_credit[idx] > 0 {
+                        if vs.servers[idx].eligible() && vs.wrr_credit[idx] > 0 {
                             vs.wrr_credit[idx] -= 1;
                             // Cursor advances only when credit is spent, so
                             // a heavy server receives its burst.
@@ -63,7 +63,7 @@ impl Scheduler {
                 .servers
                 .iter()
                 .enumerate()
-                .filter(|(_, s)| s.alive)
+                .filter(|(_, s)| s.eligible())
                 .min_by_key(|(i, s)| (s.active_connections, *i))
                 .map(|(i, _)| i),
             Scheduler::SourceHash => {
@@ -75,7 +75,7 @@ impl Scheduler {
                 }
                 for probe in 0..n as u64 {
                     let idx = ((h.wrapping_add(probe)) % n as u64) as usize;
-                    if vs.servers[idx].alive {
+                    if vs.servers[idx].eligible() {
                         return Some(idx);
                     }
                 }

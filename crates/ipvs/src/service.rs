@@ -13,6 +13,10 @@ pub struct RealServer {
     pub weight: u32,
     /// Health: down servers are skipped.
     pub alive: bool,
+    /// Administratively drained (rolling upgrade): the server takes no new
+    /// work but — unlike a dead server — its queued requests still
+    /// complete. Orthogonal to `alive`.
+    pub draining: bool,
     /// Currently tracked connections (used by least-connections).
     pub active_connections: u32,
 }
@@ -24,8 +28,14 @@ impl RealServer {
             node,
             weight: 1,
             alive: true,
+            draining: false,
             active_connections: 0,
         }
+    }
+
+    /// Whether the scheduler may send *new* work here.
+    pub fn eligible(&self) -> bool {
+        self.alive && !self.draining
     }
 
     /// Sets the weight (builder style).
@@ -131,9 +141,28 @@ impl VirtualService {
         }
     }
 
+    /// Marks the replica on `node` as (not) draining. A draining replica
+    /// receives no new requests but keeps its queue — the work-conserving
+    /// half of a rolling upgrade (contrast [`set_alive`](Self::set_alive)
+    /// plus queue flush, the crash reaction).
+    pub fn set_draining(&mut self, node: NodeId, draining: bool) -> bool {
+        match self.servers.iter_mut().find(|s| s.node == node) {
+            Some(s) => {
+                s.draining = draining;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Live replica count.
     pub fn alive_count(&self) -> usize {
         self.servers.iter().filter(|s| s.alive).count()
+    }
+
+    /// Replicas eligible for new work (alive and not draining).
+    pub fn eligible_count(&self) -> usize {
+        self.servers.iter().filter(|s| s.eligible()).count()
     }
 
     /// Queue depth of the replica on `node` (0 when admission is off or

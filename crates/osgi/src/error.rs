@@ -1,6 +1,6 @@
 //! Framework error types.
 
-use crate::{BundleId, BundleState, PackageName, ServiceId};
+use crate::{BundleId, BundleState, PackageName, ServiceId, Version};
 use dosgi_san::StoreError;
 use std::fmt;
 
@@ -41,6 +41,19 @@ pub enum BundleError {
     },
     /// A manifest failed validation.
     InvalidManifest(String),
+    /// An in-place upgrade was rejected before touching the running
+    /// bundle: the target revision cannot adopt the persisted state the
+    /// current revision owns (different symbolic name, or a different
+    /// major version than the one that wrote the state). Never
+    /// transient — retrying the same target cannot succeed.
+    IncompatibleUpgrade {
+        /// The bundle whose upgrade was rejected.
+        bundle: BundleId,
+        /// The version owning the persisted state.
+        state: Version,
+        /// The rejected target version.
+        target: Version,
+    },
     /// Persistent state could not be read back.
     CorruptState(String),
     /// The SAN rejected a persistence operation (usually transient — see
@@ -95,6 +108,14 @@ impl fmt::Display for BundleError {
                 write!(f, "activator of bundle {bundle} failed: {message}")
             }
             BundleError::InvalidManifest(msg) => write!(f, "invalid manifest: {msg}"),
+            BundleError::IncompatibleUpgrade {
+                bundle,
+                state,
+                target,
+            } => write!(
+                f,
+                "bundle {bundle}: version {target} cannot adopt state written by {state}"
+            ),
             BundleError::CorruptState(msg) => write!(f, "corrupt persistent state: {msg}"),
             BundleError::Store(e) => write!(f, "storage error: {e}"),
         }

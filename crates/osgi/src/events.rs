@@ -21,6 +21,9 @@ pub enum BundleEventKind {
     Stopped,
     /// The bundle's manifest was replaced at run-time.
     Updated,
+    /// The bundle was hot-swapped in place: the old revision quiesced,
+    /// its persisted state handed off, and the new revision adopted it.
+    Upgraded,
     /// The bundle was uninstalled.
     Uninstalled,
 }

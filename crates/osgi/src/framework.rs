@@ -7,7 +7,8 @@ use crate::persist;
 use crate::{
     Activator, ActivatorFactory, BundleContext, BundleError, BundleEvent, BundleEventKind,
     BundleId, BundleManifest, BundleState, ClassRef, FrameworkEvent, LoadError, PropValue, Service,
-    ServiceError, ServiceEvent, ServiceId, ServiceRegistry, SymbolName, UsageLedger, Wiring,
+    ServiceError, ServiceEvent, ServiceId, ServiceRegistry, SymbolName, UsageLedger, Version,
+    Wiring,
 };
 use dosgi_san::{SharedStore, StoreError, Value};
 use dosgi_telemetry::Telemetry;
@@ -47,6 +48,10 @@ pub struct Bundle {
     /// Whether the bundle is persistently started (survives reboots and
     /// start-level sweeps; the OSGi "autostart" setting).
     pub autostart: bool,
+    /// The revision that last owned the bundle's persisted data area.
+    /// Normally equals `manifest.version`; an in-place upgrade checks the
+    /// target against it before adopting the state.
+    pub state_version: Version,
     pub(crate) activator: Option<Box<dyn Activator>>,
 }
 
@@ -60,6 +65,19 @@ impl fmt::Debug for Bundle {
             .field("autostart", &self.autostart)
             .finish_non_exhaustive()
     }
+}
+
+/// The outcome of an in-place [`Framework::upgrade_bundle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpgradeReport {
+    /// The bundle that was swapped.
+    pub bundle: BundleId,
+    /// The revision that quiesced and handed its state off.
+    pub from: Version,
+    /// The revision that adopted the state.
+    pub to: Version,
+    /// Entries in the handed-off data area at swap time.
+    pub handoff_keys: usize,
 }
 
 /// An OSGi-like framework instance.
@@ -183,6 +201,7 @@ impl Framework {
         }
         let id = BundleId(self.next_bundle);
         self.next_bundle += 1;
+        let state_version = manifest.version;
         self.bundles.insert(
             id,
             Bundle {
@@ -190,6 +209,7 @@ impl Framework {
                 manifest,
                 state: BundleState::Installed,
                 autostart: false,
+                state_version,
                 activator,
             },
         );
@@ -454,6 +474,9 @@ impl Framework {
             .expect("bundle_state checked id above");
         bundle.manifest = manifest;
         bundle.state = BundleState::Installed;
+        // `update` gives no state-handoff guarantee: the new revision owns
+        // whatever the data area holds, so the compatibility anchor moves.
+        bundle.state_version = bundle.manifest.version;
         if let Some(a) = activator {
             bundle.activator = Some(a);
         }
@@ -466,6 +489,101 @@ impl Framework {
         }
         let _ = self.persist();
         Ok(())
+    }
+
+    /// Hot-swaps a bundle in place with **state handoff** — the paper's
+    /// "change a module without disrupting the production environment"
+    /// promise taken all the way to stateful bundles:
+    ///
+    /// 1. **Compatibility gate** — the target manifest must keep the
+    ///    symbolic name and share the major version with the revision that
+    ///    owns the persisted state ([`Bundle::state_version`]). Rejected
+    ///    upgrades leave the old revision serving, untouched.
+    /// 2. **Quiesce** — the old revision is stopped transiently (its
+    ///    autostart flag survives, as across a framework reboot).
+    /// 3. **Persist** — dirty snapshot rows and data areas are flushed so
+    ///    the handed-off state is durable. A SAN failure here **rolls
+    ///    back**: the old revision restarts and the (usually transient)
+    ///    [`BundleError::Store`] tells the caller to retry.
+    /// 4. **Adopt** — the new revision is swapped in and started; because
+    ///    data areas are keyed by symbolic name, it reads exactly the
+    ///    state the old revision quiesced with. The instance's *other*
+    ///    bundles keep serving throughout.
+    ///
+    /// Downgrades ride the same path — any target within the state's major
+    /// version may adopt.
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::NotFound`], [`BundleError::IncompatibleUpgrade`]
+    /// (never transient), [`BundleError::Store`] from the persist phase
+    /// (old revision restored), or a start error from the adopt phase
+    /// (the bundle is then degraded — autostart set but not `ACTIVE` —
+    /// and a retried upgrade with the same target is idempotent).
+    pub fn upgrade_bundle(
+        &mut self,
+        id: BundleId,
+        manifest: BundleManifest,
+        activator: Option<Box<dyn Activator>>,
+    ) -> Result<UpgradeReport, BundleError> {
+        let (sn, from, state_version, state) = {
+            let b = self.bundles.get(&id).ok_or(BundleError::NotFound(id))?;
+            (
+                b.manifest.symbolic_name.clone(),
+                b.manifest.version,
+                b.state_version,
+                b.state,
+            )
+        };
+        if manifest.symbolic_name != sn || manifest.version.major != state_version.major {
+            return Err(BundleError::IncompatibleUpgrade {
+                bundle: id,
+                state: state_version,
+                target: manifest.version,
+            });
+        }
+        let was_active = state == BundleState::Active;
+        if was_active {
+            self.stop_transient(id)?;
+        }
+        if let Err(e) = self.flush_persist() {
+            // Roll back: the old revision resumes serving; the caller
+            // retries the whole upgrade once the SAN recovers.
+            if was_active {
+                let _ = self.start(id);
+            }
+            return Err(BundleError::Store(e));
+        }
+        let handoff_keys = self
+            .data_areas
+            .get(sn.as_str())
+            .map(BTreeMap::len)
+            .unwrap_or(0);
+        let bundle = self
+            .bundles
+            .get_mut(&id)
+            .expect("bundle presence checked above");
+        bundle.manifest = manifest;
+        bundle.state = BundleState::Installed;
+        let to = bundle.manifest.version;
+        bundle.state_version = to;
+        if let Some(a) = activator {
+            bundle.activator = Some(a);
+        }
+        self.wirings.remove(&id);
+        self.event(id, BundleEventKind::Upgraded);
+        self.mark_bundle_dirty(id);
+        self.refresh();
+        if was_active {
+            self.start(id)?;
+        }
+        let _ = self.persist();
+        Ok(UpgradeReport {
+            bundle: id,
+            from,
+            to,
+            handoff_keys,
+        })
     }
 
     /// Recomputes all wirings from scratch. Active bundles whose imports can
@@ -1108,6 +1226,7 @@ impl Framework {
                     manifest: record.manifest.clone(),
                     state: BundleState::Installed,
                     autostart: record.autostart,
+                    state_version: record.state_version,
                     activator,
                 },
             );
@@ -1157,6 +1276,7 @@ impl Framework {
             BundleEventKind::Started => "osgi.lifecycle.started",
             BundleEventKind::Stopped => "osgi.lifecycle.stopped",
             BundleEventKind::Updated => "osgi.lifecycle.updated",
+            BundleEventKind::Upgraded => "osgi.lifecycle.upgraded",
             BundleEventKind::Uninstalled => "osgi.lifecycle.uninstalled",
         };
         self.telemetry.incr(label);
@@ -1338,6 +1458,135 @@ mod tests {
         assert!(kinds.contains(&BundleEventKind::Updated));
         // Service re-registered by the restarted activator.
         assert!(fw.best_service("org.test.log.Logger").is_some());
+    }
+
+    #[test]
+    fn upgrade_hands_state_to_new_revision() {
+        let store = SharedStore::new();
+        let mut fw = Framework::new("u");
+        fw.attach_store(store.clone(), "u").unwrap();
+        let m1 = ManifestBuilder::new("org.test.ctr", Version::new(1, 0, 0))
+            .build()
+            .unwrap();
+        let id = fw.install(m1, None).unwrap();
+        fw.start(id).unwrap();
+        fw.bundle_store_put(id, "n", Value::Int(41)).unwrap();
+        let m2 = ManifestBuilder::new("org.test.ctr", Version::new(1, 2, 0))
+            .build()
+            .unwrap();
+        // The new activator proves adoption: it reads the handed-off state
+        // and fails the start if the handoff lost it.
+        let report = fw
+            .upgrade_bundle(
+                id,
+                m2,
+                Some(Box::new(FnActivator::on_start(|ctx| {
+                    match ctx.store_get("n").map_err(|e| e.to_string())? {
+                        Some(Value::Int(n)) => ctx
+                            .store_put("n", Value::Int(n + 1))
+                            .map_err(|e| e.to_string()),
+                        other => Err(format!("state not handed off: {other:?}")),
+                    }
+                }))),
+            )
+            .unwrap();
+        assert_eq!(report.from, Version::new(1, 0, 0));
+        assert_eq!(report.to, Version::new(1, 2, 0));
+        assert_eq!(report.handoff_keys, 1);
+        assert!(fw.bundle_state(id).unwrap().is_active());
+        assert_eq!(fw.bundle(id).unwrap().state_version, Version::new(1, 2, 0));
+        assert_eq!(fw.bundle_store_get(id, "n").unwrap(), Some(Value::Int(42)));
+        let kinds: Vec<BundleEventKind> = fw.take_bundle_events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&BundleEventKind::Upgraded));
+        // The swap is durable: a restore comes back at the new revision
+        // with the same compatibility anchor.
+        let factory = ActivatorFactory::new();
+        let fw2 = Framework::restore(FrameworkConfig::new("u"), store, "u", &factory).unwrap();
+        let id2 = fw2.find_bundle("org.test.ctr").unwrap();
+        assert_eq!(
+            fw2.bundle(id2).unwrap().manifest.version,
+            Version::new(1, 2, 0)
+        );
+        assert_eq!(
+            fw2.bundle(id2).unwrap().state_version,
+            Version::new(1, 2, 0)
+        );
+    }
+
+    #[test]
+    fn upgrade_rejects_incompatible_targets_untouched() {
+        let mut fw = Framework::new("u");
+        let id = fw
+            .install(
+                ManifestBuilder::new("a.b", Version::new(1, 4, 0))
+                    .build()
+                    .unwrap(),
+                None,
+            )
+            .unwrap();
+        fw.start(id).unwrap();
+        let major = ManifestBuilder::new("a.b", Version::new(2, 0, 0))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            fw.upgrade_bundle(id, major, None),
+            Err(BundleError::IncompatibleUpgrade { state, target, .. })
+                if state == Version::new(1, 4, 0) && target == Version::new(2, 0, 0)
+        ));
+        let renamed = ManifestBuilder::new("a.c", Version::new(1, 5, 0))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            fw.upgrade_bundle(id, renamed, None),
+            Err(BundleError::IncompatibleUpgrade { .. })
+        ));
+        // The old revision never stopped serving.
+        assert!(fw.bundle_state(id).unwrap().is_active());
+        assert_eq!(
+            fw.bundle(id).unwrap().manifest.version,
+            Version::new(1, 4, 0)
+        );
+        // A downgrade within the major is a legal handoff.
+        let downgrade = ManifestBuilder::new("a.b", Version::new(1, 2, 0))
+            .build()
+            .unwrap();
+        let report = fw.upgrade_bundle(id, downgrade, None).unwrap();
+        assert_eq!(report.to, Version::new(1, 2, 0));
+        assert!(fw.bundle_state(id).unwrap().is_active());
+    }
+
+    #[test]
+    fn upgrade_rolls_back_on_store_failure() {
+        use dosgi_san::FaultPlan;
+        let store = SharedStore::new();
+        let mut fw = Framework::new("u");
+        fw.attach_store(store.clone(), "u").unwrap();
+        let id = fw
+            .install(
+                ManifestBuilder::new("a.b", Version::new(1, 0, 0))
+                    .build()
+                    .unwrap(),
+                None,
+            )
+            .unwrap();
+        fw.start(id).unwrap();
+        store.set_fault_plan(FaultPlan::flaky(1.0, 7));
+        let v2 = ManifestBuilder::new("a.b", Version::new(1, 1, 0))
+            .build()
+            .unwrap();
+        let err = fw.upgrade_bundle(id, v2.clone(), None).unwrap_err();
+        assert!(matches!(err, BundleError::Store(_)));
+        // Rolled back: the old revision is serving again.
+        assert!(fw.bundle_state(id).unwrap().is_active());
+        assert_eq!(
+            fw.bundle(id).unwrap().manifest.version,
+            Version::new(1, 0, 0)
+        );
+        // Heal and retry: the same upgrade now lands.
+        store.faults().clear();
+        let report = fw.upgrade_bundle(id, v2, None).unwrap();
+        assert_eq!(report.to, Version::new(1, 1, 0));
+        assert!(fw.bundle_state(id).unwrap().is_active());
     }
 
     #[test]
@@ -1819,6 +2068,7 @@ mod tests {
                             manifest: r.manifest,
                             state: r.state,
                             autostart: r.autostart,
+                            state_version: r.state_version,
                             activator: None,
                         })
                         .collect();

@@ -69,7 +69,7 @@ pub use activator::{Activator, ActivatorFactory, BundleContext, FnActivator};
 pub use error::{BundleError, ServiceError};
 pub use events::{BundleEvent, BundleEventKind, FrameworkEvent, ServiceEvent, ServiceEventKind};
 pub use filter::{Filter, FilterError};
-pub use framework::{Bundle, Framework, FrameworkConfig};
+pub use framework::{Bundle, Framework, FrameworkConfig, UpgradeReport};
 pub use ids::{BundleId, PackageName, ServiceId, SymbolName, SymbolicName, Version, VersionRange};
 pub use ledger::{UsageLedger, UsageSnapshot};
 pub use lifecycle::BundleState;

@@ -24,7 +24,7 @@
 //! the rows must produce a byte-identical snapshot value.
 
 use crate::framework::Bundle;
-use crate::{BundleId, BundleManifest, BundleState};
+use crate::{BundleId, BundleManifest, BundleState, Version};
 use dosgi_san::Value;
 
 /// Key of the header row (`next_bundle` + `start_level`).
@@ -59,6 +59,11 @@ pub struct BundleRecord {
     pub state: BundleState,
     /// Whether the bundle is persistently started.
     pub autostart: bool,
+    /// The bundle version that last owned the persisted data area — the
+    /// compatibility anchor an in-place upgrade checks before adopting
+    /// the state. Rows written before this field existed default to the
+    /// manifest version.
+    pub state_version: Version,
 }
 
 /// A parsed framework snapshot.
@@ -87,6 +92,7 @@ pub fn bundle_row(b: &Bundle) -> Value {
         .with("manifest", b.manifest.to_value())
         .with("state", b.state.as_str())
         .with("autostart", b.autostart)
+        .with("state_version", b.state_version.to_string())
 }
 
 /// Serializes framework state into a single monolithic [`Value`].
@@ -113,11 +119,18 @@ fn parse_bundle_record(b: &Value) -> Result<BundleRecord, String> {
             .and_then(Value::as_str)
             .ok_or("bundle record missing state")?,
     )?;
+    let state_version = match b.get("state_version").and_then(Value::as_str) {
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("bad state_version {s:?} in bundle record"))?,
+        None => manifest.version,
+    };
     Ok(BundleRecord {
         id: BundleId(id),
         manifest,
         state,
         autostart: b.get("autostart").and_then(Value::as_bool).unwrap_or(false),
+        state_version,
     })
 }
 
@@ -291,6 +304,47 @@ mod tests {
         let s = assemble(&rows).unwrap().unwrap();
         let ids: Vec<u64> = s.bundles.iter().map(|b| b.id.0).collect();
         assert_eq!(ids, vec![2, 10]);
+    }
+
+    #[test]
+    fn state_version_round_trips_and_defaults() {
+        let mut fw = Framework::new("t");
+        let m = ManifestBuilder::new("a.b", Version::new(1, 3, 0))
+            .build()
+            .unwrap();
+        let id = fw.install(m, None).unwrap();
+        let row = bundle_row(fw.bundles().next().unwrap());
+        let rows = vec![
+            (HEADER_KEY.to_owned(), header_row(2, 1)),
+            (bundle_key(id), row),
+        ];
+        let s = assemble(&rows).unwrap().unwrap();
+        assert_eq!(s.bundles[0].state_version, Version::new(1, 3, 0));
+        // Rows written before the field existed default to the manifest
+        // version — old SAN state restores unchanged.
+        let manifest = ManifestBuilder::new("a.b", Version::new(2, 0, 0))
+            .build()
+            .unwrap();
+        let legacy_record = Value::map()
+            .with("id", 1u64)
+            .with("manifest", manifest.to_value())
+            .with("state", "INSTALLED")
+            .with("autostart", false);
+        let rows = vec![
+            (HEADER_KEY.to_owned(), header_row(2, 1)),
+            ("bundle/1".to_owned(), legacy_record.clone()),
+        ];
+        let s = assemble(&rows).unwrap().unwrap();
+        assert_eq!(s.bundles[0].state_version, Version::new(2, 0, 0));
+        // A malformed version is corrupt state, not silently defaulted.
+        let rows = vec![
+            (HEADER_KEY.to_owned(), header_row(2, 1)),
+            (
+                "bundle/1".to_owned(),
+                legacy_record.with("state_version", "not-a-version"),
+            ),
+        ];
+        assert!(assemble(&rows).is_err());
     }
 
     #[test]

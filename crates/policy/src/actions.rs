@@ -51,6 +51,10 @@ pub enum PolicyAction {
         /// The class to shed (e.g. `"background"`).
         class: String,
     },
+    /// Begin a cluster-wide rolling bundle upgrade: one node at a time is
+    /// drained at the director, its bundles hot-swapped in place, then
+    /// un-drained — a cluster-level action the driver orchestrates (E14).
+    UpgradeWave,
     /// An action the engine does not recognize; forwarded verbatim so
     /// embeddings can extend the vocabulary.
     Custom {
@@ -78,6 +82,7 @@ impl fmt::Display for PolicyAction {
             PolicyAction::WakeNode => write!(f, "wake()"),
             PolicyAction::ScaleOut => write!(f, "scale_out()"),
             PolicyAction::ShedClass { class } => write!(f, "shed_class({class})"),
+            PolicyAction::UpgradeWave => write!(f, "upgrade_wave()"),
             PolicyAction::Custom {
                 name,
                 subject,
@@ -132,6 +137,7 @@ mod tests {
         assert_eq!(d.to_string(), "[hot/acme] migrate(acme)");
         assert_eq!(PolicyAction::HibernateNode.to_string(), "hibernate()");
         assert_eq!(PolicyAction::ScaleOut.to_string(), "scale_out()");
+        assert_eq!(PolicyAction::UpgradeWave.to_string(), "upgrade_wave()");
         assert_eq!(
             PolicyAction::ShedClass {
                 class: "background".into()

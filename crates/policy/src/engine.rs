@@ -187,6 +187,7 @@ fn resolve_action(
         "hibernate" => Ok(PolicyAction::HibernateNode),
         "wake" => Ok(PolicyAction::WakeNode),
         "scale_out" => Ok(PolicyAction::ScaleOut),
+        "upgrade_wave" => Ok(PolicyAction::UpgradeWave),
         "shed_class" => {
             let class = match call.args.first() {
                 Some(e) => match eval(e, source, subject).map_err(|e| e.to_string())? {
@@ -347,6 +348,16 @@ mod tests {
                 class: "background".into()
             }
         );
+        assert!(e.last_errors().is_empty(), "{:?}", e.last_errors());
+    }
+
+    #[test]
+    fn upgrade_wave_resolves_first_class() {
+        let mut e = PolicyEngine::compile("rule roll { when true then upgrade_wave() }").unwrap();
+        let bb = Blackboard::new();
+        let d = e.evaluate(&bb, &[]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].action, PolicyAction::UpgradeWave);
         assert!(e.last_errors().is_empty(), "{:?}", e.last_errors());
     }
 

@@ -8,7 +8,7 @@ use crate::{
 use dosgi_net::{IpAddr, Port, SimDuration};
 use dosgi_osgi::{
     ActivatorFactory, BundleId, ClassRef, Framework, FrameworkConfig, LoadError, LoadPath,
-    ServiceError, SymbolName, UsageSnapshot,
+    ServiceError, SymbolName, UpgradeReport, UsageSnapshot,
 };
 use dosgi_san::{SharedStore, Value};
 use dosgi_telemetry::Telemetry;
@@ -363,6 +363,39 @@ impl InstanceManager {
         inst.framework
             .update_with_activator(bid, manifest, activator)?;
         Ok(())
+    }
+
+    /// Hot-swaps a bundle of a running instance **with state handoff**
+    /// ([`Framework::upgrade_bundle`]): the old revision quiesces, its
+    /// persisted state flushes to the SAN, the new revision adopts it —
+    /// all while the instance's other bundles keep serving. Unlike
+    /// [`update_bundle`](Self::update_bundle), an incompatible target
+    /// (different symbolic name or major version than the state's owner)
+    /// is rejected before the old revision stops.
+    ///
+    /// # Errors
+    ///
+    /// [`VosgiError::NoSuchInstance`], [`VosgiError::UnknownBundle`] when
+    /// the instance has no bundle of that name, or a wrapped framework
+    /// error — [`is_transient_store`](VosgiError::is_transient_store)
+    /// distinguishes a retryable SAN fault during the persist phase (the
+    /// old revision was rolled back and still serves) from a permanent
+    /// rejection.
+    pub fn upgrade_bundle(
+        &mut self,
+        id: InstanceId,
+        symbolic_name: &str,
+        manifest: dosgi_osgi::BundleManifest,
+    ) -> Result<UpgradeReport, VosgiError> {
+        let activator = self.factory.create(&manifest);
+        let inst = self.instance_mut_impl(id)?;
+        let bid = inst
+            .framework
+            .find_bundle(symbolic_name)
+            .ok_or_else(|| VosgiError::UnknownBundle(symbolic_name.to_owned()))?;
+        let report = inst.framework.upgrade_bundle(bid, manifest, activator)?;
+        self.telemetry.incr("vosgi.lifecycle.upgraded");
+        Ok(report)
     }
 
     // ------------------------------------------------------------------
@@ -1005,6 +1038,92 @@ mod tests {
             ),
             Err(VosgiError::UnknownBundle(_))
         ));
+    }
+
+    #[test]
+    fn bundles_upgrade_in_place_with_state_handoff() {
+        let store = SharedStore::new();
+        let mut mgr = manager();
+        mgr.attach_store(store.clone());
+        let id = mgr.create_instance(descriptor("a")).unwrap();
+        mgr.start_instance(id).unwrap();
+        // Seed data-area state the upgraded revision must inherit.
+        {
+            let fw = mgr.instance_mut(id).unwrap().framework_mut();
+            let bid = fw.find_bundle("org.cust.app").unwrap();
+            fw.bundle_store_put(bid, "n", Value::Int(7)).unwrap();
+        }
+        let v11 = ManifestBuilder::new("org.cust.app", Version::new(1, 1, 0))
+            .private_package("org.cust.app.impl", ["Main"])
+            .build()
+            .unwrap();
+        let report = mgr.upgrade_bundle(id, "org.cust.app", v11).unwrap();
+        assert_eq!(report.from, Version::new(1, 0, 0));
+        assert_eq!(report.to, Version::new(1, 1, 0));
+        // The new revision serves and sees the handed-off state.
+        assert_eq!(
+            mgr.call_service(id, "org.cust.app.Api", "ping", &Value::Null)
+                .unwrap(),
+            Value::from("pong")
+        );
+        {
+            let fw = mgr.instance_mut(id).unwrap().framework_mut();
+            let bid = fw.find_bundle("org.cust.app").unwrap();
+            assert_eq!(fw.bundle_store_get(bid, "n").unwrap(), Some(Value::Int(7)));
+        }
+        // An incompatible major is rejected without disturbing service.
+        let v2 = ManifestBuilder::new("org.cust.app", Version::new(2, 0, 0))
+            .private_package("org.cust.app.impl", ["Main"])
+            .build()
+            .unwrap();
+        let err = mgr.upgrade_bundle(id, "org.cust.app", v2).unwrap_err();
+        assert!(!err.is_transient_store(), "rejection is permanent: {err}");
+        assert_eq!(
+            mgr.call_service(id, "org.cust.app.Api", "ping", &Value::Null)
+                .unwrap(),
+            Value::from("pong")
+        );
+        assert!(matches!(
+            mgr.upgrade_bundle(
+                id,
+                "ghost",
+                ManifestBuilder::new("g", Version::ZERO).build().unwrap()
+            ),
+            Err(VosgiError::UnknownBundle(_))
+        ));
+    }
+
+    #[test]
+    fn upgrade_during_san_fault_is_transient_and_retryable() {
+        use dosgi_san::FaultPlan;
+        let store = SharedStore::new();
+        let mut mgr = manager();
+        mgr.attach_store(store.clone());
+        let id = mgr.create_instance(descriptor("a")).unwrap();
+        mgr.start_instance(id).unwrap();
+        {
+            let fw = mgr.instance_mut(id).unwrap().framework_mut();
+            let bid = fw.find_bundle("org.cust.app").unwrap();
+            fw.bundle_store_put(bid, "n", Value::Int(3)).unwrap();
+        }
+        store.set_fault_plan(FaultPlan::flaky(1.0, 11));
+        let v11 = ManifestBuilder::new("org.cust.app", Version::new(1, 1, 0))
+            .private_package("org.cust.app.impl", ["Main"])
+            .build()
+            .unwrap();
+        let err = mgr
+            .upgrade_bundle(id, "org.cust.app", v11.clone())
+            .unwrap_err();
+        assert!(err.is_transient_store(), "SAN fault is retryable: {err}");
+        // Rolled back: v1 still serves.
+        assert_eq!(
+            mgr.call_service(id, "org.cust.app.Api", "ping", &Value::Null)
+                .unwrap(),
+            Value::from("pong")
+        );
+        store.faults().clear();
+        let report = mgr.upgrade_bundle(id, "org.cust.app", v11).unwrap();
+        assert_eq!(report.to, Version::new(1, 1, 0));
     }
 
     #[test]

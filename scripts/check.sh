@@ -28,13 +28,17 @@ scripts/chaos.sh
 echo "==> e15 overload knee (admission on/off + policy reaction + flash-crowd chaos)"
 cargo run --offline --release -p dosgi-bench --bin e15_overload
 
+echo "==> e14 hot swap (blackout vs migration + rolling wave under traffic)"
+cargo run --offline --release -p dosgi-bench --bin e14_hot_swap
+
 echo "==> telemetry snapshot schema check"
 cargo run --offline --release -p dosgi-bench --bin telemetry_check
 
 echo "==> causal trace check (zero happens-before violations over the sweep)"
 cargo run --offline --release -p dosgi-bench --bin trace_check
+cargo run --offline --release -p dosgi-bench --bin trace_check results/trace_e14_hot_swap.json
 
-echo "==> perf guard (e5 migration SAN bytes + e15 admission hot path vs committed baselines)"
+echo "==> perf guard (e5 migration SAN bytes + e15 admission hot path + e14 blackout vs committed baselines)"
 cargo run --offline --release -p dosgi-bench --bin perf_guard
 
 echo "==> verifying zero registry dependencies"

@@ -290,6 +290,213 @@ fn regression_crash_deploy_restart_crash_seed_0() {
 }
 
 // ---------------------------------------------------------------------
+// Hot-swap property: upgrade/downgrade/crash interleavings vs an oracle.
+// ---------------------------------------------------------------------
+
+mod hot_swap {
+    use super::*;
+    use dosgi_osgi::{
+        Activator, ActivatorFactory, BundleError, BundleManifest, FnActivator, Framework,
+        FrameworkConfig, ManifestBuilder, Version,
+    };
+    use dosgi_san::{BackendKind, SharedStore};
+
+    const SN: &str = "org.prop.hotswap";
+    const NS: &str = "prop";
+
+    /// One step of a randomized upgrade battle.
+    #[derive(Debug, Clone)]
+    pub enum SwapOp {
+        /// Increment the counter 1–3 times through the bundle data area.
+        Incr(u8),
+        /// Hot-swap to the next minor revision (compatible; must adopt).
+        Upgrade,
+        /// Hot-swap back to the previous minor (also compatible).
+        Downgrade,
+        /// Attempt a major bump — incompatible with the state's anchor; the
+        /// framework must refuse and leave bundle + state untouched.
+        BadUpgrade,
+        /// Crash the framework (drop it) and restore it from the SAN.
+        Crash,
+    }
+
+    pub fn swap_op_gen() -> Gen<SwapOp> {
+        prop::one_of(vec![
+            prop::u8s(1, 3).map(SwapOp::Incr),
+            Gen::new(|_| SwapOp::Upgrade),
+            Gen::new(|_| SwapOp::Downgrade),
+            Gen::new(|_| SwapOp::BadUpgrade),
+            Gen::new(|_| SwapOp::Crash),
+        ])
+    }
+
+    fn manifest(v: Version) -> BundleManifest {
+        ManifestBuilder::new(SN, v).build().unwrap()
+    }
+
+    /// The counter's activator: adopts a handed-off count, or initializes
+    /// one. A missing-after-handoff or corrupt count fails the start — so a
+    /// lossy handoff cannot hide behind a permissive activator.
+    fn counter_activator() -> Box<dyn Activator> {
+        Box::new(FnActivator::on_start(|ctx| {
+            match ctx.store_get("count").map_err(|e| e.to_string())? {
+                Some(Value::Int(_)) => Ok(()),
+                None => ctx
+                    .store_put("count", Value::Int(0))
+                    .map_err(|e| e.to_string()),
+                other => Err(format!("corrupt counter state: {other:?}")),
+            }
+        }))
+    }
+
+    fn factory() -> ActivatorFactory {
+        let mut f = ActivatorFactory::new();
+        f.register(SN, |_| counter_activator());
+        f
+    }
+
+    /// Runs one interleaving on `backend` and checks the oracle after
+    /// every step: the bundle's live count — and, at the end, the durable
+    /// SAN row — must be byte-identical to a storeless i64 counter that
+    /// never went through any handoff.
+    pub fn check(ops: &[SwapOp], backend: BackendKind) -> PropResult {
+        let store = SharedStore::with_kind(backend);
+        let fac = factory();
+        let mut fw = Framework::new(NS);
+        fw.attach_store(store.clone(), NS)
+            .expect("attach fault-free store");
+        let mut id = fw
+            .install(manifest(Version::new(1, 0, 0)), Some(counter_activator()))
+            .expect("install");
+        fw.start(id).expect("start");
+        let mut oracle: i64 = 0;
+        let mut minor: u32 = 0;
+
+        for op in ops {
+            match *op {
+                SwapOp::Incr(n) => {
+                    for _ in 0..n {
+                        let cur = fw
+                            .bundle_store_get(id, "count")
+                            .expect("read count")
+                            .and_then(|v| v.as_int())
+                            .unwrap_or(0);
+                        fw.bundle_store_put(id, "count", Value::Int(cur + 1))
+                            .expect("write count");
+                        oracle += 1;
+                    }
+                }
+                SwapOp::Upgrade => {
+                    minor += 1;
+                    let to = Version::new(1, minor, 0);
+                    let report = fw
+                        .upgrade_bundle(id, manifest(to), Some(counter_activator()))
+                        .expect("compatible upgrade");
+                    prop_verify_eq!(report.to, to, "upgrade landed on the wrong revision");
+                }
+                SwapOp::Downgrade => {
+                    if minor == 0 {
+                        continue; // nothing earlier to go back to
+                    }
+                    minor -= 1;
+                    let to = Version::new(1, minor, 0);
+                    let report = fw
+                        .upgrade_bundle(id, manifest(to), Some(counter_activator()))
+                        .expect("compatible downgrade");
+                    prop_verify_eq!(report.to, to, "downgrade landed on the wrong revision");
+                }
+                SwapOp::BadUpgrade => {
+                    let before = fw.bundle(id).expect("installed").manifest.version;
+                    let r = fw.upgrade_bundle(
+                        id,
+                        manifest(Version::new(2, 0, 0)),
+                        Some(counter_activator()),
+                    );
+                    prop_verify!(
+                        matches!(r, Err(BundleError::IncompatibleUpgrade { .. })),
+                        "major bump must be refused, got {r:?}"
+                    );
+                    prop_verify_eq!(
+                        fw.bundle(id).expect("installed").manifest.version,
+                        before,
+                        "refused upgrade must leave the bundle untouched"
+                    );
+                    prop_verify!(
+                        fw.bundle_state(id).expect("installed").is_active(),
+                        "refused upgrade must leave the bundle running"
+                    );
+                }
+                SwapOp::Crash => {
+                    fw.persist().expect("pre-crash persist");
+                    drop(fw);
+                    fw = Framework::restore(FrameworkConfig::new(NS), store.clone(), NS, &fac)
+                        .expect("restore after crash");
+                    id = match fw.find_bundle(SN) {
+                        Some(id) => id,
+                        None => return Err("bundle lost across the crash".to_owned()),
+                    };
+                    prop_verify!(
+                        fw.bundle_state(id).expect("restored").is_active(),
+                        "restored bundle must restart"
+                    );
+                }
+            }
+            // The live count tracks the oracle byte-for-byte after every op.
+            let got = fw
+                .bundle_store_get(id, "count")
+                .expect("read count")
+                .expect("count always present once started");
+            prop_verify_eq!(
+                got.encode(),
+                Value::Int(oracle).encode(),
+                "after {op:?}: live state diverged from the oracle \
+                 (got {got}, oracle {oracle})"
+            );
+        }
+        // And so does the durable SAN row the next adopter would read.
+        let durable = store
+            .peek(&format!("{NS}/data/{SN}"), "count")
+            .ok_or_else(|| "durable count row missing at the end".to_owned())?;
+        prop_verify_eq!(
+            durable.encode(),
+            Value::Int(oracle).encode(),
+            "durable state diverged from the oracle (got {durable}, oracle {oracle})"
+        );
+        Ok(())
+    }
+}
+
+/// Satellite battery: 200 random upgrade/downgrade/crash interleavings.
+/// After every handoff the bundle's state is byte-identical to a storeless
+/// oracle, on every registered SAN backend. `DOSGI_PROP_SEED=0x<seed>`
+/// replays a failing case exactly.
+#[test]
+fn hot_swap_handoff_matches_storeless_oracle() {
+    use dosgi_san::BackendKind;
+
+    let cfg = prop::Config {
+        cases: 200,
+        ..prop::Config::default()
+    };
+    let op = hot_swap::swap_op_gen();
+    let case = Gen::new(move |rng| {
+        let n = rng.usize_in(1, 12);
+        (0..n).map(|_| op.sample(rng)).collect::<Vec<_>>()
+    });
+    prop::check_with(
+        &cfg,
+        "hot_swap_handoff_matches_storeless_oracle",
+        &case,
+        |ops| {
+            for backend in BackendKind::all() {
+                hot_swap::check(ops, backend)?;
+            }
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
 // Nemesis property: single-fault schedules preserve the core invariants.
 // ---------------------------------------------------------------------
 
