@@ -115,6 +115,80 @@ fn bench_registry_lookup(suite: &mut Suite) {
     suite.bench("registry/lookup_filtered", || {
         black_box(registry.references(black_box(Some("svc.Iface7")), Some(black_box(&filter))));
     });
+
+    // PR 9: the sharded copy-on-write reader, measured while a writer
+    // thread churns rankings on the same registry. A lookup never takes
+    // the writers' lock — it clones one shard's `Arc` snapshot — so the
+    // cost under churn stays within timeslicing noise of the idle cost.
+    let reader = registry.reader();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let churn_stop = stop.clone();
+    let writer = std::thread::spawn(move || {
+        let ids: Vec<dosgi_osgi::ServiceId> = (0..200).map(dosgi_osgi::ServiceId).collect();
+        let mut flip = 0i64;
+        while !churn_stop.load(std::sync::atomic::Ordering::Relaxed) {
+            flip += 1;
+            for id in &ids {
+                let mut props: BTreeMap<String, PropValue> = BTreeMap::new();
+                props.insert("service.ranking".into(), PropValue::Int(flip % 7));
+                let _ = registry.set_properties(*id, props);
+            }
+            std::thread::yield_now();
+        }
+        registry
+    });
+    suite.bench("registry/lookup_concurrent", || {
+        black_box(reader.lookup(black_box("svc.Iface7")));
+    });
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    drop(writer.join().expect("churn writer survives"));
+}
+
+fn bench_wire(suite: &mut Suite) {
+    use dosgi_gcs::{decode_frame_borrowed, encode_frame_into_at, GcsWire, WIRE_VERSION};
+    use dosgi_net::NodeId;
+    use std::cell::RefCell;
+
+    // A state-sync-shaped ordered frame: the migration hot path's wire
+    // shape (4 KiB payload inside a total-order announcement).
+    let msg = GcsWire::Ordered {
+        gseq: 917,
+        origin: NodeId(2),
+        origin_inc: 3,
+        origin_seq: 88,
+        payload: Value::map()
+            .with("instance", "bench/ctr")
+            .with("state", Value::Bytes(vec![0xA5u8; 4096])),
+        trace: None,
+    };
+    // PR 9: encode straight into a reused scratch buffer — zero
+    // allocations in steady state (no output Vec, no payload Vec).
+    let scratch = RefCell::new(Vec::with_capacity(8192));
+    suite.bench("gcs/wire_encode_reuse", || {
+        let mut out = scratch.borrow_mut();
+        out.clear();
+        encode_frame_into_at(
+            WIRE_VERSION,
+            &mut out,
+            black_box(&msg),
+            |v: &Value, o: &mut Vec<u8>| v.encode_into(o),
+        );
+        black_box(out.len());
+    });
+    let bytes = {
+        let mut out = Vec::new();
+        encode_frame_into_at(
+            WIRE_VERSION,
+            &mut out,
+            &msg,
+            |v: &Value, o: &mut Vec<u8>| v.encode_into(o),
+        );
+        out
+    };
+    // PR 9: zero-copy decode — the payload stays borrowed from the frame.
+    suite.bench("gcs/wire_decode_borrowed", || {
+        black_box(decode_frame_borrowed(black_box(&bytes)));
+    });
 }
 
 fn bench_san_backends(suite: &mut Suite) {
@@ -243,6 +317,7 @@ fn main() {
     bench_codec(&mut suite);
     bench_resolver(&mut suite);
     bench_registry_lookup(&mut suite);
+    bench_wire(&mut suite);
     bench_san_backends(&mut suite);
     bench_policy(&mut suite);
     bench_admission(&mut suite);

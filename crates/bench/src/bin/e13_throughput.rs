@@ -1,0 +1,148 @@
+//! **E13 — real-clock throughput: ops/sec vs thread count.**
+//!
+//! PR 9's tentpole: the node logic now runs behind the [`Fabric`] trait on
+//! either the deterministic simulator or the real-clock runtime
+//! (`RealCluster`: one OS thread per node, `mpsc` links, monotonic clock).
+//! This experiment measures what the simulator *cannot*: wall-clock
+//! throughput of genuinely concurrent nodes.
+//!
+//! Three sections:
+//!
+//! 1. **Scaling sweep** — aggregate ops/sec at 1/2/4/8 threads on the two
+//!    hot paths: full migration rounds on real-clock clusters, and paced
+//!    open-loop admission decisions. Both are latency-bound (protocol
+//!    rounds, inter-arrival pacing), so concurrency overlaps the waiting:
+//!    the 4-thread cell must reach ≥2.5× the 1-thread cell even on a
+//!    single-core host.
+//! 2. **Sim-equivalent control** — the same admission op mix, one thread,
+//!    unpaced, timestamped from a virtual counter (simulator shape) vs the
+//!    real clock. The real-clock runtime abstraction must not tax the hot
+//!    path.
+//! 3. **Optimization wins** — before/after ns/op for the PR-9 hot-path
+//!    work: scratch-reuse wire encode, zero-copy wire decode, pre-sized
+//!    SAN codec, sharded copy-on-write registry reads.
+//!
+//! Writes `results/e13_throughput.txt`. The CI guard
+//! (`perf_guard --bin`, see `results/perf_baseline_e13.json`) re-measures
+//! a reduced version of this sweep on every run.
+
+use dosgi_bench::e13;
+use dosgi_bench::print_table;
+use std::time::Duration;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Timed window per migration cell — long enough for dozens of rounds.
+const MIGRATION_WINDOW: Duration = Duration::from_millis(1500);
+/// Timed window per admission cell.
+const ADMISSION_WINDOW: Duration = Duration::from_millis(400);
+
+fn main() {
+    let mut lines: Vec<String> = Vec::new();
+    fn say(lines: &mut Vec<String>, s: String) {
+        println!("{s}");
+        lines.push(s);
+    }
+
+    say(
+        &mut lines,
+        "E13: real-clock throughput vs thread count".into(),
+    );
+    say(
+        &mut lines,
+        format!(
+            "host: {} core(s) visible; scaling below comes from latency overlap",
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        ),
+    );
+    say(&mut lines, String::new());
+
+    // ---- 1. scaling sweep --------------------------------------------
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut migration = Vec::new();
+    let mut admission = Vec::new();
+    for &t in &THREADS {
+        let mig = e13::migration_ops_per_sec(t, MIGRATION_WINDOW);
+        let adm = e13::admission_ops_per_sec(t, ADMISSION_WINDOW);
+        migration.push(mig);
+        admission.push(adm);
+        rows.push(vec![
+            t.to_string(),
+            format!("{mig:.1}"),
+            format!("{:.2}x", mig / migration[0]),
+            format!("{adm:.0}"),
+            format!("{:.2}x", adm / admission[0]),
+        ]);
+    }
+    print_table(
+        "ops/sec vs threads (real-clock backend)",
+        &["threads", "migration/s", "scale", "admission/s", "scale"],
+        &rows,
+    );
+    for r in &rows {
+        lines.push(r.join("\t"));
+    }
+
+    let mig_speedup = migration[2] / migration[0];
+    let adm_speedup = admission[2] / admission[0];
+    say(&mut lines, String::new());
+    say(
+        &mut lines,
+        format!(
+        "4-thread speedup: migration {mig_speedup:.2}x, admission {adm_speedup:.2}x (claim: >=2.5x)"
+    ),
+    );
+
+    // ---- 2. sim-equivalent single-thread control ---------------------
+    let sim = e13::admission_tight_ops_per_sec(false, Duration::from_millis(300));
+    let real = e13::admission_tight_ops_per_sec(true, Duration::from_millis(300));
+    say(&mut lines, String::new());
+    say(
+        &mut lines,
+        format!(
+        "single-thread admission, unpaced: sim-time {sim:.0} ops/s, real-clock {real:.0} ops/s \
+         (ratio {:.2}; the runtime abstraction must not tax the hot path)",
+        real / sim
+    ),
+    );
+
+    // ---- 3. per-optimization wins ------------------------------------
+    let wins = e13::optimization_wins();
+    let rows: Vec<Vec<String>> = wins
+        .iter()
+        .map(|w| {
+            vec![
+                w.name.to_string(),
+                format!("{:.0}", w.old_ns),
+                format!("{:.0}", w.new_ns),
+                format!("{:.2}x", w.speedup()),
+            ]
+        })
+        .collect();
+    say(&mut lines, String::new());
+    print_table(
+        "hot-path optimization wins (ns/op)",
+        &["optimization", "before", "after", "speedup"],
+        &rows,
+    );
+    for r in &rows {
+        lines.push(r.join("\t"));
+    }
+
+    // Report, then enforce the scaling claim so CI catches a runtime whose
+    // concurrency stopped overlapping.
+    let path = dosgi_testkit::workspace_root()
+        .join("results")
+        .join("e13_throughput.txt");
+    if let Err(e) = std::fs::write(&path, lines.join("\n") + "\n") {
+        eprintln!("e13: could not write {} ({e})", path.display());
+    } else {
+        println!("\nreport: {}", path.display());
+    }
+
+    assert!(
+        mig_speedup >= 2.5 && adm_speedup >= 2.5,
+        "real-clock backend must reach >=2.5x aggregate ops/sec at 4 threads \
+         (measured migration {mig_speedup:.2}x, admission {adm_speedup:.2}x)"
+    );
+    println!("e13: scaling claim holds");
+}

@@ -362,6 +362,98 @@ fn guard_admission(write_baseline: bool) -> bool {
     ok
 }
 
+/// The E13 real-clock throughput guard: a reduced version of the
+/// `e13_throughput` sweep. Wall-clock numbers are noisy, so the committed
+/// baseline stores **pre-derated floors** (half the ops/sec measured at
+/// baseline time); the usual ±10% tolerance then applies to those floors.
+/// Two ratio floors ride along: 4-thread migration speedup (the runtime's
+/// concurrency must keep overlapping latency) and the real-vs-sim
+/// single-thread admission ratio (the real-clock abstraction must not tax
+/// the hot path).
+fn guard_e13(write_baseline: bool) -> bool {
+    use std::time::Duration;
+
+    let mig1 = dosgi_bench::e13::migration_ops_per_sec(1, Duration::from_millis(800));
+    let mig4 = dosgi_bench::e13::migration_ops_per_sec(4, Duration::from_millis(800));
+    let sim = dosgi_bench::e13::admission_tight_ops_per_sec(false, Duration::from_millis(200));
+    let real = dosgi_bench::e13::admission_tight_ops_per_sec(true, Duration::from_millis(200));
+    let speedup = mig4 / mig1;
+    let ratio = real / sim;
+    println!(
+        "perf_guard[e13]: migration {mig1:.1} ops/s @1T, {mig4:.1} ops/s @4T \
+         (speedup {speedup:.2}x); tight admission real/sim ratio {ratio:.2}"
+    );
+    let path = dosgi_testkit::workspace_root()
+        .join("results")
+        .join("perf_baseline_e13.json");
+
+    if write_baseline {
+        let body = format!(
+            "{{\n  \"scenario\": \"e13_real_clock_throughput\",\n  \
+             \"migration_1t_floor\": {},\n  \"migration_4t_floor\": {},\n  \
+             \"speedup_4t_floor_x100\": 200,\n  \"tight_ratio_floor_x100\": 50\n}}\n",
+            (mig1 * 0.5) as u64,
+            (mig4 * 0.5) as u64,
+        );
+        std::fs::create_dir_all(path.parent().expect("results dir has a parent"))
+            .expect("create results dir");
+        std::fs::write(&path, body).expect("write baseline");
+        println!("perf_guard[e13]: baseline rewritten at {}", path.display());
+        return true;
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_guard[e13]: no baseline at {} ({e})", path.display());
+            eprintln!("perf_guard: generate one with PERF_GUARD_WRITE_BASELINE=1");
+            return false;
+        }
+    };
+    let json = Json::parse(&text).expect("baseline JSON parses");
+    let field = |name: &str| {
+        json.get(name)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("baseline has {name}"))
+    };
+
+    let mut ok = true;
+    for (label, now, floor) in [
+        ("migration_1t_ops", mig1, field("migration_1t_floor") as f64),
+        ("migration_4t_ops", mig4, field("migration_4t_floor") as f64),
+        (
+            "speedup_4t_x100",
+            speedup * 100.0,
+            field("speedup_4t_floor_x100") as f64,
+        ),
+        (
+            "tight_ratio_x100",
+            ratio * 100.0,
+            field("tight_ratio_floor_x100") as f64,
+        ),
+    ] {
+        let limit = floor * (1.0 - TOLERANCE);
+        let status = if now < limit {
+            ok = false;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "perf_guard[e13]: {label}: {now:.1} vs floor {floor:.1} (limit {limit:.1}) {status}"
+        );
+    }
+    if !ok {
+        eprintln!(
+            "perf_guard[e13]: real-clock throughput regressed below the derated \
+             floors in {}",
+            path.display()
+        );
+        eprintln!("perf_guard: if intentional, regenerate with PERF_GUARD_WRITE_BASELINE=1");
+    }
+    ok
+}
+
 fn main() {
     let write_baseline = std::env::var("PERF_GUARD_WRITE_BASELINE").is_ok();
     let mut failed = false;
@@ -376,13 +468,16 @@ fn main() {
     if !guard_hot_swap(write_baseline) {
         failed = true;
     }
+    if !guard_e13(write_baseline) {
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
     if !write_baseline {
         println!(
             "perf_guard: within tolerance on every backend, the admission hot \
-             path and the hot-swap blackout"
+             path, the hot-swap blackout and the e13 real-clock floors"
         );
     }
 }

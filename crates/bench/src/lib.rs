@@ -23,6 +23,9 @@
 //! the Criterion benches (`cargo bench -p dosgi-bench`) measure the
 //! corresponding wall-clock costs of the implementation itself.
 
+/// E13 wall-clock measurement harness (real-clock runtime throughput).
+pub mod e13;
+
 use dosgi_telemetry::Telemetry;
 use std::fmt::Display;
 

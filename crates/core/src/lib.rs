@@ -62,6 +62,7 @@ mod node;
 mod placement;
 mod registry;
 pub mod replication;
+pub mod rt;
 mod sla;
 pub mod upgrade;
 pub mod workloads;
@@ -71,8 +72,9 @@ pub use cluster::{ClusterConfig, DosgiCluster};
 pub use error::CoreError;
 pub use events::{AdoptReason, NodeEvent};
 pub use msg::AppPayload;
-pub use node::{DosgiNode, NodeState};
+pub use node::{DosgiNode, NodeConfig, NodeState};
 pub use placement::PlacementPolicy;
 pub use registry::{ClusterRegistry, InstanceRecord, InstanceStatus};
+pub use rt::RealCluster;
 pub use sla::{SlaSpec, SlaTracker};
 pub use upgrade::{NoTrafficHooks, UpgradeWave, WaveHooks, WaveReport, WaveUpgrade};

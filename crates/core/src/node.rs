@@ -7,9 +7,9 @@ use crate::placement::PlacementPolicy;
 use crate::registry::{ClusterRegistry, InstanceStatus};
 use crate::workloads;
 use crate::CoreError;
-use dosgi_gcs::{GcsConfig, GcsEvent, GcsWire, GroupNode, SimTransport};
+use dosgi_gcs::{FabricTransport, GcsConfig, GcsEvent, GcsWire, GroupNode};
 use dosgi_monitor::{MonitoringModule, NodeCapacity};
-use dosgi_net::{NodeId, SimDuration, SimNet, SimTime};
+use dosgi_net::{Fabric, NodeId, SimDuration, SimTime};
 use dosgi_osgi::{BundleManifest, Framework};
 use dosgi_policy::PolicyAction;
 use dosgi_san::{SharedStore, Value};
@@ -277,6 +277,14 @@ impl DosgiNode {
         &mut self.mgr
     }
 
+    /// A lock-sharded read handle onto the host framework's service
+    /// registry. The handle is `Send + Sync` and stays live after this node
+    /// is moved onto a worker thread, so concurrent `by_interface` lookups
+    /// never serialize behind the node itself.
+    pub fn registry_reader(&self) -> dosgi_osgi::RegistryReader {
+        self.mgr.host().registry().reader()
+    }
+
     /// The node's monitoring module.
     pub fn monitor(&self) -> &MonitoringModule {
         &self.monitor
@@ -297,6 +305,12 @@ impl DosgiNode {
     /// Drains accumulated node events.
     pub fn take_events(&mut self) -> Vec<NodeEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Number of accumulated (undrained) events. Long-running drivers use
+    /// this to bound the buffer when nobody is collecting.
+    pub fn events_len(&self) -> usize {
+        self.events.len()
     }
 
     /// True if `name` is an SLA-throttled instance.
@@ -345,7 +359,7 @@ impl DosgiNode {
     pub fn deploy(
         &mut self,
         descriptor: InstanceDescriptor,
-        net: &mut SimNet<Wire>,
+        net: &mut impl Fabric<Wire>,
         now: SimTime,
     ) -> Result<(), CoreError> {
         let name = descriptor.name.clone();
@@ -374,7 +388,7 @@ impl DosgiNode {
         &mut self,
         name: &str,
         to: NodeId,
-        net: &mut SimNet<Wire>,
+        net: &mut impl Fabric<Wire>,
     ) -> Result<(), CoreError> {
         self.migrate_away_traced(name, to, net, TraceRef::NONE)
     }
@@ -388,7 +402,7 @@ impl DosgiNode {
         &mut self,
         name: &str,
         to: NodeId,
-        net: &mut SimNet<Wire>,
+        net: &mut impl Fabric<Wire>,
         parent: TraceRef,
     ) -> Result<(), CoreError> {
         if to == self.id {
@@ -424,7 +438,7 @@ impl DosgiNode {
     /// # Errors
     ///
     /// [`CoreError::NotPlaced`] when the instance is not running here.
-    pub fn undeploy(&mut self, name: &str, net: &mut SimNet<Wire>) -> Result<(), CoreError> {
+    pub fn undeploy(&mut self, name: &str, net: &mut impl Fabric<Wire>) -> Result<(), CoreError> {
         let iid = self
             .mgr
             .find_by_name(name)
@@ -448,7 +462,7 @@ impl DosgiNode {
     /// Begins a graceful shutdown: announce draining, migrate every local
     /// instance away; once empty the node leaves the group and stops
     /// (§3.2's "normal expected shutdown" path).
-    pub fn begin_shutdown(&mut self, net: &mut SimNet<Wire>, now: SimTime) {
+    pub fn begin_shutdown(&mut self, net: &mut impl Fabric<Wire>, now: SimTime) {
         if self.state != NodeState::Running {
             return;
         }
@@ -461,7 +475,7 @@ impl DosgiNode {
         self.migrate_all_local(net, root);
     }
 
-    fn migrate_all_local(&mut self, net: &mut SimNet<Wire>, parent: TraceRef) {
+    fn migrate_all_local(&mut self, net: &mut impl Fabric<Wire>, parent: TraceRef) {
         let locals: Vec<String> = self
             .mgr
             .instances()
@@ -497,17 +511,17 @@ impl DosgiNode {
     /// Processes incoming messages, runs the failure detector, samples
     /// usage and evaluates policies. The cluster driver calls this at every
     /// simulation step.
-    pub fn tick(&mut self, net: &mut SimNet<Wire>, now: SimTime) {
+    pub fn tick(&mut self, net: &mut impl Fabric<Wire>, now: SimTime) {
         if matches!(self.state, NodeState::Hibernated | NodeState::Stopped) {
             return;
         }
         // Inbound messages → protocol engine.
         for env in net.drain(self.id) {
-            let mut t = SimTransport::new(net, self.id);
+            let mut t = FabricTransport::new(net, self.id);
             self.gcs.handle(&mut t, env.from, env.payload, now);
         }
         {
-            let mut t = SimTransport::new(net, self.id);
+            let mut t = FabricTransport::new(net, self.id);
             self.gcs.tick(&mut t, now);
         }
         // Protocol events → migration/failover logic.
@@ -558,7 +572,7 @@ impl DosgiNode {
     /// a record homed on a dead node with no further view change to react
     /// to. Claims stay race-free: they carry the observed dead home and
     /// the first one in the total order wins everywhere.
-    fn sweep_stranded(&mut self, net: &mut SimNet<Wire>, now: SimTime) {
+    fn sweep_stranded(&mut self, net: &mut impl Fabric<Wire>, now: SimTime) {
         if self.state != NodeState::Running {
             return;
         }
@@ -608,7 +622,7 @@ impl DosgiNode {
     /// (`prior_home: self` makes the claim valid on every replica) — the
     /// winning claim flips the record back to `Placed` and the normal
     /// adoption path re-materializes the instance from the SAN.
-    fn heal_quarantined(&mut self, net: &mut SimNet<Wire>) {
+    fn heal_quarantined(&mut self, net: &mut impl Fabric<Wire>) {
         if !self.store.is_available() {
             return;
         }
@@ -648,22 +662,27 @@ impl DosgiNode {
         self.recorder.context(span)
     }
 
-    fn order(&mut self, net: &mut SimNet<Wire>, payload: AppPayload) {
-        let mut t = SimTransport::new(net, self.id);
+    fn order(&mut self, net: &mut impl Fabric<Wire>, payload: AppPayload) {
+        let mut t = FabricTransport::new(net, self.id);
         self.gcs.order(&mut t, payload);
     }
 
     fn order_traced(
         &mut self,
-        net: &mut SimNet<Wire>,
+        net: &mut impl Fabric<Wire>,
         payload: AppPayload,
         ctx: Option<TraceContext>,
     ) {
-        let mut t = SimTransport::new(net, self.id);
+        let mut t = FabricTransport::new(net, self.id);
         self.gcs.order_traced(&mut t, payload, ctx);
     }
 
-    fn on_gcs_event(&mut self, event: GcsEvent<AppPayload>, net: &mut SimNet<Wire>, now: SimTime) {
+    fn on_gcs_event(
+        &mut self,
+        event: GcsEvent<AppPayload>,
+        net: &mut impl Fabric<Wire>,
+        now: SimTime,
+    ) {
         match event {
             GcsEvent::ViewChange { view, joined, left } => {
                 self.events.push(NodeEvent::ViewChanged {
@@ -725,7 +744,7 @@ impl DosgiNode {
     /// assignment from the same replicated registry and agreed view, then
     /// *claims* (via the total order) only the instances assigned to
     /// itself. The first claim per orphan wins on every node alike.
-    fn handle_failover(&mut self, left: &[NodeId], net: &mut SimNet<Wire>) {
+    fn handle_failover(&mut self, left: &[NodeId], net: &mut impl Fabric<Wire>) {
         // Claim both newly-orphaned records AND records still sitting in
         // Orphaned (an earlier claim may have been lost or overwritten):
         // the sweep retries until the registry converges.
@@ -773,7 +792,7 @@ impl DosgiNode {
         &mut self,
         payload: AppPayload,
         trace: Option<TraceContext>,
-        net: &mut SimNet<Wire>,
+        net: &mut impl Fabric<Wire>,
         now: SimTime,
     ) {
         self.telemetry.incr("core.registry.ops");
@@ -942,7 +961,7 @@ impl DosgiNode {
         &mut self,
         name: &str,
         to: NodeId,
-        net: &mut SimNet<Wire>,
+        net: &mut impl Fabric<Wire>,
         now: SimTime,
         ctx: Option<TraceContext>,
     ) {
@@ -1046,7 +1065,7 @@ impl DosgiNode {
         });
     }
 
-    fn process_pending_adoptions(&mut self, net: &mut SimNet<Wire>, now: SimTime) {
+    fn process_pending_adoptions(&mut self, net: &mut impl Fabric<Wire>, now: SimTime) {
         let due: Vec<PendingAdoption> = {
             let (ready, rest): (Vec<_>, Vec<_>) = self
                 .pending_adoptions
@@ -1346,7 +1365,7 @@ impl DosgiNode {
         p: PendingAdoption,
         error: String,
         transient: bool,
-        net: &mut SimNet<Wire>,
+        net: &mut impl Fabric<Wire>,
         now: SimTime,
     ) {
         if !transient {
@@ -1440,7 +1459,7 @@ impl DosgiNode {
         }
     }
 
-    fn run_autonomic(&mut self, net: &mut SimNet<Wire>, now: SimTime) {
+    fn run_autonomic(&mut self, net: &mut impl Fabric<Wire>, now: SimTime) {
         let Some(autonomic) = &mut self.autonomic else {
             return;
         };
@@ -1472,7 +1491,7 @@ impl DosgiNode {
         }
     }
 
-    fn execute(&mut self, action: PolicyAction, net: &mut SimNet<Wire>, now: SimTime) {
+    fn execute(&mut self, action: PolicyAction, net: &mut impl Fabric<Wire>, now: SimTime) {
         match action {
             PolicyAction::Migrate { subject } => {
                 let candidates = self.placement_candidates();
@@ -1529,8 +1548,8 @@ impl DosgiNode {
         }
     }
 
-    fn hibernate(&mut self, net: &mut SimNet<Wire>, now: SimTime) {
-        let mut t = SimTransport::new(net, self.id);
+    fn hibernate(&mut self, net: &mut impl Fabric<Wire>, now: SimTime) {
+        let mut t = FabricTransport::new(net, self.id);
         self.gcs.leave(&mut t);
         self.state = NodeState::Hibernated;
         self.recorder.end(self.lifecycle_trace, now.as_micros());
@@ -1538,12 +1557,12 @@ impl DosgiNode {
         self.events.push(NodeEvent::Hibernated { at: now });
     }
 
-    fn check_drained(&mut self, net: &mut SimNet<Wire>, now: SimTime) {
+    fn check_drained(&mut self, net: &mut impl Fabric<Wire>, now: SimTime) {
         // Leaving before our last control messages (Released!) are
         // sequenced would strand the instances we just handed off.
         let flushed = self.gcs.pending_orders() == 0;
         if self.state == NodeState::Draining && self.mgr.is_empty() && flushed {
-            let mut t = SimTransport::new(net, self.id);
+            let mut t = FabricTransport::new(net, self.id);
             self.gcs.leave(&mut t);
             self.state = NodeState::Stopped;
             self.recorder.end(self.lifecycle_trace, now.as_micros());

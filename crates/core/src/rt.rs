@@ -1,0 +1,401 @@
+//! # Real-clock cluster runtime
+//!
+//! [`DosgiCluster`](crate::DosgiCluster) drives every node from one loop
+//! against the deterministic [`SimNet`](dosgi_net::SimNet) — perfect for
+//! chaos sweeps and byte-stable trace fingerprints, useless for measuring
+//! how the hot paths behave under *actual* concurrency.
+//!
+//! [`RealCluster`] is the second backend behind the same node logic: each
+//! [`DosgiNode`] moves onto its own `std::thread`, owns a
+//! [`RealEndpoint`](dosgi_net::RealEndpoint) (lock-free `mpsc` links, a
+//! shared monotonic [`RealClock`](dosgi_net::RealClock)), and ticks the
+//! identical protocol code the simulator runs. Nothing in `DosgiNode` knows
+//! which backend it is on — the only coupling is the [`Fabric`] trait.
+//!
+//! ## Command plane
+//!
+//! Callers talk to worker threads through per-node command channels; each
+//! request carries its own reply channel. The worker loop is:
+//!
+//! 1. drain pending commands (deploy / migrate / call / probe / …),
+//! 2. `node.tick(&mut endpoint, endpoint.now())` — heartbeats, view
+//!    changes, total-order delivery, adoption, SLA sweeps,
+//! 3. park briefly so an idle cluster does not spin at 100% CPU.
+//!
+//! Convergence is *eventual* — a deploy returns as soon as the home node
+//! accepted it; use [`RealCluster::await_running`] to wait for the ordered
+//! registration to propagate.
+//!
+//! ## Time
+//!
+//! All nodes share one [`RealClock`]; `SimTime` values are microseconds
+//! since cluster start, so GCS timing configs tuned for the simulator
+//! (heartbeats, failover deadlines) carry over unchanged. Only node 0's
+//! worker stamps the shared store's fault clock, keeping that clock
+//! monotonic without cross-thread coordination.
+
+use crate::node::NodeConfig;
+use crate::CoreError;
+use crate::DosgiNode;
+use crate::NodeEvent;
+use dosgi_net::{Clock, Fabric, NodeId, RealClock, RealNet, SimTime};
+use dosgi_osgi::RegistryReader;
+use dosgi_san::{BackendKind, SharedStore, Value};
+use dosgi_vosgi::InstanceDescriptor;
+use std::sync::mpsc::{channel, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Wire type the nodes exchange (same alias the sim cluster uses).
+type Wire = dosgi_gcs::GcsWire<crate::AppPayload>;
+
+/// One request to a node's worker thread. Every variant carries a reply
+/// channel; `recv` on the caller side blocks until the worker's next loop
+/// iteration services it.
+enum Command {
+    Deploy(InstanceDescriptor, Sender<Result<(), CoreError>>),
+    Migrate(String, NodeId, Sender<Result<(), CoreError>>),
+    Call(
+        String,
+        String,
+        String,
+        Value,
+        Sender<Result<Value, CoreError>>,
+    ),
+    Probe(String, Sender<bool>),
+    Reader(Sender<RegistryReader>),
+    TakeEvents(Sender<Vec<NodeEvent>>),
+    Shutdown,
+}
+
+/// A cluster of [`DosgiNode`]s, one OS thread per node, connected by a
+/// [`RealNet`] and paced by a shared monotonic [`RealClock`].
+pub struct RealCluster {
+    ids: Vec<NodeId>,
+    cmds: Vec<Sender<Command>>,
+    workers: Vec<JoinHandle<()>>,
+    store: SharedStore,
+    clock: RealClock,
+}
+
+impl RealCluster {
+    /// Spins up `n` nodes with identical configs on an in-memory store.
+    pub fn new(n: usize, config: NodeConfig) -> Self {
+        Self::with_store(n, config, SharedStore::with_kind(BackendKind::Map))
+    }
+
+    /// Spins up `n` nodes sharing `store`. Each node is constructed *on*
+    /// its worker thread (the node itself never crosses threads), then
+    /// ticked until [`shutdown`](Self::shutdown).
+    pub fn with_store(n: usize, config: NodeConfig, store: SharedStore) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        let mut net: RealNet<Wire> = RealNet::new();
+        let ids: Vec<NodeId> = (0..n).map(|_| net.register_node()).collect();
+        let clock = net.clock().clone();
+        let mut cmds = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for &id in &ids {
+            let (tx, rx) = channel::<Command>();
+            let mut endpoint = net.endpoint(id);
+            let peers = ids.clone();
+            let cfg = config.clone();
+            let node_store = store.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("dosgi-node-{id}"))
+                .spawn(move || {
+                    let boot = endpoint.now();
+                    let mut node = DosgiNode::new(id, peers, cfg, node_store.clone(), boot);
+                    let is_timekeeper = id == NodeId(0);
+                    loop {
+                        // Service every queued command before the tick so a
+                        // burst of requests pays one protocol round, not one
+                        // round each.
+                        let mut shutdown = false;
+                        while let Ok(cmd) = rx.try_recv() {
+                            match cmd {
+                                Command::Deploy(desc, reply) => {
+                                    let now = endpoint.now();
+                                    let _ = reply.send(node.deploy(desc, &mut endpoint, now));
+                                }
+                                Command::Migrate(name, to, reply) => {
+                                    let _ = reply.send(node.migrate_away(&name, to, &mut endpoint));
+                                }
+                                Command::Call(name, interface, method, arg, reply) => {
+                                    let _ = reply
+                                        .send(node.call_local(&name, &interface, &method, &arg));
+                                }
+                                Command::Probe(name, reply) => {
+                                    let _ = reply.send(node.probe_local(&name));
+                                }
+                                Command::Reader(reply) => {
+                                    let _ = reply.send(node.registry_reader());
+                                }
+                                Command::TakeEvents(reply) => {
+                                    let _ = reply.send(node.take_events());
+                                }
+                                Command::Shutdown => shutdown = true,
+                            }
+                        }
+                        if shutdown {
+                            break;
+                        }
+                        let now = endpoint.now();
+                        if is_timekeeper {
+                            node_store.set_now(now);
+                        }
+                        node.tick(&mut endpoint, now);
+                        // Events nobody collects must not grow without
+                        // bound on a long-lived cluster.
+                        if node.events_len() > 16_384 {
+                            let _ = node.take_events();
+                        }
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                })
+                .expect("spawn node worker");
+            cmds.push(tx);
+            workers.push(handle);
+        }
+        RealCluster {
+            ids,
+            cmds,
+            workers,
+            store,
+            clock,
+        }
+    }
+
+    /// Node ids, in spawn order.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// The shared SAN handle.
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    /// Microseconds since cluster start, from the shared monotonic clock.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    fn cmd(&self, on: NodeId) -> &Sender<Command> {
+        &self.cmds[on.0 as usize]
+    }
+
+    /// Deploys `descriptor` on node `on`; returns once the home node
+    /// accepted it (cluster-wide registration follows via total order).
+    pub fn deploy(&self, on: NodeId, descriptor: InstanceDescriptor) -> Result<(), CoreError> {
+        let (tx, rx) = channel();
+        self.cmd(on)
+            .send(Command::Deploy(descriptor, tx))
+            .expect("worker alive");
+        rx.recv().expect("worker replies")
+    }
+
+    /// Requests migration of `name` from `from` to `to`.
+    pub fn migrate(&self, from: NodeId, name: &str, to: NodeId) -> Result<(), CoreError> {
+        let (tx, rx) = channel();
+        self.cmd(from)
+            .send(Command::Migrate(name.to_owned(), to, tx))
+            .expect("worker alive");
+        rx.recv().expect("worker replies")
+    }
+
+    /// Invokes `interface::method(arg)` on instance `name`, which must be
+    /// placed on node `on`.
+    pub fn call(
+        &self,
+        on: NodeId,
+        name: &str,
+        interface: &str,
+        method: &str,
+        arg: &Value,
+    ) -> Result<Value, CoreError> {
+        let (tx, rx) = channel();
+        self.cmd(on)
+            .send(Command::Call(
+                name.to_owned(),
+                interface.to_owned(),
+                method.to_owned(),
+                arg.clone(),
+                tx,
+            ))
+            .expect("worker alive");
+        rx.recv().expect("worker replies")
+    }
+
+    /// True if instance `name` is currently running on node `on`.
+    pub fn probe(&self, on: NodeId, name: &str) -> bool {
+        let (tx, rx) = channel();
+        self.cmd(on)
+            .send(Command::Probe(name.to_owned(), tx))
+            .expect("worker alive");
+        rx.recv().expect("worker replies")
+    }
+
+    /// A concurrent read handle onto node `on`'s host service registry.
+    /// The handle outlives the request and reads without stopping the node.
+    pub fn registry_reader(&self, on: NodeId) -> RegistryReader {
+        let (tx, rx) = channel();
+        self.cmd(on)
+            .send(Command::Reader(tx))
+            .expect("worker alive");
+        rx.recv().expect("worker replies")
+    }
+
+    /// Drains node `on`'s accumulated events.
+    pub fn take_events(&self, on: NodeId) -> Vec<NodeEvent> {
+        let (tx, rx) = channel();
+        self.cmd(on)
+            .send(Command::TakeEvents(tx))
+            .expect("worker alive");
+        rx.recv().expect("worker replies")
+    }
+
+    /// Polls until `name` probes true on `on`, or `timeout` elapses.
+    /// Returns whether the instance was observed running.
+    pub fn await_running(&self, on: NodeId, name: &str, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.probe(on, name) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Stops every worker and joins the threads. Called implicitly on drop;
+    /// explicit shutdown surfaces worker panics to the caller.
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        for tx in &self.cmds {
+            // A worker that already exited (panic) has dropped its receiver;
+            // join below will surface that.
+            let _ = tx.send(Command::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            if let Err(panic) = handle.join() {
+                if std::thread::panicking() {
+                    continue; // don't double-panic out of Drop
+                }
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+impl Drop for RealCluster {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    fn two_node_cluster() -> RealCluster {
+        RealCluster::new(2, NodeConfig::default())
+    }
+
+    #[test]
+    fn deploy_call_and_migrate_on_real_threads() {
+        let cluster = two_node_cluster();
+        let [a, b] = [cluster.ids()[0], cluster.ids()[1]];
+        cluster
+            .deploy(a, workloads::counter_instance("acme", "ctr-rt"))
+            .expect("deploy accepted");
+        assert!(cluster.await_running(a, "ctr-rt", Duration::from_secs(10)));
+
+        for want in 1..=3 {
+            let got = cluster
+                .call(
+                    a,
+                    "ctr-rt",
+                    workloads::COUNTER_SERVICE,
+                    "incr",
+                    &Value::Null,
+                )
+                .expect("local call works");
+            assert_eq!(got, Value::Int(want));
+        }
+
+        cluster.migrate(a, "ctr-rt", b).expect("migrate accepted");
+        assert!(
+            cluster.await_running(b, "ctr-rt", Duration::from_secs(10)),
+            "instance should re-materialize on the destination"
+        );
+        let got = cluster
+            .call(
+                b,
+                "ctr-rt",
+                workloads::COUNTER_SERVICE,
+                "incr",
+                &Value::Null,
+            )
+            .expect("state survived migration");
+        assert_eq!(got, Value::Int(4), "count persisted across the hop");
+        cluster.shutdown();
+    }
+
+    /// Satellite: two genuinely concurrent client threads — one migrating an
+    /// instance back and forth, one hammering registry lookups through a
+    /// `RegistryReader` — must finish without deadlock or panic. This is the
+    /// interleaving the sharded COW registry exists for.
+    #[test]
+    fn concurrent_migrate_and_lookup_survive() {
+        let cluster = two_node_cluster();
+        let [a, b] = [cluster.ids()[0], cluster.ids()[1]];
+        cluster
+            .deploy(a, workloads::counter_instance("acme", "kv-hot"))
+            .expect("deploy accepted");
+        assert!(cluster.await_running(a, "kv-hot", Duration::from_secs(10)));
+
+        let reader_a = cluster.registry_reader(a);
+        let reader_b = cluster.registry_reader(b);
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let lookup_stop = stop.clone();
+        let lookups = std::thread::spawn(move || {
+            let mut sweeps = 0u64;
+            let mut done = false;
+            while !done {
+                done = lookup_stop.load(std::sync::atomic::Ordering::Relaxed);
+                for reader in [&reader_a, &reader_b] {
+                    for interface in [workloads::LOG_SERVICE, workloads::COUNTER_SERVICE] {
+                        for svc in reader.lookup(interface).iter() {
+                            std::hint::black_box(&svc.interfaces);
+                        }
+                    }
+                }
+                sweeps += 1;
+            }
+            sweeps
+        });
+
+        let mut here = a;
+        for _ in 0..4 {
+            let to = if here == a { b } else { a };
+            cluster
+                .migrate(here, "kv-hot", to)
+                .expect("migrate accepted");
+            assert!(
+                cluster.await_running(to, "kv-hot", Duration::from_secs(10)),
+                "migration must converge while lookups run"
+            );
+            here = to;
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let sweeps = lookups.join().expect("lookup thread survives");
+        assert!(sweeps > 0, "lookup thread must have made progress");
+        cluster.shutdown();
+    }
+}

@@ -36,6 +36,9 @@ pub mod wire;
 
 pub use config::GcsConfig;
 pub use node::{GcsEvent, GroupNode};
-pub use transport::{FrameTransport, SimTransport, Transport};
+pub use transport::{FabricTransport, FrameTransport, SimTransport, Transport};
 pub use view::{View, ViewId};
-pub use wire::{decode_frame, encode_frame, encode_frame_at, GcsWire, WIRE_VERSION};
+pub use wire::{
+    decode_frame, decode_frame_borrowed, decode_frame_with, encode_frame, encode_frame_at,
+    encode_frame_into, encode_frame_into_at, GcsWire, WIRE_VERSION,
+};

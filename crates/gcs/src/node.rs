@@ -423,11 +423,11 @@ impl<A: Clone> GroupNode<A> {
 
     fn send_proposal(&mut self, t: &mut impl Transport<A>) {
         if let Some(p) = &self.proposal {
-            for m in &p.view.members {
-                if *m != self.id {
-                    t.send(*m, GcsWire::ViewPropose(p.view.clone()));
-                }
-            }
+            // One clone to build the message; byte transports serialize it
+            // once for the whole broadcast (`send_all`), typed transports
+            // clone per recipient exactly as the old per-member loop did.
+            let msg = GcsWire::ViewPropose(p.view.clone());
+            t.send_all(&p.view.members, self.id, &msg);
         }
     }
 
@@ -439,11 +439,14 @@ impl<A: Clone> GroupNode<A> {
             .unwrap_or(false);
         if ready {
             let view = self.proposal.take().expect("checked").view;
-            for m in &view.members {
-                if *m != self.id {
-                    t.send(*m, GcsWire::ViewCommit(view.clone()));
-                }
-            }
+            let msg = GcsWire::ViewCommit(view);
+            let GcsWire::ViewCommit(view_ref) = &msg else {
+                unreachable!()
+            };
+            t.send_all(&view_ref.members, self.id, &msg);
+            let GcsWire::ViewCommit(view) = msg else {
+                unreachable!()
+            };
             self.install_view(view);
         }
     }

@@ -157,11 +157,6 @@ fn put_view(out: &mut Vec<u8>, view: &View) {
     }
 }
 
-fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
-    put_u32(out, bytes.len() as u32);
-    out.extend_from_slice(bytes);
-}
-
 fn put_trace(out: &mut Vec<u8>, trace: &Option<TraceContext>) {
     match trace {
         None => out.push(0),
@@ -255,6 +250,65 @@ impl<'a> Reader<'a> {
     }
 }
 
+impl<A> GcsWire<A> {
+    /// Maps the application payload, preserving every other field. Used to
+    /// turn a zero-copy [`decode_frame_borrowed`] result into an owned
+    /// message once (and only where) ownership is actually needed.
+    pub fn map_payload<B>(self, mut f: impl FnMut(A) -> B) -> GcsWire<B> {
+        match self {
+            GcsWire::Heartbeat {
+                sent,
+                ordered,
+                incarnation,
+                view,
+            } => GcsWire::Heartbeat {
+                sent,
+                ordered,
+                incarnation,
+                view,
+            },
+            GcsWire::Leave => GcsWire::Leave,
+            GcsWire::ViewPropose(v) => GcsWire::ViewPropose(v),
+            GcsWire::ViewAck { id, stream_base } => GcsWire::ViewAck { id, stream_base },
+            GcsWire::ViewCommit(v) => GcsWire::ViewCommit(v),
+            GcsWire::Data { seq, payload } => GcsWire::Data {
+                seq,
+                payload: f(payload),
+            },
+            GcsWire::Nack { from_seq } => GcsWire::Nack { from_seq },
+            GcsWire::OrderedReplayRequest { from_gseq } => {
+                GcsWire::OrderedReplayRequest { from_gseq }
+            }
+            GcsWire::OrderRequest {
+                incarnation,
+                origin_seq,
+                payload,
+                trace,
+            } => GcsWire::OrderRequest {
+                incarnation,
+                origin_seq,
+                payload: f(payload),
+                trace,
+            },
+            GcsWire::Ordered {
+                gseq,
+                origin,
+                origin_inc,
+                origin_seq,
+                payload,
+                trace,
+            } => GcsWire::Ordered {
+                gseq,
+                origin,
+                origin_inc,
+                origin_seq,
+                payload: f(payload),
+                trace,
+            },
+        }
+    }
+}
+
 /// Encode a frame at the current [`WIRE_VERSION`]; `enc` serializes the
 /// application payload.
 pub fn encode_frame<A>(msg: &GcsWire<A>, enc: impl Fn(&A) -> Vec<u8>) -> Vec<u8> {
@@ -266,6 +320,42 @@ pub fn encode_frame<A>(msg: &GcsWire<A>, enc: impl Fn(&A) -> Vec<u8>) -> Vec<u8>
 /// mixed-version tolerance is testable.
 pub fn encode_frame_at<A>(version: u8, msg: &GcsWire<A>, enc: impl Fn(&A) -> Vec<u8>) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
+    encode_frame_into_at(version, &mut out, msg, |a, o| o.extend_from_slice(&enc(a)));
+    out
+}
+
+/// Encode a frame at the current [`WIRE_VERSION`] by appending to `out` —
+/// the allocation-free hot path. `enc_into` writes the application payload
+/// directly into the frame buffer; the length prefix is backpatched, so no
+/// intermediate payload `Vec` is ever materialized. Callers that clear and
+/// reuse `out` (see [`FrameTransport`](crate::FrameTransport)) encode with
+/// zero allocations in steady state.
+pub fn encode_frame_into<A>(
+    out: &mut Vec<u8>,
+    msg: &GcsWire<A>,
+    enc_into: impl Fn(&A, &mut Vec<u8>),
+) {
+    encode_frame_into_at(WIRE_VERSION, out, msg, enc_into);
+}
+
+/// [`encode_frame_into`] at an explicit version. Produces bytes identical
+/// to [`encode_frame_at`] for the same message and payload encoding.
+pub fn encode_frame_into_at<A>(
+    version: u8,
+    out: &mut Vec<u8>,
+    msg: &GcsWire<A>,
+    enc_into: impl Fn(&A, &mut Vec<u8>),
+) {
+    // Reserve the 4-byte length prefix, encode the payload in place, then
+    // backpatch the actual length — the moral equivalent of `put_bytes`
+    // without the temporary.
+    fn put_payload<A>(out: &mut Vec<u8>, payload: &A, enc_into: &impl Fn(&A, &mut Vec<u8>)) {
+        let len_at = out.len();
+        put_u32(out, 0);
+        enc_into(payload, out);
+        let n = (out.len() - len_at - 4) as u32;
+        out[len_at..len_at + 4].copy_from_slice(&n.to_le_bytes());
+    }
     out.push(version);
     match msg {
         GcsWire::Heartbeat {
@@ -275,37 +365,37 @@ pub fn encode_frame_at<A>(version: u8, msg: &GcsWire<A>, enc: impl Fn(&A) -> Vec
             view,
         } => {
             out.push(TAG_HEARTBEAT);
-            put_u64(&mut out, *sent);
-            put_u64(&mut out, *ordered);
-            put_u64(&mut out, *incarnation);
-            put_view_id(&mut out, *view);
+            put_u64(out, *sent);
+            put_u64(out, *ordered);
+            put_u64(out, *incarnation);
+            put_view_id(out, *view);
         }
         GcsWire::Leave => out.push(TAG_LEAVE),
         GcsWire::ViewPropose(view) => {
             out.push(TAG_VIEW_PROPOSE);
-            put_view(&mut out, view);
+            put_view(out, view);
         }
         GcsWire::ViewAck { id, stream_base } => {
             out.push(TAG_VIEW_ACK);
-            put_view_id(&mut out, *id);
-            put_u64(&mut out, *stream_base);
+            put_view_id(out, *id);
+            put_u64(out, *stream_base);
         }
         GcsWire::ViewCommit(view) => {
             out.push(TAG_VIEW_COMMIT);
-            put_view(&mut out, view);
+            put_view(out, view);
         }
         GcsWire::Data { seq, payload } => {
             out.push(TAG_DATA);
-            put_u64(&mut out, *seq);
-            put_bytes(&mut out, &enc(payload));
+            put_u64(out, *seq);
+            put_payload(out, payload, &enc_into);
         }
         GcsWire::Nack { from_seq } => {
             out.push(TAG_NACK);
-            put_u64(&mut out, *from_seq);
+            put_u64(out, *from_seq);
         }
         GcsWire::OrderedReplayRequest { from_gseq } => {
             out.push(TAG_ORDERED_REPLAY_REQUEST);
-            put_u64(&mut out, *from_gseq);
+            put_u64(out, *from_gseq);
         }
         GcsWire::OrderRequest {
             incarnation,
@@ -314,11 +404,11 @@ pub fn encode_frame_at<A>(version: u8, msg: &GcsWire<A>, enc: impl Fn(&A) -> Vec
             trace,
         } => {
             out.push(TAG_ORDER_REQUEST);
-            put_u64(&mut out, *incarnation);
-            put_u64(&mut out, *origin_seq);
-            put_bytes(&mut out, &enc(payload));
+            put_u64(out, *incarnation);
+            put_u64(out, *origin_seq);
+            put_payload(out, payload, &enc_into);
             if version >= WIRE_VERSION {
-                put_trace(&mut out, trace);
+                put_trace(out, trace);
             }
         }
         GcsWire::Ordered {
@@ -330,23 +420,35 @@ pub fn encode_frame_at<A>(version: u8, msg: &GcsWire<A>, enc: impl Fn(&A) -> Vec
             trace,
         } => {
             out.push(TAG_ORDERED);
-            put_u64(&mut out, *gseq);
-            put_u32(&mut out, origin.0);
-            put_u64(&mut out, *origin_inc);
-            put_u64(&mut out, *origin_seq);
-            put_bytes(&mut out, &enc(payload));
+            put_u64(out, *gseq);
+            put_u32(out, origin.0);
+            put_u64(out, *origin_inc);
+            put_u64(out, *origin_seq);
+            put_payload(out, payload, &enc_into);
             if version >= WIRE_VERSION {
-                put_trace(&mut out, trace);
+                put_trace(out, trace);
             }
         }
     }
-    out
 }
 
 /// Decode one frame (v1 or v2); `dec` parses the application payload.
 /// Returns `None` on unknown versions/tags, truncation, or trailing
 /// garbage.
 pub fn decode_frame<A>(bytes: &[u8], dec: impl Fn(&[u8]) -> Option<A>) -> Option<GcsWire<A>> {
+    decode_frame_with(bytes, dec)
+}
+
+/// Decode one frame with the payload **borrowed from the frame**: the
+/// zero-copy hot path. `dec` receives a slice tied to `bytes`' lifetime,
+/// so `A` may itself borrow — [`decode_frame_borrowed`] instantiates this
+/// with the identity to get a `GcsWire<&[u8]>` without copying a byte.
+/// Validation is identical to [`decode_frame`] (same rejection of
+/// truncation, trailing garbage, bad versions/tags).
+pub fn decode_frame_with<'a, A>(
+    bytes: &'a [u8],
+    dec: impl Fn(&'a [u8]) -> Option<A>,
+) -> Option<GcsWire<A>> {
     let mut r = Reader::new(bytes);
     let version = r.u8()?;
     if version == 0 || version > WIRE_VERSION {
@@ -394,12 +496,26 @@ pub fn decode_frame<A>(bytes: &[u8], dec: impl Fn(&[u8]) -> Option<A>) -> Option
     r.done().then_some(msg)
 }
 
+/// Zero-copy decode: the payload of `Data`/`OrderRequest`/`Ordered` is a
+/// slice into `bytes` — no allocation, no copy. Use
+/// [`GcsWire::map_payload`] to take ownership when a message must outlive
+/// the receive buffer.
+pub fn decode_frame_borrowed(bytes: &[u8]) -> Option<GcsWire<&[u8]>> {
+    decode_frame_with(bytes, Some)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn enc_into(v: &u32, out: &mut Vec<u8>) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
     fn enc(v: &u32) -> Vec<u8> {
-        v.to_le_bytes().to_vec()
+        let mut out = Vec::with_capacity(4);
+        enc_into(v, &mut out);
+        out
     }
 
     fn dec(b: &[u8]) -> Option<u32> {
@@ -545,6 +661,118 @@ mod tests {
             "future version"
         );
         assert_eq!(decode_frame(&[WIRE_VERSION, 99], dec), None, "bad tag");
+    }
+
+    #[test]
+    fn encode_into_matches_owning_encode_and_reuses_the_buffer() {
+        let mut scratch = Vec::new();
+        for version in [WIRE_VERSION_V1, WIRE_VERSION] {
+            for msg in samples() {
+                let owned = encode_frame_at(version, &msg, enc);
+                scratch.clear();
+                encode_frame_into_at(version, &mut scratch, &msg, enc_into);
+                assert_eq!(scratch, owned, "v{version} {msg:?}");
+            }
+        }
+        // The default-version entry point agrees too.
+        let msg = GcsWire::Data {
+            seq: 3,
+            payload: 42u32,
+        };
+        scratch.clear();
+        encode_frame_into(&mut scratch, &msg, enc_into);
+        assert_eq!(scratch, encode_frame(&msg, enc));
+    }
+
+    #[test]
+    fn borrowed_decode_points_into_the_frame() {
+        let msg = GcsWire::Ordered {
+            gseq: 12,
+            origin: NodeId(3),
+            origin_inc: 8,
+            origin_seq: 5,
+            payload: 0xDEAD_BEEFu32,
+            trace: Some(sample_trace()),
+        };
+        let bytes = encode_frame(&msg, enc);
+        let borrowed = decode_frame_borrowed(&bytes).expect("decodes");
+        match &borrowed {
+            GcsWire::Ordered { payload, .. } => {
+                // The payload slice is literally inside the frame buffer.
+                let frame = bytes.as_ptr() as usize;
+                let p = payload.as_ptr() as usize;
+                assert!(p >= frame && p + payload.len() <= frame + bytes.len());
+                assert_eq!(*payload, 0xDEAD_BEEFu32.to_le_bytes());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // map_payload takes ownership and reproduces the typed message.
+        let owned = borrowed.map_payload(|b| dec(b).unwrap());
+        assert_eq!(owned, msg);
+    }
+
+    /// The zero-copy decoder must agree with the owning decoder on every
+    /// input — valid frames, truncations, and bit flips alike. 200 cases.
+    #[test]
+    fn prop_borrowed_decode_equals_owning_decode() {
+        use dosgi_testkit::prop;
+
+        // Arbitrary mutation recipe over an arbitrary sample frame:
+        // (sample index, version, cut length, flip position, flip mask).
+        let gen = prop::u64s(0, u64::MAX);
+        let cfg = prop::Config::with_cases(200);
+        prop::check_with(&cfg, "borrowed_decode_equals_owning", &gen, |&raw| {
+            let all = samples();
+            let msg = &all[(raw % all.len() as u64) as usize];
+            let version = if raw & 1 == 0 {
+                WIRE_VERSION
+            } else {
+                WIRE_VERSION_V1
+            };
+            let mut bytes = encode_frame_at(version, msg, enc);
+            // Maybe truncate, maybe flip a bit — driven by the raw seed.
+            let cut = ((raw >> 8) % (bytes.len() as u64 + 1)) as usize;
+            bytes.truncate(cut.max(1));
+            if raw >> 16 & 1 == 1 {
+                let at = ((raw >> 24) % bytes.len() as u64) as usize;
+                bytes[at] ^= 1 << ((raw >> 32) % 8);
+            }
+            let owning = decode_frame(&bytes, dec);
+            // Map the borrowed result through the same payload decoder;
+            // a payload `dec` rejects must reject the whole frame, exactly
+            // as the owning path does.
+            let via_borrowed = match decode_frame_borrowed(&bytes) {
+                None => None,
+                Some(m) => {
+                    let mut ok = true;
+                    let mapped = m.map_payload(|b| match dec(b) {
+                        Some(v) => v,
+                        None => {
+                            ok = false;
+                            0
+                        }
+                    });
+                    ok.then_some(mapped)
+                }
+            };
+            if owning != via_borrowed {
+                return Err(format!(
+                    "owning {owning:?} != borrowed {via_borrowed:?} on {bytes:?}"
+                ));
+            }
+            // When the frame is accepted, the borrowed payload bytes
+            // re-encode to exactly the input (the codec is canonical).
+            if owning.is_some() {
+                let raw_payload = decode_frame_borrowed(&bytes)
+                    .expect("accepted above")
+                    .map_payload(|b| b.to_vec());
+                let reenc = encode_frame_at(bytes[0], &raw_payload, |p: &Vec<u8>| p.clone());
+                if reenc != bytes {
+                    return Err(format!("re-encode mismatch on {bytes:?}"));
+                }
+            }
+            Ok(())
+        });
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub use lifecycle::BundleState;
 pub use loader::{BootDelegation, ClassRef, LoadError, LoadPath};
 pub use manifest::{BundleManifest, ManifestBuilder, PackageExport, PackageImport};
 pub use props::PropValue;
-pub use registry::{ServiceRecord, ServiceRegistry};
+pub use registry::{RegistryReader, ServiceMeta, ServiceRecord, ServiceRegistry};
 pub use resolver::{ResolutionReport, Wiring};
 pub use service::{CallContext, Service};
 pub use tracker::ServiceTracker;

@@ -7,6 +7,7 @@ use crate::{
 use dosgi_san::Value;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::{Arc, RwLock};
 
 /// A registered service: metadata plus the (type-erased) implementation.
 pub struct ServiceRecord {
@@ -35,13 +36,134 @@ impl fmt::Debug for ServiceRecord {
     }
 }
 
+/// Immutable registration metadata published to concurrent readers: every
+/// field of a [`ServiceRecord`] except the (necessarily exclusive)
+/// implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceMeta {
+    /// The service's id.
+    pub id: ServiceId,
+    /// The bundle that registered it.
+    pub owner: BundleId,
+    /// The interface names it is registered under.
+    pub interfaces: Vec<String>,
+    /// Its property dictionary.
+    pub properties: BTreeMap<String, PropValue>,
+    /// Its ranking.
+    pub ranking: i64,
+}
+
+/// Number of independent read shards. Interface names hash onto shards, so
+/// concurrent lookups of different interfaces almost never contend on the
+/// same lock; a power of two keeps the modulo a mask.
+const SHARD_COUNT: usize = 16;
+
+/// Stable FNV-1a over the interface name — must not vary across runs or
+/// threads (shard choice is part of no observable behavior, but stability
+/// keeps reasoning simple).
+fn shard_of(interface: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in interface.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h as usize) & (SHARD_COUNT - 1)
+}
+
+/// One shard's published index: interface → matching registrations,
+/// pre-sorted by ranking descending then id ascending (the OSGi tie-break)
+/// so readers never sort.
+#[derive(Debug, Default)]
+struct ShardIndex {
+    by_interface: BTreeMap<String, Arc<[Arc<ServiceMeta>]>>,
+}
+
+/// A cloneable, `Send + Sync` read handle onto the registry's
+/// interface index — the concurrent lookup path for the real-clock
+/// runtime.
+///
+/// Copy-on-write sharding: writers ([`ServiceRegistry::register`] and
+/// friends) rebuild only the affected interface's entry inside its shard
+/// and swap the shard's `Arc`; readers take a shard read lock just long
+/// enough to clone an `Arc`, then work lock-free on the immutable
+/// snapshot. Lookups of different interfaces land on different shards with
+/// probability `1 - 1/16`, so they don't serialize behind a single lock.
+///
+/// Reads are **snapshot-consistent, not linearizable**: a lookup
+/// concurrent with a registration may see the index from just before or
+/// just after it — exactly the semantics OSGi service trackers already
+/// live with.
+#[derive(Debug, Clone)]
+pub struct RegistryReader {
+    shards: Arc<[RwLock<Arc<ShardIndex>>; SHARD_COUNT]>,
+}
+
+impl RegistryReader {
+    fn new() -> Self {
+        RegistryReader {
+            shards: Arc::new(std::array::from_fn(|_| {
+                RwLock::new(Arc::new(ShardIndex::default()))
+            })),
+        }
+    }
+
+    /// The published snapshot for `interface`'s shard.
+    fn snapshot(&self, interface: &str) -> Arc<ShardIndex> {
+        let guard = self.shards[shard_of(interface)]
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
+        Arc::clone(&guard)
+    }
+
+    /// Registrations offering `interface`, ordered by ranking descending
+    /// then id ascending. Allocation-free beyond the returned `Arc` clone.
+    pub fn lookup(&self, interface: &str) -> Arc<[Arc<ServiceMeta>]> {
+        self.snapshot(interface)
+            .by_interface
+            .get(interface)
+            .cloned()
+            .unwrap_or_else(|| Arc::from(Vec::new()))
+    }
+
+    /// Like [`lookup`](Self::lookup), narrowed by an LDAP-style filter.
+    pub fn lookup_filtered(&self, interface: &str, filter: &Filter) -> Vec<Arc<ServiceMeta>> {
+        self.snapshot(interface)
+            .by_interface
+            .get(interface)
+            .map(|entries| {
+                entries
+                    .iter()
+                    .filter(|m| filter.matches(&m.properties))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The best (highest-ranked, then lowest-id) service offering
+    /// `interface`.
+    pub fn best(&self, interface: &str) -> Option<ServiceId> {
+        self.snapshot(interface)
+            .by_interface
+            .get(interface)
+            .and_then(|entries| entries.first())
+            .map(|m| m.id)
+    }
+}
+
 /// The framework's service registry.
 ///
 /// Services are registered under one or more interface names with a property
 /// dictionary; consumers look them up by interface, optionally narrowed by
 /// an LDAP-style [`Filter`], and receive references ordered by ranking
 /// (descending) then id (ascending) — the OSGi tie-break.
-#[derive(Debug, Default)]
+///
+/// The `&self` methods serve the deterministic single-threaded path; for
+/// concurrent readers (real-clock runtime, other node threads) a
+/// copy-on-write [`RegistryReader`] handle is available via
+/// [`reader`](Self::reader) — registrations publish their metadata to it
+/// on every mutation.
+#[derive(Debug)]
 pub struct ServiceRegistry {
     services: BTreeMap<ServiceId, ServiceRecord>,
     /// Interface name → ids registered under it. Interfaces are fixed at
@@ -49,14 +171,84 @@ pub struct ServiceRegistry {
     /// only moves on register/unregister; lookups by interface scan just
     /// the candidate set instead of every registration.
     by_interface: BTreeMap<String, BTreeSet<ServiceId>>,
+    /// Cached published metadata per service, shared by every interface
+    /// entry in the reader's shards (rebuilt when properties change).
+    meta: BTreeMap<ServiceId, Arc<ServiceMeta>>,
+    reader: RegistryReader,
     next_id: u64,
     events: Vec<ServiceEvent>,
+}
+
+impl Default for ServiceRegistry {
+    fn default() -> Self {
+        ServiceRegistry {
+            services: BTreeMap::new(),
+            by_interface: BTreeMap::new(),
+            meta: BTreeMap::new(),
+            reader: RegistryReader::new(),
+            next_id: 0,
+            events: Vec::new(),
+        }
+    }
 }
 
 impl ServiceRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cloneable, `Send + Sync` handle for concurrent by-interface
+    /// lookups. Handles observe every mutation made after (and before)
+    /// they were taken — they all share the registry's shard set.
+    pub fn reader(&self) -> RegistryReader {
+        self.reader.clone()
+    }
+
+    /// Rebuilds the published metadata for `id` from its record.
+    fn refresh_meta(&mut self, id: ServiceId) {
+        let rec = &self.services[&id];
+        self.meta.insert(
+            id,
+            Arc::new(ServiceMeta {
+                id: rec.id,
+                owner: rec.owner,
+                interfaces: rec.interfaces.clone(),
+                properties: rec.properties.clone(),
+                ranking: rec.ranking,
+            }),
+        );
+    }
+
+    /// Republishes the affected interfaces' entries into their shards:
+    /// copy-on-write per shard, so in-flight readers keep their snapshot.
+    fn republish(&self, interfaces: &[String]) {
+        for iface in interfaces {
+            let entries: Vec<Arc<ServiceMeta>> = self
+                .by_interface
+                .get(iface)
+                .map(|ids| {
+                    let mut v: Vec<Arc<ServiceMeta>> = ids
+                        .iter()
+                        .filter_map(|id| self.meta.get(id))
+                        .cloned()
+                        .collect();
+                    v.sort_by(|a, b| b.ranking.cmp(&a.ranking).then(a.id.cmp(&b.id)));
+                    v
+                })
+                .unwrap_or_default();
+            let shard = &self.reader.shards[shard_of(iface)];
+            let mut guard = shard.write().unwrap_or_else(|e| e.into_inner());
+            let mut next = ShardIndex {
+                by_interface: guard.by_interface.clone(),
+            };
+            if entries.is_empty() {
+                next.by_interface.remove(iface);
+            } else {
+                next.by_interface.insert(iface.clone(), Arc::from(entries));
+            }
+            *guard = Arc::new(next);
+        }
     }
 
     /// Registers `implementation` under `interfaces` on behalf of `owner`.
@@ -115,6 +307,9 @@ impl ServiceRegistry {
             interfaces,
             kind: ServiceEventKind::Registered,
         });
+        self.refresh_meta(id);
+        let ifaces = self.services[&id].interfaces.clone();
+        self.republish(&ifaces);
         id
     }
 
@@ -134,6 +329,8 @@ impl ServiceRegistry {
                         }
                     }
                 }
+                self.meta.remove(&id);
+                self.republish(&rec.interfaces);
                 self.events.push(ServiceEvent {
                     service: id,
                     interfaces: rec.interfaces,
@@ -189,6 +386,9 @@ impl ServiceRegistry {
             interfaces: rec.interfaces.clone(),
             kind: ServiceEventKind::Modified,
         });
+        self.refresh_meta(id);
+        let ifaces = self.services[&id].interfaces.clone();
+        self.republish(&ifaces);
         Ok(())
     }
 
@@ -492,5 +692,128 @@ mod tests {
     fn register_requires_an_interface() {
         let mut r = ServiceRegistry::new();
         let _ = r.register(BundleId(1), &[], BTreeMap::new(), echo_service());
+    }
+
+    #[test]
+    fn reader_tracks_every_mutation() {
+        let mut r = ServiceRegistry::new();
+        let reader = r.reader();
+        assert!(reader.lookup("svc").is_empty());
+        let low = r.register(BundleId(1), &["svc"], props(1), echo_service());
+        let high = r.register(BundleId(1), &["svc", "alt"], props(9), echo_service());
+        // Same order as the exclusive path: ranking desc, id asc.
+        let ids: Vec<ServiceId> = reader.lookup("svc").iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![high, low]);
+        assert_eq!(reader.best("svc"), r.best("svc"));
+        assert_eq!(reader.best("alt"), Some(high));
+        // Property updates re-rank the published entries.
+        r.set_properties(low, props(99)).unwrap();
+        assert_eq!(reader.best("svc"), Some(low));
+        assert_eq!(
+            reader.lookup("svc")[0].properties.get("service.ranking"),
+            Some(&PropValue::Int(99))
+        );
+        // Unregistration removes the published entry everywhere.
+        r.unregister(high).unwrap();
+        assert!(reader.lookup("alt").is_empty());
+        assert_eq!(
+            reader
+                .lookup("svc")
+                .iter()
+                .map(|m| m.id)
+                .collect::<Vec<_>>(),
+            vec![low]
+        );
+        // A handle taken late sees the same state as an early one.
+        let late = r.reader();
+        assert_eq!(late.best("svc"), reader.best("svc"));
+    }
+
+    #[test]
+    fn reader_filtered_lookup_matches_exclusive_path() {
+        let mut r = ServiceRegistry::new();
+        for i in 0..12 {
+            let mut p = props(i % 3);
+            p.insert(
+                "vendor".to_owned(),
+                PropValue::from(if i % 2 == 0 { "acme" } else { "other" }),
+            );
+            let _ = r.register(BundleId(1), &["svc"], p, echo_service());
+        }
+        let f: Filter = "(vendor=acme)".parse().unwrap();
+        let reader = r.reader();
+        let via_reader: Vec<ServiceId> = reader
+            .lookup_filtered("svc", &f)
+            .iter()
+            .map(|m| m.id)
+            .collect();
+        let via_registry: Vec<ServiceId> = r
+            .references(Some("svc"), Some(&f))
+            .iter()
+            .map(|x| x.id)
+            .collect();
+        assert_eq!(via_reader, via_registry);
+    }
+
+    #[test]
+    fn reader_is_send_sync_and_survives_concurrent_churn() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RegistryReader>();
+
+        let mut r = ServiceRegistry::new();
+        for i in 0..8 {
+            let _ = r.register(
+                BundleId(i),
+                &[format!("iface.{i}").as_str()],
+                props(i as i64),
+                echo_service(),
+            );
+        }
+        let reader = r.reader();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|t| {
+                let reader = reader.clone();
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen = 0usize;
+                    let mut done = false;
+                    // At least one full sweep even if the writer already
+                    // finished; then spin until told to stop.
+                    while !done {
+                        done = stop.load(std::sync::atomic::Ordering::Relaxed);
+                        for i in 0..8 {
+                            let entries = reader.lookup(&format!("iface.{i}"));
+                            // Snapshots are always internally consistent:
+                            // ranking descending, id ascending on ties.
+                            for w in entries.windows(2) {
+                                assert!(
+                                    w[0].ranking > w[1].ranking
+                                        || (w[0].ranking == w[1].ranking && w[0].id < w[1].id),
+                                    "ordering violated"
+                                );
+                            }
+                            seen += entries.len();
+                        }
+                        let _ = reader.best(&format!("iface.{t}"));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        // Writer churns registrations while the readers spin.
+        for round in 0..200 {
+            let id = r.register(
+                BundleId(99),
+                &[format!("iface.{}", round % 8).as_str()],
+                props(round),
+                echo_service(),
+            );
+            r.unregister(id).unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for t in readers {
+            assert!(t.join().expect("no reader panicked") > 0);
+        }
     }
 }

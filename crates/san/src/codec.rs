@@ -69,11 +69,21 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-/// Encodes `value` into its binary representation.
+/// Encodes `value` into its binary representation. Exactly pre-sized via
+/// [`encoded_len`], so the buffer never regrows.
 pub fn encode(value: &Value) -> Vec<u8> {
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(encoded_len(value));
     write_value(&mut out, value);
     out
+}
+
+/// Encodes `value` by appending to `out` — the buffer-reuse hot path.
+/// Reserves the exact encoded size up front ([`encoded_len`] is
+/// allocation-free), so a caller looping over a batch with one scratch
+/// buffer pays at most one growth for the largest value ever seen.
+pub fn encode_into(value: &Value, out: &mut Vec<u8>) {
+    out.reserve(encoded_len(value));
+    write_value(out, value);
 }
 
 fn varint_len(v: u64) -> usize {

@@ -155,9 +155,11 @@ impl Journal {
                 .with("seq", entry.seq as i64)
                 .with("at_us", entry.at.as_micros() as i64)
                 .with("op", op);
-            let bytes = crate::codec::encode(&record);
-            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-            out.extend_from_slice(&bytes);
+            // Length first (streamed, no temporary), then the record
+            // encoded straight into the output buffer.
+            let len = crate::codec::encoded_len(&record) as u32;
+            out.extend_from_slice(&len.to_le_bytes());
+            crate::codec::encode_into(&record, &mut out);
         }
         out
     }

@@ -43,7 +43,7 @@
 //! default) they never fail for fault reasons.
 
 pub mod backend;
-mod codec;
+pub mod codec;
 pub mod conformance;
 mod error;
 pub mod fault;

@@ -248,6 +248,10 @@ impl SharedStore {
         let mut batch: Vec<(&str, &Value)> = Vec::with_capacity(persisted);
         let mut pending: HashMap<&str, &Value> = HashMap::new();
         for (key, value) in &entries[..persisted] {
+            // One size computation per entry (streamed, allocation-free)
+            // serves change-detection stats and write accounting alike —
+            // the value is never encoded just to be measured.
+            let len = value.encoded_len() as u64;
             let identical = match pending.get(key.as_str()) {
                 Some(queued) => crate::codec::codec_eq(queued, value),
                 None => inner
@@ -257,10 +261,10 @@ impl SharedStore {
             };
             if identical {
                 skipped += 1;
-                bytes_skipped += value.encoded_len() as u64;
+                bytes_skipped += len;
                 continue;
             }
-            bytes += value.encoded_len() as u64;
+            bytes += len;
             batch.push((key.as_str(), value));
             pending.insert(key.as_str(), value);
         }

@@ -31,6 +31,9 @@ cargo run --offline --release -p dosgi-bench --bin e15_overload
 echo "==> e14 hot swap (blackout vs migration + rolling wave under traffic)"
 cargo run --offline --release -p dosgi-bench --bin e14_hot_swap
 
+echo "==> e13 real-clock throughput (ops/sec vs threads; >=2.5x at 4 threads)"
+cargo run --offline --release -p dosgi-bench --bin e13_throughput
+
 echo "==> telemetry snapshot schema check"
 cargo run --offline --release -p dosgi-bench --bin telemetry_check
 
