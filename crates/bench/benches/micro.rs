@@ -297,6 +297,57 @@ fn bench_admission(suite: &mut Suite) {
     });
 }
 
+fn bench_telemetry_series(suite: &mut Suite) {
+    use dosgi_telemetry::{ScrapeConfig, SeriesScraper, SloEngine, SloSpec, Telemetry};
+    use std::cell::{Cell, RefCell};
+    // E16 scrape path: one scrape over a registry of 1k metrics — 600
+    // counters, 300 gauges, 100 histograms (each with live samples). The
+    // perf_guard ceiling on this cell keeps the observability layer off
+    // the hot path's back.
+    let t = Telemetry::new();
+    for i in 0..600u64 {
+        t.add(&format!("bench.ctr.{i:03}"), i);
+    }
+    for i in 0..300u64 {
+        t.gauge_set(&format!("bench.gauge.{i:03}"), i as i64);
+    }
+    for i in 0..100u64 {
+        let name = format!("bench.hist.{i:02}");
+        for v in [100, 2_000, 65_000, 1_000_000] {
+            t.record(&name, v + i);
+        }
+    }
+    let scraper = RefCell::new(SeriesScraper::new(ScrapeConfig::default()));
+    let now = Cell::new(0u64);
+    suite.bench("telemetry/scrape_1k_metrics", || {
+        // Advance past the cadence so every iteration really scrapes;
+        // touch a counter and a histogram so deltas stay non-trivial.
+        let at = now.get() + 250_000;
+        now.set(at);
+        t.add("bench.ctr.000", 1);
+        t.record("bench.hist.00", at % 1_000_000);
+        black_box(scraper.borrow_mut().scrape(black_box(&t), at));
+    });
+
+    // E16 alert path: one evaluation of 8 SLOs over their counter pairs.
+    let engine = RefCell::new(SloEngine::new(250_000));
+    for i in 0..8 {
+        engine.borrow_mut().add(SloSpec::new(
+            format!("slo-{i}"),
+            vec![format!("bench.ctr.{i:03}")],
+            vec![format!("bench.ctr.{:03}", i + 100)],
+            10_000,
+        ));
+    }
+    let slo_now = Cell::new(0u64);
+    suite.bench("telemetry/slo_eval", || {
+        let at = slo_now.get() + 250_000;
+        slo_now.set(at);
+        t.add("bench.ctr.107", 3);
+        black_box(engine.borrow_mut().observe(black_box(&t), at).len());
+    });
+}
+
 fn bench_loadgen(suite: &mut Suite) {
     use dosgi_core::loadgen::ZipfSampler;
     use std::cell::RefCell;
@@ -321,6 +372,7 @@ fn main() {
     bench_san_backends(&mut suite);
     bench_policy(&mut suite);
     bench_admission(&mut suite);
+    bench_telemetry_series(&mut suite);
     bench_loadgen(&mut suite);
     suite.finish();
 }

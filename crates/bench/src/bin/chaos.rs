@@ -24,14 +24,17 @@
 //! fingerprint — so the passivity and backend-conformance cross-checks
 //! below cover the upgrade path too.
 //!
-//! Each schedule runs **three** times: on the primary backend with
+//! Each schedule runs **five** times: on the primary backend with
 //! telemetry enabled (all seeds share one registry), on the primary
-//! backend with telemetry disabled, and on the *other* registered SAN
-//! backend (telemetry disabled). All three fingerprints must be equal,
-//! which verifies deterministic replay, instrumentation passivity
-//! (metrics *and* causal tracing), **and** storage-backend conformance on
-//! every seed — the log-structured store must be observably
-//! indistinguishable from the map store under the full fault gauntlet.
+//! backend with telemetry disabled, on the *other* registered SAN
+//! backend (telemetry disabled), and — with the time-series scraper and
+//! SLO engine switched on — once more on each backend. All five
+//! fingerprints must be equal, which verifies deterministic replay,
+//! instrumentation passivity (metrics, causal tracing, *and* series
+//! scraping — the scraper must never touch the fault-injector RNG
+//! stream), **and** storage-backend conformance on every seed — the
+//! log-structured store must be observably indistinguishable from the
+//! map store under the full fault gauntlet.
 //! The sweep's aggregated metrics land in `results/telemetry_chaos.json`;
 //! each seed's merged causal trace lands in
 //! `results/trace_chaos_s<seed>.json` (Chrome trace-event format —
@@ -115,6 +118,25 @@ fn main() {
                 break;
             }
         }
+        // Series-scraping passivity: enabling the time-series scraper and
+        // SLO engine must not change a single fingerprint bit, on the
+        // primary backend *or* on any other registered backend.
+        let mut series_mismatch: Option<BackendKind> = None;
+        for &kind in std::iter::once(&backend).chain(other_backends.iter()) {
+            let s = run_nemesis_with_telemetry(
+                &plan,
+                &ChaosOptions {
+                    backend: kind,
+                    series: true,
+                    ..opts.clone()
+                },
+                Telemetry::new(),
+            );
+            if s.fingerprint != a.fingerprint {
+                series_mismatch = Some(kind);
+                break;
+            }
+        }
         let trace_label = format!("chaos_s{seed}");
         let trace_path = match a.trace.write_to(&results_dir, &trace_label, seed) {
             Ok(p) => p.display().to_string(),
@@ -140,6 +162,9 @@ fn main() {
         } else if backend_mismatch.is_some() {
             failed = true;
             "BACKEND-DIVERGENCE"
+        } else if series_mismatch.is_some() {
+            failed = true;
+            "SERIES-NOT-PASSIVE"
         } else if !trace_replayed {
             failed = true;
             "TRACE-NON-DETERMINISTIC"
@@ -167,6 +192,11 @@ fn main() {
                 "      backend `{other}` fingerprints differently from `{backend}` on this seed"
             );
         }
+        if let Some(kind) = series_mismatch {
+            println!(
+                "      enabling series scraping on backend `{kind}` changed this seed's fingerprint"
+            );
+        }
         if status != "ok" {
             println!(
                 "      replay with: CHAOS_SEED0={seed} CHAOS_SEEDS=1 \
@@ -191,8 +221,8 @@ fn main() {
     }
     println!(
         "all schedules held every invariant and replayed identically \
-         (with and without telemetry, across every storage backend); \
-         causal traces under {}",
+         (with and without telemetry, with and without series scraping, \
+         across every storage backend); causal traces under {}",
         dir.join("trace_chaos_s<seed>.json").display()
     );
 }

@@ -22,12 +22,15 @@
 //!    work: scratch-reuse wire encode, zero-copy wire decode, pre-sized
 //!    SAN codec, sharded copy-on-write registry reads.
 //!
-//! Writes `results/e13_throughput.txt`. The CI guard
-//! (`perf_guard --bin`, see `results/perf_baseline_e13.json`) re-measures
-//! a reduced version of this sweep on every run.
+//! Writes `results/e13_throughput.txt` and the measured aggregates as a
+//! telemetry snapshot, `results/telemetry_e13.json` (validated by
+//! `telemetry_check`). The CI guard (`perf_guard --bin`, see
+//! `results/perf_baseline_e13.json`) re-measures a reduced version of
+//! this sweep on every run.
 
 use dosgi_bench::e13;
-use dosgi_bench::print_table;
+use dosgi_bench::{print_table, write_telemetry_snapshot};
+use dosgi_telemetry::Telemetry;
 use std::time::Duration;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -127,6 +130,23 @@ fn main() {
     for r in &rows {
         lines.push(r.join("\t"));
     }
+
+    // The measured aggregates as a telemetry snapshot, so the validator
+    // covers real-clock results with the same checks as the sim runs.
+    let telemetry = Telemetry::new();
+    for (i, &t) in THREADS.iter().enumerate() {
+        telemetry.gauge_set(&format!("e13.migration.t{t}_ops"), migration[i] as i64);
+        telemetry.gauge_set(&format!("e13.admission.t{t}_ops"), admission[i] as i64);
+        telemetry.add("e13.cells", 2);
+    }
+    telemetry.gauge_set("e13.admission.sim_ops", sim as i64);
+    telemetry.gauge_set("e13.admission.real_ops", real as i64);
+    for w in &wins {
+        telemetry.record("e13.win.ns_per_op.before", w.old_ns as u64);
+        telemetry.record("e13.win.ns_per_op.after", w.new_ns as u64);
+        telemetry.add("e13.wins", 1);
+    }
+    write_telemetry_snapshot(&telemetry, "e13", 13);
 
     // Report, then enforce the scaling claim so CI catches a runtime whose
     // concurrency stopped overlapping.

@@ -11,11 +11,12 @@
 //!    shedding, goodput must hold within 10% of capacity at every
 //!    overload point; the unbounded (no-admission) run queues without
 //!    limit, latency diverges, and goodput collapses.
-//! 2. **Policy-driven reaction** — the `OVERLOAD_POLICY` rules
+//! 2. **Policy-driven reaction** — the `POLLED_OVERLOAD_POLICY` rules
 //!    (scale-out on sustained p95 breach, shed-class on queue pressure)
 //!    drive the admission layer through a flash crowd: the director adds
 //!    a standby replica and sheds the background class at the knee, then
-//!    lifts the shed once pressure clears.
+//!    lifts the shed once pressure clears. (E16 races this naive polled
+//!    trigger against the burn-rate-alert-driven `OVERLOAD_POLICY`.)
 //! 3. **Flash-crowd chaos** — a hand-built nemesis schedule kills a node
 //!    at the flash-crowd peak and restarts it later; the at-most-one-
 //!    live-copy, durability-floor, and convergence invariants must hold,
@@ -26,7 +27,7 @@
 //! the shed/queued/deadline-missed counters must be present and live).
 
 use dosgi_bench::{print_table, ratio, write_telemetry_snapshot};
-use dosgi_core::autonomic::OVERLOAD_POLICY;
+use dosgi_core::autonomic::POLLED_OVERLOAD_POLICY;
 use dosgi_core::chaos::{run_nemesis_with_telemetry, ChaosOptions};
 use dosgi_core::loadgen::{Burst, ClassMix, RateSchedule, ScheduledLoadGenerator};
 use dosgi_ipvs::{
@@ -200,7 +201,8 @@ fn policy_reaction(telemetry: &Telemetry) {
             },
         ),
     );
-    let mut engine = PolicyEngine::compile(OVERLOAD_POLICY).expect("overload policy compiles");
+    let mut engine =
+        PolicyEngine::compile(POLLED_OVERLOAD_POLICY).expect("overload policy compiles");
     let mut bb = Blackboard::new();
     let mut gen = ScheduledLoadGenerator::new(schedule, SEED + 1, SimTime::ZERO);
     let mut mix = ClassMix::standard_web(SEED + 1);

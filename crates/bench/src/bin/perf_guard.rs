@@ -34,6 +34,13 @@
 //! sheds more at the same load has regressed), both ±10% against
 //! `results/perf_baseline_e15_admission.json`.
 
+//! The guard also covers the **E16 series-scrape cost**: the median
+//! wall-clock nanoseconds of one [`SeriesScraper`] pass over a 1 000-metric
+//! registry. The committed baseline (`results/perf_baseline_e16_scrape.json`)
+//! stores a 3×-derated ceiling measured at baseline time — wall time is
+//! noisy, so only a scrape that blows *through* that generous ceiling
+//! fails: the observability layer must never silently eat the hot path.
+
 use dosgi_core::loadgen::{ClassMix, RateSchedule, ScheduledLoadGenerator};
 use dosgi_core::{workloads, ClusterConfig, DosgiCluster};
 use dosgi_ipvs::{replicated_service, AdmissionConfig, IpvsDirector, Scheduler};
@@ -454,6 +461,100 @@ fn guard_e13(write_baseline: bool) -> bool {
     ok
 }
 
+/// One scrape pass over a registry with 600 counters, 300 gauges and 100
+/// histograms (the micro bench's `telemetry/scrape_1k_metrics` shape).
+/// Returns the median ns of 64 timed scrapes after 8 warmups.
+fn measure_scrape_ns() -> u64 {
+    use dosgi_telemetry::{ScrapeConfig, SeriesScraper, Telemetry};
+    let t = Telemetry::new();
+    for i in 0..600u64 {
+        t.add(&format!("bench.ctr.{i:03}"), i);
+    }
+    for i in 0..300u64 {
+        t.gauge_set(&format!("bench.gauge.{i:03}"), i as i64);
+    }
+    for i in 0..100u64 {
+        let name = format!("bench.hist.{i:02}");
+        for v in [100, 2_000, 65_000, 1_000_000] {
+            t.record(&name, v + i);
+        }
+    }
+    let mut scraper = SeriesScraper::new(ScrapeConfig::default());
+    let mut now_us = 0u64;
+    let mut samples = Vec::with_capacity(64);
+    for i in 0..72u32 {
+        now_us += 250_000;
+        t.add("bench.ctr.000", 1);
+        t.record("bench.hist.00", u64::from(i) * 131);
+        let start = std::time::Instant::now();
+        assert!(scraper.scrape(&t, now_us), "every pass must be due");
+        let ns = start.elapsed().as_nanos() as u64;
+        if i >= 8 {
+            samples.push(ns);
+        }
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Guard the scrape cost: the measured median must stay under the
+/// committed 3×-derated ceiling (±10% tolerance on top).
+fn guard_scrape(write_baseline: bool) -> bool {
+    let ns = measure_scrape_ns();
+    println!("perf_guard[scrape]: e16 series scrape over 1k metrics: {ns} ns median");
+    let path = dosgi_testkit::workspace_root()
+        .join("results")
+        .join("perf_baseline_e16_scrape.json");
+
+    if write_baseline {
+        let body = format!(
+            "{{\n  \"scenario\": \"e16_scrape_1k_metrics\",\n  \
+             \"median_ns_at_baseline\": {ns},\n  \"ceiling_ns\": {}\n}}\n",
+            ns * 3
+        );
+        std::fs::create_dir_all(path.parent().expect("results dir has a parent"))
+            .expect("create results dir");
+        std::fs::write(&path, body).expect("write baseline");
+        println!(
+            "perf_guard[scrape]: baseline rewritten at {}",
+            path.display()
+        );
+        return true;
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "perf_guard[scrape]: no baseline at {} ({e})",
+                path.display()
+            );
+            eprintln!("perf_guard: generate one with PERF_GUARD_WRITE_BASELINE=1");
+            return false;
+        }
+    };
+    let json = Json::parse(&text).expect("baseline JSON parses");
+    let ceiling = json
+        .get("ceiling_ns")
+        .and_then(Json::as_u64)
+        .expect("baseline has ceiling_ns");
+    let limit = (ceiling as f64 * (1.0 + TOLERANCE)).ceil() as u64;
+    let ok = ns <= limit;
+    println!(
+        "perf_guard[scrape]: median_ns: {ns} vs ceiling {ceiling} (limit {limit}) {}",
+        if ok { "ok" } else { "REGRESSION" }
+    );
+    if !ok {
+        eprintln!(
+            "perf_guard[scrape]: the series scrape blew through its derated \
+             ceiling in {}",
+            path.display()
+        );
+        eprintln!("perf_guard: if intentional, regenerate with PERF_GUARD_WRITE_BASELINE=1");
+    }
+    ok
+}
+
 fn main() {
     let write_baseline = std::env::var("PERF_GUARD_WRITE_BASELINE").is_ok();
     let mut failed = false;
@@ -471,13 +572,17 @@ fn main() {
     if !guard_e13(write_baseline) {
         failed = true;
     }
+    if !guard_scrape(write_baseline) {
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
     if !write_baseline {
         println!(
             "perf_guard: within tolerance on every backend, the admission hot \
-             path, the hot-swap blackout and the e13 real-clock floors"
+             path, the hot-swap blackout, the e13 real-clock floors and the \
+             e16 scrape ceiling"
         );
     }
 }

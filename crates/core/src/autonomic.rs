@@ -63,16 +63,43 @@ rule empty_node {
 }
 "#;
 
-/// The overload-reaction policy (E15): a sustained p95 latency breach on
-/// the standard class scales the service out (adds a replica behind the
-/// VIP); sustained queue pressure sheds the background class; and once
-/// both pressure signals clear, shedding is lifted (`stop_shed` is
-/// forwarded as a [`dosgi_policy::PolicyAction::Custom`] the driver
-/// interprets). The blackboard globals are fed by whatever drives the
-/// admission layer: `p95_latency_us` (standard-class completion p95),
-/// `slo_us` (that class's budget), `queue_depth` (total queued across
-/// backends), and `queue_capacity` (the aggregate bound).
+/// The overload-reaction policy (E15/E16), driven by the SLO burn-rate
+/// alerts of [`dosgi_telemetry::SloEngine`] instead of raw p95 polling:
+/// while the `std-latency` alert fires, the service scales out (adds a
+/// replica behind the VIP); sustained queue pressure sheds the
+/// background class; once queues drain, shedding is lifted — un-shed is
+/// deliberately queue-governed, not alert-governed, because burn-rate
+/// alerts reset only after the bad window ages out, long after the
+/// overload itself has passed (`stop_shed` is forwarded as a
+/// [`dosgi_policy::PolicyAction::Custom`] the driver interprets). The
+/// driver feeds the blackboard `alert_firing` per SLO subject
+/// (`set_subject_metric(<slo>, "alert_firing", 0/1)` from
+/// `SloEngine::firing`) plus the `queue_depth` / `queue_capacity`
+/// globals from the admission layer. No debounce on the scale-out rule:
+/// the burn-rate pairs already require two breaching windows, so the
+/// alert itself is the debounce.
 pub const OVERLOAD_POLICY: &str = r#"
+rule slo_burn {
+    when alert_firing("std-latency") > 0
+    then scale_out(); alert("std-latency error budget burning")
+}
+rule queue_pressure {
+    when queue_depth() > queue_capacity() * 0.8 for 2
+    then shed_class("background")
+}
+rule pressure_cleared {
+    when queue_depth() < queue_capacity() * 0.2 for 4
+    then stop_shed("background")
+}
+"#;
+
+/// The pre-E16 overload policy: polls the raw p95 gauge against the SLO
+/// every tick and debounces by rule repetition. Kept as the naive
+/// baseline the `e16_slo` experiment races burn-rate alerting against —
+/// the `for 3` debounce plus the rolling-window p95 lag is exactly the
+/// reaction time the alert path beats. Blackboard globals:
+/// `p95_latency_us`, `slo_us`, `queue_depth`, `queue_capacity`.
+pub const POLLED_OVERLOAD_POLICY: &str = r#"
 rule p95_breach {
     when p95_latency_us() > slo_us() for 3
     then scale_out(); alert("sustained p95 SLO breach")
@@ -286,13 +313,61 @@ mod tests {
     }
 
     #[test]
-    fn overload_policy_scales_out_on_sustained_p95_breach() {
+    fn overload_policy_scales_out_while_alert_fires() {
         let mut a = AutonomicModule::new(OVERLOAD_POLICY, SimDuration::from_secs(1)).unwrap();
         let m = MonitoringModule::new();
         let cap = NodeCapacity::standard();
         let q = BTreeMap::new();
-        // Feed the overload signals straight into the blackboard (the E15
-        // driver does the same from the admission-layer stats).
+        // Feed the alert state and queue signals straight into the
+        // blackboard (the E16 driver does the same from the SLO engine
+        // and the admission-layer stats).
+        let bb = a.blackboard_mut();
+        bb.set_subject_metric("std-latency", "alert_firing", 1.0);
+        bb.set_global_metric("queue_depth", 120.0);
+        bb.set_global_metric("queue_capacity", 128.0);
+        let mut fired = Vec::new();
+        for s in 1..=2 {
+            fired.extend(a.evaluate(SimTime::from_secs(s), &m, &q, &cap, 3, 0));
+        }
+        assert!(
+            fired.iter().any(|d| d.action == PolicyAction::ScaleOut),
+            "{fired:?}"
+        );
+        assert!(
+            fired.iter().any(|d| matches!(
+                &d.action,
+                PolicyAction::ShedClass { class } if class == "background"
+            )),
+            "{fired:?}"
+        );
+        assert!(a.last_errors().is_empty(), "{:?}", a.last_errors());
+
+        // Alert resolved, queues drained: shedding lifts after `for 4`.
+        let bb = a.blackboard_mut();
+        bb.set_subject_metric("std-latency", "alert_firing", 0.0);
+        bb.set_global_metric("queue_depth", 2.0);
+        let mut cleared = Vec::new();
+        for s in 3..=7 {
+            cleared.extend(a.evaluate(SimTime::from_secs(s), &m, &q, &cap, 3, 0));
+        }
+        assert!(
+            cleared.iter().any(|d| matches!(
+                &d.action,
+                PolicyAction::Custom { name, args, .. } if name == "stop_shed"
+                    && args == &["background".to_owned()]
+            )),
+            "{cleared:?}"
+        );
+        assert!(a.last_errors().is_empty(), "{:?}", a.last_errors());
+    }
+
+    #[test]
+    fn polled_overload_policy_scales_out_on_sustained_p95_breach() {
+        let mut a =
+            AutonomicModule::new(POLLED_OVERLOAD_POLICY, SimDuration::from_secs(1)).unwrap();
+        let m = MonitoringModule::new();
+        let cap = NodeCapacity::standard();
+        let q = BTreeMap::new();
         let bb = a.blackboard_mut();
         bb.set_global_metric("p95_latency_us", 400_000.0);
         bb.set_global_metric("slo_us", 250_000.0);

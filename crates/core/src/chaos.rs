@@ -58,6 +58,14 @@ pub struct ChaosOptions {
     /// break an invariant, and its outcome folds into the fingerprint so
     /// the telemetry-passivity and backend-conformance sweeps cover it too.
     pub upgrade_wave_at_us: Option<u64>,
+    /// When set, the run enables continuous observability
+    /// ([`DosgiCluster::enable_observability`] with the default scrape
+    /// cadence and SLO set): time-series collection plus burn-rate
+    /// alerting driven from the step loop. The scraper is strictly
+    /// passive — it must never touch the fault-injector RNG stream — so
+    /// the report (and fingerprint) must be byte-identical with this on
+    /// or off; the chaos sweep enforces that on every seed and backend.
+    pub series: bool,
 }
 
 impl Default for ChaosOptions {
@@ -68,6 +76,7 @@ impl Default for ChaosOptions {
             settle: SimDuration::from_secs(6),
             backend: BackendKind::Map,
             upgrade_wave_at_us: None,
+            series: false,
         }
     }
 }
@@ -138,6 +147,12 @@ pub fn run_nemesis_with_telemetry(
         mix_seed(plan.seed, 0xC1A0_5EED),
         telemetry,
     );
+    if opts.series {
+        cluster.enable_observability(
+            dosgi_telemetry::ScrapeConfig::default(),
+            DosgiCluster::default_slos(),
+        );
+    }
     let mut violations: Vec<String> = Vec::new();
 
     // Boot, deploy the workload, let placement commit everywhere.
@@ -628,6 +643,40 @@ mod tests {
             on.snapshot("chaos_seed7", plan.seed).to_json(),
             on2.snapshot("chaos_seed7", plan.seed).to_json(),
             "two instrumented replays must snapshot identically"
+        );
+    }
+
+    /// Series collection and SLO evaluation must be as passive as the
+    /// rest of telemetry: the same schedule fingerprints identically
+    /// with the scraper on or off, two scraping replays serialize the
+    /// same snapshot bytes, and the scraper demonstrably collected.
+    #[test]
+    fn seed_seven_fingerprint_is_unchanged_by_series_collection() {
+        let plan = NemesisPlan::generate(7, 5, &NemesisConfig::default());
+        let base = run_nemesis(&plan, &ChaosOptions::default());
+        let opts = ChaosOptions {
+            series: true,
+            ..ChaosOptions::default()
+        };
+        let on = Telemetry::new();
+        let a = run_nemesis_with_telemetry(&plan, &opts, on.clone());
+        assert_eq!(
+            a.fingerprint, base.fingerprint,
+            "series collection changed the run's observable behaviour"
+        );
+        assert_eq!(a.acked, base.acked);
+        assert_eq!(a.violations, base.violations);
+        assert!(
+            on.counter("san.ops") > 0,
+            "the instrumented run recorded metrics"
+        );
+        let on2 = Telemetry::new();
+        let b = run_nemesis_with_telemetry(&plan, &opts, on2.clone());
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(
+            on.snapshot("chaos_series7", plan.seed).to_json(),
+            on2.snapshot("chaos_series7", plan.seed).to_json(),
+            "two scraping replays must snapshot identically"
         );
     }
 

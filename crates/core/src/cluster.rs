@@ -6,7 +6,10 @@ use crate::registry::InstanceStatus;
 use crate::{AdoptReason, CoreError, NodeEvent, SlaTracker};
 use dosgi_net::{LinkConfig, NodeId, Partition, SimDuration, SimNet, SimTime};
 use dosgi_san::{BackendKind, SharedStore, Value};
-use dosgi_telemetry::{FlightRecorder, Snapshot, SpanId, Telemetry, TraceLog};
+use dosgi_telemetry::{
+    FlightRecorder, HealthState, ScrapeConfig, SeriesScraper, SloEngine, SloSpec, Snapshot, SpanId,
+    Telemetry, TraceLog,
+};
 use dosgi_vosgi::InstanceDescriptor;
 use std::collections::BTreeMap;
 
@@ -37,6 +40,18 @@ impl Default for ClusterConfig {
     }
 }
 
+/// The optional continuous-observability pipeline: a [`SeriesScraper`]
+/// turning the registry into bounded time series plus an [`SloEngine`]
+/// evaluating burn-rate alerts, both driven from [`DosgiCluster::step`]
+/// on the scrape cadence. Strictly passive: pure registry reads on the
+/// sim clock — it never touches the network, the SAN, or any RNG stream,
+/// so enabling it cannot change a run's observable behaviour (the chaos
+/// sweep proves fingerprint equality with it on and off).
+struct Observability {
+    scraper: SeriesScraper,
+    slo: SloEngine,
+}
+
 struct Slot {
     node: DosgiNode,
     alive: bool,
@@ -64,6 +79,7 @@ pub struct DosgiCluster {
     // Open `core.migration.handoff/<name>` spans: entered when the old home
     // releases the instance, exited when the new home reports adoption.
     handoff_spans: BTreeMap<String, SpanId>,
+    observability: Option<Observability>,
 }
 
 impl std::fmt::Debug for DosgiCluster {
@@ -141,7 +157,46 @@ impl DosgiCluster {
             events: Vec::new(),
             telemetry,
             handoff_spans: BTreeMap::new(),
+            observability: None,
         }
+    }
+
+    /// Turns on continuous observability: every `config.cadence_us` of
+    /// sim time, [`step`](Self::step) scrapes the telemetry registry
+    /// into bounded time series, refreshes the per-node health gauges
+    /// (`core.health.n<i>`), and evaluates `slos` as multi-window
+    /// burn-rate alerts recorded into the snapshot's alert timeline.
+    /// A no-op wiring on a disabled telemetry handle (nothing to read).
+    pub fn enable_observability(&mut self, config: ScrapeConfig, slos: Vec<SloSpec>) {
+        let mut engine = SloEngine::new(config.cadence_us);
+        for spec in slos {
+            engine.add(spec);
+        }
+        self.observability = Some(Observability {
+            scraper: SeriesScraper::new(config),
+            slo: engine,
+        });
+    }
+
+    /// The default SLO set for instrumented sim runs: SAN operations
+    /// must stay under 1% faulted, alerted on burn rate.
+    pub fn default_slos() -> Vec<SloSpec> {
+        vec![SloSpec::new(
+            "san-faults",
+            vec!["san.faults".to_owned()],
+            vec!["san.ops".to_owned()],
+            10_000,
+        )]
+    }
+
+    /// The series scraper, when observability is enabled.
+    pub fn scraper(&self) -> Option<&SeriesScraper> {
+        self.observability.as_ref().map(|o| &o.scraper)
+    }
+
+    /// The SLO engine, when observability is enabled.
+    pub fn slo_engine(&self) -> Option<&SloEngine> {
+        self.observability.as_ref().map(|o| &o.slo)
     }
 
     /// The cluster-wide telemetry handle (cheap to clone; all clones share
@@ -540,6 +595,81 @@ impl DosgiCluster {
             let up = self.probe(&name);
             self.sla.probe(&name, now, up);
         }
+        // Continuous observability, on the scrape cadence: health gauges
+        // first (so the scrape samples the fresh values), then the series
+        // scrape, then SLO evaluation. Pure reads of the telemetry
+        // registry and the replicated registry — nothing here touches the
+        // network, the SAN, or any RNG stream (passivity).
+        let now_us = now.as_micros();
+        if self
+            .observability
+            .as_ref()
+            .is_some_and(|o| o.scraper.due(now_us))
+        {
+            self.record_health_gauges();
+            let telemetry = self.telemetry.clone();
+            if let Some(obs) = self.observability.as_mut() {
+                obs.scraper.scrape(&telemetry, now_us);
+                obs.slo.observe(&telemetry, now_us);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The health scoreboard
+    // ------------------------------------------------------------------
+
+    /// Quarantined instances homed on node `idx`, per the replicated
+    /// registry (0 when no running node can be consulted).
+    fn quarantined_on(&self, idx: usize) -> usize {
+        self.reference_registry()
+            .map(|r| {
+                r.records()
+                    .filter(|rec| {
+                        rec.status == InstanceStatus::Quarantined && rec.home.index() == idx
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Node `idx`'s current health: a dead node is `Critical` outright;
+    /// otherwise alert state (cluster-scoped SLO alerts degrade every
+    /// serving node), quarantined instances homed here, and queue
+    /// pressure feed [`dosgi_telemetry::derive_health`]. Hibernated and
+    /// stopped nodes serve nothing by design, so their indicators are
+    /// naturally quiet and they report `Ok`.
+    pub fn health_of(&self, idx: usize) -> HealthState {
+        let Some(slot) = self.slots.get(idx) else {
+            return HealthState::Critical;
+        };
+        if !slot.alive {
+            return HealthState::Critical;
+        }
+        let serving = slot.node.state() == NodeState::Running;
+        let alerts = if serving {
+            self.observability
+                .as_ref()
+                .map(|o| o.slo.firing_count())
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        dosgi_telemetry::derive_health(alerts, self.quarantined_on(idx), 0)
+    }
+
+    /// The per-node health scoreboard, indexed like the nodes.
+    pub fn health_scoreboard(&self) -> Vec<HealthState> {
+        (0..self.slots.len()).map(|i| self.health_of(i)).collect()
+    }
+
+    /// Publishes the scoreboard as `core.health.n<i>` gauges
+    /// (0 = ok, 1 = degraded, 2 = critical).
+    pub fn record_health_gauges(&self) {
+        for (i, h) in self.health_scoreboard().iter().enumerate() {
+            self.telemetry
+                .gauge_set(&format!("core.health.n{i}"), h.as_gauge());
+        }
     }
 
     /// Publishes the cluster's derived health figures as telemetry gauges:
@@ -569,6 +699,7 @@ impl DosgiCluster {
             "core.cluster.nodes_hibernated",
             self.hibernated_nodes() as i64,
         );
+        self.record_health_gauges();
     }
 
     /// Refreshes the derived gauges and takes a snapshot of the cluster's
@@ -770,6 +901,61 @@ mod tests {
         c.run_for(SimDuration::from_millis(1_000));
         assert_eq!(c.home_of("web"), Some(1), "protocol unaffected");
         assert!(c.trace_log().events.is_empty());
+    }
+
+    #[test]
+    fn health_scoreboard_tracks_liveness_and_gauges() {
+        let telemetry = Telemetry::new();
+        let mut c =
+            DosgiCluster::new_with_telemetry(3, ClusterConfig::default(), 77, telemetry.clone());
+        c.run_for(SimDuration::from_millis(500));
+        assert_eq!(
+            c.health_scoreboard(),
+            vec![HealthState::Ok, HealthState::Ok, HealthState::Ok]
+        );
+        c.crash_node(1);
+        assert_eq!(c.health_of(1), HealthState::Critical);
+        assert_eq!(c.health_of(0), HealthState::Ok);
+        assert_eq!(c.health_of(99), HealthState::Critical, "unknown = critical");
+        c.record_health_gauges();
+        assert_eq!(telemetry.gauge("core.health.n0"), Some(0));
+        assert_eq!(telemetry.gauge("core.health.n1"), Some(2));
+        c.restart_node(1);
+        c.run_for(SimDuration::from_secs(2));
+        assert_eq!(c.health_of(1), HealthState::Ok);
+    }
+
+    #[test]
+    fn observability_scrapes_on_cadence_with_bounded_series() {
+        let telemetry = Telemetry::new();
+        let mut c =
+            DosgiCluster::new_with_telemetry(3, ClusterConfig::default(), 77, telemetry.clone());
+        c.enable_observability(
+            dosgi_telemetry::ScrapeConfig {
+                cadence_us: 250_000,
+                capacity: 16,
+            },
+            DosgiCluster::default_slos(),
+        );
+        c.run_for(SimDuration::from_millis(500));
+        c.deploy(workloads::web_instance("a", "web"), 0).unwrap();
+        c.run_for(SimDuration::from_secs(30));
+        let scraper = c.scraper().expect("observability on");
+        // 30.5 s at 250 ms cadence: one scrape per window, first at t=tick.
+        assert!(scraper.scrapes() >= 120, "scrapes: {}", scraper.scrapes());
+        let rate = scraper.series("rate:san.ops").expect("san.ops series");
+        assert!(rate.len() <= rate.capacity());
+        assert_eq!(rate.appended(), rate.len() as u64 + rate.dropped());
+        assert!(rate.dropped() > 0, "a 16-ring over 120 scrapes compacts");
+        assert_eq!(
+            telemetry.counter(dosgi_telemetry::DROPPED_POINTS),
+            scraper.total_dropped()
+        );
+        // Health gauges became series too.
+        assert!(scraper.series("gauge:core.health.n0").is_some());
+        // A healthy run fires nothing.
+        assert_eq!(c.slo_engine().unwrap().firing_count(), 0);
+        assert!(telemetry.alerts().is_empty());
     }
 
     #[test]

@@ -41,6 +41,7 @@ use crate::NodeEvent;
 use dosgi_net::{Clock, Fabric, NodeId, RealClock, RealNet, SimTime};
 use dosgi_osgi::RegistryReader;
 use dosgi_san::{BackendKind, SharedStore, Value};
+use dosgi_telemetry::HealthState;
 use dosgi_vosgi::InstanceDescriptor;
 use std::sync::mpsc::{channel, Sender};
 use std::thread::JoinHandle;
@@ -63,6 +64,7 @@ enum Command {
         Sender<Result<Value, CoreError>>,
     ),
     Probe(String, Sender<bool>),
+    Health(Sender<HealthState>),
     Reader(Sender<RegistryReader>),
     TakeEvents(Sender<Vec<NodeEvent>>),
     Shutdown,
@@ -126,6 +128,9 @@ impl RealCluster {
                                 }
                                 Command::Probe(name, reply) => {
                                     let _ = reply.send(node.probe_local(&name));
+                                }
+                                Command::Health(reply) => {
+                                    let _ = reply.send(node_health(&node));
                                 }
                                 Command::Reader(reply) => {
                                     let _ = reply.send(node.registry_reader());
@@ -235,6 +240,24 @@ impl RealCluster {
         rx.recv().expect("worker replies")
     }
 
+    /// Node `on`'s current health, computed on the worker thread from the
+    /// node's own view: quarantined instances homed there and total-order
+    /// backlog pressure (see [`node_health`]). Mirrors the sim driver's
+    /// [`DosgiCluster::health_of`](crate::DosgiCluster::health_of) on the
+    /// real-clock command plane.
+    pub fn health(&self, on: NodeId) -> HealthState {
+        let (tx, rx) = channel();
+        self.cmd(on)
+            .send(Command::Health(tx))
+            .expect("worker alive");
+        rx.recv().expect("worker replies")
+    }
+
+    /// Every node's health, indexed like [`ids`](Self::ids).
+    pub fn health_scoreboard(&self) -> Vec<HealthState> {
+        self.ids.iter().map(|&id| self.health(id)).collect()
+    }
+
     /// A concurrent read handle onto node `on`'s host service registry.
     /// The handle outlives the request and reads without stopping the node.
     pub fn registry_reader(&self, on: NodeId) -> RegistryReader {
@@ -298,6 +321,28 @@ impl Drop for RealCluster {
     }
 }
 
+/// Total-order backlog regarded as "100% queue pressure" when deriving a
+/// node's health. A healthy node drains its GCS pipeline every tick; a
+/// backlog in the hundreds means delivery has wedged behind a partition
+/// or a slow peer, which is exactly what the scoreboard should surface.
+const GCS_BACKLOG_NOMINAL: usize = 256;
+
+/// Node-local health, computed from state the worker thread already owns:
+/// no alerts feed in (SLO engines attach to the sim driver's scraper, not
+/// to individual real-clock workers), so health here is quarantined
+/// instances homed on this node plus total-order backlog pressure scaled
+/// against [`GCS_BACKLOG_NOMINAL`].
+fn node_health(node: &DosgiNode) -> HealthState {
+    let id = node.id();
+    let quarantined = node
+        .registry()
+        .records()
+        .filter(|r| r.status == crate::InstanceStatus::Quarantined && r.home == id)
+        .count();
+    let queue_pct = (node.gcs_pending() as u64 * 100) / GCS_BACKLOG_NOMINAL as u64;
+    dosgi_telemetry::derive_health(0, quarantined, queue_pct.min(100))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +389,25 @@ mod tests {
             )
             .expect("state survived migration");
         assert_eq!(got, Value::Int(4), "count persisted across the hop");
+        cluster.shutdown();
+    }
+
+    /// The command plane answers health queries: an idle healthy cluster
+    /// scores `Ok` on every node, and the scoreboard is indexed like `ids`.
+    #[test]
+    fn health_scoreboard_over_command_plane() {
+        let cluster = two_node_cluster();
+        let a = cluster.ids()[0];
+        cluster
+            .deploy(a, workloads::counter_instance("acme", "ctr-health"))
+            .expect("deploy accepted");
+        assert!(cluster.await_running(a, "ctr-health", Duration::from_secs(10)));
+        let board = cluster.health_scoreboard();
+        assert_eq!(board.len(), cluster.ids().len());
+        for (i, h) in board.iter().enumerate() {
+            assert_eq!(*h, HealthState::Ok, "idle node {i} must be healthy");
+        }
+        assert_eq!(cluster.health(a), HealthState::Ok);
         cluster.shutdown();
     }
 

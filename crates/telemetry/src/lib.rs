@@ -38,10 +38,17 @@
 //! and directors.
 
 mod hist;
+pub mod series;
+pub mod slo;
 pub mod snapshot;
 pub mod trace;
 
 pub use hist::{bucket_bounds, bucket_index, Histogram, BUCKETS};
+pub use series::{
+    ScrapeConfig, Series, SeriesKind, SeriesPoint, SeriesScraper, DEFAULT_CADENCE_US,
+    DEFAULT_SERIES_CAPACITY, DROPPED_POINTS,
+};
+pub use slo::{derive_health, AlertEvent, AlertWindow, HealthState, SloEngine, SloSpec};
 pub use snapshot::{ClosedSpan, OpenSpan, Snapshot, SCHEMA_VERSION};
 pub use trace::{
     FlightRecorder, TraceContext, TraceEvent, TraceLog, TraceRef, DEFAULT_EVENT_CAPACITY,
@@ -54,8 +61,15 @@ use std::sync::{Arc, Mutex};
 /// Counter name incremented when the closed-span ring buffer overflows.
 pub const DROPPED_SPANS: &str = "telemetry.dropped_spans";
 
+/// Counter name incremented when the alert timeline overflows.
+pub const DROPPED_ALERTS: &str = "telemetry.dropped_alerts";
+
 /// Default capacity of the closed-span ring buffer.
 pub const DEFAULT_SPAN_CAPACITY: usize = 1024;
+
+/// Capacity of the alert timeline (alert transitions are sparse; a run
+/// that overflows this is itself an alerting bug worth seeing).
+pub const ALERT_CAPACITY: usize = 1024;
 
 /// Identifier returned by [`Telemetry::span_enter`].
 ///
@@ -84,6 +98,7 @@ struct Inner {
     open: Vec<LiveSpan>,
     closed: VecDeque<ClosedSpan>,
     span_capacity: usize,
+    alerts: VecDeque<AlertEvent>,
 }
 
 impl Inner {
@@ -96,6 +111,7 @@ impl Inner {
             open: Vec::new(),
             closed: VecDeque::new(),
             span_capacity,
+            alerts: VecDeque::new(),
         }
     }
 }
@@ -186,6 +202,43 @@ impl Telemetry {
         self.lock().and_then(|g| g.histograms.get(name).cloned())
     }
 
+    /// Read the whole registry under one lock — counters, gauges and
+    /// histograms by reference, no clones. This is the
+    /// [`SeriesScraper`]'s bulk read path; `f` must not call back into
+    /// this handle (the lock is held). Returns `None` on a disabled
+    /// handle (the closure is not called).
+    pub fn read<R>(
+        &self,
+        f: impl FnOnce(
+            &BTreeMap<String, u64>,
+            &BTreeMap<String, i64>,
+            &BTreeMap<String, Histogram>,
+        ) -> R,
+    ) -> Option<R> {
+        self.lock()
+            .map(|g| f(&g.counters, &g.gauges, &g.histograms))
+    }
+
+    /// Append an alert transition to the timeline. Overflow beyond
+    /// [`ALERT_CAPACITY`] drops the oldest event and increments
+    /// `telemetry.dropped_alerts`.
+    pub fn record_alert(&self, event: AlertEvent) {
+        if let Some(mut g) = self.lock() {
+            if g.alerts.len() >= ALERT_CAPACITY {
+                g.alerts.pop_front();
+                *g.counters.entry(DROPPED_ALERTS.to_owned()).or_insert(0) += 1;
+            }
+            g.alerts.push_back(event);
+        }
+    }
+
+    /// Copy out the alert timeline, oldest first.
+    pub fn alerts(&self) -> Vec<AlertEvent> {
+        self.lock()
+            .map(|g| g.alerts.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
     /// Open a span named `name` at simulated time `now_us`.
     ///
     /// The span's parent is the most recently opened still-open span.
@@ -255,11 +308,13 @@ impl Telemetry {
             histograms: BTreeMap::new(),
             spans: Vec::new(),
             open_spans: Vec::new(),
+            alerts: Vec::new(),
         };
         if let Some(g) = self.lock() {
             snap.counters = g.counters.clone();
             snap.gauges = g.gauges.clone();
             snap.histograms = g.histograms.clone();
+            snap.alerts = g.alerts.iter().cloned().collect();
             snap.spans = g.closed.iter().cloned().collect();
             snap.open_spans = g
                 .open

@@ -7,13 +7,14 @@
 //! is a `BTreeMap`, so the same recorded state always serializes to the
 //! same bytes.
 //!
-//! Schema (version 2 — v2 added the derived `p50`/`p95`/`p99` summary
-//! fields on histogram entries, computed from the log buckets by
-//! [`Histogram::percentile`]; everything else is unchanged from v1):
+//! Schema (version 3 — v3 added the `alerts` timeline of SLO burn-rate
+//! transitions recorded by [`crate::SloEngine`]; v2 added the derived
+//! `p50`/`p95`/`p99` summary fields on histogram entries, computed from
+//! the log buckets by [`Histogram::percentile`]):
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "label": "chaos",
 //!   "seed": 7,
 //!   "counters": {"gcs.view.installed": 12, ...},
@@ -30,17 +31,22 @@
 //!      "start_us": 100, "end_us": 4200, "parent": null}
 //!   ],
 //!   "open_spans": [ ...same shape, no "end_us"... ],
+//!   "alerts": [
+//!     {"slo": "std-latency", "at_us": 8750000, "state": "firing",
+//!      "window": "fast", "burn_x100": 4100}
+//!   ],
 //!   "dropped_spans": 0
 //! }
 //! ```
 
+use crate::slo::AlertEvent;
 use crate::Histogram;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Current snapshot schema version.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// A completed span: `[start_us, end_us]` in simulated microseconds.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +104,8 @@ pub struct Snapshot {
     pub spans: Vec<ClosedSpan>,
     /// Spans still open when the snapshot was taken.
     pub open_spans: Vec<OpenSpan>,
+    /// SLO alert transitions, oldest first (the v3 alert timeline).
+    pub alerts: Vec<AlertEvent>,
 }
 
 fn opt_u64(v: Option<u64>) -> String {
@@ -180,6 +188,19 @@ impl Snapshot {
                 opt_u64(s.parent)
             );
         }
+        out.push_str("],\"alerts\":[");
+        for (i, a) in self.alerts.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"slo\":{:?},\"at_us\":{},\"state\":{:?},\"window\":{:?},\"burn_x100\":{}}}",
+                if i > 0 { "," } else { "" },
+                a.slo,
+                a.at_us,
+                if a.firing { "firing" } else { "resolved" },
+                a.window.as_str(),
+                a.burn_x100
+            );
+        }
         let _ = writeln!(out, "],\"dropped_spans\":{}}}", self.dropped_spans());
         out
     }
@@ -208,6 +229,13 @@ mod tests {
         let s = t.span_enter("a.phase", 10);
         t.span_exit(s, 25);
         t.span_enter("a.open", 30);
+        t.record_alert(AlertEvent {
+            slo: "std-latency".to_owned(),
+            at_us: 40,
+            firing: true,
+            window: crate::AlertWindow::Fast,
+            burn_x100: 4100,
+        });
         t.snapshot("unit", 42)
     }
 
@@ -219,7 +247,7 @@ mod tests {
     #[test]
     fn json_contains_required_fields() {
         let j = sample().to_json();
-        assert!(j.starts_with("{\"schema_version\":2,"));
+        assert!(j.starts_with("{\"schema_version\":3,"));
         assert!(j.contains("\"label\":\"unit\""));
         assert!(j.contains("\"seed\":42"));
         assert!(j.contains("\"a.b.count\":3"));
@@ -231,6 +259,10 @@ mod tests {
         ));
         assert!(j.contains("\"name\":\"a.phase\",\"start_us\":10,\"end_us\":25"));
         assert!(j.contains("\"open_spans\":[{\"id\":"));
+        assert!(j.contains(
+            "\"alerts\":[{\"slo\":\"std-latency\",\"at_us\":40,\"state\":\"firing\",\
+             \"window\":\"fast\",\"burn_x100\":4100}]"
+        ));
         assert!(j.ends_with("}\n"));
     }
 

@@ -28,6 +28,9 @@ scripts/chaos.sh
 echo "==> e15 overload knee (admission on/off + policy reaction + flash-crowd chaos)"
 cargo run --offline --release -p dosgi-bench --bin e15_overload
 
+echo "==> e16 slo burn-rate alerting (lead-time race + alert-driven policy + bounded series)"
+cargo run --offline --release -p dosgi-bench --bin e16_slo
+
 echo "==> e14 hot swap (blackout vs migration + rolling wave under traffic)"
 cargo run --offline --release -p dosgi-bench --bin e14_hot_swap
 
